@@ -1,0 +1,48 @@
+//! Criterion bench for E1: naïve evaluation vs brute-force certain
+//! answers for UCQs, as the null count grows. The brute force is
+//! exponential in the nulls; naïve evaluation is not.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ca_query::certain::{certain_answer_bool, naive_eval_bool};
+use ca_query::generate::{random_bool_ucq, QueryParams};
+use ca_relational::generate::{random_naive_db, DbParams, Rng};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e01_naive_eval");
+    for &n_nulls in &[1u32, 2, 3, 4] {
+        let mut rng = Rng::new(42);
+        let db = random_naive_db(
+            &mut rng,
+            DbParams {
+                n_facts: 6,
+                arity: 2,
+                n_constants: 3,
+                n_nulls,
+                null_pct: 50,
+            },
+        );
+        let q = random_bool_ucq(
+            &mut rng,
+            QueryParams {
+                n_disjuncts: 2,
+                n_atoms: 2,
+                n_vars: 3,
+                arity: 2,
+                n_constants: 3,
+                const_pct: 30,
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("naive", n_nulls), &n_nulls, |b, _| {
+            b.iter(|| naive_eval_bool(black_box(&q), black_box(&db)))
+        });
+        group.bench_with_input(BenchmarkId::new("bruteforce", n_nulls), &n_nulls, |b, _| {
+            b.iter(|| certain_answer_bool(black_box(&q), black_box(&db)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion bench for E3: the ⊗-product glb as the family size grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ca_relational::generate::{random_naive_db, DbParams, Rng};
+use ca_relational::glb::glb_many;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e03_glb_product");
+    for &n_tables in &[2usize, 3, 4, 5] {
+        let mut rng = Rng::new(9);
+        let xs: Vec<_> = (0..n_tables)
+            .map(|_| {
+                random_naive_db(
+                    &mut rng,
+                    DbParams { n_facts: 3, arity: 2, n_constants: 3, n_nulls: 2, null_pct: 25 },
+                )
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("glb_many", n_tables), &n_tables, |b, _| {
+            b.iter(|| glb_many(black_box(&xs)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

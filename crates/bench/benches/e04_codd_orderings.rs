@@ -1,0 +1,28 @@
+//! Criterion bench for E4: hom-based ⊑ vs tuple-wise ⊴ on Codd tables.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ca_core::preorder::Preorder;
+use ca_relational::generate::{random_codd_db, Rng};
+use ca_relational::ordering::InfoOrder;
+use ca_relational::tuplewise::hoare_leq;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e04_codd_orderings");
+    for &facts in &[8usize, 16, 32, 64] {
+        let mut rng = Rng::new(4);
+        let a = random_codd_db(&mut rng, facts, 2, 4);
+        let b = random_codd_db(&mut rng, facts, 2, 4);
+        group.bench_with_input(BenchmarkId::new("hom", facts), &facts, |bch, _| {
+            bch.iter(|| InfoOrder.leq(black_box(&a), black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("tuplewise", facts), &facts, |bch, _| {
+            bch.iter(|| hoare_leq(black_box(&a), black_box(&b)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion bench for E5: verifying the Theorem 3 chain and refuting
+//! glb candidates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ca_graph::digraph::Digraph;
+use ca_graph::lattice::{refute_glb_of_power_cycles, verify_power_cycle_chain};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e05_theorem3");
+    for &m in &[3u32, 4, 5] {
+        group.bench_with_input(BenchmarkId::new("chain", m), &m, |b, &m| {
+            b.iter(|| verify_power_cycle_chain(4, black_box(m)))
+        });
+    }
+    for &n in &[3usize, 5, 8] {
+        let g = Digraph::cycle(n);
+        group.bench_with_input(BenchmarkId::new("refute_cycle", n), &n, |b, _| {
+            b.iter(|| refute_glb_of_power_cycles(black_box(&g)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Criterion bench for E6: the exhaustive ordered-tree sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ca_xml::ordered::verify_proposition6;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e06_proposition6");
+    for &size in &[2usize, 3, 4] {
+        group.bench_with_input(BenchmarkId::new("sweep", size), &size, |b, &s| {
+            b.iter(|| verify_proposition6(black_box(s)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

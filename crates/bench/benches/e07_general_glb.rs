@@ -1,0 +1,35 @@
+//! Criterion bench for E7: the Theorem 4 glb constructions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ca_gdm::generate::{random_tree_gendb, TreeGenParams};
+use ca_gdm::glb::{glb_sigma, glb_trees_gdm};
+use ca_relational::generate::Rng;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e07_general_glb");
+    for &nodes in &[4usize, 6, 8] {
+        let mut rng = Rng::new(70);
+        let p = TreeGenParams {
+            n_nodes: nodes,
+            n_labels: 2,
+            max_data_arity: 1,
+            n_constants: 2,
+            null_pct: 30,
+            codd: false,
+        };
+        let a = random_tree_gendb(&mut rng, p);
+        let b = random_tree_gendb(&mut rng, p);
+        group.bench_with_input(BenchmarkId::new("sigma", nodes), &nodes, |bch, _| {
+            bch.iter(|| glb_sigma(black_box(&a), black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("trees", nodes), &nodes, |bch, _| {
+            bch.iter(|| glb_trees_gdm(black_box(&a), black_box(&b)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion bench for E8: canonical and core solutions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ca_core::value::Value;
+use ca_exchange::mapping::{Mapping, Rule};
+use ca_exchange::solution::{canonical_solution, core_solution};
+use ca_gdm::database::GenDb;
+use ca_gdm::schema::GenSchema;
+
+fn setup() -> (Mapping, GenSchema, GenSchema) {
+    let n = Value::null;
+    let src = GenSchema::from_parts(&[("S", 3)], &[]);
+    let tgt = GenSchema::from_parts(&[("T", 2)], &[]);
+    let mut body = GenDb::new(src.clone());
+    body.add_node("S", vec![n(1), n(2), n(3)]);
+    let mut head = GenDb::new(tgt.clone());
+    head.add_node("T", vec![n(1), n(4)]);
+    head.add_node("T", vec![n(4), n(2)]);
+    (Mapping::new(vec![Rule { body, head }]), src, tgt)
+}
+
+fn bench(c: &mut Criterion) {
+    let (mapping, src, tgt) = setup();
+    let mut group = c.benchmark_group("e08_data_exchange");
+    for &facts in &[2usize, 4, 6] {
+        let mut d = GenDb::new(src.clone());
+        for i in 0..facts {
+            d.add_node(
+                "S",
+                vec![
+                    Value::Const((i % 2) as i64),
+                    Value::Const(((i + 1) % 2) as i64),
+                    Value::Const(i as i64),
+                ],
+            );
+        }
+        group.bench_with_input(BenchmarkId::new("canonical", facts), &facts, |b, _| {
+            b.iter(|| canonical_solution(black_box(&mapping), black_box(&d), &tgt))
+        });
+        group.bench_with_input(BenchmarkId::new("core", facts), &facts, |b, _| {
+            b.iter(|| core_solution(black_box(&mapping), black_box(&d), &tgt))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

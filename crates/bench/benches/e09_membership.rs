@@ -1,0 +1,51 @@
+//! Criterion bench for E9: the Theorem 6 DP vs general CSP membership.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ca_gdm::generate::{random_tree_gendb, TreeGenParams};
+use ca_gdm::hom::gdm_leq;
+use ca_gdm::membership::leq_codd_treewidth;
+use ca_relational::generate::Rng;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e09_membership");
+    for &n in &[8usize, 16, 32, 64] {
+        let run_csp = n <= 16; // the NP search takes minutes beyond this
+        let mut rng = Rng::new(90);
+        let d = random_tree_gendb(
+            &mut rng,
+            TreeGenParams {
+                n_nodes: n,
+                n_labels: 2,
+                max_data_arity: 1,
+                n_constants: 2,
+                null_pct: 70,
+                codd: true,
+            },
+        );
+        let doc = random_tree_gendb(
+            &mut rng,
+            TreeGenParams {
+                n_nodes: 2 * n,
+                n_labels: 2,
+                max_data_arity: 1,
+                n_constants: 2,
+                null_pct: 0,
+                codd: true,
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("theorem6_dp", n), &n, |b, _| {
+            b.iter(|| leq_codd_treewidth(black_box(&d), black_box(&doc)))
+        });
+        if run_csp {
+            group.bench_with_input(BenchmarkId::new("general_csp", n), &n, |b, _| {
+                b.iter(|| gdm_leq(black_box(&d), black_box(&doc)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Criterion bench for E10: ∃* consistency (flat) vs the NP-hard
+//! hom-to-K3 family at the 3-coloring phase transition.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ca_gdm::consistency::{cons_existential, cons_hom_to_fixed};
+use ca_gdm::database::GenDb;
+use ca_gdm::logic::GFo;
+use ca_gdm::schema::GenSchema;
+use ca_hom::structure::RelStructure;
+use ca_relational::generate::Rng;
+
+fn graph_db(rng: &mut Rng, n: usize, edges: usize) -> GenDb {
+    let schema = GenSchema::from_parts(&[("v", 0)], &[("E", 2)]);
+    let mut d = GenDb::new(schema);
+    for _ in 0..n {
+        d.add_node("v", vec![]);
+    }
+    let mut added = 0;
+    while added < edges {
+        let u = rng.below(n as u64) as u32;
+        let v = rng.below(n as u64) as u32;
+        if u != v {
+            d.add_tuple("E", vec![u, v]);
+            d.add_tuple("E", vec![v, u]);
+            added += 1;
+        }
+    }
+    d
+}
+
+fn k3() -> RelStructure {
+    let mut s = RelStructure::new(3);
+    for v in 0..3u32 {
+        s.add_tuple(0, vec![v]);
+    }
+    for u in 0..3u32 {
+        for v in 0..3u32 {
+            if u != v {
+                s.add_tuple(1, vec![u, v]);
+            }
+        }
+    }
+    s
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_consistency");
+    let phi = GFo::exists(0, GFo::Rel("E".into(), vec![0, 0]));
+    for &n in &[8usize, 32] {
+        let mut rng = Rng::new(10);
+        let d = graph_db(&mut rng, n, n);
+        group.bench_with_input(BenchmarkId::new("exists_star", n), &n, |b, _| {
+            b.iter(|| cons_existential(black_box(&d), black_box(&phi)))
+        });
+    }
+    let target = k3();
+    for &n in &[6usize, 10, 14] {
+        let mut rng = Rng::new(11);
+        let d = graph_db(&mut rng, n, (2.35 * n as f64) as usize);
+        group.bench_with_input(BenchmarkId::new("hom_to_k3", n), &n, |b, _| {
+            b.iter(|| cons_hom_to_fixed(black_box(&d), black_box(&target)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion bench for E12: Proposition 8 matching-based ⊑_cwa vs
+//! onto-homomorphism search.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ca_relational::generate::{random_codd_db, Rng};
+use ca_relational::hom::find_onto_hom;
+use ca_relational::tuplewise::cwa_leq_codd;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e12_cwa");
+    for &facts in &[3usize, 5, 7] {
+        let mut rng = Rng::new(12);
+        let a = random_codd_db(&mut rng, facts, 2, 2);
+        let b = random_codd_db(&mut rng, facts, 2, 2);
+        group.bench_with_input(BenchmarkId::new("matching", facts), &facts, |bch, _| {
+            bch.iter(|| cwa_leq_codd(black_box(&a), black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("onto_search", facts), &facts, |bch, _| {
+            bch.iter(|| find_onto_hom(black_box(&a), black_box(&b), 1_000_000).is_some())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

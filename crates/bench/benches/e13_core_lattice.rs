@@ -1,0 +1,29 @@
+//! Criterion bench for E13: core computation and the lattice operations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ca_graph::core::core_of;
+use ca_graph::digraph::Digraph;
+use ca_graph::lattice::{glb, lub};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e13_core_lattice");
+    for &n in &[8usize, 16, 32] {
+        let g = Digraph::cycle(n).disjoint_union(&Digraph::cycle(2));
+        group.bench_with_input(BenchmarkId::new("core", n), &n, |b, _| {
+            b.iter(|| core_of(black_box(&g)))
+        });
+    }
+    let c2 = Digraph::cycle(2);
+    let c3 = Digraph::cycle(3);
+    group.bench_function("glb_c2_c3", |b| b.iter(|| glb(black_box(&c2), black_box(&c3))));
+    group.bench_function("lub_c3_c4", |b| {
+        let c4 = Digraph::cycle(4);
+        b.iter(|| lub(black_box(&c3), black_box(&c4)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Criterion bench for E14: the exhaustive Section 3 framework checks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e14_framework");
+    group.sample_size(10);
+    group.bench_function("full_framework_sweep", |b| {
+        b.iter(ca_bench::e14_framework::run)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! Plain-text experiment reports: a title, column headers, and rows.
+
+use std::fmt;
+use std::time::Instant;
+
+/// A tabular experiment report.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Experiment title.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Data rows (stringified cells).
+    pub rows: Vec<Vec<String>>,
+    /// Free-form conclusions appended under the table.
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// A new report with the given title and columns.
+    pub fn new(title: &str, columns: &[&str]) -> Self {
+        Report {
+            title: title.to_owned(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.columns.len());
+        self.rows.push(cells);
+    }
+
+    /// Append a note.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} ==", self.title)?;
+        // Column widths.
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, cell) in cells.iter().enumerate() {
+                write!(f, "{:width$}  ", cell, width = widths[i])?;
+            }
+            writeln!(f)
+        };
+        line(f, &self.columns)?;
+        writeln!(f, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()))?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        for note in &self.notes {
+            writeln!(f, "note: {note}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Time a closure, returning its result and the elapsed microseconds.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, u128) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_micros())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_renders() {
+        let mut r = Report::new("demo", &["a", "bb"]);
+        r.row(vec!["1".into(), "2".into()]);
+        r.note("a note");
+        let s = r.to_string();
+        assert!(s.contains("demo"));
+        assert!(s.contains("note: a note"));
+    }
+
+    #[test]
+    fn timing_returns_result() {
+        let (x, us) = timed(|| 21 * 2);
+        assert_eq!(x, 42);
+        let _ = us;
+    }
+}

@@ -1,0 +1,187 @@
+//! Preorders and the information ordering (Section 3 of the paper).
+//!
+//! A *database domain* is a set `D` of database objects together with a
+//! preorder `⊑` — the *information ordering*: `x ⊑ y` iff `y` is at least as
+//! informative as `x` (semantically, `[[y]] ⊆ [[x]]`: the more objects `x`
+//! may denote, the less we know). The ordering is only a preorder: distinct
+//! objects with the same semantics are equivalent (`x ∼ y`) without being
+//! equal.
+//!
+//! Concrete models implement [`Preorder`]; everything else in Section 3 —
+//! equivalence, bounds, glbs, max-descriptions, bases — is derived.
+
+/// A preorder `⊑` (reflexive and transitive relation) on a set of objects.
+///
+/// Implementations must guarantee reflexivity and transitivity; the
+/// [`FiniteDomain`](crate::domain::FiniteDomain) test helpers can verify both
+/// on enumerated fragments.
+pub trait Preorder {
+    /// The database objects being ordered.
+    type Object;
+
+    /// Does `x ⊑ y` hold (is `y` at least as informative as `x`)?
+    fn leq(&self, x: &Self::Object, y: &Self::Object) -> bool;
+}
+
+/// Derived relations of a preorder: the equivalence `∼`, strict order `≺`,
+/// and incomparability `|` used throughout the paper.
+pub trait PreorderExt: Preorder {
+    /// The equivalence `x ∼ y`: both `x ⊑ y` and `y ⊑ x`
+    /// (i.e. `[[x]] = [[y]]`).
+    fn equiv(&self, x: &Self::Object, y: &Self::Object) -> bool {
+        self.leq(x, y) && self.leq(y, x)
+    }
+
+    /// Strictly less informative: `x ⊑ y` but not `y ⊑ x`.
+    fn lt(&self, x: &Self::Object, y: &Self::Object) -> bool {
+        self.leq(x, y) && !self.leq(y, x)
+    }
+
+    /// Incomparable (`x | y` in the paper): neither `x ⊑ y` nor `y ⊑ x`.
+    /// This is the notion of *incompatibility* used in the
+    /// complete-saturation property.
+    fn incomparable(&self, x: &Self::Object, y: &Self::Object) -> bool {
+        !self.leq(x, y) && !self.leq(y, x)
+    }
+
+    /// Is `y` a lower bound of the set `xs` (i.e. `y ⊑ x` for all `x ∈ xs`)?
+    fn is_lower_bound<'a, I>(&self, y: &Self::Object, xs: I) -> bool
+    where
+        Self::Object: 'a,
+        I: IntoIterator<Item = &'a Self::Object>,
+    {
+        xs.into_iter().all(|x| self.leq(y, x))
+    }
+
+    /// Is `y` an upper bound of the set `xs` (i.e. `x ⊑ y` for all `x ∈ xs`)?
+    fn is_upper_bound<'a, I>(&self, y: &Self::Object, xs: I) -> bool
+    where
+        Self::Object: 'a,
+        I: IntoIterator<Item = &'a Self::Object>,
+    {
+        xs.into_iter().all(|x| self.leq(x, y))
+    }
+
+    /// Is `g` a greatest lower bound of `xs` *relative to the candidate lower
+    /// bounds in `candidates`*? `g` must be a lower bound of `xs`, and every
+    /// lower bound of `xs` drawn from `candidates` must be `⊑ g`.
+    ///
+    /// When `candidates` enumerates the whole (finite) domain this is exactly
+    /// the paper's glb; on infinite domains it is a certificate relative to a
+    /// fragment (useful for *refuting* glb candidates, as in Theorem 3).
+    fn is_glb_among<'a, I, J>(&self, g: &Self::Object, xs: I, candidates: J) -> bool
+    where
+        Self::Object: 'a,
+        I: IntoIterator<Item = &'a Self::Object> + Clone,
+        J: IntoIterator<Item = &'a Self::Object>,
+    {
+        if !self.is_lower_bound(g, xs.clone()) {
+            return false;
+        }
+        candidates
+            .into_iter()
+            .all(|y| !self.is_lower_bound(y, xs.clone()) || self.leq(y, g))
+    }
+
+    /// Dual of [`PreorderExt::is_glb_among`] for least upper bounds.
+    fn is_lub_among<'a, I, J>(&self, l: &Self::Object, xs: I, candidates: J) -> bool
+    where
+        Self::Object: 'a,
+        I: IntoIterator<Item = &'a Self::Object> + Clone,
+        J: IntoIterator<Item = &'a Self::Object>,
+    {
+        if !self.is_upper_bound(l, xs.clone()) {
+            return false;
+        }
+        candidates
+            .into_iter()
+            .all(|y| !self.is_upper_bound(y, xs.clone()) || self.leq(l, y))
+    }
+}
+
+impl<P: Preorder + ?Sized> PreorderExt for P {}
+
+/// A preorder given by an explicit comparison function. Handy in tests and
+/// for wrapping ad-hoc orderings into the framework.
+pub struct FnPreorder<T, F>
+where
+    F: Fn(&T, &T) -> bool,
+{
+    f: F,
+    _marker: std::marker::PhantomData<fn(&T)>,
+}
+
+impl<T, F> FnPreorder<T, F>
+where
+    F: Fn(&T, &T) -> bool,
+{
+    /// Wrap `f` (which must be reflexive and transitive) as a preorder.
+    pub fn new(f: F) -> Self {
+        FnPreorder {
+            f,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<T, F> Preorder for FnPreorder<T, F>
+where
+    F: Fn(&T, &T) -> bool,
+{
+    type Object = T;
+
+    fn leq(&self, x: &T, y: &T) -> bool {
+        (self.f)(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Divisibility on positive integers: a preorder (in fact a partial
+    /// order) with glbs = gcd and lubs = lcm.
+    fn divisibility() -> FnPreorder<u64, impl Fn(&u64, &u64) -> bool> {
+        FnPreorder::new(|x: &u64, y: &u64| y.is_multiple_of(*x))
+    }
+
+    #[test]
+    fn derived_relations() {
+        let p = divisibility();
+        assert!(p.leq(&2, &6));
+        assert!(p.lt(&2, &6));
+        assert!(!p.lt(&6, &6));
+        assert!(p.equiv(&4, &4));
+        assert!(p.incomparable(&4, &6));
+        assert!(!p.incomparable(&2, &4));
+    }
+
+    #[test]
+    fn bounds_and_glb() {
+        let p = divisibility();
+        let xs = [12u64, 18];
+        assert!(p.is_lower_bound(&6, &xs));
+        assert!(p.is_lower_bound(&3, &xs));
+        assert!(!p.is_lower_bound(&4, &xs));
+        assert!(p.is_upper_bound(&36, &xs));
+        let universe: Vec<u64> = (1..=40).collect();
+        // gcd(12, 18) = 6 is the glb; lcm = 36 is the lub.
+        assert!(p.is_glb_among(&6, &xs, &universe));
+        assert!(!p.is_glb_among(&3, &xs, &universe));
+        assert!(p.is_lub_among(&36, &xs, &universe));
+        assert!(!p.is_lub_among(&24, &xs, &universe));
+    }
+
+    #[test]
+    fn preorder_with_nontrivial_equivalence() {
+        // Order integers by absolute value: x ⊑ y iff |x| ≤ |y|; then
+        // x ∼ -x, a genuinely non-antisymmetric preorder.
+        let p = FnPreorder::new(|x: &i64, y: &i64| x.abs() <= y.abs());
+        assert!(p.equiv(&3, &-3));
+        assert!(!p.equiv(&3, &4));
+        let universe: Vec<i64> = (-5..=5).collect();
+        // Both 2 and -2 are glbs of {2, -2}: the glb is an equivalence class.
+        assert!(p.is_glb_among(&2, &[2, -2], &universe));
+        assert!(p.is_glb_among(&-2, &[2, -2], &universe));
+    }
+}

@@ -1,0 +1,114 @@
+//! Interned names for relation symbols and node labels.
+//!
+//! Schemas in the paper carry finite alphabets (relation names, tree labels
+//! `Σ`). Interning them as small integers keeps instances `Copy`-friendly and
+//! comparisons O(1), while preserving readable names for display.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned name. Only meaningful relative to the [`Interner`] that
+/// produced it.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Symbol(pub u32);
+
+impl Symbol {
+    /// The raw index of this symbol.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A string interner mapping names to [`Symbol`]s and back.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Interner {
+    names: Vec<String>,
+    by_name: HashMap<String, Symbol>,
+}
+
+impl Interner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `name`, returning its symbol (existing or fresh).
+    pub fn intern(&mut self, name: &str) -> Symbol {
+        if let Some(&s) = self.by_name.get(name) {
+            return s;
+        }
+        let s = Symbol(self.names.len() as u32);
+        self.names.push(name.to_owned());
+        self.by_name.insert(name.to_owned(), s);
+        s
+    }
+
+    /// Look up a symbol by name without interning.
+    pub fn get(&self, name: &str) -> Option<Symbol> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The name of `sym`, if it was produced by this interner.
+    pub fn resolve(&self, sym: Symbol) -> Option<&str> {
+        self.names.get(sym.index()).map(String::as_str)
+    }
+
+    /// Number of interned symbols.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no symbols have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterate over `(symbol, name)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (Symbol(i as u32), n.as_str()))
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("R");
+        let b = i.intern("S");
+        assert_ne!(a, b);
+        assert_eq!(i.intern("R"), a);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let mut i = Interner::new();
+        let a = i.intern("child");
+        assert_eq!(i.resolve(a), Some("child"));
+        assert_eq!(i.get("child"), Some(a));
+        assert_eq!(i.get("nope"), None);
+        assert_eq!(i.resolve(Symbol(99)), None);
+    }
+
+    #[test]
+    fn iteration_order_is_interning_order() {
+        let mut i = Interner::new();
+        i.intern("a");
+        i.intern("b");
+        let names: Vec<&str> = i.iter().map(|(_, n)| n).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+}

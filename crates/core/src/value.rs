@@ -1,0 +1,221 @@
+//! Data values: constants `C` and nulls `N`.
+//!
+//! The paper assumes two disjoint countable sets of values: constants
+//! (ordinary, fully-known data) and nulls (unknown values, written `⊥ᵢ`).
+//! A null may occur several times in an instance (*naïve* interpretation);
+//! if every null occurs at most once we speak of the *Codd* interpretation.
+//!
+//! Constants are modeled as `i64`; this is without loss of generality (the
+//! theory treats constants as an abstract infinite set, and examples that
+//! want string data can intern strings through [`crate::symbol::Interner`]
+//! and store the symbol id as a constant).
+
+use std::fmt;
+
+/// A labeled null `⊥ᵢ`. Two nulls are the same unknown value iff their ids
+/// are equal.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Null(pub u32);
+
+impl fmt::Debug for Null {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⊥{}", self.0)
+    }
+}
+
+impl fmt::Display for Null {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⊥{}", self.0)
+    }
+}
+
+/// A data value: either a constant from `C` or a null from `N`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    /// A constant (complete, known value).
+    Const(i64),
+    /// A labeled null (unknown value).
+    Null(Null),
+}
+
+impl Value {
+    /// Convenience constructor for a null with the given id.
+    #[inline]
+    pub const fn null(id: u32) -> Self {
+        Value::Null(Null(id))
+    }
+
+    /// Is this value a constant?
+    #[inline]
+    pub const fn is_const(self) -> bool {
+        matches!(self, Value::Const(_))
+    }
+
+    /// Is this value a null?
+    #[inline]
+    pub const fn is_null(self) -> bool {
+        matches!(self, Value::Null(_))
+    }
+
+    /// The constant payload, if any.
+    #[inline]
+    pub const fn as_const(self) -> Option<i64> {
+        match self {
+            Value::Const(c) => Some(c),
+            Value::Null(_) => None,
+        }
+    }
+
+    /// The null payload, if any.
+    #[inline]
+    pub const fn as_null(self) -> Option<Null> {
+        match self {
+            Value::Const(_) => None,
+            Value::Null(n) => Some(n),
+        }
+    }
+
+    /// The *tuple-wise* informativeness order `⊴` on single values used by
+    /// the 1990s ordering-based approaches (Section 4): every null is less
+    /// informative than everything, and a constant is only below itself.
+    #[inline]
+    pub fn tuplewise_leq(self, other: Value) -> bool {
+        match self {
+            Value::Null(_) => true,
+            Value::Const(c) => other == Value::Const(c),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(c: i64) -> Self {
+        Value::Const(c)
+    }
+}
+
+impl From<Null> for Value {
+    fn from(n: Null) -> Self {
+        Value::Null(n)
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Const(c) => write!(f, "{c}"),
+            Value::Null(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// A generator of globally fresh nulls.
+///
+/// Constructions in the paper (the `⊗` merge of Proposition 5, the chase
+/// step `M(D)` in data exchange) need nulls "not belonging to
+/// `N(D) ∪ N(D′)`"; a `NullGen` seeded past every null in scope provides
+/// them.
+#[derive(Clone, Debug, Default)]
+pub struct NullGen {
+    next: u32,
+}
+
+impl NullGen {
+    /// A generator starting at id 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A generator whose first null has id `next`.
+    pub fn starting_at(next: u32) -> Self {
+        NullGen { next }
+    }
+
+    /// A generator guaranteed fresh with respect to every null in `used`.
+    pub fn avoiding<I: IntoIterator<Item = Null>>(used: I) -> Self {
+        let next = used
+            .into_iter()
+            .map(|n| n.0.saturating_add(1))
+            .max()
+            .unwrap_or(0);
+        NullGen { next }
+    }
+
+    /// Produce the next fresh null.
+    pub fn fresh(&mut self) -> Null {
+        let n = Null(self.next);
+        self.next += 1;
+        n
+    }
+
+    /// Produce the next fresh null as a [`Value`].
+    pub fn fresh_value(&mut self) -> Value {
+        Value::Null(self.fresh())
+    }
+
+    /// The id the next call to [`NullGen::fresh`] will use.
+    pub fn peek(&self) -> u32 {
+        self.next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_and_nulls_are_disjoint() {
+        let c = Value::Const(3);
+        let n = Value::null(3);
+        assert_ne!(c, n);
+        assert!(c.is_const() && !c.is_null());
+        assert!(n.is_null() && !n.is_const());
+        assert_eq!(c.as_const(), Some(3));
+        assert_eq!(n.as_null(), Some(Null(3)));
+        assert_eq!(c.as_null(), None);
+        assert_eq!(n.as_const(), None);
+    }
+
+    #[test]
+    fn tuplewise_order_on_values() {
+        let n = Value::null(0);
+        let c = Value::Const(7);
+        let d = Value::Const(8);
+        // A null is below everything.
+        assert!(n.tuplewise_leq(n));
+        assert!(n.tuplewise_leq(c));
+        // A constant is only below itself.
+        assert!(c.tuplewise_leq(c));
+        assert!(!c.tuplewise_leq(d));
+        assert!(!c.tuplewise_leq(n));
+    }
+
+    #[test]
+    fn nullgen_avoids_used_ids() {
+        let mut g = NullGen::avoiding([Null(2), Null(7), Null(0)]);
+        assert_eq!(g.fresh(), Null(8));
+        assert_eq!(g.fresh(), Null(9));
+        let mut empty = NullGen::avoiding([]);
+        assert_eq!(empty.fresh(), Null(0));
+    }
+
+    #[test]
+    fn nullgen_is_sequential() {
+        let mut g = NullGen::new();
+        let a = g.fresh();
+        let b = g.fresh();
+        assert_ne!(a, b);
+        assert_eq!(g.peek(), 2);
+    }
+
+    #[test]
+    fn value_display() {
+        assert_eq!(Value::Const(-4).to_string(), "-4");
+        assert_eq!(Value::null(2).to_string(), "⊥2");
+    }
+}

@@ -1,0 +1,32 @@
+//! # ca-exchange — data exchange as least upper bounds (Section 5.3)
+//!
+//! The paper recasts data exchange in the ordered framework: a schema
+//! mapping `M` is a set of rules `I → I′` (generalized databases over the
+//! source and target schemas, sharing nulls as rule variables); a target
+//! instance `D′` is a *solution* for a source `D` when every match of a
+//! rule body in `D` extends to a match of the rule head in `D′`; and
+//! **Theorem 5**: the universal solutions are exactly the least upper
+//! bounds `∨_K M(D)` of the single-rule applications. For unrestricted
+//! targets lubs are disjoint unions, giving the canonical universal
+//! solution `⊔M(D)`, whose core is the core solution. For trees, lubs may
+//! not exist at all (**Proposition 10**), which is the order-theoretic
+//! explanation of the ad-hoc solution choices in XML data exchange.
+//!
+//! * [`mapping`] — mappings, rule application `M(D)`, solution checking.
+//! * [`chase`] — the chase with target tgds/egds (the paper's future-work
+//!   pointer for when constrained targets still admit universal
+//!   solutions).
+//! * [`solution`] — canonical universal solutions, cores of generalized
+//!   databases, core solutions, universality checking.
+//! * [`tgd`] — the relational st-tgd convenience layer.
+//! * [`trees`] — Proposition 10: the two trees with no least upper bound.
+
+pub mod chase;
+pub mod mapping;
+pub mod solution;
+pub mod tgd;
+pub mod trees;
+
+pub use chase::{chase, ChaseOutcome, Egd};
+pub use mapping::{Mapping, Rule};
+pub use solution::{canonical_solution, core_of_gendb, core_solution, is_universal_solution};

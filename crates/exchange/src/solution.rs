@@ -1,0 +1,232 @@
+//! Canonical and core universal solutions (Theorem 5).
+//!
+//! With no restriction on targets, least upper bounds in the information
+//! ordering are disjoint unions (after null renaming), so `⊔M(D)` — the
+//! *canonical universal solution* of data-exchange practice — is a
+//! representative of `∨ M(D)`, and the most compact representative of the
+//! equivalence class is its core, the *core solution*.
+
+use ca_gdm::database::GenDb;
+use ca_gdm::hom::{gdm_hom_csp, gdm_leq};
+
+use crate::mapping::Mapping;
+
+/// The canonical universal solution `⊔ M(D)`: the disjoint union of all
+/// single-rule applications. Returns an empty target when no rule fires
+/// (`target_schema` supplies the schema in that case).
+pub fn canonical_solution(
+    mapping: &Mapping,
+    d: &GenDb,
+    target_schema: &ca_gdm::schema::GenSchema,
+) -> GenDb {
+    let apps = mapping.applications(d);
+    let mut out = GenDb::new(target_schema.clone());
+    for app in apps {
+        out = out.disjoint_union(&app);
+    }
+    out
+}
+
+/// The core of a generalized database: iteratively find a proper
+/// endomorphism (one avoiding some node) and restrict to its node image.
+/// Exponential in the worst case (as for graphs); the result is the
+/// unique-up-to-isomorphism smallest hom-equivalent sub-instance.
+pub fn core_of_gendb(d: &GenDb) -> GenDb {
+    let mut current = d.clone();
+    loop {
+        let n = current.n_nodes();
+        let mut shrunk = false;
+        for avoid in 0..n as u32 {
+            let (mut csp, _, _) = gdm_hom_csp(&current, &current);
+            // Remove `avoid` from every *node* variable's domain (node
+            // variables come first).
+            for v in 0..n {
+                let dom: Vec<u32> = csp.domains[v]
+                    .iter()
+                    .copied()
+                    .filter(|&x| x != avoid)
+                    .collect();
+                csp.restrict_domain(v as u32, dom);
+            }
+            if let Some(sol) = csp.solve() {
+                // Restrict to the image nodes.
+                let mut keep: Vec<u32> = sol[..n].to_vec();
+                keep.sort_unstable();
+                keep.dedup();
+                current = induced(&current, &keep);
+                shrunk = true;
+                break;
+            }
+        }
+        if !shrunk {
+            return current;
+        }
+    }
+}
+
+/// The induced sub-database on `keep` (node ids renumbered in order).
+fn induced(d: &GenDb, keep: &[u32]) -> GenDb {
+    let mut renumber = vec![u32::MAX; d.n_nodes()];
+    for (new, &old) in keep.iter().enumerate() {
+        renumber[old as usize] = new as u32;
+    }
+    let mut out = GenDb::new(d.schema.clone());
+    for &old in keep {
+        out.add_node(
+            d.schema.label_name(d.labels[old as usize]),
+            d.data[old as usize].clone(),
+        );
+    }
+    for (rel, t) in &d.tuples {
+        if let Some(mapped) = t
+            .iter()
+            .map(|&x| {
+                let r = renumber[x as usize];
+                (r != u32::MAX).then_some(r)
+            })
+            .collect::<Option<Vec<u32>>>()
+        {
+            out.add_tuple(d.schema.relation_name(*rel), mapped);
+        }
+    }
+    out
+}
+
+/// The core solution: `core(⊔ M(D))`.
+pub fn core_solution(
+    mapping: &Mapping,
+    d: &GenDb,
+    target_schema: &ca_gdm::schema::GenSchema,
+) -> GenDb {
+    core_of_gendb(&canonical_solution(mapping, d, target_schema))
+}
+
+/// Universality test against a finite family of candidate solutions: `d2`
+/// is a solution, and it maps homomorphically into every provided
+/// solution. (Theorem 5 characterizes the universal solutions as the
+/// lub-class of `M(D)`; against *all* solutions this is only testable on
+/// sampled families, which is what experiments do.)
+pub fn is_universal_solution(
+    mapping: &Mapping,
+    d: &GenDb,
+    d2: &GenDb,
+    other_solutions: &[GenDb],
+) -> bool {
+    if !mapping.is_solution(d, d2) {
+        return false;
+    }
+    other_solutions.iter().all(|s| {
+        debug_assert!(mapping.is_solution(d, s), "candidates must be solutions");
+        gdm_leq(d2, s)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::{Mapping, Rule};
+    use ca_core::value::Value;
+    use ca_gdm::schema::GenSchema;
+
+    fn c(x: i64) -> Value {
+        Value::Const(x)
+    }
+    fn n(id: u32) -> Value {
+        Value::null(id)
+    }
+
+    fn paper_setting() -> (Mapping, GenSchema, GenSchema) {
+        let src = GenSchema::from_parts(&[("S", 3)], &[]);
+        let tgt = GenSchema::from_parts(&[("T", 2)], &[]);
+        let mut body = GenDb::new(src.clone());
+        body.add_node("S", vec![n(1), n(2), n(3)]);
+        let mut head = GenDb::new(tgt.clone());
+        head.add_node("T", vec![n(1), n(4)]);
+        head.add_node("T", vec![n(4), n(2)]);
+        (Mapping::new(vec![Rule { body, head }]), src, tgt)
+    }
+
+    #[test]
+    fn canonical_solution_is_a_solution() {
+        let (mapping, src, tgt) = paper_setting();
+        let mut d = GenDb::new(src);
+        d.add_node("S", vec![c(1), c(2), c(9)]);
+        d.add_node("S", vec![c(2), c(3), c(9)]);
+        let canon = canonical_solution(&mapping, &d, &tgt);
+        assert_eq!(canon.n_nodes(), 4); // two applications × two facts
+        assert!(mapping.is_solution(&d, &canon));
+    }
+
+    /// Theorem 5 in action: the canonical solution maps into every
+    /// solution (universality) and every application maps into it (upper
+    /// bound).
+    #[test]
+    fn canonical_solution_is_universal() {
+        let (mapping, src, tgt) = paper_setting();
+        let mut d = GenDb::new(src);
+        d.add_node("S", vec![c(1), c(2), c(9)]);
+        let canon = canonical_solution(&mapping, &d, &tgt);
+        // Upper bound of M(D).
+        for app in mapping.applications(&d) {
+            assert!(gdm_leq(&app, &canon));
+        }
+        // Universality against sampled solutions.
+        let mut s1 = GenDb::new(tgt.clone());
+        s1.add_node("T", vec![c(1), c(5)]);
+        s1.add_node("T", vec![c(5), c(2)]);
+        let mut s2 = GenDb::new(tgt.clone());
+        s2.add_node("T", vec![c(1), c(5)]);
+        s2.add_node("T", vec![c(5), c(2)]);
+        s2.add_node("T", vec![c(7), c(7)]);
+        let mut s3 = canon.clone();
+        s3.add_node("T", vec![c(42), c(43)]);
+        assert!(is_universal_solution(&mapping, &d, &canon, &[s1, s2, s3]));
+    }
+
+    /// A complete solution that is *not* universal: it over-specifies the
+    /// existential value.
+    #[test]
+    fn overspecified_solution_is_not_universal() {
+        let (mapping, src, tgt) = paper_setting();
+        let mut d = GenDb::new(src);
+        d.add_node("S", vec![c(1), c(2), c(9)]);
+        // Solution using the constant 5 as the middle value.
+        let mut s = GenDb::new(tgt.clone());
+        s.add_node("T", vec![c(1), c(5)]);
+        s.add_node("T", vec![c(5), c(2)]);
+        assert!(mapping.is_solution(&d, &s));
+        // Another solution with middle value 6: s does not map into it.
+        let mut other = GenDb::new(tgt);
+        other.add_node("T", vec![c(1), c(6)]);
+        other.add_node("T", vec![c(6), c(2)]);
+        assert!(!is_universal_solution(&mapping, &d, &s, &[other]));
+    }
+
+    #[test]
+    fn core_solution_folds_redundancy() {
+        let (mapping, src, tgt) = paper_setting();
+        // Two S-facts with the same x, y (different u): the canonical
+        // solution has two parallel T-chains; the core keeps one.
+        let mut d = GenDb::new(src);
+        d.add_node("S", vec![c(1), c(2), c(8)]);
+        d.add_node("S", vec![c(1), c(2), c(9)]);
+        let canon = canonical_solution(&mapping, &d, &tgt);
+        assert_eq!(canon.n_nodes(), 4);
+        let core = core_solution(&mapping, &d, &tgt);
+        assert_eq!(core.n_nodes(), 2);
+        // Core is hom-equivalent to the canonical solution and still a
+        // solution.
+        assert!(gdm_leq(&core, &canon) && gdm_leq(&canon, &core));
+        assert!(mapping.is_solution(&d, &core));
+    }
+
+    #[test]
+    fn core_of_complete_db_is_itself_modulo_duplicates() {
+        let tgt = GenSchema::from_parts(&[("T", 2)], &[]);
+        let mut d = GenDb::new(tgt);
+        d.add_node("T", vec![c(1), c(2)]);
+        d.add_node("T", vec![c(2), c(3)]);
+        let core = core_of_gendb(&d);
+        assert_eq!(core.n_nodes(), 2);
+    }
+}

@@ -1,0 +1,93 @@
+//! Proposition 10: least upper bounds do not always exist for trees.
+//!
+//! The paper's counterexample: `T₁ = a[b]` and `T₂ = a[c]` both map into
+//!
+//! * `T′  = a[b c]` (identify the `a` nodes), and
+//! * `T″ = d[a[b] a[c]]` (keep them apart under a new root),
+//!
+//! but any common upper bound `T` must either contain an `a`-node with
+//! both a `b`- and a `c`-child (then `T ⋢ T″`) or two disjoint copies with
+//! a common ancestor (then `T ⋢ T′`, since all `a`-nodes of `T′`… are the
+//! root, and images of distinct nodes under a common ancestor would need
+//! `a`-nodes at positive depth). So `{T₁, T₂}` has no lub — the
+//! order-theoretic reason XML data exchange lacks canonical solutions.
+
+use ca_xml::hom::tree_leq;
+use ca_xml::ordered::enumerate_ordered_trees;
+use ca_xml::tree::{Alphabet, XmlTree};
+
+/// The four trees of the Proposition 10 proof:
+/// `(T₁, T₂, T′, T″)`.
+pub fn proposition10_trees() -> (XmlTree, XmlTree, XmlTree, XmlTree) {
+    let alpha = Alphabet::from_labels(&[("a", 0), ("b", 0), ("c", 0), ("d", 0)]);
+    let mut t1 = XmlTree::new(alpha.clone(), "a", vec![]);
+    t1.add_child(0, "b", vec![]);
+    let mut t2 = XmlTree::new(alpha.clone(), "a", vec![]);
+    t2.add_child(0, "c", vec![]);
+    let mut tp = XmlTree::new(alpha.clone(), "a", vec![]);
+    tp.add_child(0, "b", vec![]);
+    tp.add_child(0, "c", vec![]);
+    let mut tpp = XmlTree::new(alpha, "d", vec![]);
+    let a1 = tpp.add_child(0, "a", vec![]);
+    tpp.add_child(a1, "b", vec![]);
+    let a2 = tpp.add_child(0, "a", vec![]);
+    tpp.add_child(a2, "c", vec![]);
+    (t1, t2, tp, tpp)
+}
+
+/// Exhaustively verify Proposition 10 over all (unordered, data-free)
+/// trees with at most `max_nodes` nodes: `T′` and `T″` are upper bounds of
+/// `{T₁, T₂}`, yet no candidate `T` satisfies
+/// `T₁, T₂ ⊑ T ⊑ T′` *and* `T ⊑ T″`. Returns the number of candidates
+/// examined.
+pub fn verify_proposition10(max_nodes: usize) -> usize {
+    let (t1, t2, tp, tpp) = proposition10_trees();
+    // Both witnesses are upper bounds.
+    assert!(tree_leq(&t1, &tp) && tree_leq(&t2, &tp));
+    assert!(tree_leq(&t1, &tpp) && tree_leq(&t2, &tpp));
+    // Ordered enumeration covers all unordered trees too (possibly with
+    // duplicates) since homomorphism checks here ignore sibling order.
+    let alpha = t1.alphabet.clone();
+    let candidates = enumerate_ordered_trees(&alpha, &["a", "b", "c", "d"], max_nodes);
+    for t in &candidates {
+        let is_upper = tree_leq(&t1, t) && tree_leq(&t2, t);
+        let below_both = tree_leq(t, &tp) && tree_leq(t, &tpp);
+        assert!(
+            !(is_upper && below_both),
+            "Proposition 10 falsified by candidate {t}"
+        );
+    }
+    candidates.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn witnesses_are_incomparable_upper_bounds() {
+        let (t1, t2, tp, tpp) = proposition10_trees();
+        assert!(tree_leq(&t1, &tp) && tree_leq(&t2, &tp));
+        assert!(tree_leq(&t1, &tpp) && tree_leq(&t2, &tpp));
+        // T′ ⋢ T″: the a-node with two differently-labeled children has
+        // no image.
+        assert!(!tree_leq(&tp, &tpp));
+        // T″ ⋢ T′: the d-root has no image at all.
+        assert!(!tree_leq(&tpp, &tp));
+    }
+
+    #[test]
+    fn proposition10_holds_up_to_size_4() {
+        let examined = verify_proposition10(4);
+        assert!(examined > 300, "examined only {examined} candidates");
+    }
+
+    #[test]
+    fn glb_direction_still_works() {
+        // Contrast with lubs: the *glb* of the pair exists (the single
+        // a-node).
+        let (t1, t2, _, _) = proposition10_trees();
+        let meet = ca_xml::glb::glb_trees(&t1, &t2).expect("glb exists");
+        assert_eq!(meet.len(), 1);
+    }
+}

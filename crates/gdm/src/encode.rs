@@ -1,0 +1,144 @@
+//! Encoding relational databases and XML trees as generalized databases.
+//!
+//! Exactly the paper's Section 5.1 codings:
+//!
+//! * relational: `σ = ∅`, one node per fact labeled by its relation name,
+//!   carrying the fact's tuple as data;
+//! * XML: `σ = {child}`, one node per tree node with its label and data.
+//!
+//! Both encodings are faithful for homomorphisms (and hence for the
+//! information ordering), which is what lets Section 5 derive the
+//! relational and XML results as corollaries.
+
+use ca_relational::database::NaiveDatabase;
+use ca_xml::tree::XmlTree;
+
+use crate::database::GenDb;
+use crate::schema::GenSchema;
+
+/// Encode a naïve relational database (`σ = ∅`).
+pub fn encode_relational(db: &NaiveDatabase) -> GenDb {
+    let mut schema = GenSchema::new();
+    for sym in db.schema.symbols() {
+        schema.add_label(db.schema.name(sym), db.schema.arity(sym));
+    }
+    let mut out = GenDb::new(schema);
+    for fact in db.facts() {
+        out.add_node(db.schema.name(fact.rel), fact.args.clone());
+    }
+    out
+}
+
+/// The name of the child relation used by XML encodings.
+pub const CHILD: &str = "child";
+
+/// Encode an XML tree (`σ = {child}`).
+pub fn encode_xml(t: &XmlTree) -> GenDb {
+    let mut schema = GenSchema::new();
+    for (_, name, arity) in t.alphabet.labels() {
+        schema.add_label(name, arity);
+    }
+    schema.add_relation(CHILD, 2);
+    let mut out = GenDb::new(schema);
+    for id in t.node_ids() {
+        let node = t.node(id);
+        let added = out.add_node(t.alphabet.name(node.label), node.data.clone());
+        debug_assert_eq!(added as usize, id);
+    }
+    for (p, c) in t.edges() {
+        out.add_tuple(CHILD, vec![p as u32, c as u32]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hom::gdm_leq;
+    use ca_core::preorder::Preorder;
+    use ca_relational::database::build::{c, n, table};
+    use ca_relational::generate::{random_naive_db, DbParams, Rng};
+    use ca_relational::ordering::InfoOrder;
+    use ca_xml::hom::tree_leq;
+    use ca_xml::tree::example_tree;
+
+    #[test]
+    fn paper_relational_coding() {
+        // {R(1,⊥1), S(⊥1,⊥2,2)}: two nodes ν1, ν2 with labels R, S.
+        let mut schema = ca_relational::schema::Schema::new();
+        schema.add_relation("R", 2);
+        schema.add_relation("S", 3);
+        let mut db = ca_relational::database::NaiveDatabase::new(schema);
+        db.add("R", vec![c(1), n(1)]);
+        db.add("S", vec![n(1), n(2), c(2)]);
+        let g = encode_relational(&db);
+        assert_eq!(g.n_nodes(), 2);
+        assert_eq!(g.schema.n_relations(), 0);
+        assert_eq!(g.data[0], vec![c(1), n(1)]);
+        assert_eq!(g.data[1], vec![n(1), n(2), c(2)]);
+    }
+
+    /// Faithfulness of the relational encoding: `D ⊑ D′ ⇔ enc(D) ⊑
+    /// enc(D′)` on random instances.
+    #[test]
+    fn relational_encoding_is_faithful() {
+        let mut rng = Rng::new(616);
+        for trial in 0..40 {
+            let p = DbParams {
+                n_facts: 3,
+                arity: 2,
+                n_constants: 2,
+                n_nulls: 2,
+                null_pct: 50,
+            };
+            let a = random_naive_db(&mut rng, p);
+            let b = random_naive_db(&mut rng, p);
+            assert_eq!(
+                InfoOrder.leq(&a, &b),
+                gdm_leq(&encode_relational(&a), &encode_relational(&b)),
+                "trial {trial}: {a:?} vs {b:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn xml_encoding_preserves_shape() {
+        let t = example_tree();
+        let g = encode_xml(&t);
+        assert_eq!(g.n_nodes(), t.len());
+        assert_eq!(g.tuples.len(), t.len() - 1); // child edges
+        assert_eq!(g.nulls(), t.nulls());
+    }
+
+    /// Faithfulness of the XML encoding on hand-picked pairs.
+    #[test]
+    fn xml_encoding_is_faithful() {
+        use ca_core::value::Value;
+        let alpha = ca_xml::tree::example_alphabet();
+        let cv = |x: i64| Value::Const(x);
+        let nv = |id: u32| Value::null(id);
+        let mut pat = XmlTree::new(alpha.clone(), "r", vec![]);
+        pat.add_child(0, "a", vec![cv(1), nv(1)]);
+        let mut doc = XmlTree::new(alpha.clone(), "r", vec![]);
+        let a = doc.add_child(0, "a", vec![cv(1), cv(5)]);
+        doc.add_child(a, "b", vec![cv(2)]);
+        let mut other = XmlTree::new(alpha, "r", vec![]);
+        other.add_child(0, "a", vec![cv(2), cv(5)]);
+        let cases = [(&pat, &doc), (&doc, &pat), (&pat, &other), (&doc, &doc)];
+        for (x, y) in cases {
+            assert_eq!(
+                tree_leq(x, y),
+                gdm_leq(&encode_xml(x), &encode_xml(y)),
+                "faithfulness failed for {x} vs {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn encodings_detect_codd() {
+        let codd = table("R", 2, &[&[c(1), n(1)], &[n(2), c(2)]]);
+        assert!(encode_relational(&codd).is_codd());
+        let naive = table("R", 2, &[&[c(1), n(1)], &[n(1), c(2)]]);
+        assert!(!encode_relational(&naive).is_codd());
+    }
+}

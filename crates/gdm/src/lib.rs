@@ -1,0 +1,53 @@
+//! # ca-gdm — the generalized data model (Sections 5 & 6)
+//!
+//! The paper's unifying model: a *generalized database* over a schema
+//! `S = ⟨Σ, σ, ar⟩` is `D = ⟨M, λ, ρ⟩` — a finite σ-structure `M` (the
+//! structural part), a labeling `λ` of its elements in `Σ`, and a data
+//! function `ρ` attaching an `ar(λ(ν))`-tuple over `C ∪ N` to each node
+//! `ν`. Relational databases are the case `σ = ∅` (the structure is a bare
+//! set of fact-nodes); XML documents are the case where `M` is an unranked
+//! tree.
+//!
+//! * [`schema`] / [`database`] — the model itself.
+//! * [`hom`] — homomorphisms `(h₁, h₂)` and the information ordering
+//!   (Proposition 9).
+//! * [`encode`] — faithful encodings of naïve databases and XML trees into
+//!   the model.
+//! * [`glb`] — the Theorem 4 glb construction `D ∧_K D′`, parameterized by
+//!   a structural glb for the class `K`, instantiated for `K` = all
+//!   Σ-colored structures (subsuming relations) and `K` = trees.
+//! * [`logic`] — the query language FO(S, ∼): first-order over σ, label
+//!   predicates `P_a`, and attribute equalities `=_{ij}`, evaluated
+//!   through the `D_EQ` encoding.
+//! * [`lub`] — least upper bounds (disjoint unions after null renaming),
+//!   the other half of the Theorem 5 story.
+//! * [`deq`] — the materialized `D_EQ` encoding and its FO translation,
+//!   cross-checking the direct evaluator.
+//! * [`certain`] — query answering (Theorem 7): naïve evaluation for
+//!   existential-positive sentences, the coNP image-enumeration procedure
+//!   for existential sentences, and the `ϕ₀` 3-colorability encoding
+//!   behind coNP-hardness.
+//! * [`consistency`] — the consistency problem (Proposition 11): PTIME
+//!   for ∃\* sentences, NP for ∃\*∀\* via bounded-model search, with the
+//!   hom-to-`K₃` NP-hardness family.
+//! * [`membership`] — the membership problem: NP in general, and the
+//!   Theorem 6 polynomial algorithm for Codd data + bounded treewidth.
+//! * [`generate`] — random generalized databases for experiments.
+
+pub mod certain;
+pub mod consistency;
+pub mod database;
+pub mod deq;
+pub mod encode;
+pub mod generate;
+pub mod glb;
+pub mod hom;
+pub mod logic;
+pub mod lub;
+pub mod membership;
+pub mod schema;
+
+pub use database::GenDb;
+pub use hom::{find_gdm_hom, gdm_leq, GdmHom};
+pub use logic::GFo;
+pub use schema::GenSchema;

@@ -1,0 +1,149 @@
+//! Least upper bounds of generalized databases.
+//!
+//! With no restriction on the structural class, lubs in the information
+//! ordering exist and are disjoint unions after null renaming —
+//! "technically, disjoint unions after renaming of nulls" (Section 5.3).
+//! This is the order-theoretic content of Theorem 5: `∨ M(D)` is the
+//! canonical universal solution. (For restricted classes such as trees,
+//! lubs may not exist — Proposition 10; see
+//! [`ca_exchange`](https://docs.rs) for the counterexample.)
+
+use ca_core::value::NullGen;
+
+use crate::database::GenDb;
+use crate::hom::gdm_leq;
+
+/// Rename every null of `d` to a fresh one drawn from `gen`.
+pub fn rename_nulls(d: &GenDb, gen: &mut NullGen) -> GenDb {
+    let mapping: std::collections::BTreeMap<_, _> = d
+        .nulls()
+        .into_iter()
+        .map(|nl| (nl, gen.fresh()))
+        .collect();
+    d.map_values(|v| match v {
+        ca_core::value::Value::Null(nl) => ca_core::value::Value::Null(mapping[&nl]),
+        c => c,
+    })
+}
+
+/// The lub `D ∨ D′` in the class of all generalized databases over the
+/// schema: the disjoint union with `D′`'s nulls renamed apart.
+pub fn lub_sigma(a: &GenDb, b: &GenDb) -> GenDb {
+    let mut gen = NullGen::avoiding(a.nulls().into_iter().chain(b.nulls()));
+    a.disjoint_union(&rename_nulls(b, &mut gen))
+}
+
+/// The lub of finitely many databases (`None` for an empty family —
+/// except that the empty instance is a legitimate bottom, callers wanting
+/// it should pass it explicitly).
+pub fn lub_many(xs: &[GenDb]) -> Option<GenDb> {
+    let (first, rest) = xs.split_first()?;
+    Some(rest.iter().fold(first.clone(), |acc, x| lub_sigma(&acc, x)))
+}
+
+/// Verify the lub laws against sampled upper bounds: `l` is above both
+/// inputs, and below every provided common upper bound.
+pub fn verify_lub_laws(a: &GenDb, b: &GenDb, l: &GenDb, uppers: &[GenDb]) -> bool {
+    if !(gdm_leq(a, l) && gdm_leq(b, l)) {
+        return false;
+    }
+    uppers
+        .iter()
+        .all(|u| !(gdm_leq(a, u) && gdm_leq(b, u)) || gdm_leq(l, u))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode_relational;
+    use crate::hom::gdm_equiv;
+    use ca_relational::database::build::{c, n, table};
+    use ca_relational::generate::{random_naive_db, DbParams, Rng};
+
+    #[test]
+    fn lub_is_an_upper_bound() {
+        let a = encode_relational(&table("R", 1, &[&[c(1)]]));
+        let b = encode_relational(&table("R", 1, &[&[c(2)]]));
+        let join = lub_sigma(&a, &b);
+        assert!(gdm_leq(&a, &join) && gdm_leq(&b, &join));
+        assert_eq!(join.n_nodes(), 2);
+    }
+
+    #[test]
+    fn null_renaming_prevents_capture() {
+        // Both use ⊥1; without renaming the union would wrongly equate
+        // them.
+        let a = encode_relational(&table("R", 2, &[&[n(1), c(1)]]));
+        let b = encode_relational(&table("R", 2, &[&[n(1), c(2)]]));
+        let join = lub_sigma(&a, &b);
+        assert_eq!(join.nulls().len(), 2, "nulls must stay distinct");
+        // A world where the two nulls differ is still a model of the join.
+        let world = encode_relational(&table(
+            "R",
+            2,
+            &[&[c(8), c(1)], &[c(9), c(2)]],
+        ));
+        assert!(gdm_leq(&join, &world));
+    }
+
+    #[test]
+    fn lub_laws_against_sampled_uppers() {
+        let mut rng = Rng::new(2222);
+        let p = DbParams {
+            n_facts: 2,
+            arity: 2,
+            n_constants: 2,
+            n_nulls: 1,
+            null_pct: 30,
+        };
+        for _ in 0..10 {
+            let a = encode_relational(&random_naive_db(&mut rng, p));
+            let b = encode_relational(&random_naive_db(&mut rng, p));
+            let join = lub_sigma(&a, &b);
+            // The join itself and its supersets are upper bounds; also the
+            // union with any extra facts.
+            let mut bigger = join.clone();
+            bigger.add_node("R", vec![c(7), c(7)]);
+            assert!(verify_lub_laws(&a, &b, &join, &[join.clone(), bigger]));
+        }
+    }
+
+    #[test]
+    fn lub_of_comparable_collapses_up_to_equivalence() {
+        let small = encode_relational(&table("R", 1, &[&[n(1)]]));
+        let big = encode_relational(&table("R", 1, &[&[c(1)]]));
+        let join = lub_many(&[small.clone(), big.clone()]).unwrap();
+        // small ⊑ big, so the lub class is big's class.
+        assert!(gdm_equiv(&join, &big));
+    }
+
+    /// Theorem 5 restated through lubs: the canonical universal solution
+    /// is `∨ M(D)`.
+    #[test]
+    fn theorem5_lub_is_canonical_solution() {
+        use ca_core::value::Value;
+        let nn = Value::null;
+        let src = crate::schema::GenSchema::from_parts(&[("S", 2)], &[]);
+        let tgt = crate::schema::GenSchema::from_parts(&[("T", 2)], &[]);
+        // Rule S(x, y) → T(x, z), T(z, y) — built inline to avoid a
+        // dependency on ca-exchange (which depends on us).
+        let mut d = GenDb::new(src);
+        d.add_node("S", vec![Value::Const(1), Value::Const(2)]);
+        d.add_node("S", vec![Value::Const(3), Value::Const(4)]);
+        // M(D) by hand: one application per S-fact.
+        let app = |x: i64, y: i64, z: u32| {
+            let mut t = GenDb::new(tgt.clone());
+            t.add_node("T", vec![Value::Const(x), nn(z)]);
+            t.add_node("T", vec![nn(z), Value::Const(y)]);
+            t
+        };
+        let m_d = vec![app(1, 2, 10), app(3, 4, 11)];
+        let join = lub_many(&m_d).unwrap();
+        // The canonical solution is the 4-fact union with distinct
+        // middles; the lub construction yields exactly that (up to ∼).
+        assert_eq!(join.n_nodes(), 4);
+        for a in &m_d {
+            assert!(gdm_leq(a, &join));
+        }
+    }
+}

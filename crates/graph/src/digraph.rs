@@ -1,0 +1,403 @@
+//! Directed graphs and the homomorphism preorder.
+//!
+//! Graphs here are the *purely structural* objects of Section 4: nodes may
+//! be thought of as nulls (the paper views null-only naïve binary tables as
+//! digraphs), and `G ⊑ G′` is the existence of a graph homomorphism.
+
+use ca_hom::structure::RelStructure;
+
+/// The relation symbol used for the edge relation when a digraph is viewed
+/// as a relational structure.
+pub const EDGE: u32 = 0;
+
+/// A finite directed graph with vertices `0..n`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Digraph {
+    /// Number of vertices.
+    pub n: usize,
+    /// Directed edges (duplicates allowed but normalized away).
+    pub edges: Vec<(u32, u32)>,
+}
+
+impl Digraph {
+    /// A graph with `n` vertices and no edges.
+    pub fn new(n: usize) -> Self {
+        Digraph { n, edges: Vec::new() }
+    }
+
+    /// Build from an edge list, deduplicating.
+    pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Self {
+        let mut e = edges.to_vec();
+        e.sort_unstable();
+        e.dedup();
+        debug_assert!(e.iter().all(|&(u, v)| (u as usize) < n && (v as usize) < n));
+        Digraph { n, edges: e }
+    }
+
+    /// Add an edge.
+    pub fn add_edge(&mut self, u: u32, v: u32) {
+        if !self.edges.contains(&(u, v)) {
+            self.edges.push((u, v));
+        }
+    }
+
+    /// The directed path `P_n` with `n` edges (n+1 vertices):
+    /// `0 → 1 → … → n`. `P_0` is a single vertex.
+    pub fn path(n: usize) -> Self {
+        Digraph {
+            n: n + 1,
+            edges: (0..n as u32).map(|i| (i, i + 1)).collect(),
+        }
+    }
+
+    /// The directed cycle `C_n` (`n ≥ 1`): `0 → 1 → … → n−1 → 0`.
+    pub fn cycle(n: usize) -> Self {
+        assert!(n >= 1);
+        Digraph {
+            n,
+            edges: (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect(),
+        }
+    }
+
+    /// The complete digraph `K_n` (all ordered pairs of distinct vertices).
+    /// Homomorphisms into `K_n` are exactly proper `n`-colorings.
+    pub fn complete(n: usize) -> Self {
+        let mut edges = Vec::new();
+        for u in 0..n as u32 {
+            for v in 0..n as u32 {
+                if u != v {
+                    edges.push((u, v));
+                }
+            }
+        }
+        Digraph { n, edges }
+    }
+
+    /// The transitive tournament on `n` vertices: edge `u → v` iff `u < v`.
+    pub fn transitive_tournament(n: usize) -> Self {
+        let mut edges = Vec::new();
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                edges.push((u, v));
+            }
+        }
+        Digraph { n, edges }
+    }
+
+    /// View as a relational structure with one binary relation [`EDGE`].
+    pub fn as_structure(&self) -> RelStructure {
+        let mut s = RelStructure::new(self.n);
+        for &(u, v) in &self.edges {
+            s.add_tuple(EDGE, vec![u, v]);
+        }
+        s
+    }
+
+    /// Find a homomorphism `self → other`, if any.
+    pub fn hom_to(&self, other: &Digraph) -> Option<Vec<u32>> {
+        self.as_structure().hom_to(&other.as_structure())
+    }
+
+    /// The homomorphism preorder `G ⊑ G′` of Section 4.
+    pub fn leq(&self, other: &Digraph) -> bool {
+        self.hom_to(other).is_some()
+    }
+
+    /// Hom-equivalence `G ∼ G′` (same core up to isomorphism).
+    pub fn hom_equiv(&self, other: &Digraph) -> bool {
+        self.leq(other) && other.leq(self)
+    }
+
+    /// Strictly below in the homomorphism order.
+    pub fn strictly_below(&self, other: &Digraph) -> bool {
+        self.leq(other) && !other.leq(self)
+    }
+
+    /// Is `map` a homomorphism from `self` to `other`?
+    pub fn is_hom(&self, other: &Digraph, map: &[u32]) -> bool {
+        map.len() == self.n
+            && self
+                .edges
+                .iter()
+                .all(|&(u, v)| other.edges.contains(&(map[u as usize], map[v as usize])))
+    }
+
+    /// The direct (categorical) product `G × G′`.
+    pub fn product(&self, other: &Digraph) -> Digraph {
+        let n2 = other.n as u32;
+        let mut edges = Vec::new();
+        for &(u1, v1) in &self.edges {
+            for &(u2, v2) in &other.edges {
+                edges.push((u1 * n2 + u2, v1 * n2 + v2));
+            }
+        }
+        Digraph::from_edges(self.n * other.n, &edges)
+    }
+
+    /// The disjoint union `G ⊔ G′`.
+    pub fn disjoint_union(&self, other: &Digraph) -> Digraph {
+        let shift = self.n as u32;
+        let mut edges = self.edges.clone();
+        edges.extend(other.edges.iter().map(|&(u, v)| (u + shift, v + shift)));
+        Digraph {
+            n: self.n + other.n,
+            edges,
+        }
+    }
+
+    /// The induced subgraph on `keep` (renumbered in `keep` order).
+    pub fn induced(&self, keep: &[u32]) -> Digraph {
+        let mut renumber = vec![u32::MAX; self.n];
+        for (new, &old) in keep.iter().enumerate() {
+            renumber[old as usize] = new as u32;
+        }
+        let edges: Vec<(u32, u32)> = self
+            .edges
+            .iter()
+            .filter(|&&(u, v)| renumber[u as usize] != u32::MAX && renumber[v as usize] != u32::MAX)
+            .map(|&(u, v)| (renumber[u as usize], renumber[v as usize]))
+            .collect();
+        Digraph::from_edges(keep.len(), &edges)
+    }
+
+    /// Is the graph *rigid*: its only endomorphism is the identity?
+    /// (The paper uses the rigidity of directed paths in Theorem 3.)
+    pub fn is_rigid(&self) -> bool {
+        let s = self.as_structure();
+        let sols = s.hom_csp(&s).solve_all(2 + self.n);
+        sols.solutions.iter().all(|h| {
+            h.iter()
+                .enumerate()
+                .all(|(i, &v)| v == i as u32)
+        }) && sols.solutions.len() == 1
+    }
+
+    /// Length of the longest directed path (number of edges), or `None` if
+    /// the graph has a directed cycle. DP over a topological order.
+    pub fn longest_path(&self) -> Option<usize> {
+        // Kahn's algorithm for topological order.
+        let mut indeg = vec![0usize; self.n];
+        for &(_, v) in &self.edges {
+            indeg[v as usize] += 1;
+        }
+        let mut queue: Vec<u32> = (0..self.n as u32)
+            .filter(|&v| indeg[v as usize] == 0)
+            .collect();
+        let mut order = Vec::with_capacity(self.n);
+        while let Some(v) = queue.pop() {
+            order.push(v);
+            for &(a, b) in &self.edges {
+                if a == v {
+                    indeg[b as usize] -= 1;
+                    if indeg[b as usize] == 0 {
+                        queue.push(b);
+                    }
+                }
+            }
+        }
+        if order.len() != self.n {
+            return None; // cyclic
+        }
+        let mut dist = vec![0usize; self.n];
+        for &v in &order {
+            for &(a, b) in &self.edges {
+                if a == v {
+                    dist[b as usize] = dist[b as usize].max(dist[v as usize] + 1);
+                }
+            }
+        }
+        Some(dist.into_iter().max().unwrap_or(0))
+    }
+
+    /// Length of the shortest directed cycle (the directed girth), or
+    /// `None` if acyclic. BFS from every vertex.
+    pub fn shortest_cycle(&self) -> Option<usize> {
+        let mut adj = vec![Vec::new(); self.n];
+        for &(u, v) in &self.edges {
+            adj[u as usize].push(v);
+        }
+        let mut best: Option<usize> = None;
+        for start in 0..self.n as u32 {
+            // BFS distances from start; an edge back to start closes a cycle.
+            let mut dist = vec![usize::MAX; self.n];
+            dist[start as usize] = 0;
+            let mut queue = std::collections::VecDeque::from([start]);
+            while let Some(u) = queue.pop_front() {
+                for &v in &adj[u as usize] {
+                    if v == start {
+                        let len = dist[u as usize] + 1;
+                        if best.is_none_or(|b| len < b) {
+                            best = Some(len);
+                        }
+                    } else if dist[v as usize] == usize::MAX {
+                        dist[v as usize] = dist[u as usize] + 1;
+                        queue.push_back(v);
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// Is the graph properly 3-colorable (ignoring edge directions is
+    /// irrelevant here because `K_3` is symmetric)? Equivalent to
+    /// `self ⊑ K_3`.
+    pub fn three_colorable(&self) -> bool {
+        self.leq(&Digraph::complete(3))
+    }
+}
+
+/// A deterministic pseudo-random digraph with edge probability ~`num/den`,
+/// seeded; used by experiments and property tests.
+pub fn random_digraph(n: usize, num: u64, den: u64, seed: u64) -> Digraph {
+    let mut state = seed ^ 0x9e3779b97f4a7c15;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state >> 33
+    };
+    let mut edges = Vec::new();
+    for u in 0..n as u32 {
+        for v in 0..n as u32 {
+            if u != v && next() % den < num {
+                edges.push((u, v));
+            }
+        }
+    }
+    Digraph::from_edges(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_hom_iff_divides() {
+        // C_n → C_m iff m | n for directed cycles.
+        for n in 1..=8usize {
+            for m in 1..=8usize {
+                let expect = n % m == 0;
+                assert_eq!(
+                    Digraph::cycle(n).leq(&Digraph::cycle(m)),
+                    expect,
+                    "C{n} → C{m}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn path_hom_iff_shorter() {
+        // P_n → P_m iff n ≤ m.
+        for n in 0..=5usize {
+            for m in 0..=5usize {
+                assert_eq!(
+                    Digraph::path(n).leq(&Digraph::path(m)),
+                    n <= m,
+                    "P{n} → P{m}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn paths_below_cycles() {
+        // Every directed path maps into every directed cycle.
+        for n in 0..=5usize {
+            for m in 1..=5usize {
+                assert!(Digraph::path(n).leq(&Digraph::cycle(m)));
+                // And never the other way (cycles cannot map to acyclic
+                // graphs; paths of length ≥ 1 have no cycle).
+                if m >= 1 {
+                    assert!(!Digraph::cycle(m).leq(&Digraph::path(n)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paths_are_rigid() {
+        for n in 1..=5usize {
+            assert!(Digraph::path(n).is_rigid(), "P{n} should be rigid");
+        }
+        // The 2-cycle is not rigid (rotation).
+        assert!(!Digraph::cycle(2).is_rigid());
+    }
+
+    #[test]
+    fn directed_cycles_are_rigid_under_no_proper_endo() {
+        // Every endomorphism of C_n is a rotation, so C_n (n ≥ 2) is not
+        // rigid but *is* a core (no endomorphism onto a proper subgraph).
+        let c4 = Digraph::cycle(4);
+        let s = c4.as_structure();
+        let sols = s.hom_csp(&s).solve_all(100);
+        assert_eq!(sols.solutions.len(), 4); // 4 rotations
+    }
+
+    #[test]
+    fn three_coloring() {
+        assert!(Digraph::cycle(3).three_colorable());
+        assert!(Digraph::complete(3).three_colorable());
+        assert!(!Digraph::complete(4).three_colorable());
+    }
+
+    #[test]
+    fn longest_path_and_girth() {
+        assert_eq!(Digraph::path(4).longest_path(), Some(4));
+        assert_eq!(Digraph::cycle(4).longest_path(), None);
+        assert_eq!(Digraph::cycle(4).shortest_cycle(), Some(4));
+        assert_eq!(Digraph::path(4).shortest_cycle(), None);
+        // Two cycles: girth is the smaller.
+        let g = Digraph::cycle(3).disjoint_union(&Digraph::cycle(5));
+        assert_eq!(g.shortest_cycle(), Some(3));
+    }
+
+    #[test]
+    fn product_and_union_shapes() {
+        let p = Digraph::cycle(2).product(&Digraph::cycle(3));
+        assert_eq!(p.n, 6);
+        assert_eq!(p.edges.len(), 6);
+        let u = Digraph::cycle(2).disjoint_union(&Digraph::cycle(3));
+        assert_eq!(u.n, 5);
+        assert_eq!(u.edges.len(), 5);
+    }
+
+    #[test]
+    fn product_is_glb_like() {
+        // G × G′ maps to both factors and anything below both maps to it.
+        let g = Digraph::cycle(4);
+        let h = Digraph::cycle(6);
+        let p = g.product(&h);
+        assert!(p.leq(&g));
+        assert!(p.leq(&h));
+        // C_12 is below both (12 divisible by 4 and 6), so below product.
+        assert!(Digraph::cycle(12).leq(&p));
+    }
+
+    #[test]
+    fn induced_subgraph() {
+        let g = Digraph::path(3); // 0→1→2→3
+        let h = g.induced(&[1, 2]);
+        assert_eq!(h.n, 2);
+        assert_eq!(h.edges, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn is_hom_checks_edges() {
+        let p1 = Digraph::path(1);
+        let c3 = Digraph::cycle(3);
+        assert!(p1.is_hom(&c3, &[0, 1]));
+        assert!(!p1.is_hom(&c3, &[0, 2]));
+        assert!(!p1.is_hom(&c3, &[0]));
+    }
+
+    #[test]
+    fn random_digraph_is_deterministic() {
+        let a = random_digraph(10, 1, 3, 42);
+        let b = random_digraph(10, 1, 3, 42);
+        assert_eq!(a, b);
+        let c = random_digraph(10, 1, 3, 43);
+        assert_ne!(a, c);
+    }
+}

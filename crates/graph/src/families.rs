@@ -1,0 +1,111 @@
+//! Structured families inside the homomorphism order.
+//!
+//! Section 4 recalls that the homomorphism order on digraphs is wild: from
+//! Erdős's theorem one gets arbitrarily large antichains and dense chains,
+//! and by Hubička–Nešetřil every countable partial order embeds into it.
+//! Full generality needs probabilistic constructions, but concrete
+//! laptop-sized families already witness the phenomena the paper uses:
+//!
+//! * **antichains**: directed cycles of distinct prime lengths are
+//!   pairwise incomparable (`C_p → C_q` iff `q | p`);
+//! * **infinite descending chains**: `C_{2^m}` (Theorem 3's family);
+//! * **infinite ascending chains**: directed paths `P_n`;
+//! * **dense intervals**: between `P_n` and `C_2` sit infinitely many
+//!   inequivalent graphs.
+
+use crate::digraph::Digraph;
+
+/// The first `k` primes.
+fn primes(k: usize) -> Vec<usize> {
+    let mut out = Vec::with_capacity(k);
+    let mut candidate = 2usize;
+    while out.len() < k {
+        if !out.iter().any(|p| candidate.is_multiple_of(*p)) {
+            out.push(candidate);
+        }
+        candidate += 1;
+    }
+    out
+}
+
+/// An antichain of size `k` in the homomorphism order: directed cycles of
+/// distinct prime lengths.
+pub fn prime_cycle_antichain(k: usize) -> Vec<Digraph> {
+    primes(k).into_iter().map(Digraph::cycle).collect()
+}
+
+/// Verify that a family is an antichain: no homomorphism either way
+/// between distinct members.
+pub fn is_antichain(family: &[Digraph]) -> bool {
+    for (i, g) in family.iter().enumerate() {
+        for h in family.iter().skip(i + 1) {
+            if g.leq(h) || h.leq(g) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// The strictly descending chain `C_2 ≻ C_4 ≻ … ≻ C_{2^m}` (Theorem 3's
+/// upper half), as graphs, most informative first.
+pub fn power_cycle_chain(m: u32) -> Vec<Digraph> {
+    (1..=m).map(|i| Digraph::cycle(1 << i)).collect()
+}
+
+/// The strictly ascending chain `P_1 ≺ P_2 ≺ … ≺ P_n`.
+pub fn path_chain(n: usize) -> Vec<Digraph> {
+    (1..=n).map(Digraph::path).collect()
+}
+
+/// Verify that a family is a strict chain in the given order (each member
+/// strictly above the next).
+pub fn is_strict_descending_chain(family: &[Digraph]) -> bool {
+    family.windows(2).all(|w| w[1].strictly_below(&w[0]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prime_cycles_are_an_antichain() {
+        let family = prime_cycle_antichain(4); // C2, C3, C5, C7
+        assert_eq!(family.len(), 4);
+        assert!(is_antichain(&family));
+    }
+
+    #[test]
+    fn non_antichain_detected() {
+        let family = vec![Digraph::cycle(2), Digraph::cycle(4)];
+        assert!(!is_antichain(&family)); // C4 → C2
+    }
+
+    #[test]
+    fn power_cycles_descend() {
+        let chain = power_cycle_chain(5);
+        assert!(is_strict_descending_chain(&chain));
+    }
+
+    #[test]
+    fn paths_ascend() {
+        let mut chain = path_chain(5);
+        chain.reverse(); // descending order for the checker
+        assert!(is_strict_descending_chain(&chain));
+    }
+
+    #[test]
+    fn paths_sit_below_all_power_cycles() {
+        for p in path_chain(4) {
+            for c in power_cycle_chain(4) {
+                assert!(p.leq(&c));
+                assert!(!c.leq(&p));
+            }
+        }
+    }
+
+    #[test]
+    fn primes_helper() {
+        assert_eq!(primes(5), vec![2, 3, 5, 7, 11]);
+    }
+}

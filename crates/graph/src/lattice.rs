@@ -1,0 +1,295 @@
+//! The lattice of cores and Theorem 3.
+//!
+//! Restricted to cores, the homomorphism preorder on digraphs is a lattice
+//! with `G ∧ G′ = core(G × G′)` and `G ∨ G′ = core(G ⊔ G′)` (Section 4,
+//! citing Hell–Nešetřil). This module implements both operations and the
+//! full machinery of **Theorem 3**: the family of directed cycles whose
+//! length is a power of two has *no* greatest lower bound, witnessed by the
+//! infinite chain
+//!
+//! ```text
+//! P_1 ≺ P_2 ≺ … ≺ P_n ≺ … … ≺ C_{2^m} ≺ … ≺ C_8 ≺ C_4 ≺ C_2
+//! ```
+//!
+//! and a constructive refutation of any candidate glb: an acyclic candidate
+//! is strictly below some path that is itself a lower bound; a cyclic
+//! candidate with shortest cycle `k` is not even a lower bound, since it
+//! has no homomorphism to `C_{2^m}` once `2^m > k`.
+
+use crate::core::core_of;
+use crate::digraph::Digraph;
+
+/// `G ∧ G′` in the lattice of cores: `core(G × G′)`.
+///
+/// ```
+/// use ca_graph::digraph::Digraph;
+/// use ca_graph::lattice::glb;
+///
+/// // Coprime directed cycles meet at their "lcm" cycle: C2 ∧ C3 ∼ C6.
+/// let meet = glb(&Digraph::cycle(2), &Digraph::cycle(3));
+/// assert!(meet.hom_equiv(&Digraph::cycle(6)));
+/// ```
+pub fn glb(g: &Digraph, h: &Digraph) -> Digraph {
+    core_of(&g.product(h)).0
+}
+
+/// `G ∨ G′` in the lattice of cores: `core(G ⊔ G′)`.
+pub fn lub(g: &Digraph, h: &Digraph) -> Digraph {
+    core_of(&g.disjoint_union(h)).0
+}
+
+/// The explicit homomorphism `g_m : C_{2^m} → C_{2^{m-1}}` from the proof
+/// of Theorem 3: vertex `i` maps to `i mod 2^{m-1}`. Returns the map and
+/// checks it is a homomorphism (cheaply, without search).
+pub fn power_cycle_hom(m: u32) -> Vec<u32> {
+    assert!(m >= 1);
+    let n = 1u32 << m;
+    let half = n / 2;
+    let map: Vec<u32> = (0..n).map(|i| i % half).collect();
+    let src = Digraph::cycle(n as usize);
+    let dst = Digraph::cycle(half as usize);
+    debug_assert!(src.is_hom(&dst, &map));
+    map
+}
+
+/// Verify the Theorem 3 chain up to parameters `max_path` and `max_m`:
+///
+/// * `P_n ≺ P_{n+1}` for `n < max_path`;
+/// * `P_n ⊑ C_{2^m}` for all `n ≤ max_path`, `m ≤ max_m`;
+/// * `C_{2^m} ≺ C_{2^{m-1}}` for `1 < m ≤ max_m` (strictness by rigidity
+///   of directed cycles as cores).
+///
+/// Returns `true` iff every claim checks out.
+pub fn verify_power_cycle_chain(max_path: usize, max_m: u32) -> bool {
+    for n in 1..max_path {
+        let p = Digraph::path(n);
+        let q = Digraph::path(n + 1);
+        if !p.strictly_below(&q) {
+            return false;
+        }
+    }
+    for n in 1..=max_path {
+        for m in 1..=max_m {
+            if !Digraph::path(n).leq(&Digraph::cycle(1 << m)) {
+                return false;
+            }
+        }
+    }
+    for m in 2..=max_m {
+        let big = Digraph::cycle(1 << m);
+        let small = Digraph::cycle(1 << (m - 1));
+        // The explicit wrap-around map is a homomorphism…
+        if !big.is_hom(&small, &power_cycle_hom(m)) {
+            return false;
+        }
+        // …and there is none the other way (m | n criterion).
+        if small.leq(&big) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Why a candidate graph fails to be a glb of `{C_{2^m} | m > 0}`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GlbRefutation {
+    /// The candidate is acyclic with longest path `k`; the lower bound
+    /// `P_{k+1}` is not below it, so it is not a *greatest* lower bound.
+    DominatedByPath {
+        /// Longest path length of the candidate.
+        longest_path: usize,
+    },
+    /// The candidate has a shortest cycle of length `k`; it has no
+    /// homomorphism to `C_{2^m}` (for the returned `m` with `2^m > k`),
+    /// so it is not a lower bound of the family at all.
+    NotALowerBound {
+        /// Shortest-cycle length of the candidate.
+        girth: usize,
+        /// An `m` with `2^m > girth` witnessing failure.
+        witness_m: u32,
+    },
+}
+
+/// Constructively refute that `g` is a glb of the family
+/// `{C_{2^m} | m > 0}` — the two cases of the Theorem 3 proof. Every
+/// digraph is refuted one way or the other (that is the theorem); both
+/// branches re-verify their claim with the homomorphism solver.
+///
+/// # Panics
+///
+/// Panics if a verification step fails — which would falsify Theorem 3.
+pub fn refute_glb_of_power_cycles(g: &Digraph) -> GlbRefutation {
+    match g.longest_path() {
+        Some(k) => {
+            // Acyclic case: P_{k+1} is a lower bound of the family (paths
+            // map into every cycle) but does not map into g.
+            let p = Digraph::path(k + 1);
+            assert!(
+                !p.leq(g),
+                "P_{} unexpectedly maps into an acyclic graph of longest path {k}",
+                k + 1
+            );
+            GlbRefutation::DominatedByPath { longest_path: k }
+        }
+        None => {
+            let k = g.shortest_cycle().expect("cyclic graph has a shortest cycle");
+            // Find m with 2^m > k; then g ⋢ C_{2^m} because its k-cycle
+            // cannot map into a longer directed cycle.
+            let mut m = 1u32;
+            while (1usize << m) <= k {
+                m += 1;
+            }
+            assert!(
+                !g.leq(&Digraph::cycle(1 << m)),
+                "graph with girth {k} unexpectedly maps into C_{}",
+                1 << m
+            );
+            GlbRefutation::NotALowerBound {
+                girth: k,
+                witness_m: m,
+            }
+        }
+    }
+}
+
+/// Check the two lattice laws for a pair of graphs, using homomorphism
+/// search: `glb(g, h)` is a lower bound dominating the given other lower
+/// bounds, and dually for `lub`. Used by tests and the E13 experiment.
+pub fn verify_lattice_laws(
+    g: &Digraph,
+    h: &Digraph,
+    other_lower: &[Digraph],
+    other_upper: &[Digraph],
+) -> bool {
+    let meet = glb(g, h);
+    if !(meet.leq(g) && meet.leq(h)) {
+        return false;
+    }
+    for l in other_lower {
+        if l.leq(g) && l.leq(h) && !l.leq(&meet) {
+            return false;
+        }
+    }
+    let join = lub(g, h);
+    if !(g.leq(&join) && h.leq(&join)) {
+        return false;
+    }
+    for u in other_upper {
+        if g.leq(u) && h.leq(u) && !join.leq(u) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digraph::random_digraph;
+
+    #[test]
+    fn glb_of_coprime_cycles_is_their_lcm_cycle() {
+        // C2 ∧ C3 = core(C2 × C3) = core(C6) = C6.
+        let meet = glb(&Digraph::cycle(2), &Digraph::cycle(3));
+        assert!(meet.hom_equiv(&Digraph::cycle(6)));
+        assert_eq!(meet.n, 6);
+    }
+
+    #[test]
+    fn glb_of_nested_cycles_is_the_larger() {
+        // C2 ∧ C4: C4 ⊑ C2 so the glb is C4.
+        let meet = glb(&Digraph::cycle(2), &Digraph::cycle(4));
+        assert!(meet.hom_equiv(&Digraph::cycle(4)));
+    }
+
+    #[test]
+    fn lub_of_comparable_is_the_larger() {
+        // C4 ⊑ C2 so C4 ∨ C2 = C2.
+        let join = lub(&Digraph::cycle(4), &Digraph::cycle(2));
+        assert!(join.hom_equiv(&Digraph::cycle(2)));
+        assert_eq!(join.n, 2);
+    }
+
+    #[test]
+    fn lub_of_incomparable_keeps_both() {
+        let join = lub(&Digraph::cycle(3), &Digraph::cycle(4));
+        assert_eq!(join.n, 7);
+        assert!(Digraph::cycle(3).leq(&join));
+        assert!(Digraph::cycle(4).leq(&join));
+    }
+
+    #[test]
+    fn chain_verifies() {
+        assert!(verify_power_cycle_chain(5, 4));
+    }
+
+    #[test]
+    fn power_cycle_hom_is_explicit_and_valid() {
+        for m in 1..=6u32 {
+            let map = power_cycle_hom(m);
+            let src = Digraph::cycle(1 << m);
+            let dst = Digraph::cycle(1 << (m - 1));
+            assert!(src.is_hom(&dst, &map), "g_{m} is not a homomorphism");
+        }
+    }
+
+    #[test]
+    fn theorem3_refutes_acyclic_candidates() {
+        for k in 0..4usize {
+            let r = refute_glb_of_power_cycles(&Digraph::path(k));
+            assert_eq!(r, GlbRefutation::DominatedByPath { longest_path: k });
+        }
+        // The transitive tournament T4 is acyclic with longest path 3.
+        let r = refute_glb_of_power_cycles(&Digraph::transitive_tournament(4));
+        assert_eq!(r, GlbRefutation::DominatedByPath { longest_path: 3 });
+    }
+
+    #[test]
+    fn theorem3_refutes_cyclic_candidates() {
+        let r = refute_glb_of_power_cycles(&Digraph::cycle(3));
+        assert_eq!(
+            r,
+            GlbRefutation::NotALowerBound {
+                girth: 3,
+                witness_m: 2
+            }
+        );
+        // Even a power-of-two cycle itself is not a lower bound of the
+        // whole family (C4 ⋢ C8).
+        let r = refute_glb_of_power_cycles(&Digraph::cycle(4));
+        assert_eq!(
+            r,
+            GlbRefutation::NotALowerBound {
+                girth: 4,
+                witness_m: 3
+            }
+        );
+    }
+
+    #[test]
+    fn lattice_laws_on_random_graphs() {
+        let candidates: Vec<Digraph> = vec![
+            Digraph::path(1),
+            Digraph::path(2),
+            Digraph::cycle(2),
+            Digraph::cycle(3),
+            Digraph::cycle(6),
+        ];
+        for seed in 0..5u64 {
+            let g = random_digraph(4, 1, 3, seed);
+            let h = random_digraph(4, 1, 3, seed + 100);
+            assert!(
+                verify_lattice_laws(&g, &h, &candidates, &candidates),
+                "lattice laws failed for seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn glb_with_k3_detects_three_colorability() {
+        // G ∧ K3 ∼ G iff G ⊑ K3 iff G is 3-colorable.
+        let g = Digraph::cycle(5);
+        let meet = glb(&g, &Digraph::complete(3));
+        assert_eq!(meet.hom_equiv(&g), g.three_colorable());
+    }
+}

@@ -1,0 +1,85 @@
+//! Property-based tests for digraphs, cores, and lattice operations.
+
+use proptest::prelude::*;
+
+use ca_graph::core::{core_of, is_core};
+use ca_graph::digraph::Digraph;
+use ca_graph::lattice::{glb, lub};
+
+/// Strategy: a random digraph on ≤ 5 vertices.
+fn arb_digraph() -> impl Strategy<Value = Digraph> {
+    prop::collection::vec((0u32..5, 0u32..5), 0..10)
+        .prop_map(|edges| Digraph::from_edges(5, &edges))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn hom_order_is_reflexive(g in arb_digraph()) {
+        prop_assert!(g.leq(&g));
+    }
+
+    #[test]
+    fn core_is_equivalent_and_minimal(g in arb_digraph()) {
+        let (core, kept) = core_of(&g);
+        prop_assert!(core.hom_equiv(&g));
+        prop_assert!(is_core(&core));
+        prop_assert!(core.n <= g.n);
+        prop_assert_eq!(kept.len(), core.n);
+    }
+
+    #[test]
+    fn core_is_idempotent(g in arb_digraph()) {
+        let (once, _) = core_of(&g);
+        let (twice, _) = core_of(&once);
+        prop_assert_eq!(once.n, twice.n);
+        prop_assert_eq!(once.edges.len(), twice.edges.len());
+    }
+
+    #[test]
+    fn glb_is_a_lower_bound(g in arb_digraph(), h in arb_digraph()) {
+        let meet = glb(&g, &h);
+        prop_assert!(meet.leq(&g));
+        prop_assert!(meet.leq(&h));
+        prop_assert!(is_core(&meet));
+    }
+
+    #[test]
+    fn lub_is_an_upper_bound(g in arb_digraph(), h in arb_digraph()) {
+        let join = lub(&g, &h);
+        prop_assert!(g.leq(&join));
+        prop_assert!(h.leq(&join));
+        prop_assert!(is_core(&join));
+    }
+
+    #[test]
+    fn glb_below_lub(g in arb_digraph(), h in arb_digraph()) {
+        let meet = glb(&g, &h);
+        let join = lub(&g, &h);
+        prop_assert!(meet.leq(&join));
+    }
+
+    #[test]
+    fn lattice_absorption(g in arb_digraph(), h in arb_digraph()) {
+        // g ∧ (g ∨ h) ∼ g and g ∨ (g ∧ h) ∼ g.
+        let join = lub(&g, &h);
+        prop_assert!(glb(&g, &join).hom_equiv(&g));
+        let meet = glb(&g, &h);
+        prop_assert!(lub(&g, &meet).hom_equiv(&g));
+    }
+
+    #[test]
+    fn product_projections_are_homs(g in arb_digraph(), h in arb_digraph()) {
+        let p = g.product(&h);
+        prop_assert!(p.leq(&g));
+        prop_assert!(p.leq(&h));
+    }
+
+    #[test]
+    fn disjoint_union_embeds_both(g in arb_digraph(), h in arb_digraph()) {
+        let u = g.disjoint_union(&h);
+        prop_assert!(g.leq(&u));
+        prop_assert!(h.leq(&u));
+    }
+}

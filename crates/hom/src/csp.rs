@@ -1,0 +1,439 @@
+//! A generic constraint-satisfaction solver for homomorphism problems.
+//!
+//! Homomorphism existence between relational instances is exactly constraint
+//! satisfaction (Kolaitis–Vardi; the paper cites this connection in
+//! Section 6). We model it directly:
+//!
+//! * variables `0..n_vars` (nulls, tree nodes, structure elements — whatever
+//!   must be mapped),
+//! * a finite candidate domain of `u32` values per variable,
+//! * table constraints: a scope (list of variables) plus the set of allowed
+//!   value tuples (the matching tuples of the target instance).
+//!
+//! The solver does chronological backtracking with minimum-remaining-values
+//! variable ordering and forward checking (each assignment prunes the
+//! domains of neighbouring variables through the constraint tables). This is
+//! worst-case exponential — the problem is NP-complete — but fast on the
+//! instance families the paper's constructions produce.
+
+use std::collections::HashMap;
+
+/// A table constraint: the values of `scope` must form a tuple in `allowed`.
+#[derive(Clone, Debug)]
+pub struct Constraint {
+    /// The variables constrained, in tuple order.
+    pub scope: Vec<u32>,
+    /// Allowed value tuples (each of length `scope.len()`).
+    pub allowed: Vec<Vec<u32>>,
+}
+
+impl Constraint {
+    /// Build a constraint, deduplicating allowed tuples.
+    pub fn new(scope: Vec<u32>, mut allowed: Vec<Vec<u32>>) -> Self {
+        allowed.sort_unstable();
+        allowed.dedup();
+        Constraint { scope, allowed }
+    }
+}
+
+/// A constraint-satisfaction problem over `u32` values.
+#[derive(Clone, Debug, Default)]
+pub struct Csp {
+    /// Candidate values per variable.
+    pub domains: Vec<Vec<u32>>,
+    /// The table constraints.
+    pub constraints: Vec<Constraint>,
+}
+
+/// Internal search state: live domains plus the constraint-variable index.
+struct Search<'a> {
+    csp: &'a Csp,
+    /// `live[v]` = currently viable values of variable `v`.
+    live: Vec<Vec<u32>>,
+    /// Assignment; `u32::MAX` = unassigned.
+    assign: Vec<u32>,
+    /// Constraints touching each variable.
+    var_cons: Vec<Vec<usize>>,
+    /// Number of solver steps taken (for bench accounting).
+    steps: u64,
+}
+
+/// Outcome of an exhaustive enumeration that may have been truncated.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Enumeration {
+    /// The solutions found (up to the requested limit).
+    pub solutions: Vec<Vec<u32>>,
+    /// True if enumeration stopped because the limit was reached.
+    pub truncated: bool,
+}
+
+impl Csp {
+    /// A CSP with `n_vars` variables all sharing the candidate set
+    /// `0..n_values`.
+    pub fn with_uniform_domains(n_vars: usize, n_values: u32) -> Self {
+        Csp {
+            domains: vec![(0..n_values).collect(); n_vars],
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Number of variables.
+    pub fn n_vars(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// Add a table constraint.
+    pub fn add_constraint(&mut self, scope: Vec<u32>, allowed: Vec<Vec<u32>>) {
+        debug_assert!(allowed.iter().all(|t| t.len() == scope.len()));
+        self.constraints.push(Constraint::new(scope, allowed));
+    }
+
+    /// Restrict the domain of `var` to `values`.
+    pub fn restrict_domain(&mut self, var: u32, values: Vec<u32>) {
+        self.domains[var as usize] = values;
+    }
+
+    /// Find one solution, if any.
+    pub fn solve(&self) -> Option<Vec<u32>> {
+        let mut s = Search::new(self);
+        let mut found = None;
+        s.run(&mut |sol| {
+            found = Some(sol.to_vec());
+            false // stop
+        });
+        found
+    }
+
+    /// Is the CSP satisfiable?
+    pub fn satisfiable(&self) -> bool {
+        self.solve().is_some()
+    }
+
+    /// Enumerate up to `limit` solutions.
+    pub fn solve_all(&self, limit: usize) -> Enumeration {
+        let mut sols = Vec::new();
+        let mut truncated = false;
+        let mut s = Search::new(self);
+        s.run(&mut |sol| {
+            sols.push(sol.to_vec());
+            if sols.len() >= limit {
+                truncated = true;
+                false
+            } else {
+                true
+            }
+        });
+        Enumeration {
+            solutions: sols,
+            truncated,
+        }
+    }
+
+    /// Count all solutions (careful: can be astronomically many).
+    pub fn count_solutions(&self) -> u64 {
+        let mut n = 0u64;
+        let mut s = Search::new(self);
+        s.run(&mut |_| {
+            n += 1;
+            true
+        });
+        n
+    }
+
+    /// Find a solution whose image (set of assigned values) covers all of
+    /// `must_cover`. Used for the onto-homomorphisms of the closed-world
+    /// ordering `⊑_cwa`.
+    pub fn solve_covering(&self, must_cover: &[u32]) -> Option<Vec<u32>> {
+        let mut found = None;
+        let mut s = Search::new(self);
+        s.run(&mut |sol| {
+            if must_cover.iter().all(|v| sol.contains(v)) {
+                found = Some(sol.to_vec());
+                false
+            } else {
+                true
+            }
+        });
+        found
+    }
+
+    /// Find a solution avoiding the given value for every variable (used by
+    /// core computation: a retraction missing a designated element).
+    pub fn solve_avoiding(&self, forbidden: u32) -> Option<Vec<u32>> {
+        let mut restricted = self.clone();
+        for d in &mut restricted.domains {
+            d.retain(|&v| v != forbidden);
+        }
+        restricted.solve()
+    }
+
+    /// Solve and also report the number of search steps taken (assignments
+    /// tried). For complexity experiments.
+    pub fn solve_counting_steps(&self) -> (Option<Vec<u32>>, u64) {
+        let mut s = Search::new(self);
+        let mut found = None;
+        s.run(&mut |sol| {
+            found = Some(sol.to_vec());
+            false
+        });
+        (found, s.steps)
+    }
+}
+
+impl<'a> Search<'a> {
+    fn new(csp: &'a Csp) -> Self {
+        let mut var_cons = vec![Vec::new(); csp.n_vars()];
+        for (ci, c) in csp.constraints.iter().enumerate() {
+            for &v in &c.scope {
+                var_cons[v as usize].push(ci);
+            }
+        }
+        Search {
+            csp,
+            live: csp.domains.clone(),
+            assign: vec![u32::MAX; csp.n_vars()],
+            var_cons,
+            steps: 0,
+        }
+    }
+
+    /// Run the backtracking search, invoking `on_solution` for each solution
+    /// found; the callback returns `false` to stop the search.
+    fn run(&mut self, on_solution: &mut dyn FnMut(&[u32]) -> bool) {
+        // Nullary (empty-scope) constraints are never triggered by variable
+        // assignment; they are satisfiable iff they allow the empty tuple.
+        for c in &self.csp.constraints {
+            if c.scope.is_empty() && c.allowed.is_empty() {
+                return;
+            }
+        }
+        self.backtrack(on_solution);
+    }
+
+    /// Pick the unassigned variable with the fewest live values (MRV).
+    fn pick_var(&self) -> Option<usize> {
+        let mut best: Option<(usize, usize)> = None;
+        for v in 0..self.csp.n_vars() {
+            if self.assign[v] != u32::MAX {
+                continue;
+            }
+            let size = self.live[v].len();
+            if best.is_none_or(|(_, s)| size < s) {
+                best = Some((v, size));
+            }
+        }
+        best.map(|(v, _)| v)
+    }
+
+    /// Is a constraint still satisfiable given the partial assignment, and
+    /// which values of each unassigned scope variable are supported?
+    fn prune_by_constraint(
+        &self,
+        ci: usize,
+        supported: &mut HashMap<u32, Vec<bool>>,
+    ) -> bool {
+        let c = &self.csp.constraints[ci];
+        // Record which scope vars are unassigned and index their live sets.
+        for &v in &c.scope {
+            if self.assign[v as usize] == u32::MAX {
+                supported
+                    .entry(v)
+                    .or_insert_with(|| vec![false; self.live[v as usize].len()]);
+            }
+        }
+        let mut any = false;
+        'tuples: for t in &c.allowed {
+            for (i, &v) in c.scope.iter().enumerate() {
+                let a = self.assign[v as usize];
+                if a != u32::MAX {
+                    if a != t[i] {
+                        continue 'tuples;
+                    }
+                } else if !self.live[v as usize].contains(&t[i]) {
+                    continue 'tuples;
+                }
+            }
+            any = true;
+            // Mark supports.
+            for (i, &v) in c.scope.iter().enumerate() {
+                if self.assign[v as usize] == u32::MAX {
+                    if let Some(mask) = supported.get_mut(&v) {
+                        if let Some(pos) =
+                            self.live[v as usize].iter().position(|&x| x == t[i])
+                        {
+                            mask[pos] = true;
+                        }
+                    }
+                }
+            }
+        }
+        any
+    }
+
+    fn backtrack(&mut self, on_solution: &mut dyn FnMut(&[u32]) -> bool) -> bool {
+        let Some(v) = self.pick_var() else {
+            return on_solution(&self.assign);
+        };
+        let candidates = self.live[v].clone();
+        for val in candidates {
+            self.steps += 1;
+            self.assign[v] = val;
+            // Forward check: prune neighbours through v's constraints.
+            let mut saved: Vec<(usize, Vec<u32>)> = Vec::new();
+            let mut dead = false;
+            let cons = self.var_cons[v].clone();
+            for ci in cons {
+                let mut supported: HashMap<u32, Vec<bool>> = HashMap::new();
+                if !self.prune_by_constraint(ci, &mut supported) {
+                    dead = true;
+                    break;
+                }
+                for (u, mask) in supported {
+                    let ui = u as usize;
+                    let pruned: Vec<u32> = self.live[ui]
+                        .iter()
+                        .zip(mask.iter())
+                        .filter(|(_, &keep)| keep)
+                        .map(|(&x, _)| x)
+                        .collect();
+                    if pruned.len() != self.live[ui].len() {
+                        saved.push((ui, std::mem::replace(&mut self.live[ui], pruned)));
+                        if self.live[ui].is_empty() {
+                            dead = true;
+                        }
+                    }
+                }
+                if dead {
+                    break;
+                }
+            }
+            if !dead && !self.backtrack(on_solution) {
+                return false; // caller asked to stop
+            }
+            // Undo.
+            for (ui, old) in saved.into_iter().rev() {
+                self.live[ui] = old;
+            }
+            self.assign[v] = u32::MAX;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Graph coloring as a CSP: vars = vertices, values = colors, one
+    /// binary "different colors" constraint per edge.
+    fn coloring_csp(n: usize, edges: &[(u32, u32)], colors: u32) -> Csp {
+        let mut csp = Csp::with_uniform_domains(n, colors);
+        let diff: Vec<Vec<u32>> = (0..colors)
+            .flat_map(|a| (0..colors).filter(move |&b| b != a).map(move |b| vec![a, b]))
+            .collect();
+        for &(u, v) in edges {
+            csp.add_constraint(vec![u, v], diff.clone());
+        }
+        csp
+    }
+
+    #[test]
+    fn triangle_needs_three_colors() {
+        let edges = [(0, 1), (1, 2), (0, 2)];
+        assert!(!coloring_csp(3, &edges, 2).satisfiable());
+        assert!(coloring_csp(3, &edges, 3).satisfiable());
+    }
+
+    #[test]
+    fn counting_triangle_colorings() {
+        let edges = [(0, 1), (1, 2), (0, 2)];
+        // Proper 3-colorings of K3: 3! = 6.
+        assert_eq!(coloring_csp(3, &edges, 3).count_solutions(), 6);
+    }
+
+    #[test]
+    fn solve_all_respects_limit() {
+        let edges = [(0, 1)];
+        let e = coloring_csp(2, &edges, 3).solve_all(4);
+        assert_eq!(e.solutions.len(), 4);
+        assert!(e.truncated);
+        let all = coloring_csp(2, &edges, 3).solve_all(100);
+        assert_eq!(all.solutions.len(), 6);
+        assert!(!all.truncated);
+    }
+
+    #[test]
+    fn empty_domain_is_unsatisfiable() {
+        let mut csp = Csp::with_uniform_domains(2, 3);
+        csp.restrict_domain(0, vec![]);
+        assert!(!csp.satisfiable());
+    }
+
+    #[test]
+    fn no_constraints_everything_goes() {
+        let csp = Csp::with_uniform_domains(3, 2);
+        assert_eq!(csp.count_solutions(), 8);
+    }
+
+    #[test]
+    fn covering_solutions() {
+        // Two free variables over {0,1}: a solution covering {0,1} must use
+        // both values.
+        let csp = Csp::with_uniform_domains(2, 2);
+        let sol = csp.solve_covering(&[0, 1]).unwrap();
+        let mut s = sol.clone();
+        s.sort_unstable();
+        assert_eq!(s, vec![0, 1]);
+        // Covering an impossible value fails.
+        assert!(csp.solve_covering(&[7]).is_none());
+    }
+
+    #[test]
+    fn avoiding_a_value() {
+        // Path 0-1 with 2 colors: avoiding color 0 entirely is impossible
+        // (both endpoints would need color 1).
+        let csp = coloring_csp(2, &[(0, 1)], 2);
+        assert!(csp.solve_avoiding(0).is_none());
+        // With 3 colors it is possible.
+        let csp3 = coloring_csp(2, &[(0, 1)], 3);
+        assert!(csp3.solve_avoiding(0).is_some());
+    }
+
+    #[test]
+    fn ternary_constraint() {
+        // x + y = z over 0..3 (as explicit table).
+        let mut csp = Csp::with_uniform_domains(3, 3);
+        let mut allowed = Vec::new();
+        for x in 0u32..3 {
+            for y in 0..3 {
+                if x + y < 3 {
+                    allowed.push(vec![x, y, x + y]);
+                }
+            }
+        }
+        csp.add_constraint(vec![0, 1, 2], allowed);
+        // Force z = 2: solutions (0,2),(1,1),(2,0).
+        csp.restrict_domain(2, vec![2]);
+        assert_eq!(csp.count_solutions(), 3);
+    }
+
+    #[test]
+    fn nullary_constraints() {
+        // An empty-scope constraint allowing nothing kills the CSP.
+        let mut csp = Csp::with_uniform_domains(1, 2);
+        csp.add_constraint(vec![], vec![]);
+        assert!(!csp.satisfiable());
+        // Allowing the empty tuple is a tautology.
+        let mut csp = Csp::with_uniform_domains(1, 2);
+        csp.add_constraint(vec![], vec![vec![]]);
+        assert_eq!(csp.count_solutions(), 2);
+    }
+
+    #[test]
+    fn steps_are_reported() {
+        let csp = coloring_csp(3, &[(0, 1), (1, 2), (0, 2)], 3);
+        let (sol, steps) = csp.solve_counting_steps();
+        assert!(sol.is_some());
+        assert!(steps >= 3);
+    }
+}

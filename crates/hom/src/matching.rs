@@ -1,0 +1,285 @@
+//! Bipartite matching and Hall's condition.
+//!
+//! Two places in the paper rest on matchings:
+//!
+//! * the classical PTIME membership algorithm for *Codd* tables
+//!   (Abiteboul–Kanellakis–Grahne, recalled in Section 6) reduces
+//!   `D ⊑ D′` to finding a matching between tuples;
+//! * Proposition 8 characterizes the closed-world ordering on Codd
+//!   databases as `D ⊴ D′` plus *Hall's condition* on `⊴⁻¹` — the
+//!   hypothesis of the marriage theorem, i.e. the existence of a system of
+//!   distinct representatives.
+//!
+//! We implement Hopcroft–Karp (O(E·√V)) plus Hall-condition checking and
+//! systems of distinct representatives on top of it.
+
+/// A bipartite graph between `n_left` left vertices and `n_right` right
+/// vertices, stored as adjacency lists from the left side.
+#[derive(Clone, Debug)]
+pub struct Bipartite {
+    adj: Vec<Vec<u32>>,
+    n_right: usize,
+}
+
+impl Bipartite {
+    /// An empty bipartite graph.
+    pub fn new(n_left: usize, n_right: usize) -> Self {
+        Bipartite {
+            adj: vec![Vec::new(); n_left],
+            n_right,
+        }
+    }
+
+    /// Add an edge between left vertex `l` and right vertex `r`.
+    pub fn add_edge(&mut self, l: u32, r: u32) {
+        debug_assert!((r as usize) < self.n_right);
+        self.adj[l as usize].push(r);
+    }
+
+    /// Number of left vertices.
+    pub fn n_left(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of right vertices.
+    pub fn n_right(&self) -> usize {
+        self.n_right
+    }
+
+    /// Neighbours of a left vertex.
+    pub fn neighbours(&self, l: u32) -> &[u32] {
+        &self.adj[l as usize]
+    }
+}
+
+const NIL: u32 = u32::MAX;
+
+/// A maximum matching computed by Hopcroft–Karp.
+#[derive(Clone, Debug)]
+pub struct Matching {
+    /// For each left vertex, the matched right vertex or `u32::MAX`.
+    pub left_to_right: Vec<u32>,
+    /// For each right vertex, the matched left vertex or `u32::MAX`.
+    pub right_to_left: Vec<u32>,
+    /// Number of matched pairs.
+    pub size: usize,
+}
+
+/// Compute a maximum bipartite matching with the Hopcroft–Karp algorithm.
+pub fn max_bipartite_matching(g: &Bipartite) -> Matching {
+    let n = g.n_left();
+    let mut match_l = vec![NIL; n];
+    let mut match_r = vec![NIL; g.n_right()];
+    let mut dist = vec![u32::MAX; n];
+    let mut size = 0usize;
+
+    loop {
+        // BFS phase: layer the free left vertices.
+        let mut queue = std::collections::VecDeque::new();
+        for l in 0..n {
+            if match_l[l] == NIL {
+                dist[l] = 0;
+                queue.push_back(l as u32);
+            } else {
+                dist[l] = u32::MAX;
+            }
+        }
+        let mut found_augmenting = false;
+        while let Some(l) = queue.pop_front() {
+            for &r in g.neighbours(l) {
+                let l2 = match_r[r as usize];
+                if l2 == NIL {
+                    found_augmenting = true;
+                } else if dist[l2 as usize] == u32::MAX {
+                    dist[l2 as usize] = dist[l as usize] + 1;
+                    queue.push_back(l2);
+                }
+            }
+        }
+        if !found_augmenting {
+            break;
+        }
+        // DFS phase: find vertex-disjoint shortest augmenting paths.
+        fn dfs(
+            l: u32,
+            g: &Bipartite,
+            match_l: &mut [u32],
+            match_r: &mut [u32],
+            dist: &mut [u32],
+        ) -> bool {
+            for i in 0..g.neighbours(l).len() {
+                let r = g.neighbours(l)[i];
+                let l2 = match_r[r as usize];
+                let ok = if l2 == NIL {
+                    true
+                } else if dist[l2 as usize] == dist[l as usize] + 1 {
+                    dfs(l2, g, match_l, match_r, dist)
+                } else {
+                    false
+                };
+                if ok {
+                    match_l[l as usize] = r;
+                    match_r[r as usize] = l;
+                    return true;
+                }
+            }
+            dist[l as usize] = u32::MAX;
+            false
+        }
+        for l in 0..n {
+            if match_l[l] == NIL && dfs(l as u32, g, &mut match_l, &mut match_r, &mut dist) {
+                size += 1;
+            }
+        }
+    }
+
+    Matching {
+        left_to_right: match_l,
+        right_to_left: match_r,
+        size,
+    }
+}
+
+/// Does the bipartite relation satisfy *Hall's condition* from the left:
+/// `|N(U)| ≥ |U|` for every set `U` of left vertices?
+///
+/// By the marriage theorem this holds iff a left-perfect matching exists,
+/// which is how we check it (no exponential subset enumeration).
+pub fn hall_condition(g: &Bipartite) -> bool {
+    max_bipartite_matching(g).size == g.n_left()
+}
+
+/// A system of distinct representatives: for each left vertex a distinct
+/// right neighbour, if one exists (i.e. if Hall's condition holds).
+pub fn distinct_representatives(g: &Bipartite) -> Option<Vec<u32>> {
+    let m = max_bipartite_matching(g);
+    if m.size == g.n_left() {
+        Some(m.left_to_right)
+    } else {
+        None
+    }
+}
+
+/// Brute-force Hall check by subset enumeration (exponential; for
+/// cross-validating [`hall_condition`] in tests and experiments).
+pub fn hall_condition_bruteforce(g: &Bipartite) -> bool {
+    let n = g.n_left();
+    assert!(n <= 20, "brute-force Hall check limited to 20 left vertices");
+    for mask in 0u32..(1 << n) {
+        let mut nbrs = std::collections::HashSet::new();
+        let mut size = 0;
+        for l in 0..n {
+            if mask & (1 << l) != 0 {
+                size += 1;
+                nbrs.extend(g.neighbours(l as u32).iter().copied());
+            }
+        }
+        if nbrs.len() < size {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_matching_on_a_cycle() {
+        // Left {0,1}, right {0,1}, edges forming a 4-cycle: perfect matching.
+        let mut g = Bipartite::new(2, 2);
+        g.add_edge(0, 0);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0);
+        g.add_edge(1, 1);
+        let m = max_bipartite_matching(&g);
+        assert_eq!(m.size, 2);
+        assert!(hall_condition(&g));
+    }
+
+    #[test]
+    fn bottleneck_blocks_matching() {
+        // Two left vertices both only adjacent to right vertex 0.
+        let mut g = Bipartite::new(2, 2);
+        g.add_edge(0, 0);
+        g.add_edge(1, 0);
+        let m = max_bipartite_matching(&g);
+        assert_eq!(m.size, 1);
+        assert!(!hall_condition(&g));
+        assert!(distinct_representatives(&g).is_none());
+    }
+
+    #[test]
+    fn distinct_representatives_are_distinct() {
+        let mut g = Bipartite::new(3, 4);
+        g.add_edge(0, 0);
+        g.add_edge(0, 1);
+        g.add_edge(1, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 2);
+        g.add_edge(2, 3);
+        let reps = distinct_representatives(&g).unwrap();
+        let mut sorted = reps.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 3);
+        for (l, &r) in reps.iter().enumerate() {
+            assert!(g.neighbours(l as u32).contains(&r));
+        }
+    }
+
+    #[test]
+    fn empty_left_side_trivially_satisfies_hall() {
+        let g = Bipartite::new(0, 3);
+        assert!(hall_condition(&g));
+        assert_eq!(max_bipartite_matching(&g).size, 0);
+    }
+
+    #[test]
+    fn isolated_left_vertex_fails_hall() {
+        let mut g = Bipartite::new(2, 2);
+        g.add_edge(0, 0);
+        // vertex 1 has no neighbours
+        assert!(!hall_condition(&g));
+    }
+
+    #[test]
+    fn hall_matches_bruteforce_on_random_graphs() {
+        // Deterministic pseudo-random edge patterns.
+        let mut state = 0x9e3779b9u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        for trial in 0..50 {
+            let nl = 1 + (next() % 6) as usize;
+            let nr = 1 + (next() % 6) as usize;
+            let mut g = Bipartite::new(nl, nr);
+            for l in 0..nl {
+                for r in 0..nr {
+                    if next() % 3 == 0 {
+                        g.add_edge(l as u32, r as u32);
+                    }
+                }
+            }
+            assert_eq!(
+                hall_condition(&g),
+                hall_condition_bruteforce(&g),
+                "disagreement on trial {trial}"
+            );
+        }
+    }
+
+    #[test]
+    fn hopcroft_karp_on_larger_instance() {
+        // Left i connects to right i and i+1 (mod n): perfect matching exists.
+        let n = 200;
+        let mut g = Bipartite::new(n, n);
+        for i in 0..n as u32 {
+            g.add_edge(i, i);
+            g.add_edge(i, (i + 1) % n as u32);
+        }
+        assert_eq!(max_bipartite_matching(&g).size, n);
+    }
+}

@@ -1,0 +1,306 @@
+//! Finite relational structures and homomorphism problems between them.
+//!
+//! A [`RelStructure`] is a finite σ-structure: a universe `0..n` of
+//! elements and a set of relation tuples, each tagged with a relation
+//! symbol (a `u32` id whose arity is fixed per structure pair). This is the
+//! structural part `M` of the paper's generalized databases; colored
+//! structures `M_λ` are encoded by adding one unary relation `P_a` per
+//! label, exactly as the paper does.
+//!
+//! Homomorphism problems (plain, restricted by a compatibility relation,
+//! surjective) are compiled to the [`crate::csp`] solver.
+
+use crate::csp::Csp;
+
+/// A finite relational structure with universe `0..n_elements`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RelStructure {
+    /// Size of the universe.
+    pub n_elements: usize,
+    /// Tuples: `(relation symbol, elements)`. All tuples with the same
+    /// symbol must have the same length when used in homomorphism problems.
+    pub tuples: Vec<(u32, Vec<u32>)>,
+}
+
+impl RelStructure {
+    /// An structure with `n_elements` elements and no tuples.
+    pub fn new(n_elements: usize) -> Self {
+        RelStructure {
+            n_elements,
+            tuples: Vec::new(),
+        }
+    }
+
+    /// Add a tuple to relation `rel`.
+    pub fn add_tuple(&mut self, rel: u32, elems: Vec<u32>) {
+        debug_assert!(elems.iter().all(|&e| (e as usize) < self.n_elements));
+        self.tuples.push((rel, elems));
+    }
+
+    /// Tuples of a given relation.
+    pub fn relation(&self, rel: u32) -> impl Iterator<Item = &Vec<u32>> {
+        self.tuples
+            .iter()
+            .filter(move |(r, _)| *r == rel)
+            .map(|(_, t)| t)
+    }
+
+    /// The distinct relation symbols used.
+    pub fn symbols(&self) -> Vec<u32> {
+        let mut syms: Vec<u32> = self.tuples.iter().map(|(r, _)| *r).collect();
+        syms.sort_unstable();
+        syms.dedup();
+        syms
+    }
+
+    /// The *primal graph* (Gaifman graph): vertices = elements, edges
+    /// between any two elements co-occurring in a tuple. Returned as an
+    /// adjacency-set vector. Tree decompositions are computed on this graph.
+    pub fn primal_graph(&self) -> Vec<std::collections::BTreeSet<u32>> {
+        let mut adj = vec![std::collections::BTreeSet::new(); self.n_elements];
+        for (_, t) in &self.tuples {
+            for i in 0..t.len() {
+                for j in (i + 1)..t.len() {
+                    if t[i] != t[j] {
+                        adj[t[i] as usize].insert(t[j]);
+                        adj[t[j] as usize].insert(t[i]);
+                    }
+                }
+            }
+        }
+        adj
+    }
+
+    /// Compile "homomorphism from `self` to `target`, with each element `v`
+    /// restricted to candidates `allowed(v)`" into a CSP.
+    pub fn hom_csp_restricted<F>(&self, target: &RelStructure, allowed: F) -> Csp
+    where
+        F: Fn(u32) -> Vec<u32>,
+    {
+        let mut csp = Csp {
+            domains: (0..self.n_elements as u32).map(&allowed).collect(),
+            constraints: Vec::new(),
+        };
+        for (rel, t) in &self.tuples {
+            let allowed_tuples: Vec<Vec<u32>> = target.relation(*rel).cloned().collect();
+            csp.add_constraint(t.clone(), allowed_tuples);
+        }
+        csp
+    }
+
+    /// Compile the unrestricted homomorphism problem `self → target`.
+    pub fn hom_csp(&self, target: &RelStructure) -> Csp {
+        let all: Vec<u32> = (0..target.n_elements as u32).collect();
+        self.hom_csp_restricted(target, |_| all.clone())
+    }
+
+    /// Is there a homomorphism `self → target`? (NP-complete in general.)
+    pub fn hom_to(&self, target: &RelStructure) -> Option<Vec<u32>> {
+        self.hom_csp(target).solve()
+    }
+
+    /// Is there a homomorphism `self → target` whose image *as a set of
+    /// elements* covers all elements of `target` that appear in tuples or
+    /// the universe? Used for onto-homomorphisms (CWA).
+    pub fn onto_hom_to(&self, target: &RelStructure) -> Option<Vec<u32>> {
+        let cover: Vec<u32> = (0..target.n_elements as u32).collect();
+        self.hom_csp(target).solve_covering(&cover)
+    }
+
+    /// The disjoint union `self ⊔ other`, with `other`'s elements shifted.
+    pub fn disjoint_union(&self, other: &RelStructure) -> RelStructure {
+        let shift = self.n_elements as u32;
+        let mut out = self.clone();
+        out.n_elements += other.n_elements;
+        for (rel, t) in &other.tuples {
+            out.tuples
+                .push((*rel, t.iter().map(|&e| e + shift).collect()));
+        }
+        out
+    }
+
+    /// The direct product `self × other`: elements are pairs (encoded as
+    /// `a * other.n + b`), and a relation holds of a tuple of pairs iff it
+    /// holds component-wise. Returns the product and the pair decoding.
+    pub fn product(&self, other: &RelStructure) -> (RelStructure, Vec<(u32, u32)>) {
+        let n2 = other.n_elements as u32;
+        let mut out = RelStructure::new(self.n_elements * other.n_elements);
+        let pairs: Vec<(u32, u32)> = (0..self.n_elements as u32)
+            .flat_map(|a| (0..n2).map(move |b| (a, b)))
+            .collect();
+        for (rel, t1) in &self.tuples {
+            for t2 in other.relation(*rel) {
+                if t1.len() != t2.len() {
+                    continue;
+                }
+                let combined: Vec<u32> =
+                    t1.iter().zip(t2.iter()).map(|(&a, &b)| a * n2 + b).collect();
+                out.add_tuple(*rel, combined);
+            }
+        }
+        (out, pairs)
+    }
+
+    /// The induced substructure on `keep` (a set of elements), with elements
+    /// renumbered in `keep` order. Returns the substructure and the map
+    /// old-element → new-element.
+    pub fn induced(&self, keep: &[u32]) -> (RelStructure, Vec<Option<u32>>) {
+        let mut renumber = vec![None; self.n_elements];
+        for (new, &old) in keep.iter().enumerate() {
+            renumber[old as usize] = Some(new as u32);
+        }
+        let mut out = RelStructure::new(keep.len());
+        for (rel, t) in &self.tuples {
+            if let Some(new_t) = t
+                .iter()
+                .map(|&e| renumber[e as usize])
+                .collect::<Option<Vec<u32>>>()
+            {
+                out.add_tuple(*rel, new_t);
+            }
+        }
+        (out, renumber)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A directed graph as a structure with one binary relation 0.
+    fn digraph(n: usize, edges: &[(u32, u32)]) -> RelStructure {
+        let mut s = RelStructure::new(n);
+        for &(u, v) in edges {
+            s.add_tuple(0, vec![u, v]);
+        }
+        s
+    }
+
+    fn dicycle(n: u32) -> RelStructure {
+        digraph(
+            n as usize,
+            &(0..n).map(|i| (i, (i + 1) % n)).collect::<Vec<_>>(),
+        )
+    }
+
+    #[test]
+    fn hom_cycle_lengths() {
+        // C6 → C3 exists (wrap twice); C3 → C6 does not.
+        assert!(dicycle(6).hom_to(&dicycle(3)).is_some());
+        assert!(dicycle(3).hom_to(&dicycle(6)).is_none());
+    }
+
+    #[test]
+    fn hom_is_a_homomorphism() {
+        let g = dicycle(6);
+        let h = dicycle(3);
+        let hom = g.hom_to(&h).unwrap();
+        for (_, t) in &g.tuples {
+            let image: Vec<u32> = t.iter().map(|&v| hom[v as usize]).collect();
+            assert!(h.relation(0).any(|s| *s == image));
+        }
+    }
+
+    #[test]
+    fn path_to_anything_with_edges() {
+        // Directed path of length 2 maps into any graph with a directed
+        // walk of length 2; a single loop provides one.
+        let p2 = digraph(3, &[(0, 1), (1, 2)]);
+        let mut looped = RelStructure::new(1);
+        looped.add_tuple(0, vec![0, 0]);
+        assert!(p2.hom_to(&looped).is_some());
+    }
+
+    #[test]
+    fn restricted_hom_respects_allowed_sets() {
+        let p1 = digraph(2, &[(0, 1)]);
+        let target = digraph(3, &[(0, 1), (1, 2)]);
+        // Allow vertex 0 only to map to 1: forces the edge (1, 2).
+        let csp = p1.hom_csp_restricted(&target, |v| if v == 0 { vec![1] } else { vec![0, 1, 2] });
+        let sol = csp.solve().unwrap();
+        assert_eq!(sol, vec![1, 2]);
+    }
+
+    #[test]
+    fn onto_hom() {
+        // C6 → C3 can be onto; C3 → C3 identity is onto; P2 (2 elements,
+        // 1 edge) → C3 cannot be onto (image has ≤ 2 elements).
+        assert!(dicycle(6).onto_hom_to(&dicycle(3)).is_some());
+        let p1 = digraph(2, &[(0, 1)]);
+        assert!(p1.hom_to(&dicycle(3)).is_some());
+        assert!(p1.onto_hom_to(&dicycle(3)).is_none());
+    }
+
+    #[test]
+    fn product_projects_both_ways() {
+        let a = dicycle(2);
+        let b = dicycle(3);
+        let (p, pairs) = a.product(&b);
+        assert_eq!(p.n_elements, 6);
+        // Projections are homomorphisms.
+        for (_, t) in &p.tuples {
+            let pa: Vec<u32> = t.iter().map(|&e| pairs[e as usize].0).collect();
+            let pb: Vec<u32> = t.iter().map(|&e| pairs[e as usize].1).collect();
+            assert!(a.relation(0).any(|s| *s == pa));
+            assert!(b.relation(0).any(|s| *s == pb));
+        }
+        // C2 × C3 ≅ C6 (gcd(2,3)=1): hom to C6 and back exist.
+        assert!(p.hom_to(&dicycle(6)).is_some());
+        assert!(dicycle(6).hom_to(&p).is_some());
+    }
+
+    #[test]
+    fn disjoint_union_admits_injections() {
+        let a = dicycle(3);
+        let b = dicycle(4);
+        let u = a.disjoint_union(&b);
+        assert_eq!(u.n_elements, 7);
+        assert!(a.hom_to(&u).is_some());
+        assert!(b.hom_to(&u).is_some());
+        // And the union maps to nothing smaller than both: no hom to C3
+        // because the C4 part cannot map there... (C4 → C3? gcd issues:
+        // C4 → C3 needs 4 ≡ 0 mod 3 walk; no hom since no closed walk of
+        // length 4 in C3... actually C4 → C3 has no hom because a directed
+        // cycle Cn maps to Cm iff m divides n.)
+        assert!(u.hom_to(&dicycle(3)).is_none());
+    }
+
+    #[test]
+    fn induced_substructure() {
+        let g = digraph(4, &[(0, 1), (1, 2), (2, 3)]);
+        let (sub, renumber) = g.induced(&[1, 2]);
+        assert_eq!(sub.n_elements, 2);
+        assert_eq!(sub.tuples, vec![(0, vec![0, 1])]);
+        assert_eq!(renumber[0], None);
+        assert_eq!(renumber[1], Some(0));
+    }
+
+    #[test]
+    fn primal_graph_of_ternary_tuple() {
+        let mut s = RelStructure::new(4);
+        s.add_tuple(0, vec![0, 1, 2]);
+        s.add_tuple(1, vec![2, 3]);
+        let adj = s.primal_graph();
+        assert!(adj[0].contains(&1) && adj[0].contains(&2));
+        assert!(adj[1].contains(&2));
+        assert!(adj[2].contains(&3));
+        assert!(!adj[0].contains(&3));
+    }
+
+    #[test]
+    fn colored_structures_via_unary_predicates() {
+        // Color vertices with unary relations 10 (red) and 11 (blue):
+        // homomorphisms must preserve colors.
+        let mut g = digraph(2, &[(0, 1)]);
+        g.add_tuple(10, vec![0]);
+        g.add_tuple(11, vec![1]);
+        let mut h_good = digraph(2, &[(0, 1)]);
+        h_good.add_tuple(10, vec![0]);
+        h_good.add_tuple(11, vec![1]);
+        let mut h_bad = digraph(2, &[(0, 1)]);
+        h_bad.add_tuple(11, vec![0]);
+        h_bad.add_tuple(10, vec![1]);
+        assert!(g.hom_to(&h_good).is_some());
+        assert!(g.hom_to(&h_bad).is_none());
+    }
+}

@@ -1,0 +1,441 @@
+//! Tree decompositions.
+//!
+//! Theorem 6 of the paper gives a PTIME membership test for generalized
+//! databases whose structural part has treewidth ≤ k (under the Codd
+//! interpretation of nulls). The dynamic program in [`crate::dp`] runs over
+//! a tree decomposition of the source's primal graph; this module builds
+//! and validates such decompositions:
+//!
+//! * bounded-degree elimination, which *exactly* recognizes treewidth ≤ 1
+//!   (forests) and ≤ 2 (series-parallel-reducible graphs) — the two cases
+//!   the paper highlights (k = 1 covers both relational Codd tables and
+//!   XML trees);
+//! * a min-fill elimination heuristic for general graphs (an upper bound on
+//!   the width, which is all Theorem 6 needs).
+
+use std::collections::BTreeSet;
+
+/// A tree decomposition: bags of vertices plus tree edges between bags.
+#[derive(Clone, Debug)]
+pub struct TreeDecomposition {
+    /// The bags; `bags[i]` is the vertex set of node `i`.
+    pub bags: Vec<Vec<u32>>,
+    /// Undirected tree edges between bag indices.
+    pub edges: Vec<(usize, usize)>,
+}
+
+impl TreeDecomposition {
+    /// The width: max bag size − 1 (−1 ≡ empty decomposition ⇒ width 0
+    /// reported as 0 for an empty graph).
+    pub fn width(&self) -> usize {
+        self.bags.iter().map(Vec::len).max().unwrap_or(1) - 1
+    }
+
+    /// Validate the three tree-decomposition properties against a graph
+    /// given as adjacency sets:
+    /// 1. every vertex is in some bag;
+    /// 2. every edge is inside some bag;
+    /// 3. for each vertex, the bags containing it form a connected subtree.
+    pub fn validate(&self, n_vertices: usize, adj: &[BTreeSet<u32>]) -> bool {
+        // The edges must form a tree (connected, acyclic) over the bags —
+        // or a forest whose components partition vertex occurrences; for
+        // simplicity we require a tree when there are ≥ 1 bags.
+        if !self.bags.is_empty() {
+            let n = self.bags.len();
+            if self.edges.len() + 1 != n {
+                return false;
+            }
+            let mut seen = vec![false; n];
+            let mut stack = vec![0usize];
+            seen[0] = true;
+            let mut count = 1;
+            while let Some(t) = stack.pop() {
+                for &(a, b) in &self.edges {
+                    let other = if a == t {
+                        b
+                    } else if b == t {
+                        a
+                    } else {
+                        continue;
+                    };
+                    if !seen[other] {
+                        seen[other] = true;
+                        count += 1;
+                        stack.push(other);
+                    }
+                }
+            }
+            if count != n {
+                return false;
+            }
+        }
+        // 1. Coverage of vertices.
+        let mut covered = vec![false; n_vertices];
+        for bag in &self.bags {
+            for &v in bag {
+                if (v as usize) >= n_vertices {
+                    return false;
+                }
+                covered[v as usize] = true;
+            }
+        }
+        if covered.iter().any(|&c| !c) && n_vertices > 0 {
+            return false;
+        }
+        // 2. Coverage of edges.
+        for (u, nbrs) in adj.iter().enumerate() {
+            for &v in nbrs {
+                let inside = self
+                    .bags
+                    .iter()
+                    .any(|bag| bag.contains(&(u as u32)) && bag.contains(&v));
+                if !inside {
+                    return false;
+                }
+            }
+        }
+        // 3. Connectivity of each vertex's bags.
+        for v in 0..n_vertices as u32 {
+            let holding: Vec<usize> = self
+                .bags
+                .iter()
+                .enumerate()
+                .filter(|(_, bag)| bag.contains(&v))
+                .map(|(i, _)| i)
+                .collect();
+            if holding.len() <= 1 {
+                continue;
+            }
+            // BFS within holding bags only.
+            let mut seen: BTreeSet<usize> = BTreeSet::new();
+            let mut stack = vec![holding[0]];
+            seen.insert(holding[0]);
+            while let Some(t) = stack.pop() {
+                for &(a, b) in &self.edges {
+                    let other = if a == t {
+                        b
+                    } else if b == t {
+                        a
+                    } else {
+                        continue;
+                    };
+                    if holding.contains(&other) && seen.insert(other) {
+                        stack.push(other);
+                    }
+                }
+            }
+            if seen.len() != holding.len() {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Root the decomposition at bag 0 and return, for each bag, its parent
+    /// (`usize::MAX` for the root) and children lists.
+    pub fn rooted(&self) -> (Vec<usize>, Vec<Vec<usize>>) {
+        let n = self.bags.len();
+        let mut parent = vec![usize::MAX; n];
+        let mut children = vec![Vec::new(); n];
+        if n == 0 {
+            return (parent, children);
+        }
+        let mut adj = vec![Vec::new(); n];
+        for &(a, b) in &self.edges {
+            adj[a].push(b);
+            adj[b].push(a);
+        }
+        let mut seen = vec![false; n];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        while let Some(t) = stack.pop() {
+            for &u in &adj[t] {
+                if !seen[u] {
+                    seen[u] = true;
+                    parent[u] = t;
+                    children[t].push(u);
+                    stack.push(u);
+                }
+            }
+        }
+        (parent, children)
+    }
+}
+
+/// Build a tree decomposition from an elimination ordering.
+///
+/// Processing vertices in order, the bag of `v` is `{v}` plus its
+/// neighbours in the current fill graph; eliminating `v` connects those
+/// neighbours into a clique. The bag of `v` is attached to the bag of the
+/// earliest-eliminated vertex among its later neighbours.
+fn decomposition_from_order(adj: &[BTreeSet<u32>], order: &[u32]) -> TreeDecomposition {
+    let n = adj.len();
+    let mut pos = vec![0usize; n];
+    for (i, &v) in order.iter().enumerate() {
+        pos[v as usize] = i;
+    }
+    let mut fill: Vec<BTreeSet<u32>> = adj.to_vec();
+    let mut bags: Vec<Vec<u32>> = Vec::with_capacity(n);
+    let mut later_nbrs: Vec<Vec<u32>> = Vec::with_capacity(n);
+    for &v in order {
+        let nbrs: Vec<u32> = fill[v as usize]
+            .iter()
+            .copied()
+            .filter(|&u| pos[u as usize] > pos[v as usize])
+            .collect();
+        let mut bag = nbrs.clone();
+        bag.push(v);
+        bag.sort_unstable();
+        bags.push(bag);
+        later_nbrs.push(nbrs.clone());
+        // Make later neighbours a clique.
+        for i in 0..nbrs.len() {
+            for j in (i + 1)..nbrs.len() {
+                fill[nbrs[i] as usize].insert(nbrs[j]);
+                fill[nbrs[j] as usize].insert(nbrs[i]);
+            }
+        }
+    }
+    // Tree edges: bag of v connects to bag of its first-eliminated later
+    // neighbour.
+    let mut edges = Vec::new();
+    for (i, nbrs) in later_nbrs.iter().enumerate() {
+        if let Some(&first) = nbrs.iter().min_by_key(|&&u| pos[u as usize]) {
+            edges.push((i, pos[first as usize]));
+        }
+    }
+    // If the graph is disconnected the edges form a forest; link the
+    // components' roots in a chain so the result is a single tree.
+    let mut td = TreeDecomposition { bags, edges };
+    connect_forest(&mut td);
+    td
+}
+
+/// Link the connected components of a decomposition forest into one tree
+/// (adding edges between arbitrary representatives; bags are untouched so
+/// all decomposition properties are preserved).
+fn connect_forest(td: &mut TreeDecomposition) {
+    let n = td.bags.len();
+    if n == 0 {
+        return;
+    }
+    let mut comp = vec![usize::MAX; n];
+    let mut adj = vec![Vec::new(); n];
+    for &(a, b) in &td.edges {
+        adj[a].push(b);
+        adj[b].push(a);
+    }
+    let mut reps = Vec::new();
+    for start in 0..n {
+        if comp[start] != usize::MAX {
+            continue;
+        }
+        reps.push(start);
+        let id = reps.len() - 1;
+        let mut stack = vec![start];
+        comp[start] = id;
+        while let Some(t) = stack.pop() {
+            for &u in &adj[t] {
+                if comp[u] == usize::MAX {
+                    comp[u] = id;
+                    stack.push(u);
+                }
+            }
+        }
+    }
+    for w in reps.windows(2) {
+        td.edges.push((w[0], w[1]));
+    }
+}
+
+/// Exact recognition of treewidth ≤ k for k ∈ {1, 2} via bounded-degree
+/// elimination: a graph has treewidth ≤ 2 iff it reduces to nothing by
+/// repeatedly eliminating a vertex of degree ≤ 2 (and ≤ 1 for forests).
+/// Returns a decomposition of width ≤ k, or `None` if treewidth > k.
+pub fn decompose_exact_low_width(
+    adj: &[BTreeSet<u32>],
+    k: usize,
+) -> Option<TreeDecomposition> {
+    assert!(k == 1 || k == 2, "exact recognition implemented for k ≤ 2");
+    let n = adj.len();
+    let mut fill: Vec<BTreeSet<u32>> = adj.to_vec();
+    let mut alive: Vec<bool> = vec![true; n];
+    let mut order = Vec::with_capacity(n);
+    for _ in 0..n {
+        let v = (0..n)
+            .filter(|&v| alive[v] && fill[v].len() <= k)
+            .min_by_key(|&v| fill[v].len())?;
+        order.push(v as u32);
+        alive[v] = false;
+        let nbrs: Vec<u32> = fill[v].iter().copied().collect();
+        for &u in &nbrs {
+            fill[u as usize].remove(&(v as u32));
+        }
+        for i in 0..nbrs.len() {
+            for j in (i + 1)..nbrs.len() {
+                fill[nbrs[i] as usize].insert(nbrs[j]);
+                fill[nbrs[j] as usize].insert(nbrs[i]);
+            }
+        }
+        fill[v].clear();
+    }
+    let td = decomposition_from_order(adj, &order);
+    (td.width() <= k).then_some(td)
+}
+
+/// Min-fill heuristic: repeatedly eliminate the vertex whose elimination
+/// adds the fewest fill edges. Returns a valid decomposition whose width
+/// upper-bounds the treewidth.
+pub fn decompose_min_fill(adj: &[BTreeSet<u32>]) -> TreeDecomposition {
+    let n = adj.len();
+    let mut fill: Vec<BTreeSet<u32>> = adj.to_vec();
+    let mut alive = vec![true; n];
+    let mut order = Vec::with_capacity(n);
+    for _ in 0..n {
+        let v = (0..n)
+            .filter(|&v| alive[v])
+            .min_by_key(|&v| {
+                let nbrs: Vec<u32> = fill[v].iter().copied().collect();
+                let mut missing = 0usize;
+                for i in 0..nbrs.len() {
+                    for j in (i + 1)..nbrs.len() {
+                        if !fill[nbrs[i] as usize].contains(&nbrs[j]) {
+                            missing += 1;
+                        }
+                    }
+                }
+                (missing, nbrs.len())
+            })
+            .expect("an alive vertex exists");
+        order.push(v as u32);
+        alive[v] = false;
+        let nbrs: Vec<u32> = fill[v].iter().copied().collect();
+        for &u in &nbrs {
+            fill[u as usize].remove(&(v as u32));
+        }
+        for i in 0..nbrs.len() {
+            for j in (i + 1)..nbrs.len() {
+                fill[nbrs[i] as usize].insert(nbrs[j]);
+                fill[nbrs[j] as usize].insert(nbrs[i]);
+            }
+        }
+        fill[v].clear();
+    }
+    decomposition_from_order(adj, &order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn adj_of(n: usize, edges: &[(u32, u32)]) -> Vec<BTreeSet<u32>> {
+        let mut adj = vec![BTreeSet::new(); n];
+        for &(u, v) in edges {
+            adj[u as usize].insert(v);
+            adj[v as usize].insert(u);
+        }
+        adj
+    }
+
+    #[test]
+    fn path_has_treewidth_one() {
+        let adj = adj_of(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let td = decompose_exact_low_width(&adj, 1).unwrap();
+        assert_eq!(td.width(), 1);
+        assert!(td.validate(5, &adj));
+    }
+
+    #[test]
+    fn cycle_has_treewidth_two_not_one() {
+        let adj = adj_of(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert!(decompose_exact_low_width(&adj, 1).is_none());
+        let td = decompose_exact_low_width(&adj, 2).unwrap();
+        assert_eq!(td.width(), 2);
+        assert!(td.validate(4, &adj));
+    }
+
+    #[test]
+    fn k4_has_treewidth_three() {
+        let adj = adj_of(
+            4,
+            &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)],
+        );
+        assert!(decompose_exact_low_width(&adj, 2).is_none());
+        let td = decompose_min_fill(&adj);
+        assert_eq!(td.width(), 3);
+        assert!(td.validate(4, &adj));
+    }
+
+    #[test]
+    fn star_is_a_tree() {
+        let adj = adj_of(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let td = decompose_exact_low_width(&adj, 1).unwrap();
+        assert!(td.validate(5, &adj));
+        assert_eq!(td.width(), 1);
+    }
+
+    #[test]
+    fn disconnected_graph_is_handled() {
+        let adj = adj_of(6, &[(0, 1), (2, 3), (4, 5)]);
+        let td = decompose_exact_low_width(&adj, 1).unwrap();
+        assert!(td.validate(6, &adj));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let adj: Vec<BTreeSet<u32>> = Vec::new();
+        let td = decompose_min_fill(&adj);
+        assert!(td.validate(0, &adj));
+    }
+
+    #[test]
+    fn isolated_vertices_are_covered() {
+        let adj = adj_of(3, &[]);
+        let td = decompose_min_fill(&adj);
+        assert!(td.validate(3, &adj));
+    }
+
+    #[test]
+    fn min_fill_is_reasonable_on_grid() {
+        // 3×3 grid: treewidth 3; min-fill should find width ≤ 4.
+        let mut edges = Vec::new();
+        for r in 0..3u32 {
+            for c in 0..3u32 {
+                let v = r * 3 + c;
+                if c < 2 {
+                    edges.push((v, v + 1));
+                }
+                if r < 2 {
+                    edges.push((v, v + 3));
+                }
+            }
+        }
+        let adj = adj_of(9, &edges);
+        let td = decompose_min_fill(&adj);
+        assert!(td.validate(9, &adj));
+        assert!(td.width() <= 4);
+    }
+
+    #[test]
+    fn series_parallel_is_width_two() {
+        // Two paths in parallel between s=0 and t=5.
+        let adj = adj_of(6, &[(0, 1), (1, 5), (0, 2), (2, 3), (3, 5), (0, 5)]);
+        let td = decompose_exact_low_width(&adj, 2).unwrap();
+        assert!(td.validate(6, &adj));
+        assert!(td.width() <= 2);
+    }
+
+    #[test]
+    fn rooted_structure_is_consistent() {
+        let adj = adj_of(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let td = decompose_exact_low_width(&adj, 1).unwrap();
+        let (parent, children) = td.rooted();
+        assert_eq!(parent[0], usize::MAX);
+        // Every non-root has a parent, and children lists are consistent.
+        for (i, &p) in parent.iter().enumerate() {
+            if p != usize::MAX {
+                assert!(children[p].contains(&i));
+            }
+        }
+    }
+}

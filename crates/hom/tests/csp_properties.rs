@@ -1,0 +1,149 @@
+//! Property-based tests for the CSP engine: every reported solution
+//! satisfies every constraint, counting agrees with brute force, and the
+//! matching-based algorithms agree with their exponential counterparts.
+
+use proptest::prelude::*;
+
+use ca_hom::csp::Csp;
+use ca_hom::matching::{hall_condition, hall_condition_bruteforce, max_bipartite_matching, Bipartite};
+use ca_hom::structure::RelStructure;
+
+/// Strategy: a small random CSP over `n_vars ≤ 4` variables with values
+/// `< 3` and binary table constraints.
+fn arb_csp() -> impl Strategy<Value = Csp> {
+    (1usize..=4, prop::collection::vec((0u32..4, 0u32..4, prop::collection::vec((0u32..3, 0u32..3), 0..6)), 0..4))
+        .prop_map(|(n_vars, cons)| {
+            let mut csp = Csp::with_uniform_domains(n_vars, 3);
+            for (a, b, allowed) in cons {
+                let a = a % n_vars as u32;
+                let b = b % n_vars as u32;
+                csp.add_constraint(
+                    vec![a, b],
+                    allowed.into_iter().map(|(x, y)| vec![x, y]).collect(),
+                );
+            }
+            csp
+        })
+}
+
+/// Brute-force solution count by enumerating all assignments.
+fn brute_count(csp: &Csp) -> u64 {
+    let n = csp.n_vars();
+    let mut count = 0u64;
+    let total = 3u64.pow(n as u32);
+    'outer: for code in 0..total {
+        let mut assign = Vec::with_capacity(n);
+        let mut c = code;
+        for v in 0..n {
+            let val = (c % 3) as u32;
+            c /= 3;
+            if !csp.domains[v].contains(&val) {
+                continue 'outer;
+            }
+            assign.push(val);
+        }
+        for con in &csp.constraints {
+            let tuple: Vec<u32> = con.scope.iter().map(|&v| assign[v as usize]).collect();
+            if !con.allowed.contains(&tuple) {
+                continue 'outer;
+            }
+        }
+        count += 1;
+    }
+    count
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn solutions_satisfy_all_constraints(csp in arb_csp()) {
+        if let Some(sol) = csp.solve() {
+            for con in &csp.constraints {
+                let tuple: Vec<u32> = con.scope.iter().map(|&v| sol[v as usize]).collect();
+                prop_assert!(con.allowed.contains(&tuple), "violated constraint");
+            }
+        }
+    }
+
+    #[test]
+    fn count_matches_bruteforce(csp in arb_csp()) {
+        prop_assert_eq!(csp.count_solutions(), brute_count(&csp));
+    }
+
+    #[test]
+    fn satisfiability_consistent_with_count(csp in arb_csp()) {
+        prop_assert_eq!(csp.satisfiable(), brute_count(&csp) > 0);
+    }
+
+    #[test]
+    fn hall_matches_bruteforce(edges in prop::collection::vec((0u32..5, 0u32..5), 0..12)) {
+        let mut g = Bipartite::new(5, 5);
+        let mut seen = std::collections::HashSet::new();
+        for (l, r) in edges {
+            if seen.insert((l, r)) {
+                g.add_edge(l, r);
+            }
+        }
+        prop_assert_eq!(hall_condition(&g), hall_condition_bruteforce(&g));
+    }
+
+    #[test]
+    fn matching_is_a_matching(edges in prop::collection::vec((0u32..6, 0u32..6), 0..15)) {
+        let mut g = Bipartite::new(6, 6);
+        let mut seen = std::collections::HashSet::new();
+        for (l, r) in edges {
+            if seen.insert((l, r)) {
+                g.add_edge(l, r);
+            }
+        }
+        let m = max_bipartite_matching(&g);
+        // Matched pairs are edges, and the two directions agree.
+        for l in 0..6u32 {
+            let r = m.left_to_right[l as usize];
+            if r != u32::MAX {
+                prop_assert!(g.neighbours(l).contains(&r));
+                prop_assert_eq!(m.right_to_left[r as usize], l);
+            }
+        }
+        prop_assert_eq!(
+            m.size,
+            m.left_to_right.iter().filter(|&&r| r != u32::MAX).count()
+        );
+    }
+
+    /// Graph-hom existence via the CSP agrees with a brute-force check on
+    /// tiny digraphs.
+    #[test]
+    fn hom_agrees_with_bruteforce(
+        src_edges in prop::collection::vec((0u32..3, 0u32..3), 0..5),
+        dst_edges in prop::collection::vec((0u32..3, 0u32..3), 0..5),
+    ) {
+        let mk = |edges: &[(u32, u32)]| {
+            let mut s = RelStructure::new(3);
+            let mut seen = std::collections::HashSet::new();
+            for &(a, b) in edges {
+                if seen.insert((a, b)) {
+                    s.add_tuple(0, vec![a, b]);
+                }
+            }
+            s
+        };
+        let src = mk(&src_edges);
+        let dst = mk(&dst_edges);
+        // Brute force over all 27 maps.
+        let mut exists = false;
+        'maps: for code in 0..27u32 {
+            let map = [code % 3, (code / 3) % 3, (code / 9) % 3];
+            for (_, t) in &src.tuples {
+                let img = vec![map[t[0] as usize], map[t[1] as usize]];
+                if !dst.tuples.iter().any(|(_, u)| *u == img) {
+                    continue 'maps;
+                }
+            }
+            exists = true;
+            break;
+        }
+        prop_assert_eq!(src.hom_to(&dst).is_some(), exists);
+    }
+}

@@ -1,0 +1,291 @@
+//! Query syntax: terms, atoms, (unions of) conjunctive queries, and full
+//! first-order queries.
+//!
+//! Relation names are kept as strings and resolved against a database's
+//! schema at evaluation time, so the same query value can run against any
+//! compatible instance.
+
+use std::fmt;
+
+/// A term: a query variable or a constant.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Term {
+    /// A variable (implicitly existentially quantified in a CQ body unless
+    /// it appears in the head).
+    Var(u32),
+    /// A constant from `C`.
+    Const(i64),
+}
+
+impl Term {
+    /// Shorthand for a variable term.
+    pub const fn v(i: u32) -> Term {
+        Term::Var(i)
+    }
+
+    /// Shorthand for a constant term.
+    pub const fn c(x: i64) -> Term {
+        Term::Const(x)
+    }
+}
+
+/// A relational atom `R(t₁, …, tₖ)`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Atom {
+    /// Relation name (resolved against the target schema at evaluation).
+    pub rel: String,
+    /// Argument terms.
+    pub args: Vec<Term>,
+}
+
+impl Atom {
+    /// Build an atom.
+    pub fn new(rel: &str, args: Vec<Term>) -> Self {
+        Atom {
+            rel: rel.to_owned(),
+            args,
+        }
+    }
+
+    /// The variables occurring in the atom.
+    pub fn vars(&self) -> impl Iterator<Item = u32> + '_ {
+        self.args.iter().filter_map(|t| match t {
+            Term::Var(v) => Some(*v),
+            Term::Const(_) => None,
+        })
+    }
+}
+
+/// A conjunctive query `head(x̄) ← body`: existential positive, with the
+/// head variables free. `head = []` makes it Boolean.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ConjunctiveQuery {
+    /// Free (answer) variables.
+    pub head: Vec<u32>,
+    /// The conjunction of atoms.
+    pub atoms: Vec<Atom>,
+}
+
+impl ConjunctiveQuery {
+    /// A Boolean CQ (empty head).
+    pub fn boolean(atoms: Vec<Atom>) -> Self {
+        ConjunctiveQuery { head: vec![], atoms }
+    }
+
+    /// A CQ with answer variables.
+    pub fn with_head(head: Vec<u32>, atoms: Vec<Atom>) -> Self {
+        let q = ConjunctiveQuery { head, atoms };
+        debug_assert!(
+            q.head.iter().all(|h| q.body_vars().contains(h)),
+            "head variables must occur in the body (safe queries)"
+        );
+        q
+    }
+
+    /// Is the query Boolean?
+    pub fn is_boolean(&self) -> bool {
+        self.head.is_empty()
+    }
+
+    /// All variables occurring in the body.
+    pub fn body_vars(&self) -> Vec<u32> {
+        let mut vs: Vec<u32> = self.atoms.iter().flat_map(Atom::vars).collect();
+        vs.sort_unstable();
+        vs.dedup();
+        vs
+    }
+}
+
+/// A union of conjunctive queries. All disjuncts must share the head arity.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct UnionQuery {
+    /// The disjuncts.
+    pub disjuncts: Vec<ConjunctiveQuery>,
+}
+
+impl UnionQuery {
+    /// Build a UCQ, checking head arities agree.
+    pub fn new(disjuncts: Vec<ConjunctiveQuery>) -> Self {
+        if let Some(first) = disjuncts.first() {
+            assert!(
+                disjuncts.iter().all(|d| d.head.len() == first.head.len()),
+                "UCQ disjuncts must share head arity"
+            );
+        }
+        UnionQuery { disjuncts }
+    }
+
+    /// A single-CQ union.
+    pub fn single(q: ConjunctiveQuery) -> Self {
+        UnionQuery { disjuncts: vec![q] }
+    }
+
+    /// Head arity (0 for Boolean).
+    pub fn head_arity(&self) -> usize {
+        self.disjuncts.first().map_or(0, |d| d.head.len())
+    }
+}
+
+/// Full first-order queries (Boolean, evaluated under active-domain
+/// semantics). Used for Proposition 1 and the naïve-evaluation-limits
+/// experiments.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Fo {
+    /// A relational atom.
+    Atom(Atom),
+    /// Equality of two terms.
+    Eq(Term, Term),
+    /// Negation.
+    Not(Box<Fo>),
+    /// Conjunction (empty = true).
+    And(Vec<Fo>),
+    /// Disjunction (empty = false).
+    Or(Vec<Fo>),
+    /// Existential quantification.
+    Exists(u32, Box<Fo>),
+    /// Universal quantification (active domain).
+    Forall(u32, Box<Fo>),
+}
+
+impl Fo {
+    /// `¬φ`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Fo {
+        Fo::Not(Box::new(self))
+    }
+
+    /// `∃v φ`.
+    pub fn exists(v: u32, body: Fo) -> Fo {
+        Fo::Exists(v, Box::new(body))
+    }
+
+    /// `∀v φ`.
+    pub fn forall(v: u32, body: Fo) -> Fo {
+        Fo::Forall(v, Box::new(body))
+    }
+
+    /// `φ → ψ` as `¬φ ∨ ψ`.
+    pub fn implies(self, then: Fo) -> Fo {
+        Fo::Or(vec![self.not(), then])
+    }
+
+    /// Lift a Boolean CQ into FO (existentially closing body variables).
+    pub fn from_cq(q: &ConjunctiveQuery) -> Fo {
+        assert!(q.is_boolean(), "only Boolean CQs lift directly");
+        let body = Fo::And(q.atoms.iter().map(|a| Fo::Atom(a.clone())).collect());
+        q.body_vars()
+            .into_iter()
+            .rev()
+            .fold(body, |acc, v| Fo::exists(v, acc))
+    }
+
+    /// Lift a Boolean UCQ into FO.
+    pub fn from_ucq(q: &UnionQuery) -> Fo {
+        Fo::Or(q.disjuncts.iter().map(Fo::from_cq).collect())
+    }
+
+    /// Is this sentence in the existential-positive (UCQ-shaped) fragment:
+    /// built from atoms, ∧, ∨, ∃ only?
+    pub fn is_existential_positive(&self) -> bool {
+        match self {
+            Fo::Atom(_) => true,
+            Fo::Eq(_, _) => true,
+            Fo::Not(_) | Fo::Forall(_, _) => false,
+            Fo::And(fs) | Fo::Or(fs) => fs.iter().all(Fo::is_existential_positive),
+            Fo::Exists(_, f) => f.is_existential_positive(),
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "x{v}"),
+            Term::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.rel)?;
+        for (i, t) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for ConjunctiveQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.head.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "x{v}")?;
+        }
+        write!(f, ") ← ")?;
+        for (i, a) in self.atoms.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∧ ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Term::{Const as C, Var as V};
+
+    #[test]
+    fn atom_vars() {
+        let a = Atom::new("R", vec![V(1), C(3), V(1), V(2)]);
+        let vs: Vec<u32> = a.vars().collect();
+        assert_eq!(vs, vec![1, 1, 2]);
+    }
+
+    #[test]
+    fn cq_body_vars_dedup() {
+        let q = ConjunctiveQuery::boolean(vec![
+            Atom::new("R", vec![V(2), V(1)]),
+            Atom::new("R", vec![V(1), V(3)]),
+        ]);
+        assert_eq!(q.body_vars(), vec![1, 2, 3]);
+        assert!(q.is_boolean());
+    }
+
+    #[test]
+    #[should_panic(expected = "head arity")]
+    fn mismatched_ucq_heads_panic() {
+        UnionQuery::new(vec![
+            ConjunctiveQuery::with_head(vec![1], vec![Atom::new("R", vec![V(1)])]),
+            ConjunctiveQuery::boolean(vec![Atom::new("R", vec![V(1)])]),
+        ]);
+    }
+
+    #[test]
+    fn fo_fragment_detection() {
+        let cq = ConjunctiveQuery::boolean(vec![Atom::new("R", vec![V(1), V(2)])]);
+        let f = Fo::from_cq(&cq);
+        assert!(f.is_existential_positive());
+        assert!(!f.clone().not().is_existential_positive());
+        assert!(!Fo::forall(1, Fo::Atom(Atom::new("R", vec![V(1), V(1)])))
+            .is_existential_positive());
+    }
+
+    #[test]
+    fn display_round_trip_shapes() {
+        let q = ConjunctiveQuery::with_head(
+            vec![1],
+            vec![Atom::new("R", vec![V(1), C(5)])],
+        );
+        assert_eq!(q.to_string(), "(x1) ← R(x1, 5)");
+    }
+}

@@ -1,0 +1,88 @@
+//! Random query generation for experiments.
+
+use ca_relational::generate::Rng;
+
+use crate::ast::{Atom, ConjunctiveQuery, Term, UnionQuery};
+
+/// Parameters for random Boolean (U)CQs over a single relation `R`.
+#[derive(Clone, Copy, Debug)]
+pub struct QueryParams {
+    /// Number of disjuncts (1 = plain CQ).
+    pub n_disjuncts: usize,
+    /// Atoms per disjunct.
+    pub n_atoms: usize,
+    /// Variable pool size per disjunct.
+    pub n_vars: u32,
+    /// Arity of `R`.
+    pub arity: usize,
+    /// Constants drawn from `0..n_constants`.
+    pub n_constants: i64,
+    /// Probability (out of 100) that a position holds a constant.
+    pub const_pct: u64,
+}
+
+/// A random Boolean conjunctive query over relation `R`.
+pub fn random_bool_cq(rng: &mut Rng, p: QueryParams) -> ConjunctiveQuery {
+    let atoms = (0..p.n_atoms)
+        .map(|_| {
+            let args: Vec<Term> = (0..p.arity)
+                .map(|_| {
+                    if rng.chance(p.const_pct, 100) {
+                        Term::Const(rng.below(p.n_constants as u64) as i64)
+                    } else {
+                        Term::Var(rng.below(p.n_vars as u64) as u32)
+                    }
+                })
+                .collect();
+            Atom::new("R", args)
+        })
+        .collect();
+    ConjunctiveQuery::boolean(atoms)
+}
+
+/// A random Boolean union of conjunctive queries.
+pub fn random_bool_ucq(rng: &mut Rng, p: QueryParams) -> UnionQuery {
+    UnionQuery::new((0..p.n_disjuncts).map(|_| random_bool_cq(rng, p)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_queries_have_requested_shape() {
+        let mut rng = Rng::new(5);
+        let p = QueryParams {
+            n_disjuncts: 3,
+            n_atoms: 2,
+            n_vars: 4,
+            arity: 3,
+            n_constants: 2,
+            const_pct: 50,
+        };
+        let q = random_bool_ucq(&mut rng, p);
+        assert_eq!(q.disjuncts.len(), 3);
+        for d in &q.disjuncts {
+            assert!(d.is_boolean());
+            assert_eq!(d.atoms.len(), 2);
+            for a in &d.atoms {
+                assert_eq!(a.args.len(), 3);
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = QueryParams {
+            n_disjuncts: 2,
+            n_atoms: 2,
+            n_vars: 3,
+            arity: 2,
+            n_constants: 3,
+            const_pct: 30,
+        };
+        let a = random_bool_ucq(&mut Rng::new(1), p);
+        let b = random_bool_ucq(&mut Rng::new(1), p);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,138 @@
+//! Conjunctive-query minimization (tableau cores).
+//!
+//! The core of a CQ's tableau is the unique (up to renaming) minimal
+//! equivalent query — the query-side face of the graph-theoretic cores of
+//! Section 4. Minimization is how the paper's `∼`-equivalence classes get
+//! canonical representatives: two Boolean CQs are equivalent iff their
+//! minimized tableaux are isomorphic, and `certain(Q, D)` only depends on
+//! the core of `D_Q`.
+
+use ca_relational::database::NaiveDatabase;
+use ca_relational::hom::{find_hom, hom_csp};
+use ca_relational::schema::Schema;
+
+use crate::ast::ConjunctiveQuery;
+use crate::tableau::{canonical_query, tableau};
+
+/// The core of a naïve database: iteratively find an endomorphism that
+/// avoids some null entirely (a proper folding), apply it, and repeat.
+/// Exponential in the worst case; the result is hom-equivalent to the
+/// input and no proper sub-instance of it is.
+pub fn core_database(db: &NaiveDatabase) -> NaiveDatabase {
+    let mut current = db.clone();
+    'outer: loop {
+        let nulls: Vec<ca_core::value::Null> = current.nulls().into_iter().collect();
+        for (i, _) in nulls.iter().enumerate() {
+            // Endomorphism whose image avoids value ⊥ᵢ.
+            let (csp, csp_nulls) = hom_csp(&current, &current);
+            // The value universe of the CSP is the sorted values of the
+            // target (= current); find the id of the null to avoid.
+            let mut values: Vec<ca_core::value::Value> = current
+                .facts()
+                .iter()
+                .flat_map(|f| f.args.iter().copied())
+                .collect();
+            values.sort_unstable();
+            values.dedup();
+            let avoid = ca_core::value::Value::Null(nulls[i]);
+            let Ok(avoid_id) = values.binary_search(&avoid) else {
+                continue;
+            };
+            if let Some(sol) = csp.solve_avoiding(avoid_id as u32) {
+                let h = ca_relational::database::Valuation::from_pairs(
+                    csp_nulls
+                        .iter()
+                        .zip(sol.iter())
+                        .map(|(&n, &v)| (n, values[v as usize])),
+                );
+                let image = current.apply(&h);
+                if image.len() < current.len() || image.nulls().len() < current.nulls().len() {
+                    current = image;
+                    continue 'outer;
+                }
+            }
+        }
+        return current;
+    }
+}
+
+/// Minimize a Boolean CQ: take the core of its tableau and read the query
+/// back. The result is equivalent to the input (mutual containment) and
+/// has the fewest atoms among equivalent CQs.
+pub fn minimize_cq(q: &ConjunctiveQuery, schema: &Schema) -> ConjunctiveQuery {
+    assert!(q.is_boolean(), "minimization implemented for Boolean CQs");
+    let tb = tableau(q, schema);
+    let core = core_database(&tb);
+    canonical_query(&core)
+}
+
+/// Are two Boolean CQs equivalent (mutual containment)?
+pub fn cq_equivalent(a: &ConjunctiveQuery, b: &ConjunctiveQuery, schema: &Schema) -> bool {
+    let ta = tableau(a, schema);
+    let tb = tableau(b, schema);
+    find_hom(&ta, &tb).is_some() && find_hom(&tb, &ta).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_cq;
+
+    fn schema() -> Schema {
+        Schema::from_relations(&[("R", 2)])
+    }
+
+    #[test]
+    fn redundant_atom_is_folded() {
+        // R(x,y) ∧ R(x,z) is equivalent to R(x,y): z folds onto y.
+        let q = parse_cq("R(x, y), R(x, z)").unwrap();
+        let m = minimize_cq(&q, &schema());
+        assert_eq!(m.atoms.len(), 1);
+        assert!(cq_equivalent(&q, &m, &schema()));
+    }
+
+    #[test]
+    fn loops_absorb_paths() {
+        // R(x,x) ∧ R(x,y) ∧ R(y,z): everything folds into the loop.
+        let q = parse_cq("R(x, x), R(x, y), R(y, z)").unwrap();
+        let m = minimize_cq(&q, &schema());
+        assert_eq!(m.atoms.len(), 1);
+        assert!(cq_equivalent(&q, &m, &schema()));
+    }
+
+    #[test]
+    fn irreducible_queries_stay_put() {
+        // A 2-path with distinct variables is already minimal.
+        let q = parse_cq("R(x, y), R(y, z)").unwrap();
+        let m = minimize_cq(&q, &schema());
+        assert_eq!(m.atoms.len(), 2);
+        assert!(cq_equivalent(&q, &m, &schema()));
+    }
+
+    #[test]
+    fn constants_block_folding() {
+        // R(x,1) ∧ R(x,2): both atoms are needed.
+        let q = parse_cq("R(x, 1), R(x, 2)").unwrap();
+        let m = minimize_cq(&q, &schema());
+        assert_eq!(m.atoms.len(), 2);
+    }
+
+    #[test]
+    fn core_is_idempotent() {
+        let q = parse_cq("R(x, y), R(x, z), R(w, y)").unwrap();
+        let t = tableau(&q, &schema());
+        let once = core_database(&t);
+        let twice = core_database(&once);
+        assert_eq!(once.len(), twice.len());
+        assert!(find_hom(&once, &t).is_some() && find_hom(&t, &once).is_some());
+    }
+
+    #[test]
+    fn equivalence_detects_renaming() {
+        let a = parse_cq("R(x, y), R(y, x)").unwrap();
+        let b = parse_cq("R(u, v), R(v, u)").unwrap();
+        assert!(cq_equivalent(&a, &b, &schema()));
+        let c = parse_cq("R(x, y)").unwrap();
+        assert!(!cq_equivalent(&a, &c, &schema()));
+    }
+}

@@ -1,0 +1,288 @@
+//! A small concrete syntax for (unions of) conjunctive queries.
+//!
+//! Grammar (whitespace-insensitive):
+//!
+//! ```text
+//! ucq    := cq ("|" cq)*
+//! cq     := head? ":-" atoms | atoms          (no ":-" ⇒ Boolean body)
+//! head   := "(" vars? ")"
+//! atoms  := atom ("," atom)*
+//! atom   := NAME "(" term ("," term)* ")" | NAME "(" ")"
+//! term   := VAR | INT                         (VARs start with a letter)
+//! ```
+//!
+//! Examples: `R(x, y), R(y, x)` (Boolean), `(x) :- R(x, 1)` (unary head),
+//! `R(x,x) | S(x)` (union).
+
+use crate::ast::{Atom, ConjunctiveQuery, Term, UnionQuery};
+
+/// A parse error with a human-readable message and byte offset.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset in the input.
+    pub offset: usize,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    input: &'a str,
+    pos: usize,
+    /// Variable-name interning: name → variable id.
+    vars: Vec<String>,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser {
+            input,
+            pos: 0,
+            vars: Vec::new(),
+        }
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            message: message.into(),
+            offset: self.pos,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.input[self.pos..].starts_with(|c: char| c.is_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.skip_ws();
+        self.input[self.pos..].chars().next()
+    }
+
+    fn eat(&mut self, token: &str) -> bool {
+        self.skip_ws();
+        if self.input[self.pos..].starts_with(token) {
+            self.pos += token.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, token: &str) -> Result<(), ParseError> {
+        if self.eat(token) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{token}`")))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        self.skip_ws();
+        let rest = &self.input[self.pos..];
+        let len = rest
+            .char_indices()
+            .take_while(|(_, c)| c.is_alphanumeric() || *c == '_')
+            .map(|(i, c)| i + c.len_utf8())
+            .last()
+            .unwrap_or(0);
+        if len == 0 || !rest.starts_with(|c: char| c.is_alphabetic() || c == '_') {
+            return Err(self.error("expected an identifier"));
+        }
+        self.pos += len;
+        Ok(rest[..len].to_owned())
+    }
+
+    fn var_id(&mut self, name: &str) -> u32 {
+        if let Some(i) = self.vars.iter().position(|v| v == name) {
+            return i as u32;
+        }
+        self.vars.push(name.to_owned());
+        (self.vars.len() - 1) as u32
+    }
+
+    fn term(&mut self) -> Result<Term, ParseError> {
+        self.skip_ws();
+        let c = self.peek().ok_or_else(|| self.error("expected a term"))?;
+        if c == '-' || c.is_ascii_digit() {
+            let rest = &self.input[self.pos..];
+            let len = rest
+                .char_indices()
+                .take_while(|&(i, ch)| ch.is_ascii_digit() || (i == 0 && ch == '-'))
+                .count();
+            let text = &rest[..len];
+            let value: i64 = text
+                .parse()
+                .map_err(|_| self.error(format!("bad integer `{text}`")))?;
+            self.pos += len;
+            Ok(Term::Const(value))
+        } else {
+            let name = self.ident()?;
+            Ok(Term::Var(self.var_id(&name)))
+        }
+    }
+
+    fn atom(&mut self) -> Result<Atom, ParseError> {
+        let rel = self.ident()?;
+        self.expect("(")?;
+        let mut args = Vec::new();
+        if self.peek() != Some(')') {
+            loop {
+                args.push(self.term()?);
+                if !self.eat(",") {
+                    break;
+                }
+            }
+        }
+        self.expect(")")?;
+        Ok(Atom { rel, args })
+    }
+
+    fn atoms(&mut self) -> Result<Vec<Atom>, ParseError> {
+        let mut out = vec![self.atom()?];
+        while self.eat(",") {
+            out.push(self.atom()?);
+        }
+        Ok(out)
+    }
+
+    fn cq(&mut self) -> Result<ConjunctiveQuery, ParseError> {
+        // Optional head "(x, y) :-".
+        let mut head = Vec::new();
+        let mut has_head = false;
+        let save = self.pos;
+        if self.eat("(") {
+            let mut names = Vec::new();
+            if self.peek() != Some(')') {
+                loop {
+                    names.push(self.ident()?);
+                    if !self.eat(",") {
+                        break;
+                    }
+                }
+            }
+            self.expect(")")?;
+            if self.eat(":-") {
+                has_head = true;
+                for name in names {
+                    head.push(self.var_id(&name));
+                }
+            } else {
+                // Not a head after all; rewind.
+                self.pos = save;
+            }
+        }
+        let atoms = self.atoms()?;
+        let q = ConjunctiveQuery { head, atoms };
+        if has_head {
+            for h in &q.head {
+                if !q.body_vars().contains(h) {
+                    return Err(self.error("unsafe query: head variable not in body"));
+                }
+            }
+        }
+        Ok(q)
+    }
+
+    fn ucq(&mut self) -> Result<UnionQuery, ParseError> {
+        let mut disjuncts = vec![self.cq()?];
+        while self.eat("|") {
+            // Fresh variable scope per disjunct.
+            self.vars.clear();
+            disjuncts.push(self.cq()?);
+        }
+        self.skip_ws();
+        if self.pos != self.input.len() {
+            return Err(self.error("trailing input"));
+        }
+        let first_arity = disjuncts[0].head.len();
+        if disjuncts.iter().any(|d| d.head.len() != first_arity) {
+            return Err(self.error("disjuncts have different head arities"));
+        }
+        Ok(UnionQuery { disjuncts })
+    }
+}
+
+/// Parse a single conjunctive query.
+pub fn parse_cq(input: &str) -> Result<ConjunctiveQuery, ParseError> {
+    let mut p = Parser::new(input);
+    let q = p.cq()?;
+    p.skip_ws();
+    if p.pos != input.len() {
+        return Err(p.error("trailing input"));
+    }
+    Ok(q)
+}
+
+/// Parse a union of conjunctive queries (disjuncts separated by `|`).
+pub fn parse_ucq(input: &str) -> Result<UnionQuery, ParseError> {
+    Parser::new(input).ucq()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::eval_cq_bool;
+    use ca_relational::database::build::{c, table};
+
+    #[test]
+    fn boolean_cq() {
+        let q = parse_cq("R(x, y), R(y, x)").unwrap();
+        assert!(q.is_boolean());
+        assert_eq!(q.atoms.len(), 2);
+        // Shared variable y got the same id.
+        assert_eq!(q.atoms[0].args[1], q.atoms[1].args[0]);
+    }
+
+    #[test]
+    fn head_and_constants() {
+        let q = parse_cq("(x) :- R(x, 1), S(x)").unwrap();
+        assert_eq!(q.head.len(), 1);
+        assert_eq!(q.atoms[0].args[1], crate::ast::Term::Const(1));
+    }
+
+    #[test]
+    fn negative_constants_and_nullary_atoms() {
+        let q = parse_cq("R(-5), T()").unwrap();
+        assert_eq!(q.atoms[0].args[0], crate::ast::Term::Const(-5));
+        assert!(q.atoms[1].args.is_empty());
+    }
+
+    #[test]
+    fn unions() {
+        let q = parse_ucq("R(x, x) | S(y)").unwrap();
+        assert_eq!(q.disjuncts.len(), 2);
+        assert!(q.disjuncts.iter().all(|d| d.is_boolean()));
+    }
+
+    #[test]
+    fn parsed_query_evaluates() {
+        let q = parse_cq("R(x, y), R(y, z)").unwrap();
+        let db = table("R", 2, &[&[c(1), c(2)], &[c(2), c(3)]]);
+        assert!(eval_cq_bool(&q, &db));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse_cq("").is_err());
+        assert!(parse_cq("R(x").is_err());
+        assert!(parse_cq("R(x) extra").is_err());
+        assert!(parse_cq("(z) :- R(x)").is_err()); // unsafe head
+        assert!(parse_ucq("(x) :- R(x) | S(y)").is_err()); // arity clash
+    }
+
+    #[test]
+    fn parse_display_roundtrip() {
+        let q = parse_cq("(x) :- R(x, 5)").unwrap();
+        let printed = q.to_string();
+        assert_eq!(printed, "(x0) ← R(x0, 5)");
+    }
+}

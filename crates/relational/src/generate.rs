@@ -1,0 +1,166 @@
+//! Deterministic random-instance generators for tests and experiments.
+//!
+//! A tiny splitmix64-based RNG keeps the crate dependency-free and the
+//! workloads reproducible across runs (seeds appear in EXPERIMENTS.md).
+
+use ca_core::value::{NullGen, Value};
+
+use crate::database::NaiveDatabase;
+use crate::schema::Schema;
+
+/// A deterministic splitmix64 RNG.
+#[derive(Clone, Debug)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Seeded construction.
+    pub fn new(seed: u64) -> Self {
+        Rng {
+            state: seed.wrapping_add(0x9e3779b97f4a7c15),
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `0..bound` (`bound > 0`).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    /// Bernoulli with probability `num/den`.
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.below(den) < num
+    }
+}
+
+/// Parameters for random naïve databases.
+#[derive(Clone, Copy, Debug)]
+pub struct DbParams {
+    /// Number of facts.
+    pub n_facts: usize,
+    /// Arity of the single relation `R`.
+    pub arity: usize,
+    /// Constants are drawn from `0..n_constants`.
+    pub n_constants: i64,
+    /// Nulls are drawn from a pool of this size (reuse possible).
+    pub n_nulls: u32,
+    /// Probability (out of 100) that a position holds a null.
+    pub null_pct: u64,
+}
+
+/// A random naïve database over one relation `R` with the given parameters.
+pub fn random_naive_db(rng: &mut Rng, p: DbParams) -> NaiveDatabase {
+    let schema = Schema::from_relations(&[("R", p.arity)]);
+    let mut db = NaiveDatabase::new(schema);
+    for _ in 0..p.n_facts {
+        let row: Vec<Value> = (0..p.arity)
+            .map(|_| {
+                if p.n_nulls > 0 && rng.chance(p.null_pct, 100) {
+                    Value::null(rng.below(p.n_nulls as u64) as u32)
+                } else {
+                    Value::Const(rng.below(p.n_constants as u64) as i64)
+                }
+            })
+            .collect();
+        db.add("R", row);
+    }
+    db
+}
+
+/// A random *Codd* database: every null occurrence is globally fresh.
+pub fn random_codd_db(
+    rng: &mut Rng,
+    n_facts: usize,
+    arity: usize,
+    n_constants: i64,
+) -> NaiveDatabase {
+    let schema = Schema::from_relations(&[("R", arity)]);
+    let mut db = NaiveDatabase::new(schema);
+    let mut gen = NullGen::new();
+    for _ in 0..n_facts {
+        let row: Vec<Value> = (0..arity)
+            .map(|_| {
+                if rng.chance(30, 100) {
+                    gen.fresh_value()
+                } else {
+                    Value::Const(rng.below(n_constants as u64) as i64)
+                }
+            })
+            .collect();
+        db.add("R", row);
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = Rng::new(7);
+        let mut b = Rng::new(7);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn naive_db_has_requested_shape() {
+        let mut rng = Rng::new(1);
+        let db = random_naive_db(
+            &mut rng,
+            DbParams {
+                n_facts: 20,
+                arity: 3,
+                n_constants: 5,
+                n_nulls: 4,
+                null_pct: 50,
+            },
+        );
+        assert!(db.len() <= 20); // set semantics may dedup
+        for f in db.facts() {
+            assert_eq!(f.args.len(), 3);
+        }
+        for c in db.constants() {
+            assert!((0..5).contains(&c));
+        }
+        for n in db.nulls() {
+            assert!(n.0 < 4);
+        }
+    }
+
+    #[test]
+    fn codd_db_is_codd() {
+        let mut rng = Rng::new(2);
+        for _ in 0..20 {
+            let db = random_codd_db(&mut rng, 10, 2, 4);
+            assert!(db.is_codd());
+        }
+    }
+
+    #[test]
+    fn zero_null_pct_gives_complete_db() {
+        let mut rng = Rng::new(3);
+        let db = random_naive_db(
+            &mut rng,
+            DbParams {
+                n_facts: 10,
+                arity: 2,
+                n_constants: 3,
+                n_nulls: 4,
+                null_pct: 0,
+            },
+        );
+        assert!(db.is_complete());
+    }
+}

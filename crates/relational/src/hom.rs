@@ -1,0 +1,308 @@
+//! Database homomorphisms.
+//!
+//! A homomorphism `h : D → D′` is a map `h : N(D) → C(D′) ∪ N(D′)`,
+//! extended as the identity on constants, such that the `h`-image of every
+//! fact of `D` is a fact of `D′`. Homomorphism existence characterizes the
+//! information ordering (Proposition 3) and, when `D′` is complete,
+//! membership `D′ ∈ [[D]]`.
+//!
+//! The search is compiled to the [`ca_hom`] CSP engine: variables are the
+//! nulls of `D`, candidate values are the values of `D′`, and each fact of
+//! `D` contributes a table constraint listing the compatible facts of `D′`.
+
+use ca_core::value::Value;
+use ca_hom::csp::Csp;
+
+use crate::database::{NaiveDatabase, Valuation};
+
+/// The target-side value universe of a homomorphism problem: all values
+/// occurring in the target, indexed for the CSP.
+struct ValueIndex {
+    values: Vec<Value>,
+}
+
+impl ValueIndex {
+    fn of(db: &NaiveDatabase) -> Self {
+        let mut values: Vec<Value> = db
+            .facts()
+            .iter()
+            .flat_map(|f| f.args.iter().copied())
+            .collect();
+        values.sort_unstable();
+        values.dedup();
+        ValueIndex { values }
+    }
+
+    fn id(&self, v: Value) -> Option<u32> {
+        self.values.binary_search(&v).ok().map(|i| i as u32)
+    }
+
+    fn value(&self, id: u32) -> Value {
+        self.values[id as usize]
+    }
+
+    fn len(&self) -> usize {
+        self.values.len()
+    }
+}
+
+/// Build the homomorphism CSP from `src` to `dst`. Exposed so callers can
+/// add extra restrictions (e.g. forbidden values) before solving.
+pub fn hom_csp(src: &NaiveDatabase, dst: &NaiveDatabase) -> (Csp, Vec<ca_core::value::Null>) {
+    let nulls: Vec<ca_core::value::Null> = src.nulls().into_iter().collect();
+    let var_of = |n: ca_core::value::Null| -> u32 {
+        nulls.binary_search(&n).expect("null of src") as u32
+    };
+    let idx = ValueIndex::of(dst);
+    let mut csp = Csp::with_uniform_domains(nulls.len(), idx.len() as u32);
+    for fact in src.facts() {
+        // Scope: one CSP variable per null position (repeats allowed).
+        let scope: Vec<u32> = fact
+            .args
+            .iter()
+            .filter_map(|v| v.as_null())
+            .map(var_of)
+            .collect();
+        // Allowed tuples: for each matching fact of dst, the values at the
+        // null positions — constants must match exactly.
+        let mut allowed = Vec::new();
+        'facts: for g in dst.relation_by_name(src.schema.name(fact.rel)) {
+            let mut tuple = Vec::with_capacity(scope.len());
+            for (a, b) in fact.args.iter().zip(g.args.iter()) {
+                match a {
+                    Value::Const(_) => {
+                        if a != b {
+                            continue 'facts;
+                        }
+                    }
+                    Value::Null(_) => {
+                        let Some(id) = idx.id(*b) else { continue 'facts };
+                        tuple.push(id);
+                    }
+                }
+            }
+            allowed.push(tuple);
+        }
+        csp.add_constraint(scope, allowed);
+    }
+    (csp, nulls)
+}
+
+impl NaiveDatabase {
+    /// Facts of the relation with the given name (empty if absent).
+    pub fn relation_by_name<'a>(
+        &'a self,
+        name: &str,
+    ) -> Box<dyn Iterator<Item = &'a crate::database::Fact> + 'a> {
+        match self.schema.relation(name) {
+            Some(sym) => Box::new(self.relation(sym)),
+            None => Box::new(std::iter::empty()),
+        }
+    }
+}
+
+/// Find a homomorphism `src → dst`, if one exists.
+///
+/// ```
+/// use ca_relational::database::build::{c, n, table};
+/// use ca_relational::hom::find_hom;
+///
+/// let d = table("R", 2, &[&[c(1), n(1)]]);
+/// let r = table("R", 2, &[&[c(1), c(7)]]);
+/// let h = find_hom(&d, &r).unwrap();
+/// assert_eq!(h.apply(n(1)), c(7));
+/// assert!(find_hom(&r, &d).is_none());
+/// ```
+pub fn find_hom(src: &NaiveDatabase, dst: &NaiveDatabase) -> Option<Valuation> {
+    assert!(src.schema.compatible_with(&dst.schema), "incompatible schemas");
+    let (csp, nulls) = hom_csp(src, dst);
+    let idx = ValueIndex::of(dst);
+    let sol = csp.solve()?;
+    Some(Valuation::from_pairs(
+        nulls
+            .iter()
+            .zip(sol.iter())
+            .map(|(&n, &v)| (n, idx.value(v))),
+    ))
+}
+
+/// Is `h` a homomorphism from `src` to `dst`?
+pub fn is_hom(src: &NaiveDatabase, dst: &NaiveDatabase, h: &Valuation) -> bool {
+    src.facts().iter().all(|f| {
+        let image = h.apply_tuple(&f.args);
+        dst.relation_by_name(src.schema.name(f.rel))
+            .any(|g| g.args == image)
+    })
+}
+
+/// Find an *onto* homomorphism `src → dst`: one whose image `h(src)`
+/// contains every fact of `dst`. This is the closed-world ordering
+/// `⊑_cwa`. Enumeration-based (exponential in the worst case); `limit`
+/// caps the number of homomorphisms examined — `None` is returned both
+/// when no onto homomorphism exists and when the limit was exhausted, so
+/// use generous limits for decision purposes.
+pub fn find_onto_hom(
+    src: &NaiveDatabase,
+    dst: &NaiveDatabase,
+    limit: usize,
+) -> Option<Valuation> {
+    assert!(src.schema.compatible_with(&dst.schema), "incompatible schemas");
+    let (csp, nulls) = hom_csp(src, dst);
+    let idx = ValueIndex::of(dst);
+    let e = csp.solve_all(limit);
+    for sol in &e.solutions {
+        let h = Valuation::from_pairs(
+            nulls
+                .iter()
+                .zip(sol.iter())
+                .map(|(&n, &v)| (n, idx.value(v))),
+        );
+        let image = src.apply(&h);
+        let covers = dst.facts().iter().all(|g| {
+            image
+                .relation_by_name(dst.schema.name(g.rel))
+                .any(|f| f.args == g.args)
+        });
+        if covers {
+            return Some(h);
+        }
+    }
+    None
+}
+
+/// Membership: is the complete database `r` in `[[d]]`?
+/// (`r` must be complete; then `r ∈ [[d]]` iff some homomorphism
+/// `d → r` exists.)
+pub fn in_semantics(r: &NaiveDatabase, d: &NaiveDatabase) -> bool {
+    r.is_complete() && find_hom(d, r).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::build::{c, n, table};
+
+    #[test]
+    fn paper_example_hom_exists() {
+        let d = table(
+            "D",
+            3,
+            &[
+                &[c(1), c(2), n(1)],
+                &[n(2), n(1), c(3)],
+                &[n(3), c(5), c(1)],
+            ],
+        );
+        let r = table(
+            "D",
+            3,
+            &[
+                &[c(1), c(2), c(4)],
+                &[c(3), c(4), c(3)],
+                &[c(5), c(5), c(1)],
+                &[c(3), c(7), c(8)],
+            ],
+        );
+        let h = find_hom(&d, &r).expect("the paper's homomorphism exists");
+        assert!(is_hom(&d, &r, &h));
+        assert!(in_semantics(&r, &d));
+        // The witness is forced: ⊥1=4, ⊥2=3, ⊥3=5.
+        assert_eq!(h.get(ca_core::value::Null(1)), Some(c(4)));
+        assert_eq!(h.get(ca_core::value::Null(2)), Some(c(3)));
+        assert_eq!(h.get(ca_core::value::Null(3)), Some(c(5)));
+    }
+
+    #[test]
+    fn no_hom_when_constants_clash() {
+        let d = table("R", 1, &[&[c(1)]]);
+        let r = table("R", 1, &[&[c(2)]]);
+        assert!(find_hom(&d, &r).is_none());
+        assert!(!in_semantics(&r, &d));
+    }
+
+    #[test]
+    fn repeated_nulls_must_map_consistently() {
+        // R(⊥1, ⊥1) needs a "diagonal" fact in the target.
+        let d = table("R", 2, &[&[n(1), n(1)]]);
+        let no_diag = table("R", 2, &[&[c(1), c(2)], &[c(2), c(3)]]);
+        assert!(find_hom(&d, &no_diag).is_none());
+        let diag = table("R", 2, &[&[c(1), c(2)], &[c(3), c(3)]]);
+        let h = find_hom(&d, &diag).unwrap();
+        assert_eq!(h.apply(n(1)), c(3));
+    }
+
+    #[test]
+    fn hom_into_incomplete_target_maps_nulls_to_nulls() {
+        // R(⊥1, ⊥2) → R(⊥9, c): nulls may map to nulls.
+        let d = table("R", 2, &[&[n(1), n(2)]]);
+        let t = table("R", 2, &[&[n(9), c(5)]]);
+        let h = find_hom(&d, &t).unwrap();
+        assert!(is_hom(&d, &t, &h));
+        assert_eq!(h.apply(n(1)), n(9));
+        assert_eq!(h.apply(n(2)), c(5));
+    }
+
+    #[test]
+    fn empty_source_always_maps() {
+        let d = table("R", 1, &[]);
+        let r = table("R", 1, &[&[c(1)]]);
+        assert!(find_hom(&d, &r).is_some());
+        // …and an empty complete target too.
+        let empty = table("R", 1, &[]);
+        assert!(find_hom(&d, &empty).is_some());
+    }
+
+    #[test]
+    fn ground_fact_must_be_present() {
+        let d = table("R", 2, &[&[c(1), c(2)], &[n(1), c(2)]]);
+        let missing = table("R", 2, &[&[c(5), c(2)]]);
+        assert!(find_hom(&d, &missing).is_none());
+        let present = table("R", 2, &[&[c(1), c(2)]]);
+        let h = find_hom(&d, &present).unwrap();
+        assert_eq!(h.apply(n(1)), c(1));
+    }
+
+    #[test]
+    fn onto_hom_distinguishes_cwa() {
+        // D = {R(⊥1), R(⊥2)}, D′ = {R(1), R(2)}: onto hom exists (⊥i ↦ i).
+        let d = table("R", 1, &[&[n(1)], &[n(2)]]);
+        let d2 = table("R", 1, &[&[c(1)], &[c(2)]]);
+        assert!(find_onto_hom(&d, &d2, 1000).is_some());
+        // D = {R(⊥1)} cannot cover two facts.
+        let small = table("R", 1, &[&[n(1)]]);
+        assert!(find_hom(&small, &d2).is_some());
+        assert!(find_onto_hom(&small, &d2, 1000).is_none());
+    }
+
+    #[test]
+    fn hom_composition_closure() {
+        // d ⊑ e ⊑ f implies d ⊑ f (spot check of transitivity).
+        let d = table("R", 2, &[&[n(1), n(2)]]);
+        let e = table("R", 2, &[&[n(3), c(1)]]);
+        let f = table("R", 2, &[&[c(2), c(1)]]);
+        assert!(find_hom(&d, &e).is_some());
+        assert!(find_hom(&e, &f).is_some());
+        assert!(find_hom(&d, &f).is_some());
+    }
+
+    #[test]
+    fn multi_relation_homs() {
+        let mut schema = crate::schema::Schema::new();
+        schema.add_relation("R", 2);
+        schema.add_relation("S", 1);
+        let mut d = NaiveDatabase::new(schema.clone());
+        d.add("R", vec![c(1), n(1)]);
+        d.add("S", vec![n(1)]);
+        // Target: R(1,2), S(2): ⊥1 must be 2 in both relations.
+        let mut t = NaiveDatabase::new(schema.clone());
+        t.add("R", vec![c(1), c(2)]);
+        t.add("S", vec![c(2)]);
+        let h = find_hom(&d, &t).unwrap();
+        assert_eq!(h.apply(n(1)), c(2));
+        // Target with S(3) instead: no hom.
+        let mut t2 = NaiveDatabase::new(schema);
+        t2.add("R", vec![c(1), c(2)]);
+        t2.add("S", vec![c(3)]);
+        assert!(find_hom(&d, &t2).is_none());
+    }
+}

@@ -1,0 +1,246 @@
+//! Sibling-ordered trees and Proposition 6.
+//!
+//! Adding the sibling order to the vocabulary makes homomorphisms preserve
+//! document order: if `x` comes before `y` among the children of a node,
+//! `h₁(x)` must come strictly before `h₁(y)` among the children of
+//! `h₁(parent)`. Proposition 6: with this ordering, even *two* trees can
+//! fail to have a glb — `a[b c]` and `a[c b]` have the incomparable
+//! maximal lower bounds `a[b]` and `a[c]` — which is why certain-answer
+//! machinery for XML restricts to unordered documents.
+
+use ca_core::value::Value;
+use ca_hom::csp::Csp;
+
+use crate::tree::{Alphabet, NodeId, XmlTree};
+
+/// Find an order-preserving homomorphism `src → dst`, if any: the usual
+/// tree homomorphism plus strict preservation of the sibling order.
+pub fn find_ordered_hom(src: &XmlTree, dst: &XmlTree) -> Option<Vec<NodeId>> {
+    // Reuse the unordered encoding and add sibling-order constraints.
+    // (Data constraints are encoded exactly as in `hom::find_tree_hom`;
+    // for clarity this function supports data-free alphabets only, which
+    // is all Proposition 6 needs. Calling it with data-carrying nodes
+    // panics rather than silently ignoring data.)
+    for id in src.node_ids() {
+        assert!(
+            src.node(id).data.iter().all(|v: &Value| v.is_const()),
+            "find_ordered_hom supports constant data only"
+        );
+    }
+    let n = src.len();
+    let mut csp = Csp {
+        domains: Vec::with_capacity(n),
+        constraints: Vec::new(),
+    };
+    for id in src.node_ids() {
+        let sn = src.node(id);
+        let candidates: Vec<u32> = dst
+            .node_ids()
+            .filter(|&d| dst.node(d).label == sn.label && dst.node(d).data == sn.data)
+            .map(|d| d as u32)
+            .collect();
+        csp.domains.push(candidates);
+    }
+    let dst_edges: Vec<Vec<u32>> = dst.edges().map(|(p, c)| vec![p as u32, c as u32]).collect();
+    for (p, c) in src.edges() {
+        csp.add_constraint(vec![p as u32, c as u32], dst_edges.clone());
+    }
+    // Strict sibling-order pairs of the target.
+    let mut dst_order: Vec<Vec<u32>> = Vec::new();
+    for id in dst.node_ids() {
+        let ch = &dst.node(id).children;
+        for i in 0..ch.len() {
+            for j in (i + 1)..ch.len() {
+                dst_order.push(vec![ch[i] as u32, ch[j] as u32]);
+            }
+        }
+    }
+    for id in src.node_ids() {
+        let ch = &src.node(id).children;
+        for i in 0..ch.len() {
+            for j in (i + 1)..ch.len() {
+                csp.add_constraint(vec![ch[i] as u32, ch[j] as u32], dst_order.clone());
+            }
+        }
+    }
+    csp.solve()
+        .map(|sol| sol.into_iter().map(|v| v as NodeId).collect())
+}
+
+/// The ordered-tree information ordering.
+pub fn ordered_leq(a: &XmlTree, b: &XmlTree) -> bool {
+    find_ordered_hom(a, b).is_some()
+}
+
+/// Enumerate every ordered tree over the given *nullary* labels with at
+/// most `max_nodes` nodes. Exponential; for exhaustive refutations.
+pub fn enumerate_ordered_trees(alphabet: &Alphabet, labels: &[&str], max_nodes: usize) -> Vec<XmlTree> {
+    let mut out = Vec::new();
+    for n in 1..=max_nodes {
+        enumerate_of_size(alphabet, labels, n, &mut out);
+    }
+    out
+}
+
+fn enumerate_of_size(alphabet: &Alphabet, labels: &[&str], n: usize, out: &mut Vec<XmlTree>) {
+    // A tree of size n: a root label and an ordered sequence of subtrees
+    // with sizes summing to n-1. We build recursively via "child size
+    // compositions".
+    fn subtrees(alphabet: &Alphabet, labels: &[&str], n: usize) -> Vec<XmlTree> {
+        let mut result = Vec::new();
+        for &root in labels {
+            if n == 1 {
+                result.push(XmlTree::new(alphabet.clone(), root, vec![]));
+                continue;
+            }
+            for composition in compositions(n - 1) {
+                // Cartesian product of subtree choices per part.
+                let choices: Vec<Vec<XmlTree>> = composition
+                    .iter()
+                    .map(|&k| subtrees(alphabet, labels, k))
+                    .collect();
+                let mut stack: Vec<(usize, Vec<&XmlTree>)> = vec![(0, Vec::new())];
+                while let Some((i, picked)) = stack.pop() {
+                    if i == choices.len() {
+                        let mut t = XmlTree::new(alphabet.clone(), root, vec![]);
+                        for sub in &picked {
+                            graft(&mut t, 0, sub, 0);
+                        }
+                        result.push(t);
+                        continue;
+                    }
+                    for cand in &choices[i] {
+                        let mut next = picked.clone();
+                        next.push(cand);
+                        stack.push((i + 1, next));
+                    }
+                }
+            }
+        }
+        result
+    }
+    out.extend(subtrees(alphabet, labels, n));
+}
+
+/// All ordered compositions of `n` into positive parts.
+fn compositions(n: usize) -> Vec<Vec<usize>> {
+    if n == 0 {
+        return vec![vec![]];
+    }
+    let mut out = Vec::new();
+    for first in 1..=n {
+        for mut rest in compositions(n - first) {
+            rest.insert(0, first);
+            out.push(rest);
+        }
+    }
+    out
+}
+
+/// Copy `src`'s subtree rooted at `src_node` as a new child of
+/// `dst_parent` in `dst`.
+fn graft(dst: &mut XmlTree, dst_parent: NodeId, src: &XmlTree, src_node: NodeId) {
+    let label = src.alphabet.name(src.node(src_node).label).to_owned();
+    let id = dst.add_child(dst_parent, &label, src.node(src_node).data.clone());
+    for &c in &src.node(src_node).children {
+        graft(dst, id, src, c);
+    }
+}
+
+/// The Proposition 6 counterexample pair: `a[b c]` and `a[c b]`.
+pub fn proposition6_trees() -> (XmlTree, XmlTree, Alphabet) {
+    let alpha = Alphabet::from_labels(&[("a", 0), ("b", 0), ("c", 0)]);
+    let mut t1 = XmlTree::new(alpha.clone(), "a", vec![]);
+    t1.add_child(0, "b", vec![]);
+    t1.add_child(0, "c", vec![]);
+    let mut t2 = XmlTree::new(alpha.clone(), "a", vec![]);
+    t2.add_child(0, "c", vec![]);
+    t2.add_child(0, "b", vec![]);
+    (t1, t2, alpha)
+}
+
+/// Exhaustively verify, over all ordered trees with ≤ `max_nodes` nodes,
+/// that no candidate is a glb of the Proposition 6 pair: every candidate
+/// either fails to be a lower bound or fails to dominate one of the two
+/// incomparable lower bounds `a[b]`, `a[c]`. Returns the number of
+/// candidates examined.
+pub fn verify_proposition6(max_nodes: usize) -> usize {
+    let (t1, t2, alpha) = proposition6_trees();
+    let mut lb1 = XmlTree::new(alpha.clone(), "a", vec![]);
+    lb1.add_child(0, "b", vec![]);
+    let mut lb2 = XmlTree::new(alpha.clone(), "a", vec![]);
+    lb2.add_child(0, "c", vec![]);
+    // The two witnesses are lower bounds and incomparable.
+    assert!(ordered_leq(&lb1, &t1) && ordered_leq(&lb1, &t2));
+    assert!(ordered_leq(&lb2, &t1) && ordered_leq(&lb2, &t2));
+    assert!(!ordered_leq(&lb1, &lb2) && !ordered_leq(&lb2, &lb1));
+    let candidates = enumerate_ordered_trees(&alpha, &["a", "b", "c"], max_nodes);
+    for g in &candidates {
+        let is_lower_bound = ordered_leq(g, &t1) && ordered_leq(g, &t2);
+        let dominates_both = ordered_leq(&lb1, g) && ordered_leq(&lb2, g);
+        assert!(
+            !(is_lower_bound && dominates_both),
+            "Proposition 6 falsified by candidate {g}"
+        );
+    }
+    candidates.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_preservation_blocks_swapped_children() {
+        let (t1, t2, _) = proposition6_trees();
+        assert!(!ordered_leq(&t1, &t2));
+        assert!(!ordered_leq(&t2, &t1));
+        // Unordered, they are equivalent.
+        assert!(crate::hom::tree_equiv(&t1, &t2));
+    }
+
+    #[test]
+    fn single_children_are_order_free() {
+        let (t1, t2, alpha) = proposition6_trees();
+        let mut lb = XmlTree::new(alpha, "a", vec![]);
+        lb.add_child(0, "b", vec![]);
+        assert!(ordered_leq(&lb, &t1));
+        assert!(ordered_leq(&lb, &t2));
+    }
+
+    #[test]
+    fn order_forbids_sibling_collapse() {
+        // a[b b] cannot map into a[b] because strict order needs distinct
+        // images.
+        let alpha = Alphabet::from_labels(&[("a", 0), ("b", 0)]);
+        let mut two = XmlTree::new(alpha.clone(), "a", vec![]);
+        two.add_child(0, "b", vec![]);
+        two.add_child(0, "b", vec![]);
+        let mut one = XmlTree::new(alpha, "a", vec![]);
+        one.add_child(0, "b", vec![]);
+        assert!(!ordered_leq(&two, &one));
+        assert!(ordered_leq(&one, &two));
+        // Unordered, collapsing is fine.
+        assert!(crate::hom::tree_leq(&two, &one));
+    }
+
+    #[test]
+    fn enumeration_counts() {
+        // Trees with ≤ 2 nodes over 2 labels: 2 single nodes + 2·2 = 4
+        // two-node trees = 6.
+        let alpha = Alphabet::from_labels(&[("a", 0), ("b", 0)]);
+        let ts = enumerate_ordered_trees(&alpha, &["a", "b"], 2);
+        assert_eq!(ts.len(), 6);
+        // Size 3 over 1 label: root with [1,1] children or a chain = 2
+        // shapes; plus sizes 1 and 2 (1 each) = 4 total.
+        let alpha1 = Alphabet::from_labels(&[("a", 0)]);
+        let ts1 = enumerate_ordered_trees(&alpha1, &["a"], 3);
+        assert_eq!(ts1.len(), 4);
+    }
+
+    #[test]
+    fn proposition6_holds_up_to_size_4() {
+        let examined = verify_proposition6(4);
+        assert!(examined > 100, "examined only {examined} candidates");
+    }
+}

@@ -1,0 +1,334 @@
+//! Unranked data trees.
+//!
+//! A tree over alphabet `Σ` is `T = ⟨V, E, λ, ρ⟩`: a rooted unranked tree
+//! with labels `λ : V → Σ` and data `ρ(v) ∈ (C ∪ N)^{ar(λ(v))}`. Complete
+//! trees use constants only (and, for documents, a designated root label).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use ca_core::symbol::{Interner, Symbol};
+use ca_core::value::{Null, Value};
+
+/// An alphabet `Σ` with arities `ar : Σ → ℕ`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Alphabet {
+    interner: Interner,
+    arities: Vec<usize>,
+}
+
+impl Alphabet {
+    /// An empty alphabet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from `(label, arity)` pairs.
+    pub fn from_labels(labels: &[(&str, usize)]) -> Self {
+        let mut a = Alphabet::new();
+        for &(name, arity) in labels {
+            a.add_label(name, arity);
+        }
+        a
+    }
+
+    /// Add a label with its arity (idempotent; arity clash panics).
+    pub fn add_label(&mut self, name: &str, arity: usize) -> Symbol {
+        if let Some(sym) = self.interner.get(name) {
+            assert_eq!(self.arities[sym.index()], arity, "label {name} arity clash");
+            return sym;
+        }
+        let sym = self.interner.intern(name);
+        self.arities.push(arity);
+        sym
+    }
+
+    /// Look up a label.
+    pub fn label(&self, name: &str) -> Option<Symbol> {
+        self.interner.get(name)
+    }
+
+    /// Arity of a label.
+    pub fn arity(&self, sym: Symbol) -> usize {
+        self.arities[sym.index()]
+    }
+
+    /// Name of a label.
+    pub fn name(&self, sym: Symbol) -> &str {
+        self.interner.resolve(sym).expect("symbol from this alphabet")
+    }
+
+    /// Iterate over `(symbol, name, arity)` for every label.
+    pub fn labels(&self) -> impl Iterator<Item = (Symbol, &str, usize)> {
+        self.interner
+            .iter()
+            .map(|(sym, name)| (sym, name, self.arities[sym.index()]))
+    }
+
+    /// Do two alphabets agree on names and arities?
+    pub fn compatible_with(&self, other: &Alphabet) -> bool {
+        self.arities.len() == other.arities.len()
+            && (0..self.arities.len() as u32).all(|i| {
+                let s = Symbol(i);
+                other.label(self.name(s)).map(|t| other.arity(t)) == Some(self.arity(s))
+            })
+    }
+}
+
+/// A node index within an [`XmlTree`].
+pub type NodeId = usize;
+
+/// One tree node: label, attached data tuple, children in document order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Node {
+    /// The node's label.
+    pub label: Symbol,
+    /// The data tuple (length = arity of the label).
+    pub data: Vec<Value>,
+    /// Children, in insertion (document) order.
+    pub children: Vec<NodeId>,
+    /// Parent (`None` for the root).
+    pub parent: Option<NodeId>,
+}
+
+/// An unranked data tree. Node 0 is the root.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct XmlTree {
+    /// The alphabet.
+    pub alphabet: Alphabet,
+    nodes: Vec<Node>,
+}
+
+impl XmlTree {
+    /// A single-root tree.
+    pub fn new(alphabet: Alphabet, root_label: &str, root_data: Vec<Value>) -> Self {
+        let label = alphabet
+            .label(root_label)
+            .unwrap_or_else(|| panic!("unknown label {root_label}"));
+        assert_eq!(root_data.len(), alphabet.arity(label), "root data arity");
+        XmlTree {
+            alphabet,
+            nodes: vec![Node {
+                label,
+                data: root_data,
+                children: Vec::new(),
+                parent: None,
+            }],
+        }
+    }
+
+    /// Append a child under `parent`; returns the new node's id.
+    pub fn add_child(&mut self, parent: NodeId, label: &str, data: Vec<Value>) -> NodeId {
+        let sym = self
+            .alphabet
+            .label(label)
+            .unwrap_or_else(|| panic!("unknown label {label}"));
+        assert_eq!(data.len(), self.alphabet.arity(sym), "data arity for {label}");
+        assert!(parent < self.nodes.len(), "parent exists");
+        let id = self.nodes.len();
+        self.nodes.push(Node {
+            label: sym,
+            data,
+            children: Vec::new(),
+            parent: Some(parent),
+        });
+        self.nodes[parent].children.push(id);
+        id
+    }
+
+    /// The root id (always 0).
+    pub fn root(&self) -> NodeId {
+        0
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// A tree is never empty; provided for API completeness.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Access a node.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id]
+    }
+
+    /// All node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        0..self.nodes.len()
+    }
+
+    /// The child edges `(parent, child)`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.nodes
+            .iter()
+            .enumerate()
+            .flat_map(|(p, n)| n.children.iter().map(move |&c| (p, c)))
+    }
+
+    /// `N(T)`: nulls appearing among data values.
+    pub fn nulls(&self) -> BTreeSet<Null> {
+        self.nodes
+            .iter()
+            .flat_map(|n| n.data.iter())
+            .filter_map(|v| v.as_null())
+            .collect()
+    }
+
+    /// `C(T)`: constants appearing among data values.
+    pub fn constants(&self) -> BTreeSet<i64> {
+        self.nodes
+            .iter()
+            .flat_map(|n| n.data.iter())
+            .filter_map(|v| v.as_const())
+            .collect()
+    }
+
+    /// Is the tree complete (null-free)? (Documents additionally require
+    /// the designated root label; that is the caller's discipline.)
+    pub fn is_complete(&self) -> bool {
+        self.nulls().is_empty()
+    }
+
+    /// Depth of a node (root = 0).
+    pub fn depth(&self, mut id: NodeId) -> usize {
+        let mut d = 0;
+        while let Some(p) = self.nodes[id].parent {
+            id = p;
+            d += 1;
+        }
+        d
+    }
+
+    /// Apply a null valuation to every data tuple.
+    pub fn map_values<F: Fn(Value) -> Value>(&self, f: F) -> XmlTree {
+        let mut out = self.clone();
+        for n in &mut out.nodes {
+            for v in &mut n.data {
+                *v = f(*v);
+            }
+        }
+        out
+    }
+
+    /// Pretty-print as nested terms, e.g. `a(1,⊥0)[b(2)]`.
+    pub fn display(&self) -> String {
+        fn go(t: &XmlTree, id: NodeId, out: &mut String) {
+            let n = t.node(id);
+            out.push_str(t.alphabet.name(n.label));
+            if !n.data.is_empty() {
+                out.push('(');
+                for (i, v) in n.data.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&v.to_string());
+                }
+                out.push(')');
+            }
+            if !n.children.is_empty() {
+                out.push('[');
+                for (i, &c) in n.children.iter().enumerate() {
+                    if i > 0 {
+                        out.push(' ');
+                    }
+                    go(t, c, out);
+                }
+                out.push(']');
+            }
+        }
+        let mut s = String::new();
+        go(self, 0, &mut s);
+        s
+    }
+}
+
+impl fmt::Display for XmlTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.display())
+    }
+}
+
+/// The alphabet of the paper's running example (Section 2.2): `r` with no
+/// attributes, `a` with two, `b` and `c` with one each.
+pub fn example_alphabet() -> Alphabet {
+    Alphabet::from_labels(&[("r", 0), ("a", 2), ("b", 1), ("c", 1)])
+}
+
+/// The example incomplete tree of Section 2.2:
+/// `r[a(1,⊥1)[b(⊥1)] a(⊥2,2)[c(⊥3) c(⊥2)]]`.
+pub fn example_tree() -> XmlTree {
+    let mut t = XmlTree::new(example_alphabet(), "r", vec![]);
+    let a1 = t.add_child(0, "a", vec![Value::Const(1), Value::null(1)]);
+    t.add_child(a1, "b", vec![Value::null(1)]);
+    let a2 = t.add_child(0, "a", vec![Value::null(2), Value::Const(2)]);
+    t.add_child(a2, "c", vec![Value::null(3)]);
+    t.add_child(a2, "c", vec![Value::null(2)]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_tree_shape() {
+        let t = example_tree();
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.node(t.root()).children.len(), 2);
+        assert_eq!(t.nulls().len(), 3);
+        assert_eq!(t.constants(), BTreeSet::from([1, 2]));
+        assert!(!t.is_complete());
+        assert_eq!(
+            t.display(),
+            "r[a(1,⊥1)[b(⊥1)] a(⊥2,2)[c(⊥3) c(⊥2)]]"
+        );
+    }
+
+    #[test]
+    fn depths() {
+        let t = example_tree();
+        assert_eq!(t.depth(0), 0);
+        assert_eq!(t.depth(1), 1);
+        assert_eq!(t.depth(2), 2);
+    }
+
+    #[test]
+    fn edges_enumeration() {
+        let t = example_tree();
+        let edges: Vec<(NodeId, NodeId)> = t.edges().collect();
+        assert_eq!(edges.len(), 5);
+        assert!(edges.contains(&(0, 1)));
+        assert!(edges.contains(&(1, 2)));
+    }
+
+    #[test]
+    fn map_values_grounds_nulls() {
+        let t = example_tree();
+        let grounded = t.map_values(|v| match v {
+            Value::Null(n) => Value::Const(100 + n.0 as i64),
+            c => c,
+        });
+        assert!(grounded.is_complete());
+        assert_eq!(grounded.len(), t.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn wrong_arity_panics() {
+        let mut t = XmlTree::new(example_alphabet(), "r", vec![]);
+        t.add_child(0, "b", vec![]);
+    }
+
+    #[test]
+    fn alphabet_compatibility() {
+        let a = example_alphabet();
+        let b = example_alphabet();
+        assert!(a.compatible_with(&b));
+        let c = Alphabet::from_labels(&[("r", 1)]);
+        assert!(!a.compatible_with(&c));
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based tests for tree orderings and glbs.
+
+use proptest::prelude::*;
+
+use ca_core::value::Value;
+use ca_xml::glb::glb_trees;
+use ca_xml::hom::{find_tree_hom, is_tree_hom, tree_leq};
+use ca_xml::tree::{Alphabet, XmlTree};
+
+fn alphabet() -> Alphabet {
+    Alphabet::from_labels(&[("r", 0), ("a", 1), ("b", 1)])
+}
+
+/// Strategy: a random document tree with ≤ 6 nodes, rooted at `r`, inner
+/// labels in {a, b}, data from {const 0, const 1, ⊥0, ⊥1}.
+fn arb_tree() -> impl Strategy<Value = XmlTree> {
+    let node = (0u8..2, 0u8..4); // (label, data code)
+    (prop::collection::vec((node, 0usize..5), 0..5)).prop_map(|specs| {
+        let mut t = XmlTree::new(alphabet(), "r", vec![]);
+        for ((label, data), parent) in specs {
+            let parent = parent % t.len();
+            let label = if label == 0 { "a" } else { "b" };
+            let value = match data {
+                0 => Value::Const(0),
+                1 => Value::Const(1),
+                2 => Value::null(0),
+                _ => Value::null(1),
+            };
+            t.add_child(parent, label, vec![value]);
+        }
+        t
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn ordering_is_reflexive(t in arb_tree()) {
+        prop_assert!(tree_leq(&t, &t));
+    }
+
+    #[test]
+    fn found_homs_verify(a in arb_tree(), b in arb_tree()) {
+        if let Some(h) = find_tree_hom(&a, &b) {
+            prop_assert!(is_tree_hom(&a, &b, &h));
+        }
+    }
+
+    #[test]
+    fn ordering_is_transitive(a in arb_tree(), b in arb_tree(), c in arb_tree()) {
+        if tree_leq(&a, &b) && tree_leq(&b, &c) {
+            prop_assert!(tree_leq(&a, &c));
+        }
+    }
+
+    /// When the glb exists it is a lower bound of both inputs. (Existence
+    /// is *not* guaranteed even for same-root documents under the paper's
+    /// unrooted homomorphisms: a same-label pair at mismatched depths can
+    /// form an undominated component — the algorithm detects this and
+    /// returns `None`, correctly.)
+    #[test]
+    fn document_glbs_are_lower_bounds_when_they_exist(a in arb_tree(), b in arb_tree()) {
+        if let Some(meet) = glb_trees(&a, &b) {
+            prop_assert!(tree_leq(&meet, &a));
+            prop_assert!(tree_leq(&meet, &b));
+        }
+    }
+
+    #[test]
+    fn glb_is_commutative_up_to_equivalence(a in arb_tree(), b in arb_tree()) {
+        let ab = glb_trees(&a, &b);
+        let ba = glb_trees(&b, &a);
+        prop_assert_eq!(ab.is_some(), ba.is_some(), "existence must be symmetric");
+        if let (Some(ab), Some(ba)) = (ab, ba) {
+            prop_assert!(tree_leq(&ab, &ba) && tree_leq(&ba, &ab));
+        }
+    }
+
+    /// The root-pair component always exists for same-root documents and
+    /// is a lower bound, whether or not it is dominant.
+    #[test]
+    fn root_component_is_a_lower_bound(a in arb_tree(), b in arb_tree()) {
+        let forest = ca_xml::glb::product_forest(&[&a, &b]);
+        prop_assert!(!forest.is_empty());
+        for comp in &forest {
+            prop_assert!(tree_leq(comp, &a) && tree_leq(comp, &b));
+        }
+    }
+
+    /// Grounding nulls moves a tree up the ordering.
+    #[test]
+    fn grounding_increases_information(t in arb_tree()) {
+        let grounded = t.map_values(|v| match v {
+            Value::Null(n) => Value::Const(100 + n.0 as i64),
+            c => c,
+        });
+        prop_assert!(tree_leq(&t, &grounded));
+    }
+
+    /// The single-root tree is a lower bound of every document.
+    #[test]
+    fn bare_root_is_bottom(t in arb_tree()) {
+        let root = XmlTree::new(alphabet(), "r", vec![]);
+        prop_assert!(tree_leq(&root, &t));
+    }
+}

@@ -1,0 +1,65 @@
+//! A tour of the paper's impossibility results, run live:
+//!
+//! * Theorem 3 — the power-of-two directed cycles have no greatest lower
+//!   bound (so certain information need not exist for infinite sets);
+//! * Proposition 6 — with sibling order, even two XML trees can lack a
+//!   glb (why certain-answer machinery sticks to unordered documents);
+//! * Proposition 10 — two trees with no least upper bound (why XML data
+//!   exchange lacks canonical solutions).
+//!
+//! Run with `cargo run --example impossibility_tour`.
+
+use ca_exchange::trees::{proposition10_trees, verify_proposition10};
+use ca_graph::digraph::{random_digraph, Digraph};
+use ca_graph::lattice::{refute_glb_of_power_cycles, verify_power_cycle_chain, GlbRefutation};
+use ca_xml::ordered::verify_proposition6;
+
+fn main() {
+    // ---- Theorem 3 -------------------------------------------------
+    println!("Theorem 3: {{C_2^m}} has no glb");
+    println!(
+        "  chain P1 ≺ … ≺ P6 ≺ … ≺ C32 ≺ … ≺ C2 verified: {}",
+        verify_power_cycle_chain(6, 5)
+    );
+    let candidates: Vec<(&str, Digraph)> = vec![
+        ("the path P5", Digraph::path(5)),
+        ("the cycle C6", Digraph::cycle(6)),
+        ("a random digraph", random_digraph(7, 1, 3, 99)),
+    ];
+    for (name, g) in candidates {
+        match refute_glb_of_power_cycles(&g) {
+            GlbRefutation::DominatedByPath { longest_path } => println!(
+                "  {name}: acyclic with longest path {longest_path} — the lower bound P{} is not below it",
+                longest_path + 1
+            ),
+            GlbRefutation::NotALowerBound { girth, witness_m } => println!(
+                "  {name}: has a {girth}-cycle — not even a lower bound (no hom into C{})",
+                1u32 << witness_m
+            ),
+        }
+    }
+
+    // ---- Proposition 6 ----------------------------------------------
+    println!("\nProposition 6: ordered trees a[b c] vs a[c b]");
+    let examined = verify_proposition6(4);
+    println!(
+        "  {examined} candidate ordered trees examined — none is a glb \
+         (a[b] and a[c] stay incomparable maximal lower bounds)"
+    );
+
+    // ---- Proposition 10 ---------------------------------------------
+    println!("\nProposition 10: no least upper bound for a[b] and a[c]");
+    let (t1, t2, tp, tpp) = proposition10_trees();
+    println!("  T1 = {t1},  T2 = {t2}");
+    println!("  upper bound 1: T′  = {tp}");
+    println!("  upper bound 2: T″ = {tpp}");
+    let examined = verify_proposition10(4);
+    println!(
+        "  {examined} candidate trees examined — none sits below both upper \
+         bounds while dominating T1 and T2"
+    );
+    println!(
+        "  (the glb direction is fine: T1 ∧ T2 = {})",
+        ca_xml::glb::glb_trees(&t1, &t2).expect("glb exists").display()
+    );
+}

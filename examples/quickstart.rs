@@ -1,0 +1,109 @@
+//! Quickstart: incomplete databases, the information ordering, and
+//! certain answers — the paper's Section 2.1 example, end to end.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use ca_core::preorder::{Preorder, PreorderExt};
+use ca_query::ast::{Atom, ConjunctiveQuery, Term, UnionQuery};
+use ca_query::certain::{certain_answer_bool, naive_eval_bool, naive_eval_table};
+use ca_query::tableau::canonical_query;
+use ca_relational::database::build::{c, n, table};
+use ca_relational::glb::glb_databases;
+use ca_relational::hom::find_hom;
+use ca_relational::ordering::InfoOrder;
+
+fn main() {
+    // The incomplete table D from Section 2.1 of the paper:
+    //   D(1, 2, ⊥1), D(⊥2, ⊥1, 3), D(⊥3, 5, 1).
+    let d = table(
+        "D",
+        3,
+        &[
+            &[c(1), c(2), n(1)],
+            &[n(2), n(1), c(3)],
+            &[n(3), c(5), c(1)],
+        ],
+    );
+    println!("incomplete database D (naïve table):");
+    for fact in d.facts() {
+        println!("  D{:?}", fact.args);
+    }
+
+    // A complete database R in [[D]], witnessed by the homomorphism
+    // ⊥1 ↦ 4, ⊥2 ↦ 3, ⊥3 ↦ 5.
+    let r = table(
+        "D",
+        3,
+        &[
+            &[c(1), c(2), c(4)],
+            &[c(3), c(4), c(3)],
+            &[c(5), c(5), c(1)],
+            &[c(3), c(7), c(8)],
+        ],
+    );
+    let h = find_hom(&d, &r).expect("R is a possible world of D");
+    println!("\nR ∈ [[D]] via the homomorphism:");
+    for (null, value) in h.iter() {
+        println!("  {null} ↦ {value}");
+    }
+
+    // The information ordering ⊑ is homomorphism existence (Prop 3):
+    // D is less informative than R (R has no nulls at all).
+    assert!(InfoOrder.lt(&d, &r));
+    println!("\nD ⊑ R (strictly): D is less informative than the complete R");
+
+    // Certain answers. Q(x): ∃z  D(1, x, z) — what certainly follows 1 in
+    // the second column? Naïve evaluation: evaluate with nulls as values,
+    // then drop answer rows containing nulls.
+    let q = UnionQuery::single(ConjunctiveQuery::with_head(
+        vec![0],
+        vec![Atom::new("D", vec![Term::Const(1), Term::Var(0), Term::Var(1)])],
+    ));
+    let answers = naive_eval_table(&q, &d);
+    println!("\ncertain answers to Q(x) ← D(1,x,z), by naïve evaluation:");
+    for row in &answers {
+        println!("  x = {}", row[0]);
+    }
+    assert!(answers.contains(&vec![c(2)]));
+
+    // A query whose only matches go through nulls has no certain answers.
+    let q_null = UnionQuery::single(ConjunctiveQuery::with_head(
+        vec![0],
+        vec![
+            Atom::new("D", vec![Term::Var(0), Term::Var(1), Term::Var(2)]),
+            Atom::new("D", vec![Term::Var(2), Term::Const(5), Term::Const(1)]),
+        ],
+    ));
+    println!(
+        "certain answers to Q(x) ← D(x,y,z) ∧ D(z,5,1): {} (the join only \
+         exists in worlds where ⊥1 = ⊥3)",
+        if naive_eval_table(&q_null, &d).is_empty() {
+            "none"
+        } else {
+            "some"
+        }
+    );
+
+    // The canonical Boolean query Q_D of D itself is certain on D
+    // (Proposition 2: Q_D ⊆ Q_D, trivially).
+    let qd = UnionQuery::single(canonical_query(&d));
+    assert!(certain_answer_bool(&qd, &d));
+    assert!(naive_eval_bool(&qd, &d));
+    println!("\ncertain(Q_D, D) = true — D certainly satisfies its own description");
+
+    // Greatest lower bounds: the certain information shared by two
+    // incomplete databases (Proposition 5's ⊗-product).
+    let d2 = table(
+        "D",
+        3,
+        &[&[c(1), c(2), c(9)], &[n(7), c(5), c(1)]],
+    );
+    let meet = glb_databases(&d, &d2);
+    println!("\nglb of D with a second source ({} merged rows):", meet.len());
+    for fact in meet.facts() {
+        println!("  D{:?}", fact.args);
+    }
+    assert!(InfoOrder.leq(&meet, &d));
+    assert!(InfoOrder.leq(&meet, &d2));
+    println!("the glb is below both sources in the information ordering ✓");
+}

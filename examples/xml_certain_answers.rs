@@ -1,0 +1,81 @@
+//! XML with incomplete information: tree patterns, the information
+//! ordering on documents, and certain information as max-descriptions
+//! (= greatest lower bounds, Theorem 1).
+//!
+//! Scenario: two partially-known versions of a product feed document. The
+//! max-description of the set is the certain document content; incomplete
+//! patterns can then be checked against it.
+//!
+//! Run with `cargo run --example xml_certain_answers`.
+
+use ca_core::value::Value;
+use ca_xml::glb::max_description;
+use ca_xml::hom::{find_tree_hom, tree_leq};
+use ca_xml::tree::{Alphabet, XmlTree};
+
+fn c(x: i64) -> Value {
+    Value::Const(x)
+}
+fn n(id: u32) -> Value {
+    Value::null(id)
+}
+
+fn main() {
+    // Alphabet: feed (root, 0 attrs), product(id, price), review(score).
+    let alpha = Alphabet::from_labels(&[("feed", 0), ("product", 2), ("review", 1)]);
+
+    // Version 1 of the feed: product 7 at price 100 with a review of
+    // unknown score; a second product with unknown id at price 30.
+    let mut v1 = XmlTree::new(alpha.clone(), "feed", vec![]);
+    let p1 = v1.add_child(0, "product", vec![c(7), c(100)]);
+    v1.add_child(p1, "review", vec![n(1)]);
+    v1.add_child(0, "product", vec![n(2), c(30)]);
+
+    // Version 2: product 7 at unknown price with a 5-star review; another
+    // product 8 at price 30.
+    let mut v2 = XmlTree::new(alpha.clone(), "feed", vec![]);
+    let p2 = v2.add_child(0, "product", vec![c(7), n(3)]);
+    v2.add_child(p2, "review", vec![c(5)]);
+    v2.add_child(0, "product", vec![c(8), c(30)]);
+
+    println!("version 1: {v1}");
+    println!("version 2: {v2}");
+
+    // The certain information in {v1, v2}: their max-description — by
+    // Theorem 1 of the paper, exactly the glb in the information ordering.
+    let certain = max_description(&[&v1, &v2]).expect("documents share the feed root");
+    println!("\nmax-description (certain content): {certain}");
+    assert!(tree_leq(&certain, &v1) && tree_leq(&certain, &v2));
+
+    // Patterns (incomplete trees) as queries: does the certain content
+    // guarantee a product 7 with a review?
+    let mut pattern = XmlTree::new(alpha.clone(), "product", vec![c(7), n(9)]);
+    pattern.add_child(0, "review", vec![n(10)]);
+    let hit = find_tree_hom(&pattern, &certain);
+    println!(
+        "\npattern product(7,·)[review(·)] certain? {}",
+        hit.is_some()
+    );
+    assert!(hit.is_some(), "both versions have a reviewed product 7");
+
+    // A pattern that is true in each version but NOT certain: "a product
+    // costs 30 with id 8" — v1 does not pin the id.
+    let p8 = XmlTree::new(alpha.clone(), "product", vec![c(8), c(30)]);
+    println!(
+        "pattern product(8,30) holds in v2: {}, holds in v1: {}, certain: {}",
+        tree_leq(&p8, &v2),
+        tree_leq(&p8, &v1),
+        tree_leq(&p8, &certain),
+    );
+    assert!(!tree_leq(&p8, &certain));
+
+    // Homomorphisms need not map roots to roots (the paper's definition):
+    // a bare review pattern matches deep inside the document.
+    let deep = XmlTree::new(alpha, "review", vec![c(5)]);
+    let h = find_tree_hom(&deep, &v2).expect("review(5) occurs in v2");
+    println!(
+        "\nreview(5) matches v2 at node {} (depth {})",
+        h.node_map[0],
+        v2.depth(h.node_map[0])
+    );
+}

@@ -1,0 +1,132 @@
+//! `certain` — a command-line front end for the library.
+//!
+//! Databases use the `ca-relational` text syntax (`R(1, ?x, _)`, facts
+//! separated by `;` or newlines); queries use the `ca-query` syntax
+//! (`(x) :- R(x, 1), S(x)`, disjuncts separated by `|`). Arguments
+//! starting with `@` are read from files.
+//!
+//! ```text
+//! certain eval   '<db>' '<ucq>'     # certain answers (naïve evaluation)
+//! certain check  '<db>' '<ucq>'     # naïve vs brute-force cross-check
+//! certain order  '<db1>' '<db2>'    # compare in the information ordering
+//! certain glb    '<db1>' '<db2>'    # greatest lower bound (Prop 5)
+//! certain minimize '<boolean cq>'   # minimize a conjunctive query
+//! ```
+
+use std::process::exit;
+
+use certain_answers::query::ast::UnionQuery;
+use certain_answers::query::certain::{certain_answer_bool, naive_eval_table};
+use certain_answers::query::minimize::minimize_cq;
+use certain_answers::query::parse::{parse_cq, parse_ucq};
+use certain_answers::relational::database::NaiveDatabase;
+use certain_answers::relational::glb::glb_databases;
+use certain_answers::relational::parse::parse_database;
+use certain_answers::core::preorder::Preorder;
+use certain_answers::relational::ordering::InfoOrder;
+
+fn load(arg: &str) -> String {
+    if let Some(path) = arg.strip_prefix('@') {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            exit(2);
+        })
+    } else {
+        arg.to_owned()
+    }
+}
+
+fn db(arg: &str) -> NaiveDatabase {
+    parse_database(&load(arg)).unwrap_or_else(|e| {
+        eprintln!("database: {e}");
+        exit(2);
+    })
+}
+
+fn ucq(arg: &str) -> UnionQuery {
+    parse_ucq(&load(arg)).unwrap_or_else(|e| {
+        eprintln!("query: {e}");
+        exit(2);
+    })
+}
+
+fn print_db(d: &NaiveDatabase) {
+    for fact in d.facts() {
+        let args: Vec<String> = fact.args.iter().map(|v| v.to_string()).collect();
+        println!("{}({})", d.schema.name(fact.rel), args.join(", "));
+    }
+}
+
+fn usage() -> ! {
+    eprintln!("usage: certain <eval|check|order|glb|minimize> <args…>   (see --help in source docs)");
+    exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("eval") if args.len() == 3 => {
+            let d = db(&args[1]);
+            let q = ucq(&args[2]);
+            if q.head_arity() == 0 {
+                let ans = certain_answers::query::certain::naive_eval_bool(&q, &d);
+                println!("{ans}");
+            } else {
+                for row in naive_eval_table(&q, &d) {
+                    let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+                    println!("({})", cells.join(", "));
+                }
+            }
+        }
+        Some("check") if args.len() == 3 => {
+            let d = db(&args[1]);
+            let q = ucq(&args[2]);
+            if q.head_arity() != 0 {
+                eprintln!("check works on Boolean queries");
+                exit(2);
+            }
+            let naive = certain_answers::query::certain::naive_eval_bool(&q, &d);
+            let brute = certain_answer_bool(&q, &d);
+            println!("naive evaluation: {naive}");
+            println!("brute force:      {brute}");
+            if naive != brute {
+                println!("DISAGREEMENT (query is outside UCQ semantics?)");
+                exit(1);
+            }
+        }
+        Some("order") if args.len() == 3 => {
+            let a = db(&args[1]);
+            let b = db(&args[2]);
+            let le = InfoOrder.leq(&a, &b);
+            let ge = InfoOrder.leq(&b, &a);
+            match (le, ge) {
+                (true, true) => println!("equivalent (A ∼ B)"),
+                (true, false) => println!("A ⊑ B strictly (A is less informative)"),
+                (false, true) => println!("B ⊑ A strictly (B is less informative)"),
+                (false, false) => println!("incomparable"),
+            }
+        }
+        Some("glb") if args.len() == 3 => {
+            let a = db(&args[1]);
+            let b = db(&args[2]);
+            print_db(&glb_databases(&a, &b));
+        }
+        Some("minimize") if args.len() == 2 => {
+            let q = parse_cq(&load(&args[1])).unwrap_or_else(|e| {
+                eprintln!("query: {e}");
+                exit(2);
+            });
+            if !q.is_boolean() {
+                eprintln!("minimize works on Boolean queries");
+                exit(2);
+            }
+            // Infer a schema from the query atoms.
+            let mut schema = certain_answers::relational::schema::Schema::new();
+            for atom in &q.atoms {
+                schema.add_relation(&atom.rel, atom.args.len());
+            }
+            println!("{}", minimize_cq(&q, &schema));
+        }
+        _ => usage(),
+    }
+}

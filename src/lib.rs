@@ -1,0 +1,40 @@
+//! # certain-answers
+//!
+//! A reference implementation of **Leonid Libkin, “Incomplete Information
+//! and Certain Answers in General Data Models”, PODS 2011**.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`core`] — values (constants and nulls) and the abstract ordered-set
+//!   theory of incompleteness (Section 3): preorders, glbs,
+//!   max-descriptions, complete objects, naïve evaluation.
+//! * [`hom`] — the homomorphism engine: CSP search, bipartite matching,
+//!   tree decompositions, the Theorem 6 polynomial membership algorithm.
+//! * [`graph`] — digraphs, graph homomorphisms, cores, and the lattice of
+//!   cores (Section 4), including the Theorem 3 counterexample families.
+//! * [`relational`] — naïve and Codd tables/databases, the information
+//!   ordering, glbs of naïve tables (Proposition 5), the 1990s orderings
+//!   and CWA (Propositions 4 and 8).
+//! * [`query`] — conjunctive queries, UCQs and first-order queries;
+//!   tableaux, containment, naïve evaluation and certain answers
+//!   (Propositions 1, 2, 7).
+//! * [`xml`] — incomplete XML trees, tree homomorphisms, glbs of trees and
+//!   max-descriptions (Section 2.2, Proposition 6, Corollary 2).
+//! * [`gdm`] — the generalized data model of Section 5 and the
+//!   computational problems of Section 6: consistency, membership, query
+//!   answering in FO(S,∼).
+//! * [`exchange`] — data exchange as least upper bounds (Section 5.3):
+//!   mappings, solutions, canonical/universal/core solutions, Theorem 5
+//!   and Proposition 10.
+//!
+//! See `DESIGN.md` for the full system inventory and `EXPERIMENTS.md` for
+//! the paper-result-by-result reproduction record.
+
+pub use ca_core as core;
+pub use ca_exchange as exchange;
+pub use ca_gdm as gdm;
+pub use ca_graph as graph;
+pub use ca_hom as hom;
+pub use ca_query as query;
+pub use ca_relational as relational;
+pub use ca_xml as xml;

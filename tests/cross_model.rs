@@ -1,0 +1,106 @@
+//! Cross-crate integration tests: the three data models (relations, XML,
+//! generalized databases) agree through the encodings, and the glb
+//! constructions commute with them.
+
+use ca_core::preorder::Preorder;
+use ca_core::value::Value;
+use ca_gdm::encode::{encode_relational, encode_xml};
+use ca_gdm::glb::{glb_sigma, glb_trees_gdm};
+use ca_gdm::hom::{gdm_equiv, gdm_leq};
+use ca_relational::database::build::{c, n, table};
+use ca_relational::generate::{random_naive_db, DbParams, Rng};
+use ca_relational::ordering::InfoOrder;
+use ca_xml::encode::encode_database;
+use ca_xml::hom::tree_leq;
+use ca_xml::tree::{example_alphabet, XmlTree};
+
+/// The relational ordering survives a round trip through *both* encodings
+/// (relational → XML trees, relational → generalized databases).
+#[test]
+fn orderings_agree_across_all_three_models() {
+    let mut rng = Rng::new(5150);
+    for trial in 0..25 {
+        let p = DbParams {
+            n_facts: 3,
+            arity: 2,
+            n_constants: 2,
+            n_nulls: 2,
+            null_pct: 50,
+        };
+        let a = random_naive_db(&mut rng, p);
+        let b = random_naive_db(&mut rng, p);
+        let rel = InfoOrder.leq(&a, &b);
+        let xml = tree_leq(&encode_database(&a), &encode_database(&b));
+        let gdm = gdm_leq(&encode_relational(&a), &encode_relational(&b));
+        assert_eq!(rel, xml, "relational vs XML disagree on trial {trial}");
+        assert_eq!(rel, gdm, "relational vs GDM disagree on trial {trial}");
+    }
+}
+
+/// glb commutes with the relational → GDM encoding (Theorem 4 degenerates
+/// to Proposition 5 at σ = ∅).
+#[test]
+fn relational_glb_commutes_with_gdm_encoding() {
+    let mut rng = Rng::new(6021);
+    for _ in 0..15 {
+        let p = DbParams {
+            n_facts: 3,
+            arity: 2,
+            n_constants: 3,
+            n_nulls: 2,
+            null_pct: 30,
+        };
+        let a = random_naive_db(&mut rng, p);
+        let b = random_naive_db(&mut rng, p);
+        let rel_glb = ca_relational::glb::glb_databases(&a, &b);
+        let gdm_glb = glb_sigma(&encode_relational(&a), &encode_relational(&b));
+        assert!(gdm_equiv(&gdm_glb, &encode_relational(&rel_glb)));
+    }
+}
+
+/// Tree glbs computed natively (ca-xml) and through the generalized model
+/// (ca-gdm, Theorem 4 with K = trees) are hom-equivalent.
+#[test]
+fn tree_glb_agrees_between_xml_and_gdm() {
+    let alpha = example_alphabet();
+    let mk = |price: i64, extra_label: &str| {
+        let mut t = XmlTree::new(alpha.clone(), "r", vec![]);
+        let a = t.add_child(0, "a", vec![Value::Const(1), Value::Const(price)]);
+        t.add_child(a, extra_label, vec![Value::Const(9)]);
+        t
+    };
+    let t1 = mk(2, "b");
+    let t2 = mk(3, "b");
+    let xml_meet = ca_xml::glb::glb_trees(&t1, &t2).expect("documents share root");
+    let gdm_meet = glb_trees_gdm(&encode_xml(&t1), &encode_xml(&t2)).expect("documents share root");
+    assert!(gdm_equiv(&gdm_meet, &encode_xml(&xml_meet)));
+}
+
+/// The depth-2 encoding of a relational glb is a glb of the encodings —
+/// the exact mechanism behind Corollary 2's transfer of Theorem 3 to XML.
+#[test]
+fn corollary2_transfer_mechanism() {
+    let a = table("R", 2, &[&[c(1), c(2)], &[c(2), c(2)]]);
+    let b = table("R", 2, &[&[c(1), c(3)], &[n(1), c(2)]]);
+    let rel_glb = ca_relational::glb::glb_databases(&a, &b);
+    let enc_glb =
+        ca_xml::glb::glb_trees(&encode_database(&a), &encode_database(&b)).expect("shared root");
+    // Both ways around: encoding of glb ∼ glb of encodings.
+    assert!(tree_leq(&enc_glb, &encode_database(&rel_glb)));
+    assert!(tree_leq(&encode_database(&rel_glb), &enc_glb));
+}
+
+/// Codd-ness and completeness are preserved by all encodings.
+#[test]
+fn structural_predicates_survive_encoding() {
+    let codd = table("R", 2, &[&[c(1), n(1)], &[n(2), c(2)]]);
+    let naive = table("R", 2, &[&[n(1), n(1)]]);
+    let complete = table("R", 2, &[&[c(1), c(2)]]);
+    for (db, is_codd, is_complete) in [(&codd, true, false), (&naive, false, false), (&complete, true, true)] {
+        assert_eq!(db.is_codd(), is_codd);
+        assert_eq!(db.is_complete(), is_complete);
+        assert_eq!(encode_relational(db).is_codd(), is_codd);
+        assert_eq!(encode_relational(db).is_complete(), is_complete);
+        assert_eq!(encode_database(db).is_complete(), is_complete);
+    }
+}

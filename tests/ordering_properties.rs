@@ -1,0 +1,115 @@
+//! Property-based tests (proptest) for the core invariants of the
+//! information orderings across models.
+
+use proptest::prelude::*;
+
+use ca_core::preorder::Preorder;
+use ca_core::value::Value;
+use ca_relational::database::NaiveDatabase;
+use ca_relational::glb::glb_databases;
+use ca_relational::ordering::InfoOrder;
+use ca_relational::schema::Schema;
+use ca_relational::tuplewise::hoare_leq;
+
+/// Strategy: a small naïve database over one binary relation.
+fn arb_db(max_facts: usize, codd: bool) -> impl Strategy<Value = NaiveDatabase> {
+    let value = prop_oneof![
+        (0i64..3).prop_map(Value::Const),
+        (0u32..3).prop_map(Value::null),
+    ];
+    let fact = prop::collection::vec(value, 2);
+    prop::collection::vec(fact, 0..=max_facts).prop_map(move |rows| {
+        let schema = Schema::from_relations(&[("R", 2)]);
+        let mut db = NaiveDatabase::new(schema);
+        let mut next_null = 100u32;
+        for row in rows {
+            let row = if codd {
+                // Freshen every null to restore the Codd discipline.
+                row.into_iter()
+                    .map(|v| match v {
+                        Value::Null(_) => {
+                            next_null += 1;
+                            Value::null(next_null)
+                        }
+                        c => c,
+                    })
+                    .collect()
+            } else {
+                row
+            };
+            db.add("R", row);
+        }
+        db
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// ⊑ is reflexive.
+    #[test]
+    fn ordering_reflexive(db in arb_db(4, false)) {
+        prop_assert!(InfoOrder.leq(&db, &db));
+    }
+
+    /// ⊑ is transitive (on sampled triples).
+    #[test]
+    fn ordering_transitive(a in arb_db(3, false), b in arb_db(3, false), c in arb_db(3, false)) {
+        if InfoOrder.leq(&a, &b) && InfoOrder.leq(&b, &c) {
+            prop_assert!(InfoOrder.leq(&a, &c));
+        }
+    }
+
+    /// The empty database is the bottom element.
+    #[test]
+    fn empty_is_bottom(db in arb_db(4, false)) {
+        let empty = NaiveDatabase::new(Schema::from_relations(&[("R", 2)]));
+        prop_assert!(InfoOrder.leq(&empty, &db));
+    }
+
+    /// Homomorphic images are more informative: D ⊑ h(D) for groundings.
+    #[test]
+    fn grounding_is_above(db in arb_db(4, false)) {
+        let (frozen, _) = db.freeze(&std::collections::BTreeSet::new());
+        prop_assert!(InfoOrder.leq(&db, &frozen));
+        prop_assert!(frozen.is_complete());
+    }
+
+    /// Proposition 5 as a property: the ⊗-product is a lower bound of
+    /// both inputs and dominates the empty database trivially.
+    #[test]
+    fn glb_is_lower_bound(a in arb_db(3, false), b in arb_db(3, false)) {
+        let meet = glb_databases(&a, &b);
+        prop_assert!(InfoOrder.leq(&meet, &a));
+        prop_assert!(InfoOrder.leq(&meet, &b));
+    }
+
+    /// glb is commutative up to ∼.
+    #[test]
+    fn glb_commutative(a in arb_db(3, false), b in arb_db(3, false)) {
+        let ab = glb_databases(&a, &b);
+        let ba = glb_databases(&b, &a);
+        prop_assert!(InfoOrder.leq(&ab, &ba) && InfoOrder.leq(&ba, &ab));
+    }
+
+    /// Proposition 4 as a property: on Codd databases ⊑ = ⊴ (Hoare).
+    #[test]
+    fn proposition4_property(a in arb_db(3, true), b in arb_db(3, true)) {
+        prop_assert!(a.is_codd() && b.is_codd());
+        prop_assert_eq!(InfoOrder.leq(&a, &b), hoare_leq(&a, &b));
+    }
+
+    /// π_cpl is a monotone retraction (the Section 3 axioms, sampled).
+    #[test]
+    fn complete_part_is_retraction(a in arb_db(4, false), b in arb_db(4, false)) {
+        use ca_core::complete::CompleteObjects;
+        let pa = InfoOrder.pi_cpl(&a);
+        prop_assert!(pa.is_complete());
+        prop_assert!(InfoOrder.leq(&pa, &a));
+        if InfoOrder.leq(&a, &b) {
+            prop_assert!(InfoOrder.leq(&pa, &InfoOrder.pi_cpl(&b)));
+        }
+        // Idempotent on complete objects.
+        prop_assert_eq!(InfoOrder.pi_cpl(&pa), pa);
+    }
+}
