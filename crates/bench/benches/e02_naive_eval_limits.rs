@@ -25,7 +25,13 @@ fn bench(c: &mut Criterion) {
         let mut rng = Rng::new(7);
         let db = random_naive_db(
             &mut rng,
-            DbParams { n_facts: 4, arity: 2, n_constants: 2, n_nulls, null_pct: 50 },
+            DbParams {
+                n_facts: 4,
+                arity: 2,
+                n_constants: 2,
+                n_nulls,
+                null_pct: 50,
+            },
         );
         group.bench_with_input(BenchmarkId::new("naive_fo", n_nulls), &n_nulls, |b, _| {
             b.iter(|| naive_eval_fo_bool(black_box(&phi), black_box(&db)))

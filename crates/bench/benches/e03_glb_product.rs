@@ -14,7 +14,13 @@ fn bench(c: &mut Criterion) {
             .map(|_| {
                 random_naive_db(
                     &mut rng,
-                    DbParams { n_facts: 3, arity: 2, n_constants: 3, n_nulls: 2, null_pct: 25 },
+                    DbParams {
+                        n_facts: 3,
+                        arity: 2,
+                        n_constants: 3,
+                        n_nulls: 2,
+                        null_pct: 25,
+                    },
                 )
             })
             .collect();

@@ -16,7 +16,12 @@ fn bench(c: &mut Criterion) {
         0,
         GFo::And(vec![
             GFo::Label("R".into(), 0),
-            GFo::AttrEq { i: 0, j: 1, x: 0, y: 0 },
+            GFo::AttrEq {
+                i: 0,
+                j: 1,
+                x: 0,
+                y: 0,
+            },
         ]),
     );
     for &facts in &[2usize, 3, 4] {
@@ -24,7 +29,10 @@ fn bench(c: &mut Criterion) {
         for i in 0..facts {
             d.add_node(
                 "R",
-                vec![ca_core::value::Value::null(i as u32), ca_core::value::Value::Const(1)],
+                vec![
+                    ca_core::value::Value::null(i as u32),
+                    ca_core::value::Value::Const(1),
+                ],
             );
         }
         group.bench_with_input(BenchmarkId::new("expos_naive", facts), &facts, |b, _| {

@@ -17,7 +17,9 @@ fn bench(c: &mut Criterion) {
     }
     let c2 = Digraph::cycle(2);
     let c3 = Digraph::cycle(3);
-    group.bench_function("glb_c2_c3", |b| b.iter(|| glb(black_box(&c2), black_box(&c3))));
+    group.bench_function("glb_c2_c3", |b| {
+        b.iter(|| glb(black_box(&c2), black_box(&c3)))
+    });
     group.bench_function("lub_c3_c4", |b| {
         let c4 = Digraph::cycle(4);
         b.iter(|| lub(black_box(&c3), black_box(&c4)))

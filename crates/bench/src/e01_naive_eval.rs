@@ -69,7 +69,9 @@ pub fn run() -> Report {
         ]);
     }
     report.note("paper: agreement must be 100% for every row (classical theorem; re-proved via Thm 2 + Prop 7)");
-    report.note("brute force grows exponentially with the null count while naive evaluation stays flat");
+    report.note(
+        "brute force grows exponentially with the null count while naive evaluation stays flat",
+    );
     report
 }
 

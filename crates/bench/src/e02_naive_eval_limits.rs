@@ -30,7 +30,10 @@ fn queries() -> Vec<(&'static str, Fo)> {
             "ucq: ∃xyz R(x,y)∧R(y,z)",
             Fo::exists(
                 0,
-                Fo::exists(1, Fo::exists(2, Fo::And(vec![r(V(0), V(1)), r(V(1), V(2))]))),
+                Fo::exists(
+                    1,
+                    Fo::exists(2, Fo::And(vec![r(V(0), V(1)), r(V(1), V(2))])),
+                ),
             ),
         ),
         (
@@ -39,11 +42,7 @@ fn queries() -> Vec<(&'static str, Fo)> {
                 0,
                 Fo::exists(
                     1,
-                    Fo::And(vec![
-                        r(V(0), V(0)),
-                        r(V(1), V(1)),
-                        Fo::Eq(V(0), V(1)).not(),
-                    ]),
+                    Fo::And(vec![r(V(0), V(0)), r(V(1), V(1)), Fo::Eq(V(0), V(1)).not()]),
                 ),
             ),
         ),
@@ -51,10 +50,7 @@ fn queries() -> Vec<(&'static str, Fo)> {
             "∀: ∀xy R(x,y)→R(y,x)",
             Fo::forall(0, Fo::forall(1, r(V(0), V(1)).implies(r(V(1), V(0))))),
         ),
-        (
-            "¬∃: ¬∃x R(x,x)",
-            Fo::exists(0, r(V(0), V(0))).not(),
-        ),
+        ("¬∃: ¬∃x R(x,x)", Fo::exists(0, r(V(0), V(0))).not()),
     ]
 }
 

@@ -7,14 +7,14 @@
 //! against the arithmetic–geometric-mean bound, and measure the core of
 //! the glb.
 
+use ca_core::preorder::Preorder;
+use ca_exchange::solution::core_of_gendb;
 use ca_gdm::encode::encode_relational;
 use ca_gdm::hom::gdm_leq;
-use ca_exchange::solution::core_of_gendb;
 use ca_relational::database::build::{n as nl, table};
 use ca_relational::generate::{random_naive_db, DbParams, Rng};
 use ca_relational::glb::{glb_many, glb_size_bound};
 use ca_relational::ordering::InfoOrder;
-use ca_core::preorder::Preorder;
 
 use crate::report::{timed, Report};
 
@@ -22,7 +22,15 @@ use crate::report::{timed, Report};
 pub fn run() -> Report {
     let mut report = Report::new(
         "E3: glb of naive tables via ⊗-product (Proposition 5)",
-        &["tables", "tuples_each", "glb_size", "bound", "core_size", "laws_ok", "glb_us"],
+        &[
+            "tables",
+            "tuples_each",
+            "glb_size",
+            "bound",
+            "core_size",
+            "laws_ok",
+            "glb_us",
+        ],
     );
     let mut rng = Rng::new(303);
     for &(n_tables, tuples) in &[(2usize, 2usize), (2, 4), (3, 2), (3, 3), (4, 2), (5, 2)] {
@@ -43,10 +51,7 @@ pub fn run() -> Report {
         let (meet, us) = timed(|| glb_many(&xs).expect("nonempty family"));
         // Laws: lower bound of all inputs; dominates sampled lower bounds.
         let mut laws_ok = xs.iter().all(|x| InfoOrder.leq(&meet, x));
-        let sampled_lows = [
-            table("R", 2, &[&[nl(90), nl(91)]]),
-            table("R", 2, &[]),
-        ];
+        let sampled_lows = [table("R", 2, &[&[nl(90), nl(91)]]), table("R", 2, &[])];
         for l in &sampled_lows {
             if xs.iter().all(|x| InfoOrder.leq(l, x)) && !InfoOrder.leq(l, &meet) {
                 laws_ok = false;

@@ -17,7 +17,14 @@ use crate::report::{timed, Report};
 pub fn run() -> Report {
     let mut report = Report::new(
         "E4: ⊑ vs ⊴ (Proposition 4)",
-        &["class", "facts", "trials", "agree", "hom_us", "tuplewise_us"],
+        &[
+            "class",
+            "facts",
+            "trials",
+            "agree",
+            "hom_us",
+            "tuplewise_us",
+        ],
     );
     let mut rng = Rng::new(404);
     for &facts in &[4usize, 8, 16, 32] {
@@ -80,8 +87,11 @@ mod tests {
                 let trials = &row[2];
                 assert_eq!(&row[3], &format!("{trials}/{trials}"), "Prop 4 violated");
             } else {
-                assert_ne!(&row[3], &format!("{}/{}", row[2], row[2]),
-                    "expected at least one disagreement for naive databases");
+                assert_ne!(
+                    &row[3],
+                    &format!("{}/{}", row[2], row[2]),
+                    "expected at least one disagreement for naive databases"
+                );
             }
         }
     }

@@ -33,7 +33,10 @@ pub fn run() -> Report {
         ("C3".into(), Digraph::cycle(3)),
         ("C4".into(), Digraph::cycle(4)),
         ("C8".into(), Digraph::cycle(8)),
-        ("C6 ⊔ P2".into(), Digraph::cycle(6).disjoint_union(&Digraph::path(2))),
+        (
+            "C6 ⊔ P2".into(),
+            Digraph::cycle(6).disjoint_union(&Digraph::path(2)),
+        ),
         ("random(6, p=1/3)".into(), random_digraph(6, 1, 3, 55)),
         ("random(8, p=1/4)".into(), random_digraph(8, 1, 4, 56)),
     ];

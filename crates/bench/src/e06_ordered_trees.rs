@@ -25,7 +25,8 @@ pub fn run() -> Report {
         ]);
     }
     report.note("paper: a[b] and a[c] are incomparable maximal lower bounds; no enumerated candidate dominates both while staying a lower bound");
-    report.note("unordered, the same pair has the glb a[ ] — ordering is what breaks glb existence");
+    report
+        .note("unordered, the same pair has the glb a[ ] — ordering is what breaks glb existence");
     report
 }
 

@@ -17,7 +17,14 @@ use crate::report::{timed, Report};
 pub fn run() -> Report {
     let mut report = Report::new(
         "E7: generalized glbs (Theorem 4)",
-        &["class", "size", "trials", "cross_check", "laws_ok", "glb_us"],
+        &[
+            "class",
+            "size",
+            "trials",
+            "cross_check",
+            "laws_ok",
+            "glb_us",
+        ],
     );
     let mut rng = Rng::new(707);
     // Relational instantiation: glb_sigma vs Proposition 5.
@@ -123,7 +130,11 @@ mod tests {
         let r = super::run();
         for row in &r.rows {
             let parts: Vec<&str> = row[3].split('/').collect();
-            assert_eq!(parts[0], parts[1].split(' ').next().unwrap(), "cross-check failed: {row:?}");
+            assert_eq!(
+                parts[0],
+                parts[1].split(' ').next().unwrap(),
+                "cross-check failed: {row:?}"
+            );
         }
     }
 }

@@ -35,7 +35,14 @@ fn paper_mapping() -> (Mapping, GenSchema, GenSchema) {
 pub fn run() -> Report {
     let mut report = Report::new(
         "E8: data exchange as lubs (Theorem 5) + tree failure (Prop 10)",
-        &["source_facts", "canonical", "core", "solution", "universal", "us"],
+        &[
+            "source_facts",
+            "canonical",
+            "core",
+            "solution",
+            "universal",
+            "us",
+        ],
     );
     let (mapping, src_schema, tgt_schema) = paper_mapping();
     let mut rng = Rng::new(808);

@@ -19,7 +19,15 @@ use crate::report::{timed, Report};
 pub fn run() -> Report {
     let mut report = Report::new(
         "E9: membership via Theorem 6 (Codd + treewidth ≤ 1)",
-        &["pattern_nodes", "doc_nodes", "trials", "agree", "yes%", "dp_us", "csp_us"],
+        &[
+            "pattern_nodes",
+            "doc_nodes",
+            "trials",
+            "agree",
+            "yes%",
+            "dp_us",
+            "csp_us",
+        ],
     );
     let mut rng = Rng::new(909);
     for &(pat_nodes, doc_nodes, run_csp) in &[
@@ -76,7 +84,11 @@ pub fn run() -> Report {
             format!("{agree}/{trials}"),
             format!("{}", yes * 100 / trials),
             dp_us.to_string(),
-            if run_csp { csp_us.to_string() } else { "-".into() },
+            if run_csp {
+                csp_us.to_string()
+            } else {
+                "-".into()
+            },
         ]);
     }
     report.note("paper: both algorithms agree on every instance (cross-checked up to 16/32); the DP is the uniform PTIME explanation of the separate relational [3] and XML [7] algorithms");
@@ -91,7 +103,11 @@ mod tests {
         let r = super::run();
         for row in &r.rows {
             let trials = &row[2];
-            assert_eq!(&row[3], &format!("{trials}/{trials}"), "Theorem 6 disagreement");
+            assert_eq!(
+                &row[3],
+                &format!("{trials}/{trials}"),
+                "Theorem 6 disagreement"
+            );
         }
     }
 }

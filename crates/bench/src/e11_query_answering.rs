@@ -30,10 +30,26 @@ pub fn run() -> Report {
             0,
             GFo::And(vec![
                 GFo::Label("R".into(), 0),
-                GFo::AttrEq { i: 0, j: 1, x: 0, y: 0 },
+                GFo::AttrEq {
+                    i: 0,
+                    j: 1,
+                    x: 0,
+                    y: 0,
+                },
             ]),
         ),
-        GFo::exists(0, GFo::exists(1, GFo::AttrEq { i: 0, j: 0, x: 0, y: 1 })),
+        GFo::exists(
+            0,
+            GFo::exists(
+                1,
+                GFo::AttrEq {
+                    i: 0,
+                    j: 0,
+                    x: 0,
+                    y: 1,
+                },
+            ),
+        ),
     ];
     for (qi, phi) in phis.iter().enumerate() {
         let trials = 20;
@@ -102,7 +118,9 @@ pub fn run() -> Report {
         ]);
     }
     report.note("paper: ∃⁺ naive evaluation is exact (Thm 7a, DLogSpace); certain(ϕ₀, D_G) ⇔ G not 3-colorable (Thm 7b, coNP-complete)");
-    report.note("Thm 7c (undecidability for full FO(S,∼)) is a statement about what cannot be implemented");
+    report.note(
+        "Thm 7c (undecidability for full FO(S,∼)) is a statement about what cannot be implemented",
+    );
     report
 }
 
@@ -113,7 +131,11 @@ mod tests {
         let r = super::run();
         for row in &r.rows {
             let trials = &row[2];
-            assert_eq!(&row[3], &format!("{trials}/{trials}"), "E11 disagreement: {row:?}");
+            assert_eq!(
+                &row[3],
+                &format!("{trials}/{trials}"),
+                "E11 disagreement: {row:?}"
+            );
         }
     }
 }

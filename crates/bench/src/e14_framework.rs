@@ -55,7 +55,12 @@ pub fn run() -> Report {
         assert!(dom.domain.check_reflexive());
         assert!(dom.domain.check_transitive());
     });
-    report.row(vec!["preorder axioms".into(), format!("{n}²"), "0".into(), us.to_string()]);
+    report.row(vec![
+        "preorder axioms".into(),
+        format!("{n}²"),
+        "0".into(),
+        us.to_string(),
+    ]);
 
     let (axioms, us) = timed(|| dom.check_axioms());
     report.row(vec![
@@ -78,10 +83,7 @@ pub fn run() -> Report {
         let mut violations = 0;
         for i in 0..n {
             for j in i..n {
-                let xs = vec![
-                    dom.domain.objects[i].clone(),
-                    dom.domain.objects[j].clone(),
-                ];
+                let xs = vec![dom.domain.objects[i].clone(), dom.domain.objects[j].clone()];
                 let glb = dom.domain.glb_class(&xs);
                 for (k, m) in dom.domain.objects.iter().enumerate() {
                     let is_md = dom.domain.is_max_description(m, &xs);

@@ -50,19 +50,63 @@ pub type Experiment = (&'static str, &'static str, fn() -> Report);
 /// All experiments, as `(id, title, runner)`.
 pub fn all_experiments() -> Vec<Experiment> {
     vec![
-        ("e01", "Naive evaluation = certain answers for UCQs", e01_naive_eval::run),
-        ("e02", "Proposition 1: naive evaluation fails beyond UCQs", e02_naive_eval_limits::run),
-        ("e03", "Proposition 5: glb via tuple-merge product", e03_glb_product::run),
-        ("e04", "Proposition 4: Codd orderings coincide", e04_codd_orderings::run),
-        ("e05", "Theorem 3: power-of-two cycles have no glb", e05_no_glb_cycles::run),
-        ("e06", "Proposition 6: ordered trees lack glbs", e06_ordered_trees::run),
+        (
+            "e01",
+            "Naive evaluation = certain answers for UCQs",
+            e01_naive_eval::run,
+        ),
+        (
+            "e02",
+            "Proposition 1: naive evaluation fails beyond UCQs",
+            e02_naive_eval_limits::run,
+        ),
+        (
+            "e03",
+            "Proposition 5: glb via tuple-merge product",
+            e03_glb_product::run,
+        ),
+        (
+            "e04",
+            "Proposition 4: Codd orderings coincide",
+            e04_codd_orderings::run,
+        ),
+        (
+            "e05",
+            "Theorem 3: power-of-two cycles have no glb",
+            e05_no_glb_cycles::run,
+        ),
+        (
+            "e06",
+            "Proposition 6: ordered trees lack glbs",
+            e06_ordered_trees::run,
+        ),
         ("e07", "Theorem 4: generalized glbs", e07_general_glb::run),
-        ("e08", "Theorem 5 & Proposition 10: data exchange", e08_data_exchange::run),
-        ("e09", "Theorem 6: membership under Codd + bounded treewidth", e09_membership::run),
+        (
+            "e08",
+            "Theorem 5 & Proposition 10: data exchange",
+            e08_data_exchange::run,
+        ),
+        (
+            "e09",
+            "Theorem 6: membership under Codd + bounded treewidth",
+            e09_membership::run,
+        ),
         ("e10", "Proposition 11: consistency", e10_consistency::run),
-        ("e11", "Theorem 7: query answering", e11_query_answering::run),
-        ("e12", "Proposition 8: closed world via Hall's condition", e12_cwa::run),
+        (
+            "e11",
+            "Theorem 7: query answering",
+            e11_query_answering::run,
+        ),
+        (
+            "e12",
+            "Proposition 8: closed world via Hall's condition",
+            e12_cwa::run,
+        ),
         ("e13", "Lattice of cores", e13_core_lattice::run),
-        ("e14", "Section 3 framework on finite domains", e14_framework::run),
+        (
+            "e14",
+            "Section 3 framework on finite domains",
+            e14_framework::run,
+        ),
     ]
 }

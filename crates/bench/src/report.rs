@@ -56,7 +56,11 @@ impl fmt::Display for Report {
             writeln!(f)
         };
         line(f, &self.columns)?;
-        writeln!(f, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()))?;
+        writeln!(
+            f,
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+        )?;
         for row in &self.rows {
             line(f, row)?;
         }

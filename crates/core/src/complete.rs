@@ -150,10 +150,9 @@ impl<P: CompleteObjects> CompleteFiniteDomain<P> {
                     if !self.ord().is_complete(cp) || self.ord().leq(cp, &fx) {
                         continue;
                     }
-                    let witnessed = up_cpl_x.iter().any(|&i| {
-                        self.ord()
-                            .incomparable(&query(&self.domain.objects[i]), cp)
-                    });
+                    let witnessed = up_cpl_x
+                        .iter()
+                        .any(|&i| self.ord().incomparable(&query(&self.domain.objects[i]), cp));
                     if !witnessed {
                         return false;
                     }
@@ -191,10 +190,7 @@ impl<P: CompleteObjects> CompleteFiniteDomain<P> {
             }
             // Greatest among enumerated complete objects below x.
             for y in &self.domain.objects {
-                if self.ord().is_complete(y)
-                    && self.ord().leq(y, x)
-                    && !self.ord().leq(y, &p)
-                {
+                if self.ord().is_complete(y) && self.ord().leq(y, x) && !self.ord().leq(y, &p) {
                     ax2_ok = false;
                 }
             }
@@ -207,9 +203,7 @@ impl<P: CompleteObjects> CompleteFiniteDomain<P> {
             'outer: for x in &self.domain.objects {
                 for y in &self.domain.objects {
                     if self.ord().leq(x, y)
-                        && !self
-                            .ord()
-                            .leq(&self.ord().pi_cpl(x), &self.ord().pi_cpl(y))
+                        && !self.ord().leq(&self.ord().pi_cpl(x), &self.ord().pi_cpl(y))
                     {
                         ax2_ok = false;
                         break 'outer;
@@ -276,8 +270,8 @@ mod tests {
         /// present in y; the null needs *some* nonempty y (it can map to any
         /// value of y). Empty table maps into anything.
         fn hom(x: Mini, y: Mini) -> bool {
-            let consts_ok = (x.0 & 0b01 == 0 || y.0 & 0b01 != 0)
-                && (x.0 & 0b10 == 0 || y.0 & 0b10 != 0);
+            let consts_ok =
+                (x.0 & 0b01 == 0 || y.0 & 0b01 != 0) && (x.0 & 0b10 == 0 || y.0 & 0b10 != 0);
             let null_ok = x.0 & 0b100 == 0 || y.0 != 0;
             consts_ok && null_ok
         }

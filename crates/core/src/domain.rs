@@ -138,7 +138,11 @@ impl<P: Preorder> FiniteDomain<P> {
     /// By Theorem 1 this holds iff `m ∈ ⋀ xs`; see the tests.
     pub fn is_max_description(&self, m: &P::Object, xs: &[P::Object]) -> bool {
         // Mod(Th(X)): objects above every lower bound of X.
-        let th: Vec<&P::Object> = self.theory(xs).into_iter().map(|i| &self.objects[i]).collect();
+        let th: Vec<&P::Object> = self
+            .theory(xs)
+            .into_iter()
+            .map(|i| &self.objects[i])
+            .collect();
         let mod_th: Vec<usize> = self
             .objects
             .iter()
@@ -268,8 +272,16 @@ mod tests {
         // Monotone query: multiply by 2 (preserves divisibility).
         let q = |x: &u64| x * 2;
         assert!(d.is_monotone(q));
-        let ca_x: Vec<u64> = d.certain_answer_class(q, &xs).into_iter().copied().collect();
-        let ca_b: Vec<u64> = d.certain_answer_class(q, &basis).into_iter().copied().collect();
+        let ca_x: Vec<u64> = d
+            .certain_answer_class(q, &xs)
+            .into_iter()
+            .copied()
+            .collect();
+        let ca_b: Vec<u64> = d
+            .certain_answer_class(q, &basis)
+            .into_iter()
+            .copied()
+            .collect();
         assert_eq!(ca_x, ca_b);
         assert_eq!(ca_x, vec![12]);
     }
@@ -281,7 +293,11 @@ mod tests {
         let x = 3u64;
         let up_x: Vec<u64> = d.up(&x).into_iter().map(|i| d.objects[i]).collect();
         let q = |v: &u64| *v; // identity is monotone
-        let ca: Vec<u64> = d.certain_answer_class(q, &up_x).into_iter().copied().collect();
+        let ca: Vec<u64> = d
+            .certain_answer_class(q, &up_x)
+            .into_iter()
+            .copied()
+            .collect();
         assert_eq!(ca, vec![3]);
     }
 

@@ -147,8 +147,6 @@ mod tests {
         let dom = FiniteDomain::new(HoareOrder(base()), subsets.clone());
         let glb = dom.glb_class(&[vec![1], vec![2]]);
         // The class contains {0} (bottom element sets).
-        assert!(glb
-            .iter()
-            .any(|&i| subsets[i] == vec![0]));
+        assert!(glb.iter().any(|&i| subsets[i] == vec![0]));
     }
 }

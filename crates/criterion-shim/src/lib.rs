@@ -1,0 +1,236 @@
+//! Offline stand-in for the subset of [criterion](https://bheisler.github.io/criterion.rs/)
+//! this workspace's benches use.
+//!
+//! The build environment has no network access, so the real crate cannot be
+//! fetched. The shim keeps every bench target compiling and runnable:
+//!
+//! * under `cargo bench` (harness passes `--bench`) each benchmark is timed
+//!   with a warm-up and an adaptive iteration count, and a
+//!   `name/param: <mean> per iter (<iters> iters)` line is printed;
+//! * under `cargo test` (no `--bench` argument) benchmarks are skipped so
+//!   test runs stay fast.
+//!
+//! Passing `--quick` halves the measurement budget, mirroring criterion's
+//! flag enough for the documented invocations to work.
+
+use std::time::{Duration, Instant};
+
+/// Re-export for benches that `use criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group: `function_id/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_id: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_id.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The timing driver handed to benchmark closures.
+pub struct Bencher {
+    enabled: bool,
+    budget: Duration,
+    label: String,
+    /// Last measurement, for the shim's own tests.
+    last: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Time `f` with a warm-up and an adaptive iteration count, printing a
+    /// `label: mean per iter (iters)` line. No-op under `cargo test`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if !self.enabled {
+            return;
+        }
+        // Warm-up and a first estimate.
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let iters = (self.budget.as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let elapsed = start.elapsed();
+        println!(
+            "{}: {:.2?} per iter ({} iters)",
+            self.label,
+            elapsed / iters as u32,
+            iters
+        );
+        self.last = Some((elapsed, iters));
+    }
+}
+
+/// A named collection of benchmarks, mirroring `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup {
+    name: String,
+    enabled: bool,
+    budget: Duration,
+}
+
+impl BenchmarkGroup {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.budget = d;
+        self
+    }
+
+    fn run(&mut self, id: String, f: impl FnOnce(&mut Bencher)) {
+        let mut b = Bencher {
+            enabled: self.enabled,
+            budget: self.budget,
+            label: format!("{}/{}", self.name, id),
+            last: None,
+        };
+        f(&mut b); // under `cargo test`, Bencher::iter is a no-op
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut f = f;
+        self.run(id.to_string(), |b| f(b));
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut f = f;
+        self.run(id.to_string(), |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// The top-level driver, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    enabled: bool,
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        // Cargo's bench runner passes `--bench`; plain `cargo test` builds the
+        // target without it, and we skip measurement there.
+        let enabled = args.iter().any(|a| a == "--bench");
+        let quick = args.iter().any(|a| a == "--quick");
+        Criterion {
+            enabled,
+            budget: if quick {
+                Duration::from_millis(50)
+            } else {
+                Duration::from_millis(200)
+            },
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        let name = name.into();
+        if self.enabled {
+            println!("== bench group {name} ==");
+        }
+        BenchmarkGroup {
+            name,
+            enabled: self.enabled,
+            budget: self.budget,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id, f);
+        self
+    }
+
+    pub fn final_summary(&mut self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_bencher_skips_closure_timing() {
+        let mut b = Bencher {
+            enabled: false,
+            budget: Duration::from_millis(10),
+            label: "t/skip".into(),
+            last: None,
+        };
+        let mut runs = 0;
+        b.iter(|| runs += 1);
+        assert_eq!(runs, 0);
+        assert!(b.last.is_none());
+    }
+
+    #[test]
+    fn enabled_bencher_reports_iters() {
+        let mut b = Bencher {
+            enabled: true,
+            budget: Duration::from_millis(5),
+            label: "t/run".into(),
+            last: None,
+        };
+        b.iter(|| black_box(3u64).wrapping_mul(7));
+        let (elapsed, iters) = b.last.unwrap();
+        assert!(iters >= 1);
+        assert!(elapsed > Duration::ZERO);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        let id = BenchmarkId::new("dp", 32);
+        assert_eq!(id.to_string(), "dp/32");
+    }
+}

@@ -87,12 +87,7 @@ fn head_extends(rule: &Rule, instance: &GenDb, body_val: &[(Null, Value)]) -> bo
 /// Run the standard chase: apply violated tgds (adding head facts with
 /// fresh existentials) and egds (merging values) until a fixpoint, a
 /// failure, or the step budget runs out.
-pub fn chase(
-    instance: &GenDb,
-    tgds: &[Rule],
-    egds: &[Egd],
-    max_steps: usize,
-) -> ChaseOutcome {
+pub fn chase(instance: &GenDb, tgds: &[Rule], egds: &[Egd], max_steps: usize) -> ChaseOutcome {
     let mut current = instance.clone();
     let mut gen = NullGen::avoiding(
         current.nulls().into_iter().chain(
@@ -118,7 +113,8 @@ pub fn chase(
                 match (a, b) {
                     (Value::Const(_), Value::Const(_)) => return ChaseOutcome::Failed,
                     (Value::Null(nl), other) | (other, Value::Null(nl)) => {
-                        current = current.map_values(|v| if v == Value::Null(nl) { other } else { v });
+                        current =
+                            current.map_values(|v| if v == Value::Null(nl) { other } else { v });
                         fired = true;
                         break 'egds;
                     }

@@ -75,11 +75,11 @@ impl Mapping {
     /// requires.
     pub fn applications(&self, d: &GenDb) -> Vec<GenDb> {
         let mut gen = NullGen::avoiding(
-            d.nulls()
-                .into_iter()
-                .chain(self.rules.iter().flat_map(|r| {
-                    r.body.nulls().into_iter().chain(r.head.nulls())
-                })),
+            d.nulls().into_iter().chain(
+                self.rules
+                    .iter()
+                    .flat_map(|r| r.body.nulls().into_iter().chain(r.head.nulls())),
+            ),
         );
         let mut out = Vec::new();
         for rule in &self.rules {
@@ -132,9 +132,7 @@ impl Mapping {
                             .map(|&(_, v)| v)
                             .expect("frontier null bound");
                         match universe.binary_search(&target) {
-                            Ok(pos) => {
-                                csp.restrict_domain((n + i) as u32, vec![pos as u32])
-                            }
+                            Ok(pos) => csp.restrict_domain((n + i) as u32, vec![pos as u32]),
                             Err(_) => {
                                 impossible = true;
                                 break;
@@ -173,11 +171,7 @@ mod tests {
         let mut head = GenDb::new(tgt.clone());
         head.add_node("T", vec![n(1), n(4)]); // x, z
         head.add_node("T", vec![n(4), n(2)]); // z, y
-        (
-            Rule { body, head },
-            src,
-            tgt,
-        )
+        (Rule { body, head }, src, tgt)
     }
 
     #[test]

@@ -22,12 +22,7 @@ pub struct TgdAtom {
 }
 
 /// Build a source-to-target tgd rule from body and head atom lists.
-pub fn st_tgd(
-    source: &GenSchema,
-    target: &GenSchema,
-    body: &[TgdAtom],
-    head: &[TgdAtom],
-) -> Rule {
+pub fn st_tgd(source: &GenSchema, target: &GenSchema, body: &[TgdAtom], head: &[TgdAtom]) -> Rule {
     let mut b = GenDb::new(source.clone());
     for atom in body {
         b.add_node(&atom.rel, atom.args.clone());
@@ -82,7 +77,10 @@ mod tests {
             &src,
             &tgt,
             &[
-                (&[atom("E", vec![n(1), n(2)])], &[atom("F", vec![n(1), n(2)])]),
+                (
+                    &[atom("E", vec![n(1), n(2)])],
+                    &[atom("F", vec![n(1), n(2)])],
+                ),
                 (&[atom("E", vec![n(1), n(2)])], &[atom("G", vec![n(2)])]),
             ],
         );
@@ -92,8 +90,8 @@ mod tests {
         let canon = canonical_solution(&mapping, &d, &tgt);
         assert!(mapping.is_solution(&d, &canon));
         assert_eq!(canon.n_nodes(), 4); // 2 F-facts + 2 G-facts
-        // Everything is complete (no existentials), so the core equals the
-        // canonical solution up to duplicate removal.
+                                        // Everything is complete (no existentials), so the core equals the
+                                        // canonical solution up to duplicate removal.
         let core = core_solution(&mapping, &d, &tgt);
         assert!(gdm_leq(&core, &canon) && gdm_leq(&canon, &core));
     }

@@ -106,10 +106,7 @@ fn for_each_quotient<F: FnMut(&GenDb) -> bool>(db: &GenDb, visit: &mut F) -> boo
             let mut q = GenDb::new(db.schema.clone());
             for cls in 0..n_classes {
                 let rep = (0..n).find(|&x| assign[x] == cls).expect("class nonempty");
-                q.add_node(
-                    db.schema.label_name(db.labels[rep]),
-                    db.data[rep].clone(),
-                );
+                q.add_node(db.schema.label_name(db.labels[rep]), db.data[rep].clone());
             }
             for (rel, t) in &db.tuples {
                 q.add_tuple(
@@ -123,8 +120,7 @@ fn for_each_quotient<F: FnMut(&GenDb) -> bool>(db: &GenDb, visit: &mut F) -> boo
             // Compatibility: same label and same (grounded) data as the
             // existing members of the class.
             let compatible = (0..i).all(|x| {
-                assign[x] != cls
-                    || (db.labels[x] == db.labels[i] && db.data[x] == db.data[i])
+                assign[x] != cls || (db.labels[x] == db.labels[i] && db.data[x] == db.data[i])
             });
             if !compatible {
                 continue;
@@ -194,15 +190,28 @@ pub fn encode_graph_for_phi0(n_vertices: usize, edges: &[(u32, u32)]) -> GenDb {
 /// every `b`-node. `certain(ϕ₀, D_G) = true` iff `G` is **not**
 /// 3-colorable. Note `ϕ₀` is existential: `¬ψ` is an ∃∃ sentence.
 pub fn phi0() -> GFo {
-    let psi_body = GFo::And(vec![
-        GFo::Label("a".into(), 0),
-        GFo::Label("b".into(), 1),
-    ])
-    .implies(GFo::Or(vec![
-        GFo::AttrEq { i: 0, j: 0, x: 0, y: 1 },
-        GFo::AttrEq { i: 0, j: 1, x: 0, y: 1 },
-        GFo::AttrEq { i: 0, j: 2, x: 0, y: 1 },
-    ]));
+    let psi_body = GFo::And(vec![GFo::Label("a".into(), 0), GFo::Label("b".into(), 1)]).implies(
+        GFo::Or(vec![
+            GFo::AttrEq {
+                i: 0,
+                j: 0,
+                x: 0,
+                y: 1,
+            },
+            GFo::AttrEq {
+                i: 0,
+                j: 1,
+                x: 0,
+                y: 1,
+            },
+            GFo::AttrEq {
+                i: 0,
+                j: 2,
+                x: 0,
+                y: 1,
+            },
+        ]),
+    );
     // ¬ψ = ∃x∃y ¬body; ϕ0 = ¬ψ ∨ χ.
     let not_psi = GFo::exists(0, GFo::exists(1, psi_body.not()));
     let chi = GFo::exists(
@@ -213,7 +222,12 @@ pub fn phi0() -> GFo {
                 GFo::Label("a".into(), 0),
                 GFo::Label("a".into(), 1),
                 GFo::Rel("E".into(), vec![0, 1]),
-                GFo::AttrEq { i: 0, j: 0, x: 0, y: 1 },
+                GFo::AttrEq {
+                    i: 0,
+                    j: 0,
+                    x: 0,
+                    y: 1,
+                },
             ]),
         ),
     );
@@ -243,7 +257,12 @@ mod tests {
             0,
             GFo::And(vec![
                 GFo::Label("R".into(), 0),
-                GFo::AttrEq { i: 0, j: 1, x: 0, y: 0 },
+                GFo::AttrEq {
+                    i: 0,
+                    j: 1,
+                    x: 0,
+                    y: 0,
+                },
             ]),
         );
         let mut yes = GenDb::new(rel_schema());
@@ -264,10 +283,26 @@ mod tests {
                 0,
                 GFo::And(vec![
                     GFo::Label("R".into(), 0),
-                    GFo::AttrEq { i: 0, j: 1, x: 0, y: 0 },
+                    GFo::AttrEq {
+                        i: 0,
+                        j: 1,
+                        x: 0,
+                        y: 0,
+                    },
                 ]),
             ),
-            GFo::exists(0, GFo::exists(1, GFo::AttrEq { i: 0, j: 0, x: 0, y: 1 })),
+            GFo::exists(
+                0,
+                GFo::exists(
+                    1,
+                    GFo::AttrEq {
+                        i: 0,
+                        j: 0,
+                        x: 0,
+                        y: 1,
+                    },
+                ),
+            ),
         ];
         let mut dbs = Vec::new();
         let mut d1 = GenDb::new(rel_schema());
@@ -302,7 +337,7 @@ mod tests {
         d.add_node("R", vec![n(3), n(4)]);
         assert!(eval_gfo(&phi, &d)); // naïve evaluation says true
         assert!(!certain_existential(&phi, &d)); // but it is not certain
-        // With distinct constants pinning the nodes apart, it is certain.
+                                                 // With distinct constants pinning the nodes apart, it is certain.
         let mut d2 = GenDb::new(rel_schema());
         d2.add_node("R", vec![c(1), c(1)]);
         d2.add_node("R", vec![c(2), c(2)]);
@@ -319,10 +354,7 @@ mod tests {
         let k3 = encode_graph_for_phi0(3, &[(0, 1), (1, 2), (0, 2)]);
         assert!(!certain_existential(&phi, &k3));
         // K4: not 3-colorable ⇒ certain answer true.
-        let k4 = encode_graph_for_phi0(
-            4,
-            &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)],
-        );
+        let k4 = encode_graph_for_phi0(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
         assert!(certain_existential(&phi, &k4));
         // A 4-cycle: 2-colorable ⇒ false.
         let c4 = encode_graph_for_phi0(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);

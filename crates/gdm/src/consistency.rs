@@ -46,7 +46,11 @@ pub fn count_existentials(phi: &GFo) -> usize {
 /// Enumerate all colored structures (as data-free [`GenDb`]s over `d`'s
 /// schema) with exactly `size` nodes, bounded enumeration of labelings
 /// and relation tuples. Exponential: `size` must stay tiny.
-fn for_each_structure<F: FnMut(&GenDb) -> bool>(template: &GenDb, size: usize, visit: &mut F) -> bool {
+fn for_each_structure<F: FnMut(&GenDb) -> bool>(
+    template: &GenDb,
+    size: usize,
+    visit: &mut F,
+) -> bool {
     let schema = &template.schema;
     let n_labels = schema.n_labels();
     assert!(size <= 4, "structure enumeration limited to 4 nodes");
@@ -357,6 +361,11 @@ mod tests {
     #[test]
     fn structural_check() {
         assert!(is_structural(&GFo::Rel("E".into(), vec![0, 1])));
-        assert!(!is_structural(&GFo::AttrEq { i: 0, j: 0, x: 0, y: 1 }));
+        assert!(!is_structural(&GFo::AttrEq {
+            i: 0,
+            j: 0,
+            x: 0,
+            y: 1
+        }));
     }
 }

@@ -38,7 +38,10 @@ pub fn build_deq(d: &GenDb) -> NaiveDatabase {
     let max_ar = d.schema.max_label_arity();
     let mut rels: Vec<(String, usize)> = vec![("node".into(), 1)];
     for r in d.schema.relation_symbols() {
-        rels.push((sigma_rel(d.schema.relation_name(r)), d.schema.relation_arity(r)));
+        rels.push((
+            sigma_rel(d.schema.relation_name(r)),
+            d.schema.relation_arity(r),
+        ));
     }
     for l in d.schema.label_symbols() {
         rels.push((label_rel(d.schema.label_name(l)), 1));
@@ -171,7 +174,12 @@ mod tests {
                     1,
                     GFo::And(vec![
                         GFo::NodeEq(0, 1).not(),
-                        GFo::AttrEq { i: 0, j: 0, x: 0, y: 1 },
+                        GFo::AttrEq {
+                            i: 0,
+                            j: 0,
+                            x: 0,
+                            y: 1,
+                        },
                     ]),
                 ),
             ),
@@ -179,12 +187,20 @@ mod tests {
                 0,
                 GFo::And(vec![
                     GFo::Label("b".into(), 0),
-                    GFo::AttrEq { i: 0, j: 1, x: 0, y: 0 },
+                    GFo::AttrEq {
+                        i: 0,
+                        j: 1,
+                        x: 0,
+                        y: 0,
+                    },
                 ]),
             ),
             GFo::forall(
                 0,
-                GFo::forall(1, GFo::Rel("E".into(), vec![0, 1]).implies(GFo::NodeEq(0, 1))),
+                GFo::forall(
+                    1,
+                    GFo::Rel("E".into(), vec![0, 1]).implies(GFo::NodeEq(0, 1)),
+                ),
             ),
         ];
         for phi in &formulas {
@@ -210,7 +226,12 @@ mod tests {
                 1,
                 GFo::And(vec![
                     GFo::Rel("E".into(), vec![0, 1]),
-                    GFo::AttrEq { i: 0, j: 0, x: 0, y: 1 },
+                    GFo::AttrEq {
+                        i: 0,
+                        j: 0,
+                        x: 0,
+                        y: 1,
+                    },
                 ]),
             ),
         );

@@ -43,7 +43,14 @@ pub fn random_tree_gendb(rng: &mut Rng, p: TreeGenParams) -> GenDb {
     let mut nullgen = NullGen::new();
     let mut shared_pool: Vec<Value> = Vec::new();
     for i in 0..p.n_nodes {
-        let label = format!("l{}", if i == 0 { 0 } else { rng.below(p.n_labels as u64) });
+        let label = format!(
+            "l{}",
+            if i == 0 {
+                0
+            } else {
+                rng.below(p.n_labels as u64)
+            }
+        );
         let data: Vec<Value> = (0..p.max_data_arity)
             .map(|_| {
                 if rng.chance(p.null_pct, 100) {

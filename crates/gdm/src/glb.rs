@@ -249,10 +249,7 @@ mod tests {
     fn sigma_glb_respects_structural_tuples() {
         // Two one-edge trees with different data: glb keeps the edge.
         use ca_core::value::Value;
-        let schema = crate::schema::GenSchema::from_parts(
-            &[("r", 0), ("a", 1)],
-            &[("child", 2)],
-        );
+        let schema = crate::schema::GenSchema::from_parts(&[("r", 0), ("a", 1)], &[("child", 2)]);
         let mk = |x: i64| {
             let mut d = GenDb::new(schema.clone());
             let root = d.add_node("r", vec![]);

@@ -215,7 +215,12 @@ mod tests {
                 1,
                 GFo::And(vec![
                     GFo::NodeEq(0, 1).not(),
-                    GFo::AttrEq { i: 0, j: 0, x: 0, y: 1 },
+                    GFo::AttrEq {
+                        i: 0,
+                        j: 0,
+                        x: 0,
+                        y: 1,
+                    },
                 ]),
             ),
         );
@@ -240,7 +245,12 @@ mod tests {
                 GFo::And(vec![
                     GFo::Label("a".into(), 0),
                     GFo::Label("b".into(), 1),
-                    GFo::AttrEq { i: 0, j: 2, x: 0, y: 1 },
+                    GFo::AttrEq {
+                        i: 0,
+                        j: 2,
+                        x: 0,
+                        y: 1,
+                    },
                 ]),
             ),
         );
@@ -248,7 +258,12 @@ mod tests {
         // Out-of-range attribute is simply false.
         let oob = GFo::exists(
             0,
-            GFo::AttrEq { i: 1, j: 1, x: 0, y: 0 },
+            GFo::AttrEq {
+                i: 1,
+                j: 1,
+                x: 0,
+                y: 0,
+            },
         );
         assert!(!eval_gfo(&oob, &d) || d.data.iter().any(|t| t.len() > 1));
     }

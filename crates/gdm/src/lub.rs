@@ -15,11 +15,8 @@ use crate::hom::gdm_leq;
 
 /// Rename every null of `d` to a fresh one drawn from `gen`.
 pub fn rename_nulls(d: &GenDb, gen: &mut NullGen) -> GenDb {
-    let mapping: std::collections::BTreeMap<_, _> = d
-        .nulls()
-        .into_iter()
-        .map(|nl| (nl, gen.fresh()))
-        .collect();
+    let mapping: std::collections::BTreeMap<_, _> =
+        d.nulls().into_iter().map(|nl| (nl, gen.fresh())).collect();
     d.map_values(|v| match v {
         ca_core::value::Value::Null(nl) => ca_core::value::Value::Null(mapping[&nl]),
         c => c,
@@ -78,11 +75,7 @@ mod tests {
         let join = lub_sigma(&a, &b);
         assert_eq!(join.nulls().len(), 2, "nulls must stay distinct");
         // A world where the two nulls differ is still a model of the join.
-        let world = encode_relational(&table(
-            "R",
-            2,
-            &[&[c(8), c(1)], &[c(9), c(2)]],
-        ));
+        let world = encode_relational(&table("R", 2, &[&[c(8), c(1)], &[c(9), c(2)]]));
         assert!(gdm_leq(&join, &world));
     }
 

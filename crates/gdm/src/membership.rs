@@ -213,21 +213,38 @@ mod timing_probe {
     fn probe_scaling() {
         let mut rng = Rng::new(909);
         for &(p, d) in &[(8usize, 16usize), (16, 32), (24, 48), (32, 64)] {
-            let pat = random_tree_gendb(&mut rng, TreeGenParams {
-                n_nodes: p, n_labels: 2, max_data_arity: 1,
-                n_constants: 2, null_pct: 70, codd: true,
-            });
-            let doc = random_tree_gendb(&mut rng, TreeGenParams {
-                n_nodes: d, n_labels: 2, max_data_arity: 1,
-                n_constants: 2, null_pct: 0, codd: true,
-            });
+            let pat = random_tree_gendb(
+                &mut rng,
+                TreeGenParams {
+                    n_nodes: p,
+                    n_labels: 2,
+                    max_data_arity: 1,
+                    n_constants: 2,
+                    null_pct: 70,
+                    codd: true,
+                },
+            );
+            let doc = random_tree_gendb(
+                &mut rng,
+                TreeGenParams {
+                    n_nodes: d,
+                    n_labels: 2,
+                    max_data_arity: 1,
+                    n_constants: 2,
+                    null_pct: 0,
+                    codd: true,
+                },
+            );
             let t0 = std::time::Instant::now();
             let (fast, _) = leq_codd_treewidth(&pat, &doc).unwrap();
             let dp_t = t0.elapsed();
             let t1 = std::time::Instant::now();
             let slow = gdm_leq(&pat, &doc);
             let csp_t = t1.elapsed();
-            eprintln!("p={p} d={d} dp={dp_t:?} csp={csp_t:?} agree={}", fast == slow);
+            eprintln!(
+                "p={p} d={d} dp={dp_t:?} csp={csp_t:?} agree={}",
+                fast == slow
+            );
         }
     }
 }

@@ -83,7 +83,9 @@ impl GenSchema {
 
     /// Name of a structural relation.
     pub fn relation_name(&self, sym: Symbol) -> &str {
-        self.relations.resolve(sym).expect("relation of this schema")
+        self.relations
+            .resolve(sym)
+            .expect("relation of this schema")
     }
 
     /// Number of labels.

@@ -44,7 +44,11 @@ pub fn table_to_graph(db: &NaiveDatabase) -> Digraph {
     };
     let mut g = Digraph::new(nulls.len());
     for f in db.facts() {
-        assert_eq!(db.schema.name(f.rel), EDGE_REL, "single edge relation expected");
+        assert_eq!(
+            db.schema.name(f.rel),
+            EDGE_REL,
+            "single edge relation expected"
+        );
         assert_eq!(f.args.len(), 2);
         g.add_edge(id_of(f.args[0]), id_of(f.args[1]));
     }

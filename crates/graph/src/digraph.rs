@@ -22,7 +22,10 @@ pub struct Digraph {
 impl Digraph {
     /// A graph with `n` vertices and no edges.
     pub fn new(n: usize) -> Self {
-        Digraph { n, edges: Vec::new() }
+        Digraph {
+            n,
+            edges: Vec::new(),
+        }
     }
 
     /// Build from an edge list, deduplicating.
@@ -165,11 +168,10 @@ impl Digraph {
     pub fn is_rigid(&self) -> bool {
         let s = self.as_structure();
         let sols = s.hom_csp(&s).solve_all(2 + self.n);
-        sols.solutions.iter().all(|h| {
-            h.iter()
-                .enumerate()
-                .all(|(i, &v)| v == i as u32)
-        }) && sols.solutions.len() == 1
+        sols.solutions
+            .iter()
+            .all(|h| h.iter().enumerate().all(|(i, &v)| v == i as u32))
+            && sols.solutions.len() == 1
     }
 
     /// Length of the longest directed path (number of edges), or `None` if

@@ -132,7 +132,9 @@ pub fn refute_glb_of_power_cycles(g: &Digraph) -> GlbRefutation {
             GlbRefutation::DominatedByPath { longest_path: k }
         }
         None => {
-            let k = g.shortest_cycle().expect("cyclic graph has a shortest cycle");
+            let k = g
+                .shortest_cycle()
+                .expect("cyclic graph has a shortest cycle");
             // Find m with 2^m > k; then g ⋢ C_{2^m} because its k-cycle
             // cannot map into a longer directed cycle.
             let mut m = 1u32;

@@ -22,8 +22,8 @@
 
 pub mod bridge;
 pub mod core;
-pub mod families;
 pub mod digraph;
+pub mod families;
 pub mod lattice;
 
 pub use crate::core::{core_of, is_core};

@@ -10,13 +10,44 @@
 //! * table constraints: a scope (list of variables) plus the set of allowed
 //!   value tuples (the matching tuples of the target instance).
 //!
-//! The solver does chronological backtracking with minimum-remaining-values
-//! variable ordering and forward checking (each assignment prunes the
-//! domains of neighbouring variables through the constraint tables). This is
-//! worst-case exponential — the problem is NP-complete — but fast on the
-//! instance families the paper's constructions produce.
+//! # Kernel architecture
+//!
+//! The solver is a chronological backtracker rebuilt around cache-friendly
+//! data structures (the original kernel is preserved verbatim in
+//! [`crate::reference`] as a differential-testing oracle):
+//!
+//! * **Bitset domains.** Live domains are fixed-width `u64` bitset rows, so
+//!   membership tests, pruning, and undo are word operations instead of
+//!   `Vec::contains` scans.
+//! * **Precomputed supports.** At compile time each constraint builds a
+//!   CSR-layout support index: for every (scope position, value) the list
+//!   of allowed-tuple indices carrying that value (the GAC-schema /
+//!   AC-4 idea). Forward checking after assigning `v := a` walks only the
+//!   tuples supporting `a` at `v`'s position — no rescan of the whole
+//!   table, no per-node `HashMap`.
+//! * **Trail-based undo.** Domain words clobbered by propagation are pushed
+//!   onto a trail and restored on backtrack, replacing the per-node domain
+//!   clones of the old kernel.
+//! * **MRV + degree ordering.** The next variable minimizes live-domain
+//!   size with ties broken toward higher constraint degree.
+//! * **Root propagation.** Domains are made generalized-arc-consistent once
+//!   before search, which decides many of the paper's near-unsatisfiable
+//!   families outright.
+//! * **Parallel search.** [`Csp::solve`], [`Csp::solve_all`] and
+//!   [`Csp::count_solutions`] can split the root variable's values across a
+//!   `std::thread::scope` pool (the build environment has no `rayon`), with
+//!   early cancellation for satisfiability. With `threads == 1` the search
+//!   is fully deterministic; parallel `count_solutions` is deterministic
+//!   too (subtree counts are order-independent), and parallel `solve_all`
+//!   returns the same solution set unless it truncates at `limit`.
+//!
+//! The problem stays NP-complete; the point is that the paper's reduction
+//! families (`K3`-coloring, `C_{2^m}` cycles, Theorem 6 membership
+//! instances) now run orders of magnitude faster — see
+//! `crates/bench/src/bin/solver_bench.rs` for measured numbers.
 
-use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// A table constraint: the values of `scope` must form a tuple in `allowed`.
 #[derive(Clone, Debug)]
@@ -45,19 +76,6 @@ pub struct Csp {
     pub constraints: Vec<Constraint>,
 }
 
-/// Internal search state: live domains plus the constraint-variable index.
-struct Search<'a> {
-    csp: &'a Csp,
-    /// `live[v]` = currently viable values of variable `v`.
-    live: Vec<Vec<u32>>,
-    /// Assignment; `u32::MAX` = unassigned.
-    assign: Vec<u32>,
-    /// Constraints touching each variable.
-    var_cons: Vec<Vec<usize>>,
-    /// Number of solver steps taken (for bench accounting).
-    steps: u64,
-}
-
 /// Outcome of an exhaustive enumeration that may have been truncated.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Enumeration {
@@ -66,6 +84,75 @@ pub struct Enumeration {
     /// True if enumeration stopped because the limit was reached.
     pub truncated: bool,
 }
+
+/// Search-effort counters, exposed for the bench harness.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Assignments tried (what the old kernel called "steps").
+    pub nodes: u64,
+    /// Values removed from live domains by forward checking.
+    pub prunings: u64,
+    /// Nodes whose propagation wiped out a domain or a constraint.
+    pub backtracks: u64,
+    /// Solutions delivered to the caller.
+    pub solutions: u64,
+}
+
+impl SolverStats {
+    fn absorb(&mut self, other: &SolverStats) {
+        self.nodes += other.nodes;
+        self.prunings += other.prunings;
+        self.backtracks += other.backtracks;
+        self.solutions += other.solutions;
+    }
+}
+
+/// How to run the search.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SolverConfig {
+    /// Worker threads for the root-level value split. `1` = fully
+    /// sequential and deterministic.
+    pub threads: usize,
+}
+
+impl SolverConfig {
+    /// Sequential search.
+    pub fn sequential() -> Self {
+        SolverConfig { threads: 1 }
+    }
+
+    /// Parallel search with the default pool width.
+    pub fn parallel() -> Self {
+        SolverConfig {
+            threads: default_threads(),
+        }
+    }
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig::parallel()
+    }
+}
+
+/// Pool width used by [`SolverConfig::parallel`]: `CA_HOM_THREADS` if set,
+/// otherwise the machine's available parallelism capped at 16.
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("CA_HOM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(16)
+}
+
+/// Below these sizes the convenience methods stay sequential: spawning a
+/// pool costs more than the whole search on small instances.
+const PAR_MIN_VARS: usize = 24;
+const PAR_MIN_TUPLES: usize = 2000;
 
 impl Csp {
     /// A CSP with `n_vars` variables all sharing the candidate set
@@ -93,15 +180,38 @@ impl Csp {
         self.domains[var as usize] = values;
     }
 
+    /// The configuration the convenience methods use: parallel only when
+    /// the instance is big enough for the pool to pay for itself.
+    pub fn auto_config(&self) -> SolverConfig {
+        let tuples: usize = self.constraints.iter().map(|c| c.allowed.len()).sum();
+        if self.n_vars() >= PAR_MIN_VARS || tuples >= PAR_MIN_TUPLES {
+            SolverConfig::parallel()
+        } else {
+            SolverConfig::sequential()
+        }
+    }
+
     /// Find one solution, if any.
     pub fn solve(&self) -> Option<Vec<u32>> {
-        let mut s = Search::new(self);
+        self.solve_with(self.auto_config()).0
+    }
+
+    /// Find one solution under an explicit configuration, with stats.
+    ///
+    /// With `threads > 1` the witness choice may vary between runs when
+    /// several solutions exist (early cancellation); existence never does.
+    pub fn solve_with(&self, cfg: SolverConfig) -> (Option<Vec<u32>>, SolverStats) {
+        let compiled = Compiled::new(self);
+        if let Some((var, values)) = compiled.parallel_split(cfg.threads) {
+            return par_solve(&compiled, cfg.threads, var, &values);
+        }
+        let mut s = Search::new(&compiled, None);
         let mut found = None;
         s.run(&mut |sol| {
             found = Some(sol.to_vec());
-            false // stop
+            false
         });
-        found
+        (found, s.stats)
     }
 
     /// Is the CSP satisfiable?
@@ -111,9 +221,26 @@ impl Csp {
 
     /// Enumerate up to `limit` solutions.
     pub fn solve_all(&self, limit: usize) -> Enumeration {
+        self.solve_all_with(self.auto_config(), limit).0
+    }
+
+    /// Enumerate up to `limit` solutions under an explicit configuration.
+    ///
+    /// With `threads == 1` this is the exact sequential enumeration order.
+    /// With `threads > 1` the solution *set* is identical whenever the
+    /// enumeration does not truncate; a truncated parallel enumeration
+    /// returns `limit` valid solutions that may differ from the sequential
+    /// prefix.
+    pub fn solve_all_with(&self, cfg: SolverConfig, limit: usize) -> (Enumeration, SolverStats) {
+        let compiled = Compiled::new(self);
+        if limit > 0 {
+            if let Some((var, values)) = compiled.parallel_split(cfg.threads) {
+                return par_solve_all(&compiled, cfg.threads, var, &values, limit);
+            }
+        }
         let mut sols = Vec::new();
         let mut truncated = false;
-        let mut s = Search::new(self);
+        let mut s = Search::new(&compiled, None);
         s.run(&mut |sol| {
             sols.push(sol.to_vec());
             if sols.len() >= limit {
@@ -123,29 +250,44 @@ impl Csp {
                 true
             }
         });
-        Enumeration {
-            solutions: sols,
-            truncated,
-        }
+        (
+            Enumeration {
+                solutions: sols,
+                truncated,
+            },
+            s.stats,
+        )
     }
 
     /// Count all solutions (careful: can be astronomically many).
     pub fn count_solutions(&self) -> u64 {
+        self.count_solutions_with(self.auto_config()).0
+    }
+
+    /// Count all solutions under an explicit configuration. The count is
+    /// deterministic at any thread width (subtree counts commute).
+    pub fn count_solutions_with(&self, cfg: SolverConfig) -> (u64, SolverStats) {
+        let compiled = Compiled::new(self);
+        if let Some((var, values)) = compiled.parallel_split(cfg.threads) {
+            return par_count(&compiled, cfg.threads, var, &values);
+        }
         let mut n = 0u64;
-        let mut s = Search::new(self);
+        let mut s = Search::new(&compiled, None);
         s.run(&mut |_| {
             n += 1;
             true
         });
-        n
+        (n, s.stats)
     }
 
     /// Find a solution whose image (set of assigned values) covers all of
     /// `must_cover`. Used for the onto-homomorphisms of the closed-world
-    /// ordering `⊑_cwa`.
+    /// ordering `⊑_cwa`. Sequential: the filter needs the enumeration
+    /// order.
     pub fn solve_covering(&self, must_cover: &[u32]) -> Option<Vec<u32>> {
+        let compiled = Compiled::new(self);
         let mut found = None;
-        let mut s = Search::new(self);
+        let mut s = Search::new(&compiled, None);
         s.run(&mut |sol| {
             if must_cover.iter().all(|v| sol.contains(v)) {
                 found = Some(sol.to_vec());
@@ -168,156 +310,768 @@ impl Csp {
     }
 
     /// Solve and also report the number of search steps taken (assignments
-    /// tried). For complexity experiments.
+    /// tried). Sequential, for reproducible complexity experiments.
     pub fn solve_counting_steps(&self) -> (Option<Vec<u32>>, u64) {
-        let mut s = Search::new(self);
-        let mut found = None;
-        s.run(&mut |sol| {
-            found = Some(sol.to_vec());
-            false
-        });
-        (found, s.steps)
+        let (sol, stats) = self.solve_with(SolverConfig::sequential());
+        (sol, stats.nodes)
     }
 }
 
-impl<'a> Search<'a> {
-    fn new(csp: &'a Csp) -> Self {
-        let mut var_cons = vec![Vec::new(); csp.n_vars()];
-        for (ci, c) in csp.constraints.iter().enumerate() {
+// ---------------------------------------------------------------------------
+// Compiled form: bitset root domains + interned tables with supports.
+// ---------------------------------------------------------------------------
+
+/// One allowed-tuple table compiled for the kernel: flattened tuples plus
+/// a CSR support index per position. Interned — constraints with identical
+/// tables (e.g. every edge of a coloring reduction, every source fact over
+/// one target relation) share a single compiled copy.
+struct CompiledTable {
+    arity: usize,
+    /// Tuples with all values `< n_values`, flattened row-major. (Values
+    /// outside every domain are dropped; finer per-scope filtering is the
+    /// root propagation's job, since tables are scope-independent.)
+    tuples: Vec<u32>,
+    /// `support_off[pos][val] .. support_off[pos][val + 1]` indexes into
+    /// `support_idx[pos]`: the tuples whose `pos`-th value is `val`.
+    support_off: Vec<Vec<u32>>,
+    support_idx: Vec<Vec<u32>>,
+}
+
+impl CompiledTable {
+    fn n_tuples(&self) -> usize {
+        self.tuples.len().checked_div(self.arity).unwrap_or(0)
+    }
+
+    fn tuple(&self, ti: usize) -> &[u32] {
+        &self.tuples[ti * self.arity..(ti + 1) * self.arity]
+    }
+
+    fn supports(&self, pos: usize, val: u32) -> &[u32] {
+        let off = &self.support_off[pos];
+        &self.support_idx[pos][off[val as usize] as usize..off[val as usize + 1] as usize]
+    }
+}
+
+/// A compiled constraint: a scope over an interned table. Homomorphism
+/// CSPs reuse one table per relation of the target across *many*
+/// constraints, so sharing the compiled supports matters.
+struct CompiledConstraint {
+    scope: Vec<u32>,
+    table: u32,
+}
+
+/// The whole problem compiled: bitset domains, support indices, and the
+/// variable/constraint incidence maps.
+struct Compiled {
+    n_vars: usize,
+    /// Bitset words per variable row.
+    n_words: usize,
+    /// Root live domains after propagation, `n_vars * n_words` words.
+    root: Vec<u64>,
+    /// Popcounts of `root`, per variable.
+    root_counts: Vec<u32>,
+    /// Interned tables, shared between constraints.
+    tables: Vec<CompiledTable>,
+    cons: Vec<CompiledConstraint>,
+    /// Constraint indices touching each variable (deduplicated).
+    var_cons: Vec<Vec<u32>>,
+    /// Number of constraints touching each variable (MRV tie-break).
+    degree: Vec<u32>,
+    max_arity: usize,
+    /// Proven unsatisfiable at compile time (empty domain, empty table, or
+    /// a nullary constraint allowing nothing).
+    dead: bool,
+}
+
+#[inline]
+fn bit_set(words: &[u64], base: usize, val: u32) -> bool {
+    words[base + (val as usize >> 6)] & (1u64 << (val & 63)) != 0
+}
+
+/// A fast content fingerprint for table interning (FNV-1a over the tuple
+/// values). Collisions are resolved by [`table_matches`], never trusted.
+fn table_fingerprint(allowed: &[Vec<u32>]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for t in allowed {
+        for &v in t {
+            h = (h ^ u64::from(v)).wrapping_mul(0x100000001b3);
+        }
+    }
+    h
+}
+
+/// Does `allowed` compile to exactly the flattened `tuples` (under the
+/// same `n_values` filter)? Used to confirm interning candidates.
+fn table_matches(tuples: &[u32], arity: usize, allowed: &[Vec<u32>], n_values: usize) -> bool {
+    let mut k = 0usize;
+    for t in allowed {
+        if t.iter().all(|&val| (val as usize) < n_values) {
+            if k + arity > tuples.len() || tuples[k..k + arity] != t[..] {
+                return false;
+            }
+            k += arity;
+        }
+    }
+    k == tuples.len()
+}
+
+/// Flatten a table (dropping tuples with values no domain can hold, which
+/// also bounds every stored value below `n_values` for safe bit indexing)
+/// and build its CSR support index per position.
+fn compile_table(arity: usize, allowed: &[Vec<u32>], n_values: usize) -> CompiledTable {
+    let mut tuples: Vec<u32> = Vec::new();
+    for t in allowed {
+        if t.iter().all(|&val| (val as usize) < n_values) {
+            tuples.extend_from_slice(t);
+        }
+    }
+    let n_tuples = tuples.len() / arity;
+    let mut support_off = Vec::with_capacity(arity);
+    let mut support_idx = Vec::with_capacity(arity);
+    for pos in 0..arity {
+        let mut counts = vec![0u32; n_values + 1];
+        for ti in 0..n_tuples {
+            counts[tuples[ti * arity + pos] as usize + 1] += 1;
+        }
+        for i in 1..counts.len() {
+            counts[i] += counts[i - 1];
+        }
+        let mut idx = vec![0u32; n_tuples];
+        let mut cursor = counts.clone();
+        for ti in 0..n_tuples {
+            let val = tuples[ti * arity + pos] as usize;
+            idx[cursor[val] as usize] = ti as u32;
+            cursor[val] += 1;
+        }
+        support_off.push(counts);
+        support_idx.push(idx);
+    }
+    CompiledTable {
+        arity,
+        tuples,
+        support_off,
+        support_idx,
+    }
+}
+
+impl Compiled {
+    fn new(csp: &Csp) -> Self {
+        let n_vars = csp.n_vars();
+        let n_values = csp
+            .domains
+            .iter()
+            .flat_map(|d| d.iter().copied())
+            .max()
+            .map_or(0, |m| m as usize + 1);
+        let n_words = n_values.div_ceil(64);
+
+        let mut dead = false;
+        let mut root = vec![0u64; n_vars * n_words];
+        for (v, dom) in csp.domains.iter().enumerate() {
+            for &val in dom {
+                root[v * n_words + (val as usize >> 6)] |= 1u64 << (val & 63);
+            }
+        }
+        let mut root_counts: Vec<u32> = (0..n_vars)
+            .map(|v| {
+                root[v * n_words..(v + 1) * n_words]
+                    .iter()
+                    .map(|w| w.count_ones())
+                    .sum()
+            })
+            .collect();
+        if root_counts.contains(&0) {
+            dead = true;
+        }
+
+        // Compile constraints; nullary ones are resolved here, and tables
+        // are interned so identical ones compile once. (Homomorphism CSPs
+        // repeat one table per target relation across many constraints.)
+        let mut tables: Vec<CompiledTable> = Vec::new();
+        let mut interned: std::collections::HashMap<(usize, usize, u64), Vec<u32>> =
+            std::collections::HashMap::new();
+        let mut cons = Vec::new();
+        let mut var_cons: Vec<Vec<u32>> = vec![Vec::new(); n_vars];
+        let mut degree = vec![0u32; n_vars];
+        let mut max_arity = 0usize;
+        for c in &csp.constraints {
+            if c.scope.is_empty() {
+                if c.allowed.is_empty() {
+                    dead = true;
+                }
+                continue;
+            }
+            let arity = c.scope.len();
+            max_arity = max_arity.max(arity);
+            let key = (arity, c.allowed.len(), table_fingerprint(&c.allowed));
+            let bucket = interned.entry(key).or_default();
+            let table =
+                match bucket.iter().copied().find(|&ti| {
+                    table_matches(&tables[ti as usize].tuples, arity, &c.allowed, n_values)
+                }) {
+                    Some(ti) => ti,
+                    None => {
+                        let ti = tables.len() as u32;
+                        tables.push(compile_table(arity, &c.allowed, n_values));
+                        bucket.push(ti);
+                        ti
+                    }
+                };
+            if tables[table as usize].n_tuples() == 0 {
+                dead = true;
+            }
+            let ci = cons.len() as u32;
             for &v in &c.scope {
-                var_cons[v as usize].push(ci);
+                if var_cons[v as usize].last() != Some(&ci) {
+                    var_cons[v as usize].push(ci);
+                    degree[v as usize] += 1;
+                }
             }
+            cons.push(CompiledConstraint {
+                scope: c.scope.clone(),
+                table,
+            });
         }
-        Search {
-            csp,
-            live: csp.domains.clone(),
-            assign: vec![u32::MAX; csp.n_vars()],
+
+        let mut compiled = Compiled {
+            n_vars,
+            n_words,
+            root,
+            root_counts,
+            tables,
+            cons,
             var_cons,
-            steps: 0,
+            degree,
+            max_arity,
+            dead,
+        };
+        if !compiled.dead {
+            compiled.dead = !compiled.root_propagate();
         }
+        // Re-derive counts after propagation.
+        root_counts = (0..n_vars)
+            .map(|v| {
+                compiled.root[v * n_words..(v + 1) * n_words]
+                    .iter()
+                    .map(|w| w.count_ones())
+                    .sum()
+            })
+            .collect();
+        compiled.root_counts = root_counts;
+        compiled
     }
 
-    /// Run the backtracking search, invoking `on_solution` for each solution
-    /// found; the callback returns `false` to stop the search.
-    fn run(&mut self, on_solution: &mut dyn FnMut(&[u32]) -> bool) {
-        // Nullary (empty-scope) constraints are never triggered by variable
-        // assignment; they are satisfiable iff they allow the empty tuple.
-        for c in &self.csp.constraints {
-            if c.scope.is_empty() && c.allowed.is_empty() {
-                return;
+    /// Make the root domains generalized-arc-consistent: drop every value
+    /// with no supporting tuple in some constraint. Sound (never removes a
+    /// solution value); returns false if a domain empties.
+    ///
+    /// The per-constraint support masks depend only on (table, scope
+    /// domains), so they are cached: constraints sharing a table over
+    /// identically-restricted variables — the common case in homomorphism
+    /// CSPs — pay for one tuple walk between them.
+    fn root_propagate(&mut self) -> bool {
+        let n_words = self.n_words;
+        let mut queued = vec![true; self.cons.len()];
+        let mut queue: Vec<usize> = (0..self.cons.len()).collect();
+        let mut mask_cache: std::collections::HashMap<(u32, Vec<u64>), (Vec<u64>, bool)> =
+            std::collections::HashMap::new();
+        while let Some(ci) = queue.pop() {
+            queued[ci] = false;
+            let cc = &self.cons[ci];
+            let tb = &self.tables[cc.table as usize];
+            let arity = tb.arity;
+            let domains_key: Vec<u64> = cc
+                .scope
+                .iter()
+                .flat_map(|&v| {
+                    self.root[v as usize * n_words..(v as usize + 1) * n_words]
+                        .iter()
+                        .copied()
+                })
+                .collect();
+            let root = &self.root;
+            let (masks, any) = mask_cache
+                .entry((cc.table, domains_key))
+                .or_insert_with(|| {
+                    let mut masks = vec![0u64; arity * n_words];
+                    let mut any = false;
+                    'tuples: for ti in 0..tb.n_tuples() {
+                        let t = tb.tuple(ti);
+                        for (&val, &v) in t.iter().zip(cc.scope.iter()) {
+                            if !bit_set(root, v as usize * n_words, val) {
+                                continue 'tuples;
+                            }
+                        }
+                        any = true;
+                        for (j, &val) in t.iter().enumerate() {
+                            masks[j * n_words + (val as usize >> 6)] |= 1u64 << (val & 63);
+                        }
+                    }
+                    (masks, any)
+                })
+                .clone();
+            if !any {
+                return false;
+            }
+            // Intersect each scope variable with its supported-value mask.
+            let mut changed_vars: Vec<u32> = Vec::new();
+            for (j, &v) in cc.scope.iter().enumerate() {
+                let base = v as usize * n_words;
+                let mut changed = false;
+                let mut empty = true;
+                for w in 0..n_words {
+                    let old = self.root[base + w];
+                    let new = old & masks[j * n_words + w];
+                    if new != old {
+                        self.root[base + w] = new;
+                        changed = true;
+                    }
+                    empty &= new == 0;
+                }
+                if empty {
+                    return false;
+                }
+                if changed && !changed_vars.contains(&v) {
+                    changed_vars.push(v);
+                }
+            }
+            for &v in &changed_vars {
+                for &watcher in &self.var_cons[v as usize] {
+                    let wi = watcher as usize;
+                    if !queued[wi] {
+                        queued[wi] = true;
+                        queue.push(wi);
+                    }
+                }
             }
         }
-        self.backtrack(on_solution);
+        true
     }
 
-    /// Pick the unassigned variable with the fewest live values (MRV).
+    /// If the instance warrants a parallel root split, return the branching
+    /// variable (root MRV choice) and its live values in ascending order.
+    fn parallel_split(&self, threads: usize) -> Option<(usize, Vec<u32>)> {
+        if threads <= 1 || self.dead || self.n_vars == 0 {
+            return None;
+        }
+        let var = self.root_mrv()?;
+        let mut values = Vec::with_capacity(self.root_counts[var] as usize);
+        collect_bits(
+            &self.root[var * self.n_words..(var + 1) * self.n_words],
+            &mut values,
+        );
+        if values.len() < 2 {
+            return None;
+        }
+        Some((var, values))
+    }
+
+    /// The variable sequential search would branch on first.
+    fn root_mrv(&self) -> Option<usize> {
+        let mut best: Option<(usize, u32, u32)> = None;
+        for v in 0..self.n_vars {
+            let count = self.root_counts[v];
+            let deg = self.degree[v];
+            let better = match best {
+                None => true,
+                Some((_, bc, bd)) => count < bc || (count == bc && deg > bd),
+            };
+            if better {
+                best = Some((v, count, deg));
+            }
+        }
+        best.map(|(v, _, _)| v)
+    }
+}
+
+/// Append the set bits of a bitset row, in ascending order.
+fn collect_bits(words: &[u64], out: &mut Vec<u32>) {
+    for (wi, &word) in words.iter().enumerate() {
+        let mut w = word;
+        while w != 0 {
+            let b = w.trailing_zeros();
+            out.push((wi as u32) << 6 | b);
+            w &= w - 1;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Search state: live bitsets, trail, forward checking through supports.
+// ---------------------------------------------------------------------------
+
+struct Search<'a> {
+    c: &'a Compiled,
+    /// Live domains, `n_vars * n_words` words.
+    live: Vec<u64>,
+    /// Live popcounts per variable.
+    counts: Vec<u32>,
+    /// Assignment; `u32::MAX` = unassigned.
+    assign: Vec<u32>,
+    /// Undo log: (variable, word index within its row, old word).
+    trail: Vec<(u32, u32, u64)>,
+    /// Supported-value masks, one row per scope position of the constraint
+    /// currently being checked.
+    scratch: Vec<u64>,
+    /// Reusable per-depth buffers for value snapshots.
+    depth_bufs: Vec<Vec<u32>>,
+    /// Cooperative cancellation for the parallel driver.
+    stop: Option<&'a AtomicBool>,
+    stats: SolverStats,
+}
+
+impl<'a> Search<'a> {
+    fn new(c: &'a Compiled, stop: Option<&'a AtomicBool>) -> Self {
+        Search {
+            c,
+            live: c.root.clone(),
+            counts: c.root_counts.clone(),
+            assign: vec![u32::MAX; c.n_vars],
+            trail: Vec::new(),
+            scratch: vec![0u64; c.max_arity * c.n_words],
+            depth_bufs: vec![Vec::new(); c.n_vars + 1],
+            stop,
+            stats: SolverStats::default(),
+        }
+    }
+
+    fn run(&mut self, on_solution: &mut dyn FnMut(&[u32]) -> bool) {
+        if self.c.dead {
+            return;
+        }
+        self.backtrack(0, on_solution);
+    }
+
+    /// MRV with degree tie-breaking.
     fn pick_var(&self) -> Option<usize> {
-        let mut best: Option<(usize, usize)> = None;
-        for v in 0..self.csp.n_vars() {
+        let mut best: Option<(usize, u32, u32)> = None;
+        for v in 0..self.c.n_vars {
             if self.assign[v] != u32::MAX {
                 continue;
             }
-            let size = self.live[v].len();
-            if best.is_none_or(|(_, s)| size < s) {
-                best = Some((v, size));
+            let count = self.counts[v];
+            let deg = self.c.degree[v];
+            let better = match best {
+                None => true,
+                Some((_, bc, bd)) => count < bc || (count == bc && deg > bd),
+            };
+            if better {
+                best = Some((v, count, deg));
             }
         }
-        best.map(|(v, _)| v)
+        best.map(|(v, _, _)| v)
     }
 
-    /// Is a constraint still satisfiable given the partial assignment, and
-    /// which values of each unassigned scope variable are supported?
-    fn prune_by_constraint(
-        &self,
-        ci: usize,
-        supported: &mut HashMap<u32, Vec<bool>>,
-    ) -> bool {
-        let c = &self.csp.constraints[ci];
-        // Record which scope vars are unassigned and index their live sets.
-        for &v in &c.scope {
-            if self.assign[v as usize] == u32::MAX {
-                supported
-                    .entry(v)
-                    .or_insert_with(|| vec![false; self.live[v as usize].len()]);
+    /// Restore the trail down to `mark`.
+    fn undo(&mut self, mark: usize) {
+        while self.trail.len() > mark {
+            let (v, w, old) = self.trail.pop().unwrap();
+            let idx = v as usize * self.c.n_words + w as usize;
+            let cur = self.live[idx];
+            self.counts[v as usize] += old.count_ones() - cur.count_ones();
+            self.live[idx] = old;
+        }
+    }
+
+    /// Collapse `v`'s live domain to the single value `val` (trailed).
+    fn collapse(&mut self, v: usize, val: u32) {
+        let n_words = self.c.n_words;
+        let base = v * n_words;
+        let keep_word = val as usize >> 6;
+        for w in 0..n_words {
+            let old = self.live[base + w];
+            let new = if w == keep_word {
+                old & (1u64 << (val & 63))
+            } else {
+                0
+            };
+            if new != old {
+                self.trail.push((v as u32, w as u32, old));
+                self.live[base + w] = new;
             }
         }
+        self.counts[v] = 1;
+    }
+
+    /// Forward-check constraint `ci` after `v := val`; prunes neighbours
+    /// through the support index. Returns false on a wipe-out.
+    fn check_constraint(&mut self, ci: usize, v: usize, val: u32) -> bool {
+        let c = self.c;
+        let cc = &c.cons[ci];
+        let tb = &c.tables[cc.table as usize];
+        let n_words = c.n_words;
+        let pos = cc
+            .scope
+            .iter()
+            .position(|&u| u as usize == v)
+            .expect("constraint indexed under a scope variable");
+
+        // Positions whose variable still needs support masks.
+        let mut open: [usize; 16] = [0; 16];
+        let mut n_open = 0usize;
+        let mut open_overflow: Vec<usize> = Vec::new();
+        for (j, &u) in cc.scope.iter().enumerate() {
+            if self.assign[u as usize] == u32::MAX {
+                if n_open < open.len() {
+                    open[n_open] = j;
+                } else {
+                    open_overflow.push(j);
+                }
+                n_open += 1;
+            }
+        }
+        let open_positions = |i: usize| -> usize {
+            if i < open.len() {
+                open[i]
+            } else {
+                open_overflow[i - open.len()]
+            }
+        };
+        for i in 0..n_open {
+            let j = open_positions(i);
+            self.scratch[j * n_words..(j + 1) * n_words].fill(0);
+        }
+
         let mut any = false;
-        'tuples: for t in &c.allowed {
-            for (i, &v) in c.scope.iter().enumerate() {
-                let a = self.assign[v as usize];
-                if a != u32::MAX {
-                    if a != t[i] {
-                        continue 'tuples;
-                    }
-                } else if !self.live[v as usize].contains(&t[i]) {
+        'tuples: for &ti in tb.supports(pos, val) {
+            let t = tb.tuple(ti as usize);
+            for (j, (&tv, &u)) in t.iter().zip(cc.scope.iter()).enumerate() {
+                let _ = j;
+                if !bit_set(&self.live, u as usize * n_words, tv) {
                     continue 'tuples;
                 }
             }
             any = true;
-            // Mark supports.
-            for (i, &v) in c.scope.iter().enumerate() {
-                if self.assign[v as usize] == u32::MAX {
-                    if let Some(mask) = supported.get_mut(&v) {
-                        if let Some(pos) =
-                            self.live[v as usize].iter().position(|&x| x == t[i])
-                        {
-                            mask[pos] = true;
-                        }
-                    }
-                }
+            if n_open == 0 {
+                break; // satisfied, nothing left to prune
+            }
+            for i in 0..n_open {
+                let j = open_positions(i);
+                let tv = t[j];
+                self.scratch[j * n_words + (tv as usize >> 6)] |= 1u64 << (tv & 63);
             }
         }
-        any
-    }
+        if !any {
+            return false;
+        }
 
-    fn backtrack(&mut self, on_solution: &mut dyn FnMut(&[u32]) -> bool) -> bool {
-        let Some(v) = self.pick_var() else {
-            return on_solution(&self.assign);
-        };
-        let candidates = self.live[v].clone();
-        for val in candidates {
-            self.steps += 1;
-            self.assign[v] = val;
-            // Forward check: prune neighbours through v's constraints.
-            let mut saved: Vec<(usize, Vec<u32>)> = Vec::new();
-            let mut dead = false;
-            let cons = self.var_cons[v].clone();
-            for ci in cons {
-                let mut supported: HashMap<u32, Vec<bool>> = HashMap::new();
-                if !self.prune_by_constraint(ci, &mut supported) {
-                    dead = true;
-                    break;
-                }
-                for (u, mask) in supported {
-                    let ui = u as usize;
-                    let pruned: Vec<u32> = self.live[ui]
-                        .iter()
-                        .zip(mask.iter())
-                        .filter(|(_, &keep)| keep)
-                        .map(|(&x, _)| x)
-                        .collect();
-                    if pruned.len() != self.live[ui].len() {
-                        saved.push((ui, std::mem::replace(&mut self.live[ui], pruned)));
-                        if self.live[ui].is_empty() {
-                            dead = true;
-                        }
-                    }
-                }
-                if dead {
-                    break;
+        for i in 0..n_open {
+            let j = open_positions(i);
+            let u = cc.scope[j] as usize;
+            let base = u * n_words;
+            let mut removed = 0u32;
+            for w in 0..n_words {
+                let old = self.live[base + w];
+                let new = old & self.scratch[j * n_words + w];
+                if new != old {
+                    self.trail.push((u as u32, w as u32, old));
+                    self.live[base + w] = new;
+                    removed += (old ^ new).count_ones();
                 }
             }
-            if !dead && !self.backtrack(on_solution) {
-                return false; // caller asked to stop
+            if removed > 0 {
+                self.counts[u] -= removed;
+                self.stats.prunings += removed as u64;
+                if self.counts[u] == 0 {
+                    return false;
+                }
             }
-            // Undo.
-            for (ui, old) in saved.into_iter().rev() {
-                self.live[ui] = old;
-            }
-            self.assign[v] = u32::MAX;
         }
         true
     }
+
+    /// Try `v := val`: collapse, forward-check, and recurse. Returns false
+    /// if the caller asked to stop (callback or cancellation).
+    fn descend(
+        &mut self,
+        v: usize,
+        val: u32,
+        depth: usize,
+        on_solution: &mut dyn FnMut(&[u32]) -> bool,
+    ) -> bool {
+        self.stats.nodes += 1;
+        let mark = self.trail.len();
+        self.assign[v] = val;
+        self.collapse(v, val);
+        let c = self.c;
+        let mut dead = false;
+        for i in 0..c.var_cons[v].len() {
+            let ci = c.var_cons[v][i] as usize;
+            if !self.check_constraint(ci, v, val) {
+                dead = true;
+                break;
+            }
+        }
+        let mut keep_going = true;
+        if dead {
+            self.stats.backtracks += 1;
+        } else {
+            keep_going = self.backtrack(depth + 1, on_solution);
+        }
+        self.undo(mark);
+        self.assign[v] = u32::MAX;
+        keep_going
+    }
+
+    fn backtrack(&mut self, depth: usize, on_solution: &mut dyn FnMut(&[u32]) -> bool) -> bool {
+        if let Some(stop) = self.stop {
+            if stop.load(Ordering::Relaxed) {
+                return false;
+            }
+        }
+        let Some(v) = self.pick_var() else {
+            self.stats.solutions += 1;
+            return on_solution(&self.assign);
+        };
+        let mut values = std::mem::take(&mut self.depth_bufs[depth]);
+        values.clear();
+        collect_bits(
+            &self.live[v * self.c.n_words..(v + 1) * self.c.n_words],
+            &mut values,
+        );
+        let mut keep_going = true;
+        for &val in &values {
+            if !self.descend(v, val, depth, on_solution) {
+                keep_going = false;
+                break;
+            }
+        }
+        self.depth_bufs[depth] = values;
+        keep_going
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel drivers: split the root variable's values across a thread pool.
+// ---------------------------------------------------------------------------
+
+/// Run `work(branch_index, value, search)` over all branch values on
+/// `threads` workers, each with its own `Search`.
+fn par_branches<F>(compiled: &Compiled, threads: usize, values: &[u32], stop: &AtomicBool, work: F)
+where
+    F: Fn(usize, u32, &mut Search<'_>) + Sync,
+{
+    let next = AtomicUsize::new(0);
+    let n_workers = threads.min(values.len()).max(1);
+    let all_stats = Mutex::new(SolverStats::default());
+    std::thread::scope(|scope| {
+        for _ in 0..n_workers {
+            scope.spawn(|| {
+                let mut search = Search::new(compiled, Some(stop));
+                loop {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= values.len() {
+                        break;
+                    }
+                    work(i, values[i], &mut search);
+                }
+                all_stats.lock().unwrap().absorb(&search.stats);
+            });
+        }
+    });
+    // Fold worker stats into a thread-local the callers can read back.
+    let folded = *all_stats.lock().unwrap();
+    PAR_STATS.with(|s| s.set(folded));
+}
+
+thread_local! {
+    /// Stats of the last parallel run on this thread (the drivers read it
+    /// right after `par_branches` returns; no cross-call state is kept).
+    static PAR_STATS: std::cell::Cell<SolverStats> = const {
+        std::cell::Cell::new(SolverStats {
+            nodes: 0,
+            prunings: 0,
+            backtracks: 0,
+            solutions: 0,
+        })
+    };
+}
+
+fn par_solve(
+    compiled: &Compiled,
+    threads: usize,
+    var: usize,
+    values: &[u32],
+) -> (Option<Vec<u32>>, SolverStats) {
+    let stop = AtomicBool::new(false);
+    let found: Mutex<Option<(usize, Vec<u32>)>> = Mutex::new(None);
+    par_branches(compiled, threads, values, &stop, |branch, val, search| {
+        let mut local: Option<Vec<u32>> = None;
+        search.descend(var, val, 0, &mut |sol| {
+            local = Some(sol.to_vec());
+            false
+        });
+        if let Some(sol) = local {
+            let mut slot = found.lock().unwrap();
+            let replace = slot.as_ref().is_none_or(|(b, _)| branch < *b);
+            if replace {
+                *slot = Some((branch, sol));
+            }
+            stop.store(true, Ordering::Relaxed);
+        }
+    });
+    let stats = PAR_STATS.with(|s| s.get());
+    let sol = found.into_inner().unwrap().map(|(_, s)| s);
+    (sol, stats)
+}
+
+fn par_count(
+    compiled: &Compiled,
+    threads: usize,
+    var: usize,
+    values: &[u32],
+) -> (u64, SolverStats) {
+    let stop = AtomicBool::new(false);
+    let total = std::sync::atomic::AtomicU64::new(0);
+    par_branches(compiled, threads, values, &stop, |_, val, search| {
+        let mut local = 0u64;
+        search.descend(var, val, 0, &mut |_| {
+            local += 1;
+            true
+        });
+        total.fetch_add(local, Ordering::Relaxed);
+    });
+    let stats = PAR_STATS.with(|s| s.get());
+    (total.into_inner(), stats)
+}
+
+fn par_solve_all(
+    compiled: &Compiled,
+    threads: usize,
+    var: usize,
+    values: &[u32],
+    limit: usize,
+) -> (Enumeration, SolverStats) {
+    let stop = AtomicBool::new(false);
+    let found_total = AtomicUsize::new(0);
+    let results: Mutex<Vec<(usize, Vec<Vec<u32>>)>> = Mutex::new(Vec::new());
+    par_branches(compiled, threads, values, &stop, |branch, val, search| {
+        let mut local: Vec<Vec<u32>> = Vec::new();
+        search.descend(var, val, 0, &mut |sol| {
+            local.push(sol.to_vec());
+            found_total.fetch_add(1, Ordering::Relaxed);
+            local.len() < limit && found_total.load(Ordering::Relaxed) < limit
+        });
+        if !local.is_empty() {
+            results.lock().unwrap().push((branch, local));
+        }
+    });
+    let stats = PAR_STATS.with(|s| s.get());
+    let mut per_branch = results.into_inner().unwrap();
+    per_branch.sort_unstable_by_key(|(b, _)| *b);
+    let mut solutions: Vec<Vec<u32>> = per_branch.into_iter().flat_map(|(_, s)| s).collect();
+    let truncated = solutions.len() >= limit;
+    solutions.truncate(limit);
+    (
+        Enumeration {
+            solutions,
+            truncated,
+        },
+        stats,
+    )
 }
 
 #[cfg(test)]
@@ -329,7 +1083,11 @@ mod tests {
     fn coloring_csp(n: usize, edges: &[(u32, u32)], colors: u32) -> Csp {
         let mut csp = Csp::with_uniform_domains(n, colors);
         let diff: Vec<Vec<u32>> = (0..colors)
-            .flat_map(|a| (0..colors).filter(move |&b| b != a).map(move |b| vec![a, b]))
+            .flat_map(|a| {
+                (0..colors)
+                    .filter(move |&b| b != a)
+                    .map(move |b| vec![a, b])
+            })
             .collect();
         for &(u, v) in edges {
             csp.add_constraint(vec![u, v], diff.clone());
@@ -435,5 +1193,87 @@ mod tests {
         let (sol, steps) = csp.solve_counting_steps();
         assert!(sol.is_some());
         assert!(steps >= 3);
+    }
+
+    #[test]
+    fn repeated_variable_in_scope() {
+        // R(x, x) against a table with one diagonal tuple.
+        let mut csp = Csp::with_uniform_domains(1, 3);
+        csp.add_constraint(vec![0, 0], vec![vec![0, 1], vec![2, 2]]);
+        assert_eq!(csp.count_solutions(), 1);
+        assert_eq!(csp.solve(), Some(vec![2]));
+    }
+
+    #[test]
+    fn unsorted_restricted_domains() {
+        let mut csp = Csp::with_uniform_domains(2, 5);
+        csp.restrict_domain(0, vec![4, 1]);
+        csp.restrict_domain(1, vec![3]);
+        assert_eq!(csp.count_solutions(), 2);
+    }
+
+    #[test]
+    fn sparse_large_values_work() {
+        // Values above 64 exercise multi-word bitsets.
+        let mut csp = Csp {
+            domains: vec![vec![0, 70, 130], vec![70, 200]],
+            constraints: Vec::new(),
+        };
+        csp.add_constraint(vec![0, 1], vec![vec![70, 200], vec![130, 70], vec![5, 5]]);
+        assert_eq!(csp.count_solutions(), 2);
+    }
+
+    #[test]
+    fn stats_reflect_search_effort() {
+        let csp = coloring_csp(3, &[(0, 1), (1, 2), (0, 2)], 3);
+        let (count, stats) = csp.count_solutions_with(SolverConfig::sequential());
+        assert_eq!(count, 6);
+        assert_eq!(stats.solutions, 6);
+        assert!(stats.nodes >= 6);
+    }
+
+    #[test]
+    fn parallel_agrees_with_sequential() {
+        // Big enough to split: 4-coloring count of a cycle C9.
+        let edges: Vec<(u32, u32)> = (0..9).map(|i| (i, (i + 1) % 9)).collect();
+        let csp = coloring_csp(9, &edges, 4);
+        let seq = csp.count_solutions_with(SolverConfig::sequential()).0;
+        let par = csp.count_solutions_with(SolverConfig { threads: 4 }).0;
+        assert_eq!(seq, par);
+        // Chromatic polynomial of C_n with k colors: (k-1)^n + (-1)^n (k-1).
+        assert_eq!(seq, 3u64.pow(9) - 3);
+
+        let seq_all = csp.solve_all_with(SolverConfig::sequential(), usize::MAX).0;
+        let par_all = csp
+            .solve_all_with(SolverConfig { threads: 4 }, usize::MAX)
+            .0;
+        assert_eq!(seq_all, par_all);
+
+        assert_eq!(
+            csp.solve_with(SolverConfig { threads: 4 }).0.is_some(),
+            csp.solve_with(SolverConfig::sequential()).0.is_some()
+        );
+    }
+
+    #[test]
+    fn parallel_truncation_returns_exactly_limit() {
+        let edges: Vec<(u32, u32)> = (0..9).map(|i| (i, (i + 1) % 9)).collect();
+        let csp = coloring_csp(9, &edges, 4);
+        let (e, _) = csp.solve_all_with(SolverConfig { threads: 4 }, 10);
+        assert_eq!(e.solutions.len(), 10);
+        assert!(e.truncated);
+        // Every returned solution is a proper coloring.
+        for sol in &e.solutions {
+            for &(a, b) in &edges {
+                assert_ne!(sol[a as usize], sol[b as usize]);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_csp_has_one_empty_solution() {
+        let csp = Csp::default();
+        assert_eq!(csp.count_solutions(), 1);
+        assert_eq!(csp.solve(), Some(vec![]));
     }
 }

@@ -75,8 +75,7 @@ pub fn r_compatible_hom_dp(
     // For each node: surviving assignments, plus for reconstruction a map
     // (child index, projection) → a surviving child assignment.
     let mut surviving: Vec<Vec<Vec<u32>>> = vec![Vec::new(); td.bags.len()];
-    let mut witness: Vec<HashMap<Vec<u32>, Vec<u32>>> =
-        vec![HashMap::new(); td.bags.len()];
+    let mut witness: Vec<HashMap<Vec<u32>, Vec<u32>>> = vec![HashMap::new(); td.bags.len()];
 
     for &t in &order {
         let bag = &td.bags[t];
@@ -314,10 +313,7 @@ mod tests {
         assert!(r_compatible_hom_dp(&e, &c3, &restricted, &td).is_none());
         // Restrict to the actual edge: succeeds with that exact image.
         let exact = vec![vec![1u32], vec![2u32]];
-        assert_eq!(
-            r_compatible_hom_dp(&e, &c3, &exact, &td),
-            Some(vec![1, 2])
-        );
+        assert_eq!(r_compatible_hom_dp(&e, &c3, &exact, &td), Some(vec![1, 2]));
     }
 
     #[test]

@@ -9,9 +9,13 @@
 //!
 //! This crate is the single engine behind all of them:
 //!
-//! * [`csp`] — a generic constraint-satisfaction solver (backtracking with
-//!   minimum-remaining-values ordering and forward checking), with
-//!   find-one / find-all / count / surjective-image modes.
+//! * [`csp`] — a generic constraint-satisfaction solver (bitset domains,
+//!   precomputed tuple supports, trail-based backtracking with
+//!   minimum-remaining-values ordering and forward checking, optional
+//!   root-level parallel search), with find-one / find-all / count /
+//!   surjective-image modes.
+//! * [`reference`] — the original naive solver, kept as a differential
+//!   testing oracle and benchmark baseline for [`csp`].
 //! * [`matching`] — Hopcroft–Karp bipartite matching, Hall's condition, and
 //!   systems of distinct representatives (used by the Codd-interpretation
 //!   algorithms and Proposition 8).
@@ -30,10 +34,11 @@ pub mod csp;
 pub mod dp;
 pub mod matching;
 pub mod propagate;
+pub mod reference;
 pub mod structure;
 pub mod treewidth;
 
-pub use csp::{Constraint, Csp};
+pub use csp::{Constraint, Csp, Enumeration, SolverConfig, SolverStats};
 pub use dp::r_compatible_hom_dp;
 pub use matching::{hall_condition, max_bipartite_matching};
 pub use structure::RelStructure;

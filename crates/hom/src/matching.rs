@@ -164,7 +164,10 @@ pub fn distinct_representatives(g: &Bipartite) -> Option<Vec<u32>> {
 /// cross-validating [`hall_condition`] in tests and experiments).
 pub fn hall_condition_bruteforce(g: &Bipartite) -> bool {
     let n = g.n_left();
-    assert!(n <= 20, "brute-force Hall check limited to 20 left vertices");
+    assert!(
+        n <= 20,
+        "brute-force Hall check limited to 20 left vertices"
+    );
     for mask in 0u32..(1 << n) {
         let mut nbrs = std::collections::HashSet::new();
         let mut size = 0;
@@ -249,7 +252,9 @@ mod tests {
         // Deterministic pseudo-random edge patterns.
         let mut state = 0x9e3779b9u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as u32
         };
         for trial in 0..50 {

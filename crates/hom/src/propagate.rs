@@ -52,9 +52,9 @@ pub fn propagate(csp: &mut Csp) -> PropagationOutcome {
                 .filter(|&val| {
                     constraint.allowed.iter().any(|t| {
                         t[pos] == val
-                            && t.iter().zip(constraint.scope.iter()).all(|(&tv, &sv)| {
-                                domains[sv as usize].contains(&tv)
-                            })
+                            && t.iter()
+                                .zip(constraint.scope.iter())
+                                .all(|(&tv, &sv)| domains[sv as usize].contains(&tv))
                     })
                 })
                 .collect();
@@ -96,7 +96,11 @@ mod tests {
     fn coloring_csp(n: usize, edges: &[(u32, u32)], colors: u32) -> Csp {
         let mut csp = Csp::with_uniform_domains(n, colors);
         let diff: Vec<Vec<u32>> = (0..colors)
-            .flat_map(|a| (0..colors).filter(move |&b| b != a).map(move |b| vec![a, b]))
+            .flat_map(|a| {
+                (0..colors)
+                    .filter(move |&b| b != a)
+                    .map(move |b| vec![a, b])
+            })
             .collect();
         for &(u, v) in edges {
             csp.add_constraint(vec![u, v], diff.clone());
@@ -156,15 +160,9 @@ mod tests {
     fn solve_with_propagation_agrees_with_plain_solve() {
         for colors in 2..=3u32 {
             for extra in 0..2u32 {
-                let csp = coloring_csp(
-                    4,
-                    &[(0, 1), (1, 2), (2, 3), (3, 0), (0, extra + 1)],
-                    colors,
-                );
-                assert_eq!(
-                    solve_with_propagation(&csp).is_some(),
-                    csp.satisfiable()
-                );
+                let csp =
+                    coloring_csp(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, extra + 1)], colors);
+                assert_eq!(solve_with_propagation(&csp).is_some(), csp.satisfiable());
             }
         }
     }

@@ -1,0 +1,241 @@
+//! The original naive backtracking solver, retained as a correctness
+//! oracle and as the "before" side of the solver microbenchmarks.
+//!
+//! This is the kernel the crate shipped with before the bitset rewrite in
+//! [`crate::csp`]: `Vec<u32>` live domains, per-node `HashMap` support
+//! computation, and clone-based undo. It is deliberately untouched —
+//! differential tests (`tests/csp_differential.rs`) check the fast kernel
+//! against it on random instances, and `crates/bench`'s `solver_bench`
+//! binary measures the speedup relative to it.
+
+use std::collections::HashMap;
+
+use crate::csp::{Csp, Enumeration};
+
+/// Internal search state: live domains plus the constraint-variable index.
+struct Search<'a> {
+    csp: &'a Csp,
+    /// `live[v]` = currently viable values of variable `v`.
+    live: Vec<Vec<u32>>,
+    /// Assignment; `u32::MAX` = unassigned.
+    assign: Vec<u32>,
+    /// Constraints touching each variable.
+    var_cons: Vec<Vec<usize>>,
+    /// Number of solver steps taken (for bench accounting).
+    steps: u64,
+}
+
+/// Find one solution with the reference kernel.
+pub fn solve(csp: &Csp) -> Option<Vec<u32>> {
+    solve_counting_steps(csp).0
+}
+
+/// Enumerate up to `limit` solutions with the reference kernel.
+pub fn solve_all(csp: &Csp, limit: usize) -> Enumeration {
+    let mut sols = Vec::new();
+    let mut truncated = false;
+    let mut s = Search::new(csp);
+    s.run(&mut |sol| {
+        sols.push(sol.to_vec());
+        if sols.len() >= limit {
+            truncated = true;
+            false
+        } else {
+            true
+        }
+    });
+    Enumeration {
+        solutions: sols,
+        truncated,
+    }
+}
+
+/// Count all solutions with the reference kernel.
+pub fn count_solutions(csp: &Csp) -> u64 {
+    let mut n = 0u64;
+    let mut s = Search::new(csp);
+    s.run(&mut |_| {
+        n += 1;
+        true
+    });
+    n
+}
+
+/// Solve and report the number of assignments tried.
+pub fn solve_counting_steps(csp: &Csp) -> (Option<Vec<u32>>, u64) {
+    let mut s = Search::new(csp);
+    let mut found = None;
+    s.run(&mut |sol| {
+        found = Some(sol.to_vec());
+        false
+    });
+    (found, s.steps)
+}
+
+impl<'a> Search<'a> {
+    fn new(csp: &'a Csp) -> Self {
+        let mut var_cons = vec![Vec::new(); csp.n_vars()];
+        for (ci, c) in csp.constraints.iter().enumerate() {
+            for &v in &c.scope {
+                var_cons[v as usize].push(ci);
+            }
+        }
+        Search {
+            csp,
+            live: csp.domains.clone(),
+            assign: vec![u32::MAX; csp.n_vars()],
+            var_cons,
+            steps: 0,
+        }
+    }
+
+    /// Run the backtracking search, invoking `on_solution` for each solution
+    /// found; the callback returns `false` to stop the search.
+    fn run(&mut self, on_solution: &mut dyn FnMut(&[u32]) -> bool) {
+        // Nullary (empty-scope) constraints are never triggered by variable
+        // assignment; they are satisfiable iff they allow the empty tuple.
+        for c in &self.csp.constraints {
+            if c.scope.is_empty() && c.allowed.is_empty() {
+                return;
+            }
+        }
+        self.backtrack(on_solution);
+    }
+
+    /// Pick the unassigned variable with the fewest live values (MRV).
+    fn pick_var(&self) -> Option<usize> {
+        let mut best: Option<(usize, usize)> = None;
+        for v in 0..self.csp.n_vars() {
+            if self.assign[v] != u32::MAX {
+                continue;
+            }
+            let size = self.live[v].len();
+            if best.is_none_or(|(_, s)| size < s) {
+                best = Some((v, size));
+            }
+        }
+        best.map(|(v, _)| v)
+    }
+
+    /// Is a constraint still satisfiable given the partial assignment, and
+    /// which values of each unassigned scope variable are supported?
+    fn prune_by_constraint(&self, ci: usize, supported: &mut HashMap<u32, Vec<bool>>) -> bool {
+        let c = &self.csp.constraints[ci];
+        // Record which scope vars are unassigned and index their live sets.
+        for &v in &c.scope {
+            if self.assign[v as usize] == u32::MAX {
+                supported
+                    .entry(v)
+                    .or_insert_with(|| vec![false; self.live[v as usize].len()]);
+            }
+        }
+        let mut any = false;
+        'tuples: for t in &c.allowed {
+            for (i, &v) in c.scope.iter().enumerate() {
+                let a = self.assign[v as usize];
+                if a != u32::MAX {
+                    if a != t[i] {
+                        continue 'tuples;
+                    }
+                } else if !self.live[v as usize].contains(&t[i]) {
+                    continue 'tuples;
+                }
+            }
+            any = true;
+            // Mark supports.
+            for (i, &v) in c.scope.iter().enumerate() {
+                if self.assign[v as usize] == u32::MAX {
+                    if let Some(mask) = supported.get_mut(&v) {
+                        if let Some(pos) = self.live[v as usize].iter().position(|&x| x == t[i]) {
+                            mask[pos] = true;
+                        }
+                    }
+                }
+            }
+        }
+        any
+    }
+
+    fn backtrack(&mut self, on_solution: &mut dyn FnMut(&[u32]) -> bool) -> bool {
+        let Some(v) = self.pick_var() else {
+            return on_solution(&self.assign);
+        };
+        let candidates = self.live[v].clone();
+        for val in candidates {
+            self.steps += 1;
+            self.assign[v] = val;
+            // Forward check: prune neighbours through v's constraints.
+            let mut saved: Vec<(usize, Vec<u32>)> = Vec::new();
+            let mut dead = false;
+            let cons = self.var_cons[v].clone();
+            for ci in cons {
+                let mut supported: HashMap<u32, Vec<bool>> = HashMap::new();
+                if !self.prune_by_constraint(ci, &mut supported) {
+                    dead = true;
+                    break;
+                }
+                for (u, mask) in supported {
+                    let ui = u as usize;
+                    let pruned: Vec<u32> = self.live[ui]
+                        .iter()
+                        .zip(mask.iter())
+                        .filter(|(_, &keep)| keep)
+                        .map(|(&x, _)| x)
+                        .collect();
+                    if pruned.len() != self.live[ui].len() {
+                        saved.push((ui, std::mem::replace(&mut self.live[ui], pruned)));
+                        if self.live[ui].is_empty() {
+                            dead = true;
+                        }
+                    }
+                }
+                if dead {
+                    break;
+                }
+            }
+            if !dead && !self.backtrack(on_solution) {
+                return false; // caller asked to stop
+            }
+            // Undo.
+            for (ui, old) in saved.into_iter().rev() {
+                self.live[ui] = old;
+            }
+            self.assign[v] = u32::MAX;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn coloring_csp(n: usize, edges: &[(u32, u32)], colors: u32) -> Csp {
+        let mut csp = Csp::with_uniform_domains(n, colors);
+        let diff: Vec<Vec<u32>> = (0..colors)
+            .flat_map(|a| {
+                (0..colors)
+                    .filter(move |&b| b != a)
+                    .map(move |b| vec![a, b])
+            })
+            .collect();
+        for &(u, v) in edges {
+            csp.add_constraint(vec![u, v], diff.clone());
+        }
+        csp
+    }
+
+    #[test]
+    fn reference_counts_triangle_colorings() {
+        let csp = coloring_csp(3, &[(0, 1), (1, 2), (0, 2)], 3);
+        assert_eq!(count_solutions(&csp), 6);
+        assert!(solve(&csp).is_some());
+    }
+
+    #[test]
+    fn reference_respects_limits() {
+        let e = solve_all(&coloring_csp(2, &[(0, 1)], 3), 4);
+        assert_eq!(e.solutions.len(), 4);
+        assert!(e.truncated);
+    }
+}

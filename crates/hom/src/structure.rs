@@ -133,8 +133,11 @@ impl RelStructure {
                 if t1.len() != t2.len() {
                     continue;
                 }
-                let combined: Vec<u32> =
-                    t1.iter().zip(t2.iter()).map(|(&a, &b)| a * n2 + b).collect();
+                let combined: Vec<u32> = t1
+                    .iter()
+                    .zip(t2.iter())
+                    .map(|(&a, &b)| a * n2 + b)
+                    .collect();
                 out.add_tuple(*rel, combined);
             }
         }

@@ -252,10 +252,7 @@ fn connect_forest(td: &mut TreeDecomposition) {
 /// elimination: a graph has treewidth ≤ 2 iff it reduces to nothing by
 /// repeatedly eliminating a vertex of degree ≤ 2 (and ≤ 1 for forests).
 /// Returns a decomposition of width ≤ k, or `None` if treewidth > k.
-pub fn decompose_exact_low_width(
-    adj: &[BTreeSet<u32>],
-    k: usize,
-) -> Option<TreeDecomposition> {
+pub fn decompose_exact_low_width(adj: &[BTreeSet<u32>], k: usize) -> Option<TreeDecomposition> {
     assert!(k == 1 || k == 2, "exact recognition implemented for k ≤ 2");
     let n = adj.len();
     let mut fill: Vec<BTreeSet<u32>> = adj.to_vec();
@@ -356,10 +353,7 @@ mod tests {
 
     #[test]
     fn k4_has_treewidth_three() {
-        let adj = adj_of(
-            4,
-            &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)],
-        );
+        let adj = adj_of(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
         assert!(decompose_exact_low_width(&adj, 2).is_none());
         let td = decompose_min_fill(&adj);
         assert_eq!(td.width(), 3);

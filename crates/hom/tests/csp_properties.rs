@@ -5,13 +5,25 @@
 use proptest::prelude::*;
 
 use ca_hom::csp::Csp;
-use ca_hom::matching::{hall_condition, hall_condition_bruteforce, max_bipartite_matching, Bipartite};
+use ca_hom::matching::{
+    hall_condition, hall_condition_bruteforce, max_bipartite_matching, Bipartite,
+};
 use ca_hom::structure::RelStructure;
 
 /// Strategy: a small random CSP over `n_vars ≤ 4` variables with values
 /// `< 3` and binary table constraints.
 fn arb_csp() -> impl Strategy<Value = Csp> {
-    (1usize..=4, prop::collection::vec((0u32..4, 0u32..4, prop::collection::vec((0u32..3, 0u32..3), 0..6)), 0..4))
+    (
+        1usize..=4,
+        prop::collection::vec(
+            (
+                0u32..4,
+                0u32..4,
+                prop::collection::vec((0u32..3, 0u32..3), 0..6),
+            ),
+            0..4,
+        ),
+    )
         .prop_map(|(n_vars, cons)| {
             let mut csp = Csp::with_uniform_domains(n_vars, 3);
             for (a, b, allowed) in cons {

@@ -69,7 +69,10 @@ pub struct ConjunctiveQuery {
 impl ConjunctiveQuery {
     /// A Boolean CQ (empty head).
     pub fn boolean(atoms: Vec<Atom>) -> Self {
-        ConjunctiveQuery { head: vec![], atoms }
+        ConjunctiveQuery {
+            head: vec![],
+            atoms,
+        }
     }
 
     /// A CQ with answer variables.
@@ -276,16 +279,14 @@ mod tests {
         let f = Fo::from_cq(&cq);
         assert!(f.is_existential_positive());
         assert!(!f.clone().not().is_existential_positive());
-        assert!(!Fo::forall(1, Fo::Atom(Atom::new("R", vec![V(1), V(1)])))
-            .is_existential_positive());
+        assert!(
+            !Fo::forall(1, Fo::Atom(Atom::new("R", vec![V(1), V(1)]))).is_existential_positive()
+        );
     }
 
     #[test]
     fn display_round_trip_shapes() {
-        let q = ConjunctiveQuery::with_head(
-            vec![1],
-            vec![Atom::new("R", vec![V(1), C(5)])],
-        );
+        let q = ConjunctiveQuery::with_head(vec![1], vec![Atom::new("R", vec![V(1), C(5)])]);
         assert_eq!(q.to_string(), "(x1) ← R(x1, 5)");
     }
 }

@@ -23,27 +23,19 @@ pub fn core_database(db: &NaiveDatabase) -> NaiveDatabase {
     'outer: loop {
         let nulls: Vec<ca_core::value::Null> = current.nulls().into_iter().collect();
         for (i, _) in nulls.iter().enumerate() {
-            // Endomorphism whose image avoids value ⊥ᵢ.
-            let (csp, csp_nulls) = hom_csp(&current, &current);
-            // The value universe of the CSP is the sorted values of the
-            // target (= current); find the id of the null to avoid.
-            let mut values: Vec<ca_core::value::Value> = current
-                .facts()
-                .iter()
-                .flat_map(|f| f.args.iter().copied())
-                .collect();
-            values.sort_unstable();
-            values.dedup();
+            // Endomorphism whose image avoids value ⊥ᵢ; the index returned
+            // by `hom_csp` translates between values and CSP ids.
+            let (csp, csp_nulls, idx) = hom_csp(&current, &current);
             let avoid = ca_core::value::Value::Null(nulls[i]);
-            let Ok(avoid_id) = values.binary_search(&avoid) else {
+            let Some(avoid_id) = idx.id(avoid) else {
                 continue;
             };
-            if let Some(sol) = csp.solve_avoiding(avoid_id as u32) {
+            if let Some(sol) = csp.solve_avoiding(avoid_id) {
                 let h = ca_relational::database::Valuation::from_pairs(
                     csp_nulls
                         .iter()
                         .zip(sol.iter())
-                        .map(|(&n, &v)| (n, values[v as usize])),
+                        .map(|(&n, &v)| (n, idx.value(v))),
                 );
                 let image = current.apply(&h);
                 if image.len() < current.len() || image.nulls().len() < current.nulls().len() {

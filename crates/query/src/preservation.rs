@@ -87,7 +87,10 @@ pub fn find_preservation_counterexample(
     domain: i64,
     max_facts: usize,
 ) -> Option<PreservationWitness> {
-    assert!(domain <= 3, "exhaustive preservation check limited to domain 3");
+    assert!(
+        domain <= 3,
+        "exhaustive preservation check limited to domain 3"
+    );
     let dbs = enumerate_dbs(domain, max_facts);
     // All maps domain → domain.
     let n_maps = (domain as u64).pow(domain as u32);

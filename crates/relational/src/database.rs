@@ -8,8 +8,8 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use ca_core::value::{Null, NullGen, Value};
 use ca_core::symbol::Symbol;
+use ca_core::value::{Null, NullGen, Value};
 
 use crate::schema::Schema;
 
@@ -352,11 +352,7 @@ mod tests {
     fn paper_example_homomorphic_image() {
         // h(⊥1)=4, h(⊥2)=3, h(⊥3)=5 sends the paper's D into its R.
         let d = paper_table();
-        let h = Valuation::from_pairs([
-            (Null(1), c(4)),
-            (Null(2), c(3)),
-            (Null(3), c(5)),
-        ]);
+        let h = Valuation::from_pairs([(Null(1), c(4)), (Null(2), c(3)), (Null(3), c(5))]);
         let image = d.apply(&h);
         let r = table(
             "D",
@@ -391,7 +387,11 @@ mod tests {
         assert!(frozen.is_complete());
         assert!(h.is_grounding());
         // Distinct nulls got distinct fresh constants.
-        let vals: BTreeSet<Value> = db.nulls().iter().map(|&n| h.apply(Value::Null(n))).collect();
+        let vals: BTreeSet<Value> = db
+            .nulls()
+            .iter()
+            .map(|&n| h.apply(Value::Null(n)))
+            .collect();
         assert_eq!(vals.len(), 3);
         // Fresh constants avoid existing ones.
         for v in vals {

@@ -42,10 +42,7 @@ impl PairNulls {
     /// `⊥_{xy}`: the null allocated to the pair `(x, y)`.
     pub fn get(&mut self, x: Value, y: Value) -> Value {
         let gen = &mut self.gen;
-        *self
-            .map
-            .entry((x, y))
-            .or_insert_with(|| gen.fresh_value())
+        *self.map.entry((x, y)).or_insert_with(|| gen.fresh_value())
     }
 }
 
@@ -95,7 +92,10 @@ pub fn glb_databases(a: &NaiveDatabase, b: &NaiveDatabase) -> NaiveDatabase {
 /// Returns `None` for an empty collection (no glb of nothing).
 pub fn glb_many(xs: &[NaiveDatabase]) -> Option<NaiveDatabase> {
     let (first, rest) = xs.split_first()?;
-    Some(rest.iter().fold(first.clone(), |acc, x| glb_databases(&acc, x)))
+    Some(
+        rest.iter()
+            .fold(first.clone(), |acc, x| glb_databases(&acc, x)),
+    )
 }
 
 /// The paper's size bound: for `n` tables of total size `‖X‖`, the

@@ -16,13 +16,16 @@ use ca_hom::csp::Csp;
 use crate::database::{NaiveDatabase, Valuation};
 
 /// The target-side value universe of a homomorphism problem: all values
-/// occurring in the target, indexed for the CSP.
-struct ValueIndex {
+/// occurring in the target, indexed for the CSP. Returned by [`hom_csp`]
+/// so callers can translate CSP solutions back to [`Value`]s without
+/// rebuilding the index.
+pub struct ValueIndex {
     values: Vec<Value>,
 }
 
 impl ValueIndex {
-    fn of(db: &NaiveDatabase) -> Self {
+    /// Index the values of `db` (sorted, deduplicated).
+    pub fn of(db: &NaiveDatabase) -> Self {
         let mut values: Vec<Value> = db
             .facts()
             .iter()
@@ -33,26 +36,37 @@ impl ValueIndex {
         ValueIndex { values }
     }
 
-    fn id(&self, v: Value) -> Option<u32> {
+    /// The CSP id of a value, if it occurs in the target.
+    pub fn id(&self, v: Value) -> Option<u32> {
         self.values.binary_search(&v).ok().map(|i| i as u32)
     }
 
-    fn value(&self, id: u32) -> Value {
+    /// The value behind a CSP id.
+    pub fn value(&self, id: u32) -> Value {
         self.values[id as usize]
     }
 
-    fn len(&self) -> usize {
+    /// Number of indexed values.
+    pub fn len(&self) -> usize {
         self.values.len()
+    }
+
+    /// True if the target has no values at all.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
     }
 }
 
 /// Build the homomorphism CSP from `src` to `dst`. Exposed so callers can
-/// add extra restrictions (e.g. forbidden values) before solving.
-pub fn hom_csp(src: &NaiveDatabase, dst: &NaiveDatabase) -> (Csp, Vec<ca_core::value::Null>) {
+/// add extra restrictions (e.g. forbidden values) before solving; the
+/// returned [`ValueIndex`] translates solution ids back to values.
+pub fn hom_csp(
+    src: &NaiveDatabase,
+    dst: &NaiveDatabase,
+) -> (Csp, Vec<ca_core::value::Null>, ValueIndex) {
     let nulls: Vec<ca_core::value::Null> = src.nulls().into_iter().collect();
-    let var_of = |n: ca_core::value::Null| -> u32 {
-        nulls.binary_search(&n).expect("null of src") as u32
-    };
+    let var_of =
+        |n: ca_core::value::Null| -> u32 { nulls.binary_search(&n).expect("null of src") as u32 };
     let idx = ValueIndex::of(dst);
     let mut csp = Csp::with_uniform_domains(nulls.len(), idx.len() as u32);
     for fact in src.facts() {
@@ -76,7 +90,9 @@ pub fn hom_csp(src: &NaiveDatabase, dst: &NaiveDatabase) -> (Csp, Vec<ca_core::v
                         }
                     }
                     Value::Null(_) => {
-                        let Some(id) = idx.id(*b) else { continue 'facts };
+                        let Some(id) = idx.id(*b) else {
+                            continue 'facts;
+                        };
                         tuple.push(id);
                     }
                 }
@@ -85,7 +101,7 @@ pub fn hom_csp(src: &NaiveDatabase, dst: &NaiveDatabase) -> (Csp, Vec<ca_core::v
         }
         csp.add_constraint(scope, allowed);
     }
-    (csp, nulls)
+    (csp, nulls, idx)
 }
 
 impl NaiveDatabase {
@@ -114,9 +130,11 @@ impl NaiveDatabase {
 /// assert!(find_hom(&r, &d).is_none());
 /// ```
 pub fn find_hom(src: &NaiveDatabase, dst: &NaiveDatabase) -> Option<Valuation> {
-    assert!(src.schema.compatible_with(&dst.schema), "incompatible schemas");
-    let (csp, nulls) = hom_csp(src, dst);
-    let idx = ValueIndex::of(dst);
+    assert!(
+        src.schema.compatible_with(&dst.schema),
+        "incompatible schemas"
+    );
+    let (csp, nulls, idx) = hom_csp(src, dst);
     let sol = csp.solve()?;
     Some(Valuation::from_pairs(
         nulls
@@ -135,20 +153,54 @@ pub fn is_hom(src: &NaiveDatabase, dst: &NaiveDatabase, h: &Valuation) -> bool {
     })
 }
 
+/// Outcome of an [`find_onto_hom`] search. The enumeration is capped, so
+/// a negative answer comes in two flavours: a *definite* absence (the
+/// enumeration was exhaustive) and an *inconclusive* one (the cap was hit
+/// before the enumeration finished). Earlier versions of this API
+/// collapsed both into `None`, silently turning "don't know" into "no".
+#[derive(Clone, Debug, PartialEq)]
+pub enum OntoOutcome {
+    /// An onto homomorphism, witnessing `src ⊑_cwa dst`.
+    Found(Valuation),
+    /// All homomorphisms were enumerated; none is onto.
+    NotFound,
+    /// The enumeration limit was exhausted without finding an onto
+    /// homomorphism; absence is *not* established.
+    Inconclusive,
+}
+
+impl OntoOutcome {
+    /// True iff an onto homomorphism was found.
+    pub fn found(&self) -> bool {
+        matches!(self, OntoOutcome::Found(_))
+    }
+
+    /// True iff absence was definitely established (exhaustive search).
+    pub fn definitely_absent(&self) -> bool {
+        matches!(self, OntoOutcome::NotFound)
+    }
+
+    /// The witness, if one was found.
+    pub fn into_hom(self) -> Option<Valuation> {
+        match self {
+            OntoOutcome::Found(h) => Some(h),
+            _ => None,
+        }
+    }
+}
+
 /// Find an *onto* homomorphism `src → dst`: one whose image `h(src)`
 /// contains every fact of `dst`. This is the closed-world ordering
 /// `⊑_cwa`. Enumeration-based (exponential in the worst case); `limit`
-/// caps the number of homomorphisms examined — `None` is returned both
-/// when no onto homomorphism exists and when the limit was exhausted, so
-/// use generous limits for decision purposes.
-pub fn find_onto_hom(
-    src: &NaiveDatabase,
-    dst: &NaiveDatabase,
-    limit: usize,
-) -> Option<Valuation> {
-    assert!(src.schema.compatible_with(&dst.schema), "incompatible schemas");
-    let (csp, nulls) = hom_csp(src, dst);
-    let idx = ValueIndex::of(dst);
+/// caps the number of homomorphisms examined, and the returned
+/// [`OntoOutcome`] distinguishes a definite "no" (exhaustive enumeration)
+/// from an exhausted limit.
+pub fn find_onto_hom(src: &NaiveDatabase, dst: &NaiveDatabase, limit: usize) -> OntoOutcome {
+    assert!(
+        src.schema.compatible_with(&dst.schema),
+        "incompatible schemas"
+    );
+    let (csp, nulls, idx) = hom_csp(src, dst);
     let e = csp.solve_all(limit);
     for sol in &e.solutions {
         let h = Valuation::from_pairs(
@@ -164,10 +216,14 @@ pub fn find_onto_hom(
                 .any(|f| f.args == g.args)
         });
         if covers {
-            return Some(h);
+            return OntoOutcome::Found(h);
         }
     }
-    None
+    if e.truncated {
+        OntoOutcome::Inconclusive
+    } else {
+        OntoOutcome::NotFound
+    }
 }
 
 /// Membership: is the complete database `r` in `[[d]]`?
@@ -267,11 +323,11 @@ mod tests {
         // D = {R(⊥1), R(⊥2)}, D′ = {R(1), R(2)}: onto hom exists (⊥i ↦ i).
         let d = table("R", 1, &[&[n(1)], &[n(2)]]);
         let d2 = table("R", 1, &[&[c(1)], &[c(2)]]);
-        assert!(find_onto_hom(&d, &d2, 1000).is_some());
+        assert!(find_onto_hom(&d, &d2, 1000).found());
         // D = {R(⊥1)} cannot cover two facts.
         let small = table("R", 1, &[&[n(1)]]);
         assert!(find_hom(&small, &d2).is_some());
-        assert!(find_onto_hom(&small, &d2, 1000).is_none());
+        assert!(find_onto_hom(&small, &d2, 1000).definitely_absent());
     }
 
     #[test]

@@ -166,7 +166,7 @@ mod tests {
         for trial in 0..60 {
             let a = random_codd_db(&mut rng, 3, 2, 2);
             let b = random_codd_db(&mut rng, 3, 2, 2);
-            let by_onto = find_onto_hom(&a, &b, 100_000).is_some();
+            let by_onto = find_onto_hom(&a, &b, 100_000).found();
             let by_prop8 = cwa_leq_codd(&a, &b);
             assert_eq!(
                 by_onto, by_prop8,
@@ -186,7 +186,7 @@ mod tests {
         assert!(hoare_leq(&a, &b));
         assert!(!hall_on_dominance(&a, &b));
         assert!(!cwa_leq_codd(&a, &b));
-        assert!(find_onto_hom(&a, &b, 100_000).is_none());
+        assert!(find_onto_hom(&a, &b, 100_000).definitely_absent());
     }
 
     #[test]
@@ -194,7 +194,7 @@ mod tests {
         let a = table("R", 1, &[&[n(1)], &[n(2)]]);
         let b = table("R", 1, &[&[c(1)], &[c(2)]]);
         assert!(cwa_leq_codd(&a, &b));
-        assert!(find_onto_hom(&a, &b, 100_000).is_some());
+        assert!(find_onto_hom(&a, &b, 100_000).found());
     }
 }
 
@@ -253,10 +253,7 @@ mod weakening_tests {
         // Any Codd database below D is below the weakening.
         let d = table("R", 2, &[&[n(1), n(1)]]);
         let w = codd_weakening(&d);
-        let candidates = [
-            table("R", 2, &[&[n(5), n(6)]]),
-            table("R", 2, &[]),
-        ];
+        let candidates = [table("R", 2, &[&[n(5), n(6)]]), table("R", 2, &[])];
         for cand in &candidates {
             assert!(cand.is_codd());
             if InfoOrder.leq(cand, &d) {

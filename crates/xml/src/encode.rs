@@ -39,10 +39,10 @@ pub fn encode_database(db: &NaiveDatabase) -> XmlTree {
 mod tests {
     use super::*;
     use crate::hom::{tree_equiv, tree_leq};
+    use ca_core::preorder::Preorder;
     use ca_relational::database::build::{c, n, table};
     use ca_relational::generate::{random_naive_db, DbParams, Rng};
     use ca_relational::ordering::InfoOrder;
-    use ca_core::preorder::Preorder;
 
     #[test]
     fn encoding_shape() {
@@ -95,7 +95,12 @@ mod tests {
     fn corollary2_cycles_as_documents() {
         let cycle_db = |len: u32| {
             let rows: Vec<Vec<ca_core::value::Value>> = (0..len)
-                .map(|i| vec![ca_core::value::Value::null(i), ca_core::value::Value::null((i + 1) % len)])
+                .map(|i| {
+                    vec![
+                        ca_core::value::Value::null(i),
+                        ca_core::value::Value::null((i + 1) % len),
+                    ]
+                })
                 .collect();
             let refs: Vec<&[ca_core::value::Value]> = rows.iter().map(|r| r.as_slice()).collect();
             table("E", 2, &refs)

@@ -76,9 +76,7 @@ pub fn product_forest(trees: &[&XmlTree]) -> Vec<XmlTree> {
         let mut next = Vec::new();
         for partial in &tuples {
             for id in t.node_ids() {
-                if partial.is_empty()
-                    || trees[0].node(partial[0]).label == t.node(id).label
-                {
+                if partial.is_empty() || trees[0].node(partial[0]).label == t.node(id).label {
                     let mut ext = partial.clone();
                     ext.push(id);
                     next.push(ext);
@@ -120,7 +118,9 @@ pub fn product_forest(trees: &[&XmlTree]) -> Vec<XmlTree> {
         let mut stack: Vec<(usize, NodeId)> = vec![(root, 0)];
         while let Some((ti, node_in_tree)) = stack.pop() {
             for &child in &children[ti] {
-                let label = trees[0].alphabet.name(trees[0].node(tuples[child][0]).label);
+                let label = trees[0]
+                    .alphabet
+                    .name(trees[0].node(tuples[child][0]).label);
                 let data = merged_data(trees, &tuples[child], &mut nulls);
                 let cid = tree.add_child(node_in_tree, label, data);
                 stack.push((child, cid));
@@ -161,9 +161,9 @@ pub fn glb_many(trees: &[&XmlTree]) -> Option<XmlTree> {
         return Some((*trees[0]).clone());
     }
     let components = product_forest(trees);
-    let dominant = components.iter().position(|c| {
-        components.iter().all(|other| tree_leq(other, c))
-    })?;
+    let dominant = components
+        .iter()
+        .position(|c| components.iter().all(|other| tree_leq(other, c)))?;
     Some(components[dominant].clone())
 }
 

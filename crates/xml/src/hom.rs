@@ -55,9 +55,7 @@ pub fn find_tree_hom(src: &XmlTree, dst: &XmlTree) -> Option<TreeHom> {
     let nulls: Vec<Null> = src.nulls().into_iter().collect();
     let null_var = |nl: Null| -> u32 { (n + nulls.binary_search(&nl).unwrap()) as u32 };
     let universe = value_universe(dst);
-    let val_id = |v: Value| -> Option<u32> {
-        universe.binary_search(&v).ok().map(|i| i as u32)
-    };
+    let val_id = |v: Value| -> Option<u32> { universe.binary_search(&v).ok().map(|i| i as u32) };
 
     let mut csp = Csp {
         domains: Vec::with_capacity(n + nulls.len()),
@@ -99,9 +97,7 @@ pub fn find_tree_hom(src: &XmlTree, dst: &XmlTree) -> Option<TreeHom> {
                 let allowed: Vec<Vec<u32>> = dst
                     .node_ids()
                     .filter(|&d| dst.node(d).label == sn.label)
-                    .filter_map(|d| {
-                        val_id(dst.node(d).data[i]).map(|vid| vec![d as u32, vid])
-                    })
+                    .filter_map(|d| val_id(dst.node(d).data[i]).map(|vid| vec![d as u32, vid]))
                     .collect();
                 csp.add_constraint(vec![id as u32, null_var(*nl)], allowed);
             }

@@ -74,7 +74,11 @@ pub fn ordered_leq(a: &XmlTree, b: &XmlTree) -> bool {
 
 /// Enumerate every ordered tree over the given *nullary* labels with at
 /// most `max_nodes` nodes. Exponential; for exhaustive refutations.
-pub fn enumerate_ordered_trees(alphabet: &Alphabet, labels: &[&str], max_nodes: usize) -> Vec<XmlTree> {
+pub fn enumerate_ordered_trees(
+    alphabet: &Alphabet,
+    labels: &[&str],
+    max_nodes: usize,
+) -> Vec<XmlTree> {
     let mut out = Vec::new();
     for n in 1..=max_nodes {
         enumerate_of_size(alphabet, labels, n, &mut out);

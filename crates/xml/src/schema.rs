@@ -121,8 +121,10 @@ pub fn pattern_consistent(pattern: &AxisPattern, schema: &EdgeSchema) -> bool {
         );
         indeg[to] += 1;
     }
-    assert!(indeg[0] == 0 && indeg[1..].iter().all(|&d| d == 1),
-        "pattern must be a tree rooted at node 0");
+    assert!(
+        indeg[0] == 0 && indeg[1..].iter().all(|&d| d == 1),
+        "pattern must be a tree rooted at node 0"
+    );
 
     // The pattern root must be able to sit somewhere in a conforming
     // document: its label must be the schema root or schema-reachable.
@@ -302,11 +304,19 @@ mod tests {
         EdgeSchema::new(
             &alpha(),
             "r",
-            &[("r", "sec"), ("sec", "sec"), ("sec", "item"), ("item", "note")],
+            &[
+                ("r", "sec"),
+                ("sec", "sec"),
+                ("sec", "item"),
+                ("item", "note"),
+            ],
         )
     }
 
-    fn pattern(nodes: Vec<(&'static str, Vec<Value>)>, edges: Vec<(Axis, usize, usize)>) -> AxisPattern {
+    fn pattern(
+        nodes: Vec<(&'static str, Vec<Value>)>,
+        edges: Vec<(Axis, usize, usize)>,
+    ) -> AxisPattern {
         let a = alpha();
         let mut t = XmlTree::new(a, nodes[0].0, nodes[0].1.clone());
         for (label, data) in &nodes[1..] {
@@ -338,7 +348,10 @@ mod tests {
         let doc = witness_document(&p, &schema()).unwrap();
         assert!(schema().conforms(&doc));
         assert!(doc.is_complete());
-        assert!(match_pattern(&p, &doc).is_some(), "witness realizes the pattern");
+        assert!(
+            match_pattern(&p, &doc).is_some(),
+            "witness realizes the pattern"
+        );
     }
 
     #[test]

@@ -55,7 +55,9 @@ impl Alphabet {
 
     /// Name of a label.
     pub fn name(&self, sym: Symbol) -> &str {
-        self.interner.resolve(sym).expect("symbol from this alphabet")
+        self.interner
+            .resolve(sym)
+            .expect("symbol from this alphabet")
     }
 
     /// Iterate over `(symbol, name, arity)` for every label.
@@ -123,7 +125,11 @@ impl XmlTree {
             .alphabet
             .label(label)
             .unwrap_or_else(|| panic!("unknown label {label}"));
-        assert_eq!(data.len(), self.alphabet.arity(sym), "data arity for {label}");
+        assert_eq!(
+            data.len(),
+            self.alphabet.arity(sym),
+            "data arity for {label}"
+        );
         assert!(parent < self.nodes.len(), "parent exists");
         let id = self.nodes.len();
         self.nodes.push(Node {
@@ -282,10 +288,7 @@ mod tests {
         assert_eq!(t.nulls().len(), 3);
         assert_eq!(t.constants(), BTreeSet::from([1, 2]));
         assert!(!t.is_complete());
-        assert_eq!(
-            t.display(),
-            "r[a(1,⊥1)[b(⊥1)] a(⊥2,2)[c(⊥3) c(⊥2)]]"
-        );
+        assert_eq!(t.display(), "r[a(1,⊥1)[b(⊥1)] a(⊥2,2)[c(⊥3) c(⊥2)]]");
     }
 
     #[test]

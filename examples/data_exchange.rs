@@ -60,7 +60,10 @@ fn main() {
     // The canonical universal solution ⊔M(D): one invented id per rule
     // firing.
     let canonical = canonical_solution(&mapping, &src, &target);
-    println!("canonical universal solution ({} facts):", canonical.n_nodes());
+    println!(
+        "canonical universal solution ({} facts):",
+        canonical.n_nodes()
+    );
     for node in 0..canonical.n_nodes() {
         println!(
             "  {}{:?}",
@@ -96,7 +99,12 @@ fn main() {
     concrete.add_node("dept", vec![c(500), c(eng)]);
     concrete.add_node("dept", vec![c(600), c(kernels)]);
     assert!(mapping.is_solution(&src, &concrete));
-    assert!(is_universal_solution(&mapping, &src, &canonical, &[concrete.clone()]));
+    assert!(is_universal_solution(
+        &mapping,
+        &src,
+        &canonical,
+        &[concrete.clone()]
+    ));
     println!("\ncanonical solution maps into the concrete solution (universality ✓)");
 
     // The concrete solution is NOT universal: it committed to ids.

@@ -20,24 +20,12 @@ use ca_relational::ordering::InfoOrder;
 fn main() {
     // Source A: knows the keyboard costs 49, somewhere; the mouse is in
     // warehouse 10 at an unknown price.
-    let source_a = table(
-        "listing",
-        3,
-        &[&[c(1), c(49), n(1)], &[c(2), n(2), c(10)]],
-    );
+    let source_a = table("listing", 3, &[&[c(1), c(49), n(1)], &[c(2), n(2), c(10)]]);
     // Source B: keyboard costs 49 in warehouse 20; mouse unknown price,
     // warehouse 10.
-    let source_b = table(
-        "listing",
-        3,
-        &[&[c(1), c(49), c(20)], &[c(2), n(3), c(10)]],
-    );
+    let source_b = table("listing", 3, &[&[c(1), c(49), c(20)], &[c(2), n(3), c(10)]]);
     // Source C: keyboard at 49, mouse at 15, warehouses unknown.
-    let source_c = table(
-        "listing",
-        3,
-        &[&[c(1), c(49), n(4)], &[c(2), c(15), n(5)]],
-    );
+    let source_c = table("listing", 3, &[&[c(1), c(49), n(4)], &[c(2), c(15), n(5)]]);
 
     let sources = vec![source_a, source_b, source_c];
     for (i, s) in sources.iter().enumerate() {

@@ -60,6 +60,8 @@ fn main() {
     );
     println!(
         "  (the glb direction is fine: T1 ∧ T2 = {})",
-        ca_xml::glb::glb_trees(&t1, &t2).expect("glb exists").display()
+        ca_xml::glb::glb_trees(&t1, &t2)
+            .expect("glb exists")
+            .display()
     );
 }

@@ -57,7 +57,10 @@ fn main() {
     // then drop answer rows containing nulls.
     let q = UnionQuery::single(ConjunctiveQuery::with_head(
         vec![0],
-        vec![Atom::new("D", vec![Term::Const(1), Term::Var(0), Term::Var(1)])],
+        vec![Atom::new(
+            "D",
+            vec![Term::Const(1), Term::Var(0), Term::Var(1)],
+        )],
     ));
     let answers = naive_eval_table(&q, &d);
     println!("\ncertain answers to Q(x) ← D(1,x,z), by naïve evaluation:");
@@ -93,13 +96,12 @@ fn main() {
 
     // Greatest lower bounds: the certain information shared by two
     // incomplete databases (Proposition 5's ⊗-product).
-    let d2 = table(
-        "D",
-        3,
-        &[&[c(1), c(2), c(9)], &[n(7), c(5), c(1)]],
-    );
+    let d2 = table("D", 3, &[&[c(1), c(2), c(9)], &[n(7), c(5), c(1)]]);
     let meet = glb_databases(&d, &d2);
-    println!("\nglb of D with a second source ({} merged rows):", meet.len());
+    println!(
+        "\nglb of D with a second source ({} merged rows):",
+        meet.len()
+    );
     for fact in meet.facts() {
         println!("  D{:?}", fact.args);
     }

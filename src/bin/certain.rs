@@ -15,15 +15,15 @@
 
 use std::process::exit;
 
+use certain_answers::core::preorder::Preorder;
 use certain_answers::query::ast::UnionQuery;
 use certain_answers::query::certain::{certain_answer_bool, naive_eval_table};
 use certain_answers::query::minimize::minimize_cq;
 use certain_answers::query::parse::{parse_cq, parse_ucq};
 use certain_answers::relational::database::NaiveDatabase;
 use certain_answers::relational::glb::glb_databases;
-use certain_answers::relational::parse::parse_database;
-use certain_answers::core::preorder::Preorder;
 use certain_answers::relational::ordering::InfoOrder;
+use certain_answers::relational::parse::parse_database;
 
 fn load(arg: &str) -> String {
     if let Some(path) = arg.strip_prefix('@') {
@@ -58,7 +58,9 @@ fn print_db(d: &NaiveDatabase) {
 }
 
 fn usage() -> ! {
-    eprintln!("usage: certain <eval|check|order|glb|minimize> <args…>   (see --help in source docs)");
+    eprintln!(
+        "usage: certain <eval|check|order|glb|minimize> <args…>   (see --help in source docs)"
+    );
     exit(2);
 }
 

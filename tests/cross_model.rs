@@ -96,7 +96,11 @@ fn structural_predicates_survive_encoding() {
     let codd = table("R", 2, &[&[c(1), n(1)], &[n(2), c(2)]]);
     let naive = table("R", 2, &[&[n(1), n(1)]]);
     let complete = table("R", 2, &[&[c(1), c(2)]]);
-    for (db, is_codd, is_complete) in [(&codd, true, false), (&naive, false, false), (&complete, true, true)] {
+    for (db, is_codd, is_complete) in [
+        (&codd, true, false),
+        (&naive, false, false),
+        (&complete, true, true),
+    ] {
         assert_eq!(db.is_codd(), is_codd);
         assert_eq!(db.is_complete(), is_complete);
         assert_eq!(encode_relational(db).is_codd(), is_codd);

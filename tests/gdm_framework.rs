@@ -36,10 +36,7 @@ impl CompleteObjects for GdmOrder {
         let mut out = GenDb::new(x.schema.clone());
         for node in 0..x.n_nodes() {
             if x.data[node].iter().all(|v| v.is_const()) {
-                out.add_node(
-                    x.schema.label_name(x.labels[node]),
-                    x.data[node].clone(),
-                );
+                out.add_node(x.schema.label_name(x.labels[node]), x.data[node].clone());
             }
         }
         out
@@ -112,18 +109,18 @@ fn corollary1_on_generalized_databases() {
     // Monotone query within the fragment: add the complete node item(1).
     let q = |x: &GenDb| {
         let mut out = x.clone();
-        if !out
-            .data
-            .iter()
-            .any(|t| t == &vec![Value::Const(1)])
-        {
+        if !out.data.iter().any(|t| t == &vec![Value::Const(1)]) {
             out.add_node("item", vec![Value::Const(1)]);
         }
         out
     };
     assert!(dom.is_monotone(q));
     for x in &dom.objects {
-        let up: Vec<GenDb> = dom.up(x).into_iter().map(|i| dom.objects[i].clone()).collect();
+        let up: Vec<GenDb> = dom
+            .up(x)
+            .into_iter()
+            .map(|i| dom.objects[i].clone())
+            .collect();
         let class = dom.certain_answer_class(q, &up);
         assert!(
             class.iter().any(|m| gdm_leq(m, &q(x)) && gdm_leq(&q(x), m)),
