@@ -1,12 +1,18 @@
 //! Criterion bench for E1: naïve evaluation vs brute-force certain
 //! answers for UCQs, as the null count grows. The brute force is
 //! exponential in the nulls; naïve evaluation is not.
+//!
+//! Naïve evaluation is timed twice — through the compiled join engine
+//! (`naive_eval_bool`, the production path) and through the retained
+//! tree-walking reference evaluator — so regressions in either show up
+//! side by side.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use ca_query::certain::{certain_answer_bool, naive_eval_bool};
 use ca_query::generate::{random_bool_ucq, QueryParams};
+use ca_query::reference;
 use ca_relational::generate::{random_naive_db, DbParams, Rng};
 
 fn bench(c: &mut Criterion) {
@@ -34,8 +40,11 @@ fn bench(c: &mut Criterion) {
                 const_pct: 30,
             },
         );
-        group.bench_with_input(BenchmarkId::new("naive", n_nulls), &n_nulls, |b, _| {
+        group.bench_with_input(BenchmarkId::new("engine", n_nulls), &n_nulls, |b, _| {
             b.iter(|| naive_eval_bool(black_box(&q), black_box(&db)))
+        });
+        group.bench_with_input(BenchmarkId::new("reference", n_nulls), &n_nulls, |b, _| {
+            b.iter(|| reference::eval_ucq_bool(black_box(&q), black_box(&db)))
         });
         group.bench_with_input(BenchmarkId::new("bruteforce", n_nulls), &n_nulls, |b, _| {
             b.iter(|| certain_answer_bool(black_box(&q), black_box(&db)))

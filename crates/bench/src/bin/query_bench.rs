@@ -1,0 +1,338 @@
+//! Reference evaluator vs compiled query engine microbenchmark.
+//!
+//! Compares the retained nested-loop evaluator (`ca_query::reference`,
+//! the exact pre-engine code) against the compiled engine
+//! (`ca_query::engine`: join plans + lazy hash indices + parallel
+//! completion sweeps) on the workload shapes behind experiments E1, E2
+//! and E11:
+//!
+//! * `e02_ucq_edge` — a single-atom projection `Q(x) ← R(x, y)`: one
+//!   relation scan for both evaluators, so this family deliberately
+//!   measures fixed costs (plan compilation, index bookkeeping) and
+//!   near-parity is the expected, honest result;
+//! * `e02_ucq_chain2` / `e02_ucq_chain3` — 2- and 3-atom chain joins
+//!   `R(x,y) ∧ R(y,z) (∧ R(z,w))` over growing sparse edge relations:
+//!   the reference evaluator rescans the full relation per atom
+//!   (`O(n^2)`-ish), the engine probes a hash index keyed on the join
+//!   column — this is where the naive-eval-limits sizes stop being
+//!   reachable for the old code;
+//! * `certain_sweep` — brute-force certain answers as the null count
+//!   grows (the `|pool|^#nulls` grid of E1): the reference side
+//!   materializes every completion up front and intersects reference
+//!   answers; the engine compiles the query once and sweeps the grid
+//!   (sequentially and with the parallel driver);
+//! * `e11_gdm_images` — the Theorem 7(b) image-enumeration procedure on
+//!   ϕ₀ instances: sequential grounded-image enumeration vs the
+//!   parallelized grounding sweep in `ca_gdm::certain`.
+//!
+//! Each case runs the reference path, the engine sequentially
+//! (`threads = 1`) and the engine with the parallel sweep configuration,
+//! asserts the answers agree, and reports wall time per repetition.
+//! Results go to stdout as a table and to `BENCH_query.json`.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use ca_bench::report::Report;
+use ca_core::value::Value;
+use ca_gdm::certain as gdm_certain;
+use ca_query::certain::{adequate_pool, ucq_constants};
+use ca_query::engine::{self, CompiledUcq, DbIndex};
+use ca_query::reference;
+use ca_query::{Atom, ConjunctiveQuery, Term, UnionQuery};
+use ca_relational::database::NaiveDatabase;
+use ca_relational::generate::Rng;
+use ca_relational::schema::Schema;
+use Term::Var as V;
+
+/// A sparse random edge relation: `n` facts `R(a, b)` with endpoints
+/// drawn from `0..n/4` (average out-degree ≈ 4, so chain joins have
+/// work to do without blowing up) and a handful of shared nulls.
+fn edge_db(rng: &mut Rng, n: usize) -> NaiveDatabase {
+    let schema = Schema::from_relations(&[("R", 2)]);
+    let mut db = NaiveDatabase::new(schema);
+    let universe = (n / 4).max(4) as u64;
+    for _ in 0..n {
+        let endpoint = |rng: &mut Rng| {
+            if rng.chance(5, 100) {
+                Value::null(rng.below(16) as u32)
+            } else {
+                Value::Const(rng.below(universe) as i64)
+            }
+        };
+        let a = endpoint(rng);
+        let b = endpoint(rng);
+        db.add("R", vec![a, b]);
+    }
+    db
+}
+
+/// `Q(x_0) ← R(x_0, x_1) ∧ … ∧ R(x_{k-1}, x_k)`: a k-atom chain.
+fn chain_query(k: u32) -> UnionQuery {
+    let atoms = (0..k)
+        .map(|i| Atom::new("R", vec![V(i), V(i + 1)]))
+        .collect();
+    UnionQuery::single(ConjunctiveQuery::with_head(vec![0], atoms))
+}
+
+/// A small database with `k` shared nulls for the completion sweep.
+fn sweep_db(rng: &mut Rng, k: u32) -> NaiveDatabase {
+    let schema = Schema::from_relations(&[("R", 2)]);
+    let mut db = NaiveDatabase::new(schema);
+    for i in 0..5u32 {
+        let a = if i % 2 == 0 {
+            Value::null(i % k)
+        } else {
+            Value::Const(rng.below(3) as i64)
+        };
+        let b = if i % 3 == 0 {
+            Value::Const(rng.below(3) as i64)
+        } else {
+            Value::null((i + 1) % k)
+        };
+        db.add("R", vec![a, b]);
+    }
+    db
+}
+
+fn time_reps(reps: u32, mut f: impl FnMut()) -> u128 {
+    let start = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    (start.elapsed().as_micros() / u128::from(reps)).max(1)
+}
+
+/// The legacy brute-force certain table: materialize all completions up
+/// front (as `certain_table` did before the engine) and intersect
+/// reference answers.
+fn legacy_certain_table(q: &UnionQuery, db: &NaiveDatabase) -> BTreeSet<Vec<Value>> {
+    let pool = adequate_pool(db, &ucq_constants(q));
+    let mut completions = db.completions_over(&pool).into_iter();
+    let Some(first) = completions.next() else {
+        return BTreeSet::new();
+    };
+    let mut acc = reference::eval_ucq(q, &first);
+    for r in completions {
+        let ans = reference::eval_ucq(q, &r);
+        acc = acc.intersection(&ans).cloned().collect();
+        if acc.is_empty() {
+            break;
+        }
+    }
+    acc
+}
+
+struct Row {
+    family: &'static str,
+    case: String,
+    mode: &'static str,
+    ref_us: u128,
+    seq_us: u128,
+    par_us: u128,
+    answers: usize,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let par_threads = engine::eval_threads().max(2);
+    let mut rng = Rng::new(0xca11ab1e);
+    let mut rows: Vec<Row> = Vec::new();
+
+    // --- e02_ucq_edge: single-atom scan, near-parity expected ---
+    let edge_sizes: &[usize] = if quick { &[1024] } else { &[1024, 8192] };
+    for &n in edge_sizes {
+        let db = edge_db(&mut rng, n);
+        let q = chain_query(1);
+        let reps = 30;
+        let expected = reference::eval_ucq(&q, &db);
+        let got = engine::eval_ucq(&q, &db).unwrap();
+        assert_eq!(expected, got, "edge family disagreement");
+        let ref_us = time_reps(reps, || {
+            std::hint::black_box(reference::eval_ucq(&q, &db));
+        });
+        let plan = CompiledUcq::compile(&q, &db.schema).unwrap();
+        let seq_us = time_reps(reps, || {
+            std::hint::black_box(engine::eval_ucq_on(&plan, &mut DbIndex::new(&db)));
+        });
+        rows.push(Row {
+            family: "e02_ucq_edge",
+            case: format!("n={n}"),
+            mode: "table",
+            ref_us,
+            seq_us,
+            par_us: seq_us, // single-db evaluation has no parallel path
+            answers: got.len(),
+        });
+        eprintln!("[query_bench] e02_ucq_edge n={n}: ref {ref_us}us, engine {seq_us}us");
+    }
+
+    // --- e02_ucq_chain2 / chain3: indexed joins vs nested rescans ---
+    for &(k, family) in &[(2u32, "e02_ucq_chain2"), (3u32, "e02_ucq_chain3")] {
+        let sizes: &[usize] = if quick { &[512] } else { &[1024, 4096, 8192] };
+        for &n in sizes {
+            let db = edge_db(&mut rng, n);
+            let q = chain_query(k);
+            let reps = if n >= 4096 { 1 } else { 3 };
+            let expected = reference::eval_ucq(&q, &db);
+            let got = engine::eval_ucq(&q, &db).unwrap();
+            assert_eq!(expected, got, "chain{k} family disagreement");
+            let ref_us = time_reps(reps, || {
+                std::hint::black_box(reference::eval_ucq(&q, &db));
+            });
+            let plan = CompiledUcq::compile(&q, &db.schema).unwrap();
+            let seq_us = time_reps(reps, || {
+                std::hint::black_box(engine::eval_ucq_on(&plan, &mut DbIndex::new(&db)));
+            });
+            rows.push(Row {
+                family,
+                case: format!("n={n}"),
+                mode: "table",
+                ref_us,
+                seq_us,
+                par_us: seq_us,
+                answers: got.len(),
+            });
+            eprintln!(
+                "[query_bench] {family} n={n}: ref {ref_us}us, engine {seq_us}us ({:.1}x)",
+                ref_us as f64 / seq_us as f64
+            );
+        }
+    }
+
+    // --- certain_sweep: the |pool|^#nulls completion grid of E1 ---
+    let null_counts: &[u32] = if quick { &[4] } else { &[4, 5] };
+    for &k in null_counts {
+        let db = sweep_db(&mut rng, k);
+        let q = chain_query(2);
+        let plan = CompiledUcq::compile(&q, &db.schema).unwrap();
+        let pool = adequate_pool(&db, &ucq_constants(&q));
+        let expected = legacy_certain_table(&q, &db);
+        let got = engine::certain_table_over(&plan, &db, &pool, 1);
+        assert_eq!(expected, got, "certain sweep disagreement");
+        let reps = if k >= 5 { 1 } else { 3 };
+        let ref_us = time_reps(reps, || {
+            std::hint::black_box(legacy_certain_table(&q, &db));
+        });
+        let seq_us = time_reps(reps, || {
+            std::hint::black_box(engine::certain_table_over(&plan, &db, &pool, 1));
+        });
+        let par_us = time_reps(reps, || {
+            std::hint::black_box(engine::certain_table_over(&plan, &db, &pool, par_threads));
+        });
+        rows.push(Row {
+            family: "certain_sweep",
+            case: format!("nulls={k},pool={}", pool.len()),
+            mode: "table",
+            ref_us,
+            seq_us,
+            par_us,
+            answers: got.len(),
+        });
+        eprintln!(
+            "[query_bench] certain_sweep k={k}: ref {ref_us}us, seq {seq_us}us, par {par_us}us"
+        );
+    }
+
+    // --- e11_gdm_images: Theorem 7(b) grounded-image enumeration ---
+    type Graph = (&'static str, usize, &'static [(u32, u32)]);
+    let graphs: &[Graph] = if quick {
+        &[("K3", 3, &[(0, 1), (1, 2), (0, 2)])]
+    } else {
+        &[
+            ("K3", 3, &[(0, 1), (1, 2), (0, 2)]),
+            ("C4", 4, &[(0, 1), (1, 2), (2, 3), (3, 0)]),
+        ]
+    };
+    let phi = gdm_certain::phi0();
+    for &(name, n_vertices, edges) in graphs {
+        let d = gdm_certain::encode_graph_for_phi0(n_vertices, edges);
+        // Reference path: sequential image enumeration with early exit —
+        // exactly what certain_existential did before the sweep.
+        let sequential = || {
+            let mut certain = true;
+            gdm_certain::for_each_grounded_image(&d, |image| {
+                if ca_gdm::logic::eval_gfo(&phi, image) {
+                    true
+                } else {
+                    certain = false;
+                    false
+                }
+            });
+            certain
+        };
+        let expected = sequential();
+        assert_eq!(expected, gdm_certain::certain_existential(&phi, &d));
+        let reps = if quick || n_vertices >= 4 { 1 } else { 3 };
+        let ref_us = time_reps(reps, || {
+            std::hint::black_box(sequential());
+        });
+        let par_us = time_reps(reps, || {
+            std::hint::black_box(gdm_certain::certain_existential(&phi, &d));
+        });
+        rows.push(Row {
+            family: "e11_gdm_images",
+            case: format!("phi0_{name}"),
+            mode: "bool",
+            ref_us,
+            seq_us: ref_us, // the sequential path IS the reference here
+            par_us,
+            answers: usize::from(expected),
+        });
+        eprintln!("[query_bench] e11_gdm_images {name}: seq {ref_us}us, par {par_us}us");
+    }
+
+    let mut report = Report::new(
+        "query_bench: reference evaluator vs compiled engine",
+        &[
+            "family",
+            "case",
+            "mode",
+            "ref_us",
+            "seq_us",
+            "par_us",
+            "speedup",
+            "par_speedup",
+            "answers",
+        ],
+    );
+    let mut json_rows: Vec<String> = Vec::new();
+    for r in &rows {
+        let speedup = r.ref_us as f64 / r.seq_us as f64;
+        let par_speedup = r.ref_us as f64 / r.par_us as f64;
+        report.row(vec![
+            r.family.into(),
+            r.case.clone(),
+            r.mode.into(),
+            r.ref_us.to_string(),
+            r.seq_us.to_string(),
+            r.par_us.to_string(),
+            format!("{speedup:.1}x"),
+            format!("{par_speedup:.1}x"),
+            r.answers.to_string(),
+        ]);
+        let mut row = String::new();
+        let _ = write!(
+            row,
+            "    {{\"family\": \"{}\", \"case\": \"{}\", \"mode\": \"{}\", \
+             \"ref_wall_us\": {}, \"new_seq_wall_us\": {}, \"new_par_wall_us\": {}, \
+             \"speedup_seq\": {:.2}, \"speedup_par\": {:.2}, \"answers\": {}}}",
+            r.family, r.case, r.mode, r.ref_us, r.seq_us, r.par_us, speedup, par_speedup, r.answers
+        );
+        json_rows.push(row);
+    }
+    report.note("ref = pre-engine nested-loop evaluator (ca_query::reference); seq = compiled engine, threads=1; par = parallel sweep where the family has one");
+    report.note("e02_ucq_edge measures fixed costs (single scan both sides) — near-parity is the honest expectation; the chain joins are where indexing pays");
+    report.note("answers = result rows (table mode) / certainty bit (bool mode); every case asserts reference and engine agree before timing");
+    println!("{report}");
+
+    let json = format!(
+        "{{\n  \"bench\": \"query_bench\",\n  \"threads_default\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+        engine::eval_threads(),
+        json_rows.join(",\n")
+    );
+    std::fs::write("BENCH_query.json", &json).expect("write BENCH_query.json");
+    eprintln!("[query_bench] wrote BENCH_query.json");
+}

@@ -17,6 +17,7 @@
 use std::collections::BTreeSet;
 
 use ca_core::value::{Null, Value};
+use ca_query::engine::sweep;
 
 use crate::database::GenDb;
 use crate::logic::{eval_gfo, GFo};
@@ -46,6 +47,46 @@ fn grounding_pool(db: &GenDb) -> Vec<i64> {
     pool.into_iter().collect()
 }
 
+/// The grid of null groundings of `db` into its adequate pool,
+/// addressable by linear index (the same base-`|pool|` addressing as
+/// `ca_query`'s completion sweeps), so workers can split it into
+/// contiguous chunks.
+struct GroundingSpace<'a> {
+    db: &'a GenDb,
+    nulls: Vec<Null>,
+    pool: Vec<i64>,
+}
+
+impl<'a> GroundingSpace<'a> {
+    fn new(db: &'a GenDb) -> Self {
+        GroundingSpace {
+            nulls: db.nulls().into_iter().collect(),
+            pool: grounding_pool(db),
+            db,
+        }
+    }
+
+    /// `|pool|^#nulls` (1 when the database has no nulls).
+    fn len(&self) -> u128 {
+        (self.pool.len().max(usize::from(self.nulls.is_empty())) as u128)
+            .checked_pow(self.nulls.len() as u32)
+            .expect("grounding space exceeds u128")
+    }
+
+    /// Ground every null according to the base-`|pool|` digits of `i`.
+    fn grounding(&self, i: u128) -> GenDb {
+        let base = self.pool.len().max(1) as u128;
+        self.db.map_values(|v| match v {
+            Value::Null(n) => {
+                let pos = self.nulls.binary_search(&n).expect("null of db");
+                let digit = (i / base.pow(pos as u32)) % base;
+                Value::Const(self.pool[digit as usize])
+            }
+            c => c,
+        })
+    }
+}
+
 /// Enumerate the homomorphic images of `db` with all nulls grounded:
 /// every grounding of the nulls into the adequate pool, combined with
 /// every node partition compatible with labels and grounded data. Calls
@@ -54,35 +95,10 @@ fn grounding_pool(db: &GenDb) -> Vec<i64> {
 /// Exponential (`pool^#nulls · Bell(#nodes)`); intended for the small
 /// instances where the coNP procedure is run exactly.
 pub fn for_each_grounded_image<F: FnMut(&GenDb) -> bool>(db: &GenDb, mut visit: F) {
-    let nulls: Vec<Null> = db.nulls().into_iter().collect();
-    let pool = grounding_pool(db);
-    let k = nulls.len();
-    let mut idx = vec![0usize; k];
-    loop {
-        // Ground.
-        let grounded = db.map_values(|v| match v {
-            Value::Null(n) => {
-                let pos = nulls.binary_search(&n).expect("null of db");
-                Value::Const(pool[idx[pos]])
-            }
-            c => c,
-        });
-        // Enumerate compatible node partitions of the grounded database.
-        if !for_each_quotient(&grounded, &mut visit) {
+    let space = GroundingSpace::new(db);
+    for i in 0..space.len() {
+        if !for_each_quotient(&space.grounding(i), &mut visit) {
             return;
-        }
-        // Odometer.
-        let mut pos = 0;
-        loop {
-            if pos == k {
-                return;
-            }
-            idx[pos] += 1;
-            if idx[pos] < pool.len() {
-                break;
-            }
-            idx[pos] = 0;
-            pos += 1;
         }
     }
 }
@@ -140,6 +156,12 @@ fn for_each_quotient<F: FnMut(&GenDb) -> bool>(db: &GenDb, visit: &mut F) -> boo
 /// exactly by image enumeration. `certain(φ, D) = true` iff *every*
 /// grounded homomorphic image of `D` satisfies `φ`.
 ///
+/// The grounding grid is swept in parallel through `ca_query`'s sweep
+/// driver (`CA_EVAL_THREADS` workers, early exit on the first
+/// counterexample image); each worker enumerates the node quotients of
+/// its groundings sequentially. The result is independent of the thread
+/// count.
+///
 /// # Panics
 ///
 /// Panics if `phi` is not existential.
@@ -148,16 +170,20 @@ pub fn certain_existential(phi: &GFo, db: &GenDb) -> bool {
         phi.is_existential(),
         "certain_existential requires an existential sentence"
     );
-    let mut certain = true;
-    for_each_grounded_image(db, |image| {
-        if !eval_gfo(phi, image) {
-            certain = false;
-            false
-        } else {
-            true
-        }
-    });
-    certain
+    let space = GroundingSpace::new(db);
+    sweep::parallel_all(space.len(), sweep::eval_threads(), |i| {
+        let grounded = space.grounding(i);
+        let mut holds_everywhere = true;
+        for_each_quotient(&grounded, &mut |image: &GenDb| {
+            if eval_gfo(phi, image) {
+                true
+            } else {
+                holds_everywhere = false;
+                false
+            }
+        });
+        holds_everywhere
+    })
 }
 
 /// The generalized schema of the coNP-hardness construction: one binary

@@ -1,22 +1,31 @@
 //! Conjunctive-query containment (Chandra–Merlin).
 //!
 //! `Q₁ ⊆ Q₂` for Boolean CQs iff there is a homomorphism from the tableau
-//! of `Q₂` to the tableau of `Q₁`. This is the third leg of
-//! Proposition 2's equivalence (with certain answers and the information
-//! ordering).
+//! of `Q₂` to the tableau of `Q₁` — equivalently, iff `Q₂` evaluates to
+//! true on the tableau of `Q₁` under nulls-as-values semantics (a match
+//! of `Q₂`'s atoms into `D_{Q₁}` *is* such a homomorphism). This is the
+//! third leg of Proposition 2's equivalence (with certain answers and the
+//! information ordering).
+//!
+//! The check runs `Q₂` through the compiled [`crate::engine`], so the
+//! homomorphism search benefits from the same join ordering and hash
+//! indices as query evaluation. Leniently: if `Q₂` mentions a relation
+//! outside the schema it simply cannot be matched, so containment fails.
 
-use ca_relational::hom::find_hom;
 use ca_relational::schema::Schema;
 
-use crate::ast::ConjunctiveQuery;
+use crate::ast::{ConjunctiveQuery, UnionQuery};
+use crate::engine::CompiledUcq;
+use crate::engine::{self, DbIndex};
 use crate::tableau::tableau;
 
 /// Is `q1 ⊆ q2` (every database satisfying `q1` satisfies `q2`)?
-/// Boolean CQs only; decided by tableau homomorphism.
+/// Boolean CQs only; decided by evaluating `q2` over the tableau of `q1`
+/// (Chandra–Merlin, via the compiled engine).
 pub fn cq_contained_in(q1: &ConjunctiveQuery, q2: &ConjunctiveQuery, schema: &Schema) -> bool {
     let d1 = tableau(q1, schema);
-    let d2 = tableau(q2, schema);
-    find_hom(&d2, &d1).is_some()
+    let plan = CompiledUcq::compile_lenient(&UnionQuery::single(q2.clone()), &d1.schema);
+    engine::eval_ucq_bool_on(&plan, &mut DbIndex::new(&d1))
 }
 
 #[cfg(test)]

@@ -1,0 +1,168 @@
+//! Per-relation hash indices over a naïve database.
+//!
+//! A [`DbIndex`] is built against one database and cached across all the
+//! disjuncts of a UCQ (and across repeated evaluations on the same
+//! database). Facts are grouped by relation once at construction; hash
+//! indices keyed by *bound-position signatures* (the sorted positions a
+//! compiled atom knows values for before matching — see
+//! [`crate::engine::plan`]) are built lazily, on the first atom that
+//! probes with that signature. Nulls index as ordinary values, which is
+//! exactly the nulls-as-values semantics of naïve evaluation.
+//!
+//! [`DbIndex::ensure_cq`] resolves a compiled CQ's signatures to integer
+//! handles once per (plan, database) pair, so the execution inner loop
+//! probes by handle with no hashing of signatures and no allocation.
+
+use std::collections::HashMap;
+
+use ca_core::symbol::Symbol;
+use ca_core::value::Value;
+use ca_relational::database::NaiveDatabase;
+
+use super::plan::CompiledCq;
+
+/// Handle of an atom's index table; [`SCAN`] means "scan the whole
+/// relation" — either because the atom has no bound positions, or because
+/// the relation is too small for a hash index to pay for itself (the
+/// executor then checks the bound positions per candidate instead).
+pub(crate) const SCAN: usize = usize::MAX;
+
+/// Relations smaller than this are scanned rather than indexed: building
+/// a `HashMap` over a handful of facts costs more than the comparisons it
+/// saves, and the brute-force certain-answer sweep evaluates thousands of
+/// such tiny completions.
+pub(crate) const INDEX_THRESHOLD: usize = 16;
+
+/// Lazily-built hash indices over one database.
+pub struct DbIndex<'a> {
+    /// Argument tuples of every fact, indexed by fact id.
+    args: Vec<&'a [Value]>,
+    /// Fact ids grouped per relation (indexed by `Symbol::index()`).
+    by_rel: Vec<Vec<u32>>,
+    /// The index tables, addressed by handle.
+    tables: Vec<HashMap<Vec<Value>, Vec<u32>>>,
+    /// `(relation, signature) → handle` — consulted only when ensuring.
+    dir: HashMap<(Symbol, Vec<usize>), usize>,
+}
+
+impl<'a> DbIndex<'a> {
+    /// Group the database's facts by relation (one linear pass); hash
+    /// indices come later, on demand.
+    pub fn new(db: &'a NaiveDatabase) -> Self {
+        let mut by_rel = vec![Vec::new(); db.schema.len()];
+        let mut args = Vec::with_capacity(db.len());
+        for (id, fact) in db.facts().iter().enumerate() {
+            by_rel[fact.rel.index()].push(id as u32);
+            args.push(fact.args.as_slice());
+        }
+        DbIndex {
+            args,
+            by_rel,
+            tables: Vec::new(),
+            dir: HashMap::new(),
+        }
+    }
+
+    /// All fact ids of a relation.
+    pub(crate) fn rows(&self, rel: Symbol) -> &[u32] {
+        &self.by_rel[rel.index()]
+    }
+
+    /// The argument tuple of a fact.
+    pub(crate) fn fact(&self, id: u32) -> &'a [Value] {
+        self.args[id as usize]
+    }
+
+    /// Make sure every index signature the plan probes with exists,
+    /// returning one table handle per atom ([`SCAN`] for scan atoms).
+    /// Called once per (plan, database) pair before execution, so the
+    /// execution loop can borrow the index immutably and probe by handle.
+    pub(crate) fn ensure_cq(&mut self, cq: &CompiledCq) -> Vec<usize> {
+        cq.atoms
+            .iter()
+            .map(|atom| {
+                if atom.sig.is_empty() || self.by_rel[atom.rel.index()].len() < INDEX_THRESHOLD {
+                    return SCAN;
+                }
+                if let Some(&h) = self.dir.get(&(atom.rel, atom.sig.clone())) {
+                    return h;
+                }
+                let mut map: HashMap<Vec<Value>, Vec<u32>> = HashMap::new();
+                for &id in &self.by_rel[atom.rel.index()] {
+                    let fact = self.args[id as usize];
+                    let key: Vec<Value> = atom.sig.iter().map(|&p| fact[p]).collect();
+                    map.entry(key).or_default().push(id);
+                }
+                let h = self.tables.len();
+                self.tables.push(map);
+                self.dir.insert((atom.rel, atom.sig.clone()), h);
+                h
+            })
+            .collect()
+    }
+
+    /// Fact ids matching `key` on the table behind `handle`.
+    pub(crate) fn probe(&self, handle: usize, key: &[Value]) -> &[u32] {
+        self.tables[handle].get(key).map_or(&[], Vec::as_slice)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ca_relational::database::build::{c, n, table};
+
+    #[test]
+    fn rows_group_by_relation() {
+        let db = table("R", 2, &[&[c(1), c(2)], &[c(2), c(3)]]);
+        let idx = DbIndex::new(&db);
+        let rel = db.schema.relation("R").unwrap();
+        assert_eq!(idx.rows(rel).len(), 2);
+    }
+
+    #[test]
+    fn small_relations_are_scanned_not_indexed() {
+        use crate::ast::{Atom, ConjunctiveQuery, Term};
+        let db = table("R", 2, &[&[n(1), c(2)], &[n(2), c(2)], &[c(5), c(9)]]);
+        let mut idx = DbIndex::new(&db);
+        let q = ConjunctiveQuery::with_head(
+            vec![0],
+            vec![Atom::new("R", vec![Term::Var(0), Term::Const(2)])],
+        );
+        let plan = CompiledCq::compile(&q, &db.schema).unwrap();
+        // Three facts < INDEX_THRESHOLD: no table is built.
+        let handles = idx.ensure_cq(&plan);
+        assert_eq!(handles, vec![SCAN]);
+        assert!(idx.tables.is_empty());
+    }
+
+    #[test]
+    fn nulls_index_as_values_and_handles_are_shared() {
+        use crate::ast::{Atom, ConjunctiveQuery, Term};
+        // INDEX_THRESHOLD facts, so the hash index is actually built.
+        let rows: Vec<Vec<Value>> = (0..INDEX_THRESHOLD as i64 - 2)
+            .map(|i| vec![c(100 + i), c(9)])
+            .chain([vec![n(1), c(2)], vec![n(2), c(2)]])
+            .collect();
+        let refs: Vec<&[Value]> = rows.iter().map(Vec::as_slice).collect();
+        let db = table("R", 2, &refs);
+        let mut idx = DbIndex::new(&db);
+        // Q(x) ← R(x, 2): signature {1}.
+        let q = ConjunctiveQuery::with_head(
+            vec![0],
+            vec![Atom::new("R", vec![Term::Var(0), Term::Const(2)])],
+        );
+        let plan = CompiledCq::compile(&q, &db.schema).unwrap();
+        let handles = idx.ensure_cq(&plan);
+        assert_eq!(handles.len(), 1);
+        assert_ne!(handles[0], SCAN);
+        // Nulls are grouped as ordinary values.
+        assert_eq!(idx.probe(handles[0], &[c(2)]).len(), 2);
+        assert_eq!(idx.probe(handles[0], &[c(9)]).len(), INDEX_THRESHOLD - 2);
+        assert!(idx.probe(handles[0], &[c(7)]).is_empty());
+        // Re-ensuring the same signature reuses the table.
+        let again = idx.ensure_cq(&plan);
+        assert_eq!(handles, again);
+        assert_eq!(idx.tables.len(), 1);
+    }
+}

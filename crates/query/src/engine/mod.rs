@@ -1,0 +1,361 @@
+//! The compiled CQ/UCQ evaluation engine.
+//!
+//! Naïve evaluation is the paper's central positive result (for UCQs it
+//! computes certain answers), so it is this repo's hottest query path.
+//! The engine replaces the reference evaluator's nested-loop rescans
+//! with three layers:
+//!
+//! 1. **plan compilation** ([`plan`]) — each CQ compiles once into a
+//!    join plan: greedy bound-variable atom ordering, constants and
+//!    repeated variables pushed into per-atom matchers, variables
+//!    resolved to dense slots, schema errors rejected with a typed
+//!    [`PlanError`];
+//! 2. **indexed execution** ([`index`]) — per-relation hash indices
+//!    keyed by each atom's bound-position signature, built lazily on
+//!    first probe and cached across the disjuncts of a UCQ and across
+//!    repeated evaluations on the same database;
+//! 3. **parallel completion sweep** ([`sweep`]) — brute-force certain
+//!    answers sweep the `|pool|^#nulls` completion grid in parallel
+//!    (`CA_EVAL_THREADS`), with early exit once the intersection
+//!    empties and thread-count-independent results.
+//!
+//! The old evaluator survives unchanged as [`crate::reference`] and
+//! serves as the differential-testing oracle (`tests/eval_differential.rs`),
+//! mirroring the `ca_hom::csp` / `ca_hom::reference` kernel pattern.
+
+pub mod index;
+pub mod plan;
+pub mod sweep;
+
+use std::collections::BTreeSet;
+
+use ca_core::value::Value;
+use ca_relational::database::NaiveDatabase;
+use ca_relational::schema::Schema;
+
+use crate::ast::{ConjunctiveQuery, UnionQuery};
+
+pub use index::DbIndex;
+pub use plan::{CompiledCq, CompiledUcq, PlanError};
+pub use sweep::{eval_threads, CompletionSpace};
+
+/// Compile a CQ against a schema.
+pub fn compile_cq(q: &ConjunctiveQuery, schema: &Schema) -> Result<CompiledCq, PlanError> {
+    CompiledCq::compile(q, schema)
+}
+
+/// Compile a UCQ against a schema.
+pub fn compile_ucq(q: &UnionQuery, schema: &Schema) -> Result<CompiledUcq, PlanError> {
+    CompiledUcq::compile(q, schema)
+}
+
+/// Execute the plan suffix from `depth`, with `handles` naming each
+/// atom's index table. Returns `false` iff `emit` requested a stop.
+fn exec(
+    cq: &CompiledCq,
+    handles: &[usize],
+    idx: &DbIndex<'_>,
+    depth: usize,
+    slots: &mut [Value],
+    scratch: &mut [Vec<Value>],
+    emit: &mut dyn FnMut(&[Value]) -> bool,
+) -> bool {
+    if depth == cq.atoms.len() {
+        let row: Vec<Value> = cq.head_slots.iter().map(|&s| slots[s]).collect();
+        return emit(&row);
+    }
+    let atom = &cq.atoms[depth];
+    let scanning = handles[depth] == index::SCAN;
+    let (key_buf, rest) = scratch.split_first_mut().expect("scratch per depth");
+    let candidates: &[u32] = if scanning {
+        // Full scan: bound positions (if any) are verified per candidate.
+        idx.rows(atom.rel)
+    } else {
+        // Reuse this depth's scratch buffer for the probe key.
+        key_buf.clear();
+        key_buf.extend(atom.key.iter().map(|kp| match kp {
+            plan::KeyPart::Const(v) => *v,
+            plan::KeyPart::Slot(s) => slots[*s],
+        }));
+        idx.probe(handles[depth], key_buf)
+    };
+    'cand: for &id in candidates {
+        let fact = idx.fact(id);
+        if scanning {
+            // The index did not filter on the signature; do it here.
+            for (&pos, kp) in atom.sig.iter().zip(&atom.key) {
+                let expected = match kp {
+                    plan::KeyPart::Const(v) => *v,
+                    plan::KeyPart::Slot(s) => slots[*s],
+                };
+                if fact[pos] != expected {
+                    continue 'cand;
+                }
+            }
+        }
+        for &(pos, slot) in &atom.binds {
+            slots[slot] = fact[pos];
+        }
+        for &(pos, slot) in &atom.checks {
+            if fact[pos] != slots[slot] {
+                continue 'cand;
+            }
+        }
+        if !exec(cq, handles, idx, depth + 1, slots, rest, emit) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Evaluate a compiled CQ, calling `emit` on every head row (with
+/// duplicates; `emit` returning `false` stops the enumeration early).
+pub fn eval_cq_into(
+    cq: &CompiledCq,
+    idx: &mut DbIndex<'_>,
+    emit: &mut dyn FnMut(&[Value]) -> bool,
+) {
+    let handles = idx.ensure_cq(cq);
+    let mut slots = vec![Value::Const(0); cq.n_slots];
+    let mut scratch = vec![Vec::new(); cq.atoms.len()];
+    exec(cq, &handles, &*idx, 0, &mut slots, &mut scratch, emit);
+}
+
+/// Evaluate a compiled UCQ on a prepared index: the union of the
+/// disjuncts' answer sets.
+pub fn eval_ucq_on(ucq: &CompiledUcq, idx: &mut DbIndex<'_>) -> BTreeSet<Vec<Value>> {
+    let mut out = BTreeSet::new();
+    for d in &ucq.disjuncts {
+        eval_cq_into(d, idx, &mut |row| {
+            out.insert(row.to_vec());
+            true
+        });
+    }
+    out
+}
+
+/// Boolean evaluation of a compiled UCQ on a prepared index, with early
+/// exit on the first witness.
+pub fn eval_ucq_bool_on(ucq: &CompiledUcq, idx: &mut DbIndex<'_>) -> bool {
+    ucq.disjuncts.iter().any(|d| {
+        let mut hit = false;
+        eval_cq_into(d, idx, &mut |_| {
+            hit = true;
+            false
+        });
+        hit
+    })
+}
+
+/// Compile and evaluate a UCQ over a database (nulls as values).
+pub fn eval_ucq(q: &UnionQuery, db: &NaiveDatabase) -> Result<BTreeSet<Vec<Value>>, PlanError> {
+    let plan = compile_ucq(q, &db.schema)?;
+    Ok(eval_ucq_on(&plan, &mut DbIndex::new(db)))
+}
+
+/// Compile and evaluate a CQ over a database (nulls as values).
+pub fn eval_cq(
+    q: &ConjunctiveQuery,
+    db: &NaiveDatabase,
+) -> Result<BTreeSet<Vec<Value>>, PlanError> {
+    let plan = compile_cq(q, &db.schema)?;
+    let mut idx = DbIndex::new(db);
+    let mut out = BTreeSet::new();
+    eval_cq_into(&plan, &mut idx, &mut |row| {
+        out.insert(row.to_vec());
+        true
+    });
+    Ok(out)
+}
+
+/// Compile and evaluate a Boolean UCQ over a database.
+pub fn eval_ucq_bool(q: &UnionQuery, db: &NaiveDatabase) -> Result<bool, PlanError> {
+    let plan = compile_ucq(q, &db.schema)?;
+    Ok(eval_ucq_bool_on(&plan, &mut DbIndex::new(db)))
+}
+
+/// Brute-force certain answers of a compiled UCQ: intersect the answer
+/// tables over every completion of `db` into `pool`, sweeping the
+/// completion grid with `threads` workers and early exit.
+///
+/// Semantics at the corners (unit-tested below): when the completion
+/// space is **empty** (nulls present but an empty pool) the intersection
+/// over no completions is vacuous — the table form returns the **empty
+/// table** (there is no finite "all rows"), while the Boolean form
+/// returns **true**. With no nulls the sole completion is `db` itself.
+pub fn certain_table_over(
+    plan: &CompiledUcq,
+    db: &NaiveDatabase,
+    pool: &[i64],
+    threads: usize,
+) -> BTreeSet<Vec<Value>> {
+    let space = CompletionSpace::new(db, pool);
+    sweep::parallel_intersect(space.len(), threads, |i| {
+        let completion = space.completion(i);
+        eval_ucq_on(plan, &mut DbIndex::new(&completion))
+    })
+    .unwrap_or_default()
+}
+
+/// Brute-force Boolean certain answer of a compiled UCQ over a pool:
+/// true iff every completion satisfies the query. Vacuously true when
+/// the completion space is empty.
+pub fn certain_bool_over(
+    plan: &CompiledUcq,
+    db: &NaiveDatabase,
+    pool: &[i64],
+    threads: usize,
+) -> bool {
+    let space = CompletionSpace::new(db, pool);
+    sweep::parallel_all(space.len(), threads, |i| {
+        let completion = space.completion(i);
+        eval_ucq_bool_on(plan, &mut DbIndex::new(&completion))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Atom, Term};
+    use crate::reference;
+    use ca_relational::database::build::{c, n, table};
+    use Term::{Const as C, Var as V};
+
+    #[test]
+    fn engine_matches_reference_on_basic_joins() {
+        let q = UnionQuery::new(vec![
+            ConjunctiveQuery::with_head(
+                vec![0, 2],
+                vec![
+                    Atom::new("R", vec![V(0), V(1)]),
+                    Atom::new("R", vec![V(1), V(2)]),
+                ],
+            ),
+            ConjunctiveQuery::with_head(vec![0, 0], vec![Atom::new("R", vec![C(1), V(0)])]),
+        ]);
+        let db = table(
+            "R",
+            2,
+            &[&[c(1), n(1)], &[n(1), c(2)], &[c(3), c(9)], &[n(2), c(9)]],
+        );
+        assert_eq!(eval_ucq(&q, &db).unwrap(), reference::eval_ucq(&q, &db));
+    }
+
+    #[test]
+    fn repeated_head_and_within_atom_vars() {
+        // Q(x, x) ← R(x, x): both the check path and head repetition.
+        let q = ConjunctiveQuery::with_head(vec![0, 0], vec![Atom::new("R", vec![V(0), V(0)])]);
+        let db = table("R", 2, &[&[n(1), n(1)], &[n(1), n(2)], &[c(4), c(4)]]);
+        let ans = eval_cq(&q, &db).unwrap();
+        assert_eq!(ans, reference::eval_cq(&q, &db));
+        assert_eq!(ans.len(), 2);
+        assert!(ans.contains(&vec![n(1), n(1)]));
+        assert!(ans.contains(&vec![c(4), c(4)]));
+    }
+
+    // ----- satellite: unknown relation / arity mismatch regression -----
+
+    #[test]
+    fn unknown_relation_engine_errors_reference_is_empty() {
+        let q = ConjunctiveQuery::boolean(vec![Atom::new("S", vec![V(0)])]);
+        let db = table("R", 1, &[&[c(1)]]);
+        // Engine: typed error at plan-compile time.
+        assert_eq!(
+            eval_cq(&q, &db).unwrap_err(),
+            PlanError::UnknownRelation { rel: "S".into() }
+        );
+        // Reference oracle: silently no matches (pinned legacy quirk).
+        assert!(reference::eval_cq(&q, &db).is_empty());
+        // Legacy eval entry point routes through the engine leniently and
+        // keeps the old observable behaviour.
+        assert!(crate::eval::eval_cq(&q, &db).is_empty());
+    }
+
+    #[test]
+    fn arity_mismatch_engine_errors_reference_is_empty() {
+        let q = ConjunctiveQuery::boolean(vec![Atom::new("R", vec![V(0), V(1), V(2)])]);
+        let db = table("R", 2, &[&[c(1), c(2)]]);
+        assert_eq!(
+            eval_cq(&q, &db).unwrap_err(),
+            PlanError::ArityMismatch {
+                rel: "R".into(),
+                declared: 2,
+                used: 3
+            }
+        );
+        assert!(reference::eval_cq(&q, &db).is_empty());
+        assert!(crate::eval::eval_cq(&q, &db).is_empty());
+    }
+
+    // ----- satellite: empty-query / empty-database corners -----
+
+    #[test]
+    fn boolean_cq_with_zero_atoms_is_true() {
+        // The empty conjunction holds vacuously: {()} — on any database,
+        // including the empty one. Engine and reference agree.
+        let q = ConjunctiveQuery::boolean(vec![]);
+        let db = table("R", 1, &[]);
+        assert_eq!(eval_cq(&q, &db).unwrap(), BTreeSet::from([vec![]]));
+        assert_eq!(reference::eval_cq(&q, &db), BTreeSet::from([vec![]]));
+        let nonempty = table("R", 1, &[&[c(1)]]);
+        assert_eq!(eval_cq(&q, &nonempty).unwrap(), BTreeSet::from([vec![]]));
+    }
+
+    #[test]
+    fn ucq_with_no_disjuncts_is_false() {
+        // The empty disjunction is false: no rows, Boolean false.
+        let q = UnionQuery::new(vec![]);
+        let db = table("R", 1, &[&[c(1)]]);
+        assert!(eval_ucq(&q, &db).unwrap().is_empty());
+        assert!(!eval_ucq_bool(&q, &db).unwrap());
+        assert!(reference::eval_ucq(&q, &db).is_empty());
+    }
+
+    #[test]
+    fn empty_completion_space_semantics() {
+        // D = {R(⊥1)} with an empty pool: completions_over would have
+        // nothing to enumerate. The chosen semantics, documented here:
+        // the Boolean certain answer is vacuously TRUE (a conjunction
+        // over no completions), while the table form returns the EMPTY
+        // table (the vacuous intersection "all rows" has no finite
+        // representation). This asymmetry mirrors the legacy
+        // `certain_table`, which returned an empty accumulator.
+        let db = table("R", 1, &[&[n(1)]]);
+        let q = UnionQuery::single(ConjunctiveQuery::with_head(
+            vec![0],
+            vec![Atom::new("R", vec![V(0)])],
+        ));
+        let plan = compile_ucq(&q, &db.schema).unwrap();
+        for threads in [1, 4] {
+            assert!(certain_table_over(&plan, &db, &[], threads).is_empty());
+            assert!(certain_bool_over(&plan, &db, &[], threads));
+        }
+    }
+
+    #[test]
+    fn certain_sweep_matches_legacy_bruteforce() {
+        let q = UnionQuery::single(ConjunctiveQuery::with_head(
+            vec![0],
+            vec![
+                Atom::new("R", vec![V(0), V(1)]),
+                Atom::new("R", vec![V(1), V(2)]),
+            ],
+        ));
+        let db = table("R", 2, &[&[c(1), n(1)], &[n(1), c(2)], &[n(2), c(5)]]);
+        let pool = [1, 2, 5, 6, 7];
+        let plan = compile_ucq(&q, &db.schema).unwrap();
+        // Legacy: materialize all completions, intersect reference answers.
+        let mut legacy: Option<BTreeSet<Vec<Value>>> = None;
+        for r in db.completions_over(&pool) {
+            let ans = reference::eval_ucq(&q, &r);
+            legacy = Some(match legacy {
+                None => ans,
+                Some(acc) => acc.intersection(&ans).cloned().collect(),
+            });
+        }
+        let legacy = legacy.unwrap();
+        for threads in [1, 3, 4] {
+            assert_eq!(certain_table_over(&plan, &db, &pool, threads), legacy);
+        }
+    }
+}

@@ -1,0 +1,365 @@
+//! Plan compilation: a CQ becomes a sequence of indexed atom matchers.
+//!
+//! Compilation resolves relation names against a schema (rejecting
+//! unknown names and arity mismatches with a typed [`PlanError`] instead
+//! of the reference evaluator's silent empty answer), picks a greedy join
+//! order (most-bound atom first), and classifies every atom position into
+//! one of three roles:
+//!
+//! * part of the **probe key** — a constant, or a variable bound by an
+//!   earlier atom in the plan: these positions form the atom's *index
+//!   signature*, the set of positions a hash index on the relation must
+//!   be keyed by;
+//! * a **bind** — the first occurrence of a variable: matching a fact
+//!   writes the value into the variable's slot;
+//! * a **check** — a repeated occurrence of a variable first bound
+//!   *within the same atom* (e.g. the second `x` of `R(x, x)`): checked
+//!   against the just-bound slot after the probe.
+//!
+//! Variables compile to dense slot numbers, so evaluation never searches
+//! an association list the way the reference evaluator does.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use ca_core::symbol::Symbol;
+use ca_core::value::Value;
+use ca_relational::schema::Schema;
+
+use crate::ast::{ConjunctiveQuery, Term, UnionQuery};
+
+/// A typed plan-compilation failure. The reference evaluator silently
+/// returns no matches in all of these situations; the engine surfaces
+/// them so callers can distinguish "no certain answers" from "the query
+/// does not fit the schema".
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PlanError {
+    /// An atom names a relation absent from the schema.
+    UnknownRelation {
+        /// The offending relation name.
+        rel: String,
+    },
+    /// An atom uses a relation at the wrong arity.
+    ArityMismatch {
+        /// The relation name.
+        rel: String,
+        /// The arity declared by the schema.
+        declared: usize,
+        /// The arity the atom used.
+        used: usize,
+    },
+    /// A head variable does not occur in the body (the query is unsafe).
+    UnboundHeadVar {
+        /// The offending head variable.
+        var: u32,
+    },
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::UnknownRelation { rel } => {
+                write!(f, "unknown relation {rel} (not in the schema)")
+            }
+            PlanError::ArityMismatch {
+                rel,
+                declared,
+                used,
+            } => write!(
+                f,
+                "relation {rel} has arity {declared} but the atom uses {used} arguments"
+            ),
+            PlanError::UnboundHeadVar { var } => {
+                write!(f, "head variable x{var} does not occur in the body")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// One component of an atom's probe key.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum KeyPart {
+    /// A constant from the query.
+    Const(Value),
+    /// The value of an already-bound variable slot.
+    Slot(usize),
+}
+
+/// One atom of a compiled plan.
+#[derive(Clone, Debug)]
+pub(crate) struct AtomPlan {
+    /// The relation to match.
+    pub rel: Symbol,
+    /// Sorted positions whose values are known before matching — the
+    /// index signature. Empty signature = full relation scan.
+    pub sig: Vec<usize>,
+    /// Key components aligned with `sig`.
+    pub key: Vec<KeyPart>,
+    /// `(position, slot)` pairs: first occurrences of variables, bound
+    /// from the matched fact.
+    pub binds: Vec<(usize, usize)>,
+    /// `(position, slot)` pairs: repeated occurrences of variables first
+    /// bound within this same atom, checked after binding.
+    pub checks: Vec<(usize, usize)>,
+}
+
+/// A compiled conjunctive query: atoms in join order plus the head
+/// projection.
+#[derive(Clone, Debug)]
+pub struct CompiledCq {
+    pub(crate) atoms: Vec<AtomPlan>,
+    pub(crate) head_slots: Vec<usize>,
+    pub(crate) n_slots: usize,
+}
+
+impl CompiledCq {
+    /// Compile a CQ against a schema.
+    pub fn compile(q: &ConjunctiveQuery, schema: &Schema) -> Result<CompiledCq, PlanError> {
+        // Resolve relations and validate arities up front.
+        let mut rels = Vec::with_capacity(q.atoms.len());
+        for atom in &q.atoms {
+            let rel = schema
+                .relation(&atom.rel)
+                .ok_or_else(|| PlanError::UnknownRelation {
+                    rel: atom.rel.clone(),
+                })?;
+            let declared = schema.arity(rel);
+            if declared != atom.args.len() {
+                return Err(PlanError::ArityMismatch {
+                    rel: atom.rel.clone(),
+                    declared,
+                    used: atom.args.len(),
+                });
+            }
+            rels.push(rel);
+        }
+
+        let order = join_order(q);
+        let mut slots: BTreeMap<u32, usize> = BTreeMap::new();
+        let mut atoms = Vec::with_capacity(order.len());
+        for &i in &order {
+            let atom = &q.atoms[i];
+            let mut plan = AtomPlan {
+                rel: rels[i],
+                sig: Vec::new(),
+                key: Vec::new(),
+                binds: Vec::new(),
+                checks: Vec::new(),
+            };
+            for (pos, term) in atom.args.iter().enumerate() {
+                match term {
+                    Term::Const(c) => {
+                        plan.sig.push(pos);
+                        plan.key.push(KeyPart::Const(Value::Const(*c)));
+                    }
+                    Term::Var(v) => {
+                        if let Some(&slot) = slots.get(v) {
+                            if plan.binds.iter().any(|&(_, s)| s == slot) {
+                                // Bound earlier in this very atom: the value
+                                // is only known after the probe.
+                                plan.checks.push((pos, slot));
+                            } else {
+                                plan.sig.push(pos);
+                                plan.key.push(KeyPart::Slot(slot));
+                            }
+                        } else {
+                            let slot = slots.len();
+                            slots.insert(*v, slot);
+                            plan.binds.push((pos, slot));
+                        }
+                    }
+                }
+            }
+            atoms.push(plan);
+        }
+
+        let head_slots = q
+            .head
+            .iter()
+            .map(|v| {
+                slots
+                    .get(v)
+                    .copied()
+                    .ok_or(PlanError::UnboundHeadVar { var: *v })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+
+        Ok(CompiledCq {
+            atoms,
+            head_slots,
+            n_slots: slots.len(),
+        })
+    }
+}
+
+/// Greedy bound-variable join ordering: repeatedly pick the atom with the
+/// most positions already known (constants + variables bound by earlier
+/// picks), tie-breaking on fewer fresh variables, then original order.
+/// Deterministic by construction.
+fn join_order(q: &ConjunctiveQuery) -> Vec<usize> {
+    let n = q.atoms.len();
+    let mut bound: Vec<u32> = Vec::new();
+    let mut remaining: Vec<usize> = (0..n).collect();
+    let mut order = Vec::with_capacity(n);
+    while !remaining.is_empty() {
+        let best = remaining
+            .iter()
+            .map(|&i| {
+                let atom = &q.atoms[i];
+                let mut known = 0usize;
+                let mut fresh: Vec<u32> = Vec::new();
+                for t in &atom.args {
+                    match t {
+                        Term::Const(_) => known += 1,
+                        Term::Var(v) => {
+                            if bound.contains(v) {
+                                known += 1;
+                            } else if !fresh.contains(v) {
+                                fresh.push(*v);
+                            }
+                        }
+                    }
+                }
+                // Max known, then min fresh, then min index.
+                (usize::MAX - known, fresh.len(), i)
+            })
+            .min()
+            .map(|(_, _, i)| i)
+            .expect("remaining is nonempty");
+        remaining.retain(|&i| i != best);
+        for v in q.atoms[best].vars() {
+            if !bound.contains(&v) {
+                bound.push(v);
+            }
+        }
+        order.push(best);
+    }
+    order
+}
+
+/// A compiled union of conjunctive queries.
+#[derive(Clone, Debug)]
+pub struct CompiledUcq {
+    pub(crate) disjuncts: Vec<CompiledCq>,
+    pub(crate) head_arity: usize,
+}
+
+impl CompiledUcq {
+    /// Compile every disjunct; fails on the first disjunct that does not
+    /// fit the schema.
+    pub fn compile(q: &UnionQuery, schema: &Schema) -> Result<CompiledUcq, PlanError> {
+        let disjuncts = q
+            .disjuncts
+            .iter()
+            .map(|d| CompiledCq::compile(d, schema))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(CompiledUcq {
+            disjuncts,
+            head_arity: q.head_arity(),
+        })
+    }
+
+    /// Compile leniently, **dropping** disjuncts that do not fit the
+    /// schema. This reproduces the reference evaluator's semantics, where
+    /// an atom over an unknown relation (or at the wrong arity) silently
+    /// matches nothing, so the whole disjunct contributes no answers.
+    /// Used by the legacy [`crate::eval`] entry points.
+    pub fn compile_lenient(q: &UnionQuery, schema: &Schema) -> CompiledUcq {
+        CompiledUcq {
+            disjuncts: q
+                .disjuncts
+                .iter()
+                .filter_map(|d| CompiledCq::compile(d, schema).ok())
+                .collect(),
+            head_arity: q.head_arity(),
+        }
+    }
+
+    /// The shared head arity (0 for Boolean queries).
+    pub fn head_arity(&self) -> usize {
+        self.head_arity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Atom;
+    use Term::{Const as C, Var as V};
+
+    fn schema() -> Schema {
+        Schema::from_relations(&[("R", 2), ("S", 1)])
+    }
+
+    #[test]
+    fn constants_and_bound_vars_come_first() {
+        // R(x, y) ∧ S(x) ∧ R(y, 3): the constant-bearing atom leads, then
+        // atoms join on bound variables.
+        let q = ConjunctiveQuery::boolean(vec![
+            Atom::new("R", vec![V(0), V(1)]),
+            Atom::new("S", vec![V(0)]),
+            Atom::new("R", vec![V(1), C(3)]),
+        ]);
+        let order = join_order(&q);
+        assert_eq!(order[0], 2, "constant atom should lead: {order:?}");
+        // Whatever follows, every later atom shares a variable with the
+        // prefix (the query is connected), so no cartesian products.
+        assert_eq!(order.len(), 3);
+    }
+
+    #[test]
+    fn repeated_var_within_atom_becomes_check() {
+        let q = ConjunctiveQuery::boolean(vec![Atom::new("R", vec![V(0), V(0)])]);
+        let plan = CompiledCq::compile(&q, &schema()).unwrap();
+        assert_eq!(plan.atoms[0].binds.len(), 1);
+        assert_eq!(plan.atoms[0].checks.len(), 1);
+        assert!(plan.atoms[0].sig.is_empty());
+    }
+
+    #[test]
+    fn unknown_relation_is_a_typed_error() {
+        let q = ConjunctiveQuery::boolean(vec![Atom::new("T", vec![V(0)])]);
+        assert_eq!(
+            CompiledCq::compile(&q, &schema()).unwrap_err(),
+            PlanError::UnknownRelation { rel: "T".into() }
+        );
+    }
+
+    #[test]
+    fn arity_mismatch_is_a_typed_error() {
+        let q = ConjunctiveQuery::boolean(vec![Atom::new("R", vec![V(0)])]);
+        assert_eq!(
+            CompiledCq::compile(&q, &schema()).unwrap_err(),
+            PlanError::ArityMismatch {
+                rel: "R".into(),
+                declared: 2,
+                used: 1
+            }
+        );
+    }
+
+    #[test]
+    fn unsafe_head_is_a_typed_error() {
+        let q = ConjunctiveQuery {
+            head: vec![7],
+            atoms: vec![Atom::new("S", vec![V(0)])],
+        };
+        assert_eq!(
+            CompiledCq::compile(&q, &schema()).unwrap_err(),
+            PlanError::UnboundHeadVar { var: 7 }
+        );
+    }
+
+    #[test]
+    fn lenient_compilation_drops_broken_disjuncts() {
+        let q = UnionQuery::new(vec![
+            ConjunctiveQuery::boolean(vec![Atom::new("S", vec![V(0)])]),
+            ConjunctiveQuery::boolean(vec![Atom::new("T", vec![V(0)])]),
+        ]);
+        assert!(CompiledUcq::compile(&q, &schema()).is_err());
+        let lenient = CompiledUcq::compile_lenient(&q, &schema());
+        assert_eq!(lenient.disjuncts.len(), 1);
+    }
+}

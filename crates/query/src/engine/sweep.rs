@@ -1,0 +1,270 @@
+//! Parallel sweeps over completion spaces.
+//!
+//! Brute-force certain answers intersect (or conjoin) a query's result
+//! over every completion of a naïve database into an adequate constant
+//! pool. That space is a `|pool|^#nulls` grid; this module addresses it
+//! by linear index, partitions it into contiguous per-thread chunks
+//! (`std::thread::scope`), and sweeps with early exit: once any thread's
+//! partial intersection is empty (or any completion falsifies a Boolean
+//! query), a shared flag stops every worker — the global answer is
+//! already determined.
+//!
+//! Determinism: per-thread partial results are sets, set intersection is
+//! commutative and associative, and the final merge folds the per-thread
+//! results in thread-index order, so the answer is byte-identical for
+//! every thread count (asserted by `tests/eval_differential.rs`).
+//!
+//! The thread count comes from `CA_EVAL_THREADS` (default: available
+//! parallelism), mirroring the solver's `CA_HOM_THREADS`.
+
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use ca_core::value::{Null, Value};
+use ca_relational::database::{NaiveDatabase, Valuation};
+
+/// The sweep thread count: `CA_EVAL_THREADS`, else available parallelism.
+pub fn eval_threads() -> usize {
+    match std::env::var("CA_EVAL_THREADS") {
+        Ok(v) => v.parse().unwrap_or(1).max(1),
+        Err(_) => std::thread::available_parallelism().map_or(1, usize::from),
+    }
+}
+
+/// The space of completions of `db` into a constant pool, addressable by
+/// linear index: completion `i` grounds null `j` (in sorted null order)
+/// to `pool[d_j]` where `d_0 d_1 …` are the base-`|pool|` digits of `i`.
+pub struct CompletionSpace<'a> {
+    db: &'a NaiveDatabase,
+    nulls: Vec<Null>,
+    pool: &'a [i64],
+}
+
+impl<'a> CompletionSpace<'a> {
+    /// Set up the space. The pool may be empty only if the database has
+    /// no nulls (otherwise the space is empty — see [`Self::len`]).
+    pub fn new(db: &'a NaiveDatabase, pool: &'a [i64]) -> Self {
+        CompletionSpace {
+            nulls: db.nulls().into_iter().collect(),
+            db,
+            pool,
+        }
+    }
+
+    /// Number of completions: `|pool|^#nulls` (1 when there are no nulls
+    /// — the database is its own sole completion — and 0 when there are
+    /// nulls but nothing to ground them to).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the count overflows `u128`; such a sweep could never
+    /// finish anyway.
+    pub fn len(&self) -> u128 {
+        (self.pool.len() as u128)
+            .checked_pow(self.nulls.len() as u32)
+            .expect("completion space exceeds u128 — brute force is hopeless here")
+    }
+
+    /// Is the space empty (nulls present but an empty pool)?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Materialize completion `i`.
+    pub fn completion(&self, i: u128) -> NaiveDatabase {
+        let mut h = Valuation::new();
+        let mut rest = i;
+        let base = self.pool.len() as u128;
+        for &n in &self.nulls {
+            h.bind(n, Value::Const(self.pool[(rest % base) as usize]));
+            rest /= base;
+        }
+        self.db.apply(&h)
+    }
+}
+
+/// Split `0..count` into at most `threads` contiguous non-empty chunks.
+fn chunks(count: u128, threads: usize) -> Vec<(u128, u128)> {
+    let threads = (threads.max(1) as u128).min(count.max(1));
+    let per = count.div_ceil(threads.max(1)).max(1);
+    let mut out = Vec::new();
+    let mut lo = 0;
+    while lo < count {
+        let hi = (lo + per).min(count);
+        out.push((lo, hi));
+        lo = hi;
+    }
+    out
+}
+
+/// Does `check(i)` hold for every `i` in `0..count`? Sweeps in parallel
+/// with early exit on the first failure. Vacuously true for `count == 0`
+/// (the usual convention for an intersection over an empty family).
+pub fn parallel_all(count: u128, threads: usize, check: impl Fn(u128) -> bool + Sync) -> bool {
+    let parts = chunks(count, threads);
+    if parts.len() <= 1 {
+        return parts.first().is_none_or(|&(lo, hi)| (lo..hi).all(&check));
+    }
+    let failed = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        for &(lo, hi) in &parts {
+            let failed = &failed;
+            let check = &check;
+            scope.spawn(move || {
+                for i in lo..hi {
+                    if failed.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    if !check(i) {
+                        failed.store(true, Ordering::Relaxed);
+                        return;
+                    }
+                }
+            });
+        }
+    });
+    !failed.load(Ordering::Relaxed)
+}
+
+/// Intersect `eval(i)` over every `i` in `0..count`, in parallel with
+/// early exit once the intersection is known to be empty. Returns `None`
+/// for `count == 0` — the intersection over no sets is "everything",
+/// which has no finite representation; callers choose their semantics
+/// (brute-force certain answers return the empty table, documented at
+/// the call site).
+pub fn parallel_intersect(
+    count: u128,
+    threads: usize,
+    eval: impl Fn(u128) -> BTreeSet<Vec<Value>> + Sync,
+) -> Option<BTreeSet<Vec<Value>>> {
+    if count == 0 {
+        return None;
+    }
+    let parts = chunks(count, threads);
+    if parts.len() <= 1 {
+        let (lo, hi) = parts[0];
+        let mut acc = eval(lo);
+        for i in lo + 1..hi {
+            if acc.is_empty() {
+                break;
+            }
+            let next = eval(i);
+            acc.retain(|row| next.contains(row));
+        }
+        return Some(acc);
+    }
+    let dead = AtomicBool::new(false);
+    let partials = std::thread::scope(|scope| {
+        let handles: Vec<_> = parts
+            .iter()
+            .map(|&(lo, hi)| {
+                let dead = &dead;
+                let eval = &eval;
+                scope.spawn(move || {
+                    let mut acc = eval(lo);
+                    for i in lo + 1..hi {
+                        if acc.is_empty() || dead.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let next = eval(i);
+                        acc.retain(|row| next.contains(row));
+                    }
+                    if acc.is_empty() {
+                        dead.store(true, Ordering::Relaxed);
+                    }
+                    acc
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep worker panicked"))
+            .collect::<Vec<_>>()
+    });
+    // A set flag means some thread's partial intersection over a prefix of
+    // its range emptied; the global intersection is a subset of it.
+    if dead.load(Ordering::Relaxed) {
+        return Some(BTreeSet::new());
+    }
+    let mut iter = partials.into_iter();
+    let mut acc = iter.next().expect("at least one chunk");
+    for next in iter {
+        acc.retain(|row| next.contains(row));
+    }
+    Some(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ca_relational::database::build::{c, n, table};
+
+    #[test]
+    fn completion_space_counts() {
+        let db = table("R", 2, &[&[c(0), n(1)], &[n(2), c(0)]]);
+        let pool = [0, 1];
+        let space = CompletionSpace::new(&db, &pool);
+        assert_eq!(space.len(), 4);
+        for i in 0..4 {
+            assert!(space.completion(i).is_complete());
+        }
+        // No nulls: exactly one completion, the database itself.
+        let complete = table("R", 1, &[&[c(7)]]);
+        let space = CompletionSpace::new(&complete, &[]);
+        assert_eq!(space.len(), 1);
+        assert_eq!(space.completion(0), complete);
+        // Nulls but empty pool: the space is empty.
+        let stuck = table("R", 1, &[&[n(1)]]);
+        let space = CompletionSpace::new(&stuck, &[]);
+        assert!(space.is_empty());
+    }
+
+    #[test]
+    fn completion_space_matches_completions_over() {
+        let db = table("R", 2, &[&[c(0), n(1)], &[n(2), n(1)]]);
+        let pool = [0, 1, 2];
+        let space = CompletionSpace::new(&db, &pool);
+        let mut by_index: Vec<NaiveDatabase> =
+            (0..space.len()).map(|i| space.completion(i)).collect();
+        let mut legacy = db.completions_over(&pool);
+        assert_eq!(by_index.len(), legacy.len());
+        by_index.sort_by(|a, b| a.facts().cmp(b.facts()));
+        legacy.sort_by(|a, b| a.facts().cmp(b.facts()));
+        assert_eq!(by_index, legacy);
+    }
+
+    #[test]
+    fn parallel_all_agrees_across_thread_counts() {
+        for threads in [1, 2, 4, 7] {
+            assert!(parallel_all(100, threads, |i| i < 1000));
+            assert!(!parallel_all(100, threads, |i| i != 63));
+            assert!(parallel_all(0, threads, |_| false), "vacuous truth");
+        }
+    }
+
+    #[test]
+    fn parallel_intersect_agrees_across_thread_counts() {
+        let eval = |i: u128| -> BTreeSet<Vec<Value>> {
+            // Row {c(j)} survives completion i iff j divides 60... use a
+            // simple shrinking family: completion i keeps rows >= i/8.
+            (0..8u8)
+                .filter(|&j| u128::from(j) >= i / 8)
+                .map(|j| vec![c(i64::from(j))])
+                .collect()
+        };
+        let expected = parallel_intersect(20, 1, eval).unwrap();
+        for threads in [2, 3, 4, 9] {
+            assert_eq!(parallel_intersect(20, threads, eval).unwrap(), expected);
+        }
+        assert!(parallel_intersect(0, 4, eval).is_none());
+        // A family that empties early.
+        let empty = parallel_intersect(64, 4, |i| {
+            if i == 5 {
+                BTreeSet::new()
+            } else {
+                BTreeSet::from([vec![c(1)]])
+            }
+        });
+        assert_eq!(empty, Some(BTreeSet::new()));
+    }
+}

@@ -4,7 +4,15 @@
 //!
 //! * CQs/UCQs over naïve databases, **treating nulls as ordinary values**
 //!   (`⊥₁ = ⊥₁`, `⊥₁ ≠ ⊥₂`, `⊥₁ ≠ c`) — the first phase of naïve
-//!   evaluation. Implemented as backtracking join over the atoms.
+//!   evaluation. These entry points delegate to the compiled
+//!   [`crate::engine`] (plan once, probe lazily-built hash indices) via
+//!   *lenient* compilation, which exactly reproduces the historical
+//!   semantics: an atom over an unknown relation, or at the wrong arity,
+//!   silently matches nothing (the CLI depends on this — a query over a
+//!   relation absent from the database prints nothing and exits 0).
+//!   Callers that want schema errors surfaced should use the engine's
+//!   strict API ([`crate::engine::eval_ucq`] and friends) instead. The
+//!   original nested-loop evaluator survives as [`crate::reference`].
 //! * Full FO over databases under active-domain semantics, likewise
 //!   treating any nulls present as distinct fresh values (evaluating FO
 //!   "as if nulls were values" is exactly what Proposition 1 analyzes).
@@ -14,93 +22,50 @@ use std::collections::BTreeSet;
 use ca_core::value::Value;
 use ca_relational::database::NaiveDatabase;
 
-use crate::ast::{Atom, ConjunctiveQuery, Fo, Term, UnionQuery};
-
-/// A partial variable binding during join evaluation.
-type Binding = [(u32, Value)];
+use crate::ast::{ConjunctiveQuery, Fo, Term, UnionQuery};
+use crate::engine::{self, CompiledCq, DbIndex};
 
 /// Evaluate a CQ over a database treating nulls as values. Returns the set
 /// of head-variable bindings (each a tuple of values, possibly containing
 /// nulls). A Boolean query returns `{[]}` for true, `{}` for false.
 pub fn eval_cq(q: &ConjunctiveQuery, db: &NaiveDatabase) -> BTreeSet<Vec<Value>> {
-    let mut results = BTreeSet::new();
-    let mut binding: Vec<(u32, Value)> = Vec::new();
-    eval_atoms(&q.atoms, 0, db, &mut binding, &mut |b| {
-        let row: Option<Vec<Value>> = q
-            .head
-            .iter()
-            .map(|h| b.iter().find(|(v, _)| v == h).map(|&(_, val)| val))
-            .collect();
-        results.insert(row.expect("safe query: head vars bound by body"));
+    let Ok(plan) = CompiledCq::compile(q, &db.schema) else {
+        return BTreeSet::new(); // lenient: unknown relation / arity → no matches
+    };
+    let mut idx = DbIndex::new(db);
+    let mut out = BTreeSet::new();
+    engine::eval_cq_into(&plan, &mut idx, &mut |row| {
+        out.insert(row.to_vec());
+        true
     });
-    results
+    out
 }
 
 /// Evaluate a UCQ (union of the disjuncts' answers).
 pub fn eval_ucq(q: &UnionQuery, db: &NaiveDatabase) -> BTreeSet<Vec<Value>> {
-    let mut out = BTreeSet::new();
-    for d in &q.disjuncts {
-        out.extend(eval_cq(d, db));
-    }
-    out
+    let plan = engine::CompiledUcq::compile_lenient(q, &db.schema);
+    engine::eval_ucq_on(&plan, &mut DbIndex::new(db))
 }
 
 /// Boolean CQ evaluation (nulls as values).
 pub fn eval_cq_bool(q: &ConjunctiveQuery, db: &NaiveDatabase) -> bool {
     assert!(q.is_boolean());
-    !eval_cq(q, db).is_empty()
+    let Ok(plan) = CompiledCq::compile(q, &db.schema) else {
+        return false;
+    };
+    let mut idx = DbIndex::new(db);
+    let mut hit = false;
+    engine::eval_cq_into(&plan, &mut idx, &mut |_| {
+        hit = true;
+        false
+    });
+    hit
 }
 
 /// Boolean UCQ evaluation (nulls as values).
 pub fn eval_ucq_bool(q: &UnionQuery, db: &NaiveDatabase) -> bool {
-    q.disjuncts.iter().any(|d| eval_cq_bool(d, db))
-}
-
-/// Backtracking join: try to match atom `i` against every fact, extending
-/// the binding; on full match call `found`.
-fn eval_atoms(
-    atoms: &[Atom],
-    i: usize,
-    db: &NaiveDatabase,
-    binding: &mut Vec<(u32, Value)>,
-    found: &mut dyn FnMut(&Binding),
-) {
-    if i == atoms.len() {
-        found(binding);
-        return;
-    }
-    let atom = &atoms[i];
-    let Some(rel) = db.schema.relation(&atom.rel) else {
-        return; // unknown relation: no matches
-    };
-    'facts: for fact in db.relation(rel) {
-        if fact.args.len() != atom.args.len() {
-            continue;
-        }
-        let mark = binding.len();
-        for (t, &val) in atom.args.iter().zip(fact.args.iter()) {
-            match t {
-                Term::Const(c) => {
-                    if val != Value::Const(*c) {
-                        binding.truncate(mark);
-                        continue 'facts;
-                    }
-                }
-                Term::Var(v) => {
-                    if let Some(&(_, bound)) = binding.iter().find(|(u, _)| u == v) {
-                        if bound != val {
-                            binding.truncate(mark);
-                            continue 'facts;
-                        }
-                    } else {
-                        binding.push((*v, val));
-                    }
-                }
-            }
-        }
-        eval_atoms(atoms, i + 1, db, binding, found);
-        binding.truncate(mark);
-    }
+    let plan = engine::CompiledUcq::compile_lenient(q, &db.schema);
+    engine::eval_ucq_bool_on(&plan, &mut DbIndex::new(db))
 }
 
 /// Evaluate an FO sentence over a database under active-domain semantics,
@@ -171,6 +136,7 @@ fn eval_fo_rec(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ast::Atom;
     use ca_relational::database::build::{c, n, table};
     use Term::{Const as C, Var as V};
 
@@ -223,6 +189,23 @@ mod tests {
         let db = table("R", 2, &[&[c(1), c(2)]]);
         let ans = eval_ucq(&q, &db);
         assert_eq!(ans.len(), 2);
+    }
+
+    #[test]
+    fn lenient_semantics_for_unknown_relations() {
+        // The legacy entry points keep the pre-engine behaviour: a query
+        // over a relation absent from the schema answers empty/false, and
+        // a mixed UCQ still answers through its well-formed disjuncts.
+        let db = table("R", 1, &[&[c(1)]]);
+        let broken = ConjunctiveQuery::boolean(vec![Atom::new("S", vec![V(0)])]);
+        assert!(eval_cq(&broken, &db).is_empty());
+        assert!(!eval_cq_bool(&broken, &db));
+        let mixed = UnionQuery::new(vec![
+            broken.clone(),
+            ConjunctiveQuery::boolean(vec![Atom::new("R", vec![V(0)])]),
+        ]);
+        assert!(eval_ucq_bool(&mixed, &db));
+        assert_eq!(eval_ucq(&mixed, &db), BTreeSet::from([vec![]]));
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Random query generation for experiments.
 
 use ca_relational::generate::Rng;
+use ca_relational::schema::Schema;
 
 use crate::ast::{Atom, ConjunctiveQuery, Term, UnionQuery};
 
@@ -45,6 +46,67 @@ pub fn random_bool_ucq(rng: &mut Rng, p: QueryParams) -> UnionQuery {
     UnionQuery::new((0..p.n_disjuncts).map(|_| random_bool_cq(rng, p)).collect())
 }
 
+/// A random CQ over an arbitrary schema, with a head of the requested
+/// arity. Atoms pick their relation uniformly (argument counts follow the
+/// schema; `p.arity` is ignored); head variables are drawn *with
+/// replacement* from the variables occurring in the body, so repeated head
+/// variables and head projections both arise. Queries with `head_arity >
+/// 0` but a constants-only body retry until at least one variable occurs
+/// (guaranteed to terminate for `const_pct < 100`).
+pub fn random_cq_over(
+    rng: &mut Rng,
+    schema: &Schema,
+    head_arity: usize,
+    p: QueryParams,
+) -> ConjunctiveQuery {
+    let symbols: Vec<_> = schema.symbols().collect();
+    loop {
+        let atoms: Vec<Atom> = (0..p.n_atoms.max(1))
+            .map(|_| {
+                let rel = symbols[rng.below(symbols.len() as u64) as usize];
+                let args: Vec<Term> = (0..schema.arity(rel))
+                    .map(|_| {
+                        if rng.chance(p.const_pct, 100) {
+                            Term::Const(rng.below(p.n_constants as u64) as i64)
+                        } else {
+                            Term::Var(rng.below(p.n_vars as u64) as u32)
+                        }
+                    })
+                    .collect();
+                Atom::new(schema.name(rel), args)
+            })
+            .collect();
+        let body_vars: Vec<u32> = {
+            let mut vs: Vec<u32> = atoms.iter().flat_map(|a| a.vars()).collect();
+            vs.sort_unstable();
+            vs.dedup();
+            vs
+        };
+        if body_vars.is_empty() && head_arity > 0 {
+            continue; // no variable to project — redraw
+        }
+        let head: Vec<u32> = (0..head_arity)
+            .map(|_| body_vars[rng.below(body_vars.len() as u64) as usize])
+            .collect();
+        return ConjunctiveQuery::with_head(head, atoms);
+    }
+}
+
+/// A random UCQ over an arbitrary schema: `p.n_disjuncts` disjuncts
+/// sharing the given head arity.
+pub fn random_ucq_over(
+    rng: &mut Rng,
+    schema: &Schema,
+    head_arity: usize,
+    p: QueryParams,
+) -> UnionQuery {
+    UnionQuery::new(
+        (0..p.n_disjuncts.max(1))
+            .map(|_| random_cq_over(rng, schema, head_arity, p))
+            .collect(),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -67,6 +129,37 @@ mod tests {
             assert_eq!(d.atoms.len(), 2);
             for a in &d.atoms {
                 assert_eq!(a.args.len(), 3);
+            }
+        }
+    }
+
+    #[test]
+    fn schema_aware_queries_are_safe() {
+        use ca_relational::generate::random_schema;
+        let mut rng = Rng::new(11);
+        for _ in 0..50 {
+            let schema = random_schema(&mut rng, 3, 3);
+            let p = QueryParams {
+                n_disjuncts: 2,
+                n_atoms: 3,
+                n_vars: 4,
+                arity: 0, // ignored: arities come from the schema
+                n_constants: 3,
+                const_pct: 30,
+            };
+            let head_arity = rng.below(3) as usize;
+            let q = random_ucq_over(&mut rng, &schema, head_arity, p);
+            assert_eq!(q.head_arity(), head_arity);
+            for d in &q.disjuncts {
+                assert_eq!(d.head.len(), head_arity);
+                let body: Vec<u32> = d.atoms.iter().flat_map(|a| a.vars()).collect();
+                for h in &d.head {
+                    assert!(body.contains(h), "unsafe head var in {d:?}");
+                }
+                for a in &d.atoms {
+                    let rel = schema.relation(&a.rel).expect("atom over schema relation");
+                    assert_eq!(a.args.len(), schema.arity(rel));
+                }
             }
         }
     }

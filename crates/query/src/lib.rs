@@ -6,9 +6,17 @@
 //!
 //! * [`ast`] — terms, atoms, CQs (with free head variables), UCQs, and a
 //!   full FO syntax with negation and universal quantification.
-//! * [`eval`] — evaluation: CQs/UCQs over naïve databases *treating nulls
-//!   as ordinary values* (the first phase of naïve evaluation), and FO
+//! * [`engine`] — the compiled evaluation engine: CQs compile once into
+//!   join plans (greedy bound-variable ordering, constants and repeated
+//!   variables pushed into atom matchers), execute against lazily-built
+//!   per-relation hash indices, and batch drivers sweep completion grids
+//!   in parallel (`CA_EVAL_THREADS`) for brute-force certain answers.
+//! * [`eval`] — the legacy evaluation entry points: CQs/UCQs over naïve
+//!   databases *treating nulls as ordinary values* (the first phase of
+//!   naïve evaluation; now routed through [`engine`] leniently), and FO
 //!   sentences over complete databases under active-domain semantics.
+//! * [`reference`] — the original nested-loop evaluator, kept as the
+//!   differential-testing oracle and benchmark baseline for [`engine`].
 //! * [`tableau`] — the CQ ↔ naïve-database correspondence: the tableau
 //!   `D_Q` of a Boolean CQ and the canonical query `Q_D` of a database.
 //! * [`containment`] — CQ containment via tableau homomorphisms
@@ -26,16 +34,19 @@
 pub mod ast;
 pub mod certain;
 pub mod containment;
+pub mod engine;
 pub mod eval;
 pub mod generate;
 pub mod minimize;
 pub mod parse;
 pub mod preservation;
+pub mod reference;
 pub mod tableau;
 
 pub use ast::{Atom, ConjunctiveQuery, Fo, Term, UnionQuery};
 pub use certain::{certain_answer_bool, naive_eval_bool, naive_eval_table};
 pub use containment::cq_contained_in;
+pub use engine::{CompiledCq, CompiledUcq, DbIndex, PlanError};
 pub use minimize::{cq_equivalent, minimize_cq};
 pub use parse::{parse_cq, parse_ucq};
 pub use tableau::{canonical_query, tableau};

@@ -1,0 +1,153 @@
+//! The original CQ/UCQ evaluator, retained as a differential-testing
+//! oracle and benchmark baseline for [`crate::engine`] (the same pattern
+//! as `ca_hom::reference` for the CSP kernel).
+//!
+//! Semantics: nulls are treated as ordinary values (`⊥₁ = ⊥₁`,
+//! `⊥₁ ≠ ⊥₂`, `⊥₁ ≠ c`) — the first phase of naïve evaluation. The
+//! implementation is a nested-loop backtracking join that rescans every
+//! fact of a relation for every atom; it is deliberately simple and slow.
+//!
+//! Pinned quirk (see the regression tests in `crate::engine`): an atom
+//! over an unknown relation name, or used at the wrong arity, silently
+//! matches nothing. The engine instead rejects such queries at
+//! plan-compile time with a typed [`crate::engine::PlanError`].
+
+use std::collections::BTreeSet;
+
+use ca_core::value::Value;
+use ca_relational::database::NaiveDatabase;
+
+use crate::ast::{Atom, ConjunctiveQuery, Term, UnionQuery};
+
+/// A partial variable binding during join evaluation.
+type Binding = [(u32, Value)];
+
+/// Evaluate a CQ over a database treating nulls as values. Returns the set
+/// of head-variable bindings (each a tuple of values, possibly containing
+/// nulls). A Boolean query returns `{[]}` for true, `{}` for false.
+pub fn eval_cq(q: &ConjunctiveQuery, db: &NaiveDatabase) -> BTreeSet<Vec<Value>> {
+    let mut results = BTreeSet::new();
+    let mut binding: Vec<(u32, Value)> = Vec::new();
+    eval_atoms(&q.atoms, 0, db, &mut binding, &mut |b| {
+        let row: Option<Vec<Value>> = q
+            .head
+            .iter()
+            .map(|h| b.iter().find(|(v, _)| v == h).map(|&(_, val)| val))
+            .collect();
+        results.insert(row.expect("safe query: head vars bound by body"));
+    });
+    results
+}
+
+/// Evaluate a UCQ (union of the disjuncts' answers).
+pub fn eval_ucq(q: &UnionQuery, db: &NaiveDatabase) -> BTreeSet<Vec<Value>> {
+    let mut out = BTreeSet::new();
+    for d in &q.disjuncts {
+        out.extend(eval_cq(d, db));
+    }
+    out
+}
+
+/// Boolean CQ evaluation (nulls as values).
+pub fn eval_cq_bool(q: &ConjunctiveQuery, db: &NaiveDatabase) -> bool {
+    assert!(q.is_boolean());
+    !eval_cq(q, db).is_empty()
+}
+
+/// Boolean UCQ evaluation (nulls as values).
+pub fn eval_ucq_bool(q: &UnionQuery, db: &NaiveDatabase) -> bool {
+    q.disjuncts.iter().any(|d| eval_cq_bool(d, db))
+}
+
+/// Backtracking join: try to match atom `i` against every fact, extending
+/// the binding; on full match call `found`.
+fn eval_atoms(
+    atoms: &[Atom],
+    i: usize,
+    db: &NaiveDatabase,
+    binding: &mut Vec<(u32, Value)>,
+    found: &mut dyn FnMut(&Binding),
+) {
+    if i == atoms.len() {
+        found(binding);
+        return;
+    }
+    let atom = &atoms[i];
+    let Some(rel) = db.schema.relation(&atom.rel) else {
+        return; // unknown relation: no matches
+    };
+    'facts: for fact in db.relation(rel) {
+        if fact.args.len() != atom.args.len() {
+            continue;
+        }
+        let mark = binding.len();
+        for (t, &val) in atom.args.iter().zip(fact.args.iter()) {
+            match t {
+                Term::Const(c) => {
+                    if val != Value::Const(*c) {
+                        binding.truncate(mark);
+                        continue 'facts;
+                    }
+                }
+                Term::Var(v) => {
+                    if let Some(&(_, bound)) = binding.iter().find(|(u, _)| u == v) {
+                        if bound != val {
+                            binding.truncate(mark);
+                            continue 'facts;
+                        }
+                    } else {
+                        binding.push((*v, val));
+                    }
+                }
+            }
+        }
+        eval_atoms(atoms, i + 1, db, binding, found);
+        binding.truncate(mark);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ca_relational::database::build::{c, n, table};
+    use Term::Var as V;
+
+    #[test]
+    fn cq_join_over_complete_db() {
+        // Q() ← R(x, y) ∧ R(y, z): paths of length 2.
+        let q = ConjunctiveQuery::boolean(vec![
+            Atom::new("R", vec![V(0), V(1)]),
+            Atom::new("R", vec![V(1), V(2)]),
+        ]);
+        let yes = table("R", 2, &[&[c(1), c(2)], &[c(2), c(3)]]);
+        let no = table("R", 2, &[&[c(1), c(2)], &[c(3), c(4)]]);
+        assert!(eval_cq_bool(&q, &yes));
+        assert!(!eval_cq_bool(&q, &no));
+    }
+
+    #[test]
+    fn nulls_are_values_in_naive_phase() {
+        // R(⊥1, ⊥1) matches R(x, x); R(⊥1, ⊥2) does not.
+        let q = ConjunctiveQuery::boolean(vec![Atom::new("R", vec![V(0), V(0)])]);
+        assert!(eval_cq_bool(&q, &table("R", 2, &[&[n(1), n(1)]])));
+        assert!(!eval_cq_bool(&q, &table("R", 2, &[&[n(1), n(2)]])));
+    }
+
+    #[test]
+    fn unknown_relation_matches_nothing() {
+        // Pinned legacy behaviour: the reference evaluator returns the
+        // empty answer for atoms over relations absent from the schema.
+        let q = ConjunctiveQuery::boolean(vec![Atom::new("S", vec![V(0)])]);
+        let db = table("R", 1, &[&[c(1)]]);
+        assert!(eval_cq(&q, &db).is_empty());
+    }
+
+    #[test]
+    fn arity_mismatch_matches_nothing() {
+        // Pinned legacy behaviour: an atom using a known relation at the
+        // wrong arity silently matches no fact.
+        let q = ConjunctiveQuery::boolean(vec![Atom::new("R", vec![V(0)])]);
+        let db = table("R", 2, &[&[c(1), c(2)]]);
+        assert!(eval_cq(&q, &db).is_empty());
+    }
+}

@@ -76,6 +76,39 @@ pub fn random_naive_db(rng: &mut Rng, p: DbParams) -> NaiveDatabase {
     db
 }
 
+/// A random multi-relation schema: `n_relations` relations named
+/// `R0, R1, …`, each with an arity drawn uniformly from `1..=max_arity`.
+pub fn random_schema(rng: &mut Rng, n_relations: usize, max_arity: usize) -> Schema {
+    let rels: Vec<(String, usize)> = (0..n_relations)
+        .map(|i| (format!("R{i}"), rng.below(max_arity as u64) as usize + 1))
+        .collect();
+    let refs: Vec<(&str, usize)> = rels.iter().map(|(n, a)| (n.as_str(), *a)).collect();
+    Schema::from_relations(&refs)
+}
+
+/// A random naïve database over an arbitrary schema: `n_facts` facts, each
+/// over a uniformly-chosen relation, with positions filled like
+/// [`random_naive_db`] (`p.arity` is ignored — arities come from the
+/// schema).
+pub fn random_naive_db_over(rng: &mut Rng, schema: &Schema, p: DbParams) -> NaiveDatabase {
+    let mut db = NaiveDatabase::new(schema.clone());
+    let symbols: Vec<_> = schema.symbols().collect();
+    for _ in 0..p.n_facts {
+        let rel = symbols[rng.below(symbols.len() as u64) as usize];
+        let row: Vec<Value> = (0..schema.arity(rel))
+            .map(|_| {
+                if p.n_nulls > 0 && rng.chance(p.null_pct, 100) {
+                    Value::null(rng.below(p.n_nulls as u64) as u32)
+                } else {
+                    Value::Const(rng.below(p.n_constants as u64) as i64)
+                }
+            })
+            .collect();
+        db.add(schema.name(rel), row);
+    }
+    db
+}
+
 /// A random *Codd* database: every null occurrence is globally fresh.
 pub fn random_codd_db(
     rng: &mut Rng,
