@@ -20,12 +20,15 @@
 //!   the retraction `π_cpl`, certain answers over complete objects, the
 //!   complete-saturation property, and the Theorem 2 criterion for when
 //!   certain answers are computed by naïve evaluation.
+//! * [`config`] — the `CA_*` environment knobs (thread widths for the
+//!   parallel kernels), parsed once with a single saturating policy.
 //!
 //! Everything downstream (naïve tables, XML trees, generalized databases)
 //! instantiates these abstractions; the theory-level results are tested here
 //! once and inherited everywhere.
 
 pub mod complete;
+pub mod config;
 pub mod domain;
 pub mod powerdomain;
 pub mod preorder;

@@ -70,6 +70,7 @@ impl<'a> GroundingSpace<'a> {
     fn len(&self) -> u128 {
         (self.pool.len().max(usize::from(self.nulls.is_empty())) as u128)
             .checked_pow(self.nulls.len() as u32)
+            // ca-lint: allow(L002, reason = "deliberate documented panic: an image sweep past u128 groundings can never terminate, so failing fast beats a wrong answer")
             .expect("grounding space exceeds u128")
     }
 
@@ -78,6 +79,7 @@ impl<'a> GroundingSpace<'a> {
         let base = self.pool.len().max(1) as u128;
         self.db.map_values(|v| match v {
             Value::Null(n) => {
+                // ca-lint: allow(L002, reason = "invariant: nulls is the sorted contents of db.nulls(), so every null the closure sees is present")
                 let pos = self.nulls.binary_search(&n).expect("null of db");
                 let digit = (i / base.pow(pos as u32)) % base;
                 Value::Const(self.pool[digit as usize])
@@ -121,6 +123,7 @@ fn for_each_quotient<F: FnMut(&GenDb) -> bool>(db: &GenDb, visit: &mut F) -> boo
             // Build the quotient.
             let mut q = GenDb::new(db.schema.clone());
             for cls in 0..n_classes {
+                // ca-lint: allow(L002, reason = "invariant: restricted-growth strings never skip a class id, so class cls has a member")
                 let rep = (0..n).find(|&x| assign[x] == cls).expect("class nonempty");
                 q.add_node(db.schema.label_name(db.labels[rep]), db.data[rep].clone());
             }

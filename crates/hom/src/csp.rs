@@ -136,17 +136,11 @@ impl Default for SolverConfig {
 }
 
 /// Pool width used by [`SolverConfig::parallel`]: `CA_HOM_THREADS` if set,
-/// otherwise the machine's available parallelism capped at 16.
+/// otherwise the machine's available parallelism capped at 16 (parsed by
+/// the shared [`ca_core::config`] policy: saturating, explicit fallback on
+/// malformed values).
 pub fn default_threads() -> usize {
-    if let Ok(v) = std::env::var("CA_HOM_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            return n.max(1);
-        }
-    }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(16)
+    ca_core::config::hom_threads()
 }
 
 /// Below these sizes the convenience methods stay sequential: spawning a

@@ -1,0 +1,518 @@
+//! Suppression: inline `// ca-lint: allow(...)` comments and the expiring
+//! `lint-allow.toml` backlog file.
+//!
+//! Two layers, both requiring a *reason*:
+//!
+//! * **Inline** — `// ca-lint: allow(L002, reason = "documented # Panics")`
+//!   suppresses matching violations on the comment's own line and on the
+//!   line directly below it (so both trailing and line-above placement
+//!   work). Several codes may be listed: `allow(L001, L004, reason = "…")`.
+//!   A comment bearing the `ca-lint:` marker that does not parse, or whose
+//!   reason is empty, is reported as an `L000` violation — it would
+//!   otherwise silently suppress nothing (or worse, something).
+//! * **File-level** — `lint-allow.toml` at the repo root carries the legacy
+//!   backlog as `[[allow]]` entries with `path`, `rule`, `reason`, and a
+//!   mandatory `expires = "YYYY-MM-DD"` date. Expired entries stop
+//!   suppressing (the violations resurface in CI) and are reported, so the
+//!   backlog can only shrink. The file is parsed by a tiny hand-rolled
+//!   TOML-subset reader — the build is offline, so no `toml` crate.
+
+use std::collections::BTreeSet;
+
+use crate::lexer::Comment;
+use crate::rules::{Violation, BAD_SUPPRESSION};
+
+// ------------------------------------------------------- inline comments
+
+/// A parsed inline suppression.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InlineAllow {
+    /// Line the comment starts on.
+    pub line: u32,
+    /// Rule codes it suppresses (`L001`…).
+    pub codes: Vec<String>,
+    /// The mandatory justification.
+    pub reason: String,
+}
+
+/// Does `code` look like a rule code (`L` + 3 digits)?
+fn is_rule_code(code: &str) -> bool {
+    code.len() == 4 && code.starts_with('L') && code[1..].bytes().all(|b| b.is_ascii_digit())
+}
+
+/// Extract inline suppressions from a file's comments. Returns the valid
+/// suppressions plus an `L000` violation per malformed one.
+pub fn inline_allows(path: &str, comments: &[Comment]) -> (Vec<InlineAllow>, Vec<Violation>) {
+    let mut allows = Vec::new();
+    let mut bad = Vec::new();
+    for c in comments {
+        // A directive comment *starts* with the marker (`// ca-lint: …`);
+        // prose that merely mentions the syntax mid-sentence is not one.
+        let Some(directive) = c.text.trim_start().strip_prefix("ca-lint:") else {
+            continue;
+        };
+        let directive = directive.trim();
+        match parse_allow_directive(directive) {
+            Ok((codes, reason)) => allows.push(InlineAllow {
+                line: c.line,
+                codes,
+                reason,
+            }),
+            Err(why) => bad.push(Violation {
+                rule: BAD_SUPPRESSION,
+                path: path.to_string(),
+                line: c.line,
+                msg: format!("malformed ca-lint suppression: {why}"),
+            }),
+        }
+    }
+    (allows, bad)
+}
+
+/// Parse `allow(L001, L002, reason = "…")`.
+fn parse_allow_directive(s: &str) -> Result<(Vec<String>, String), String> {
+    let s = s.trim();
+    let body = s
+        .strip_prefix("allow")
+        .map(str::trim_start)
+        .and_then(|rest| rest.strip_prefix('('))
+        .ok_or("expected `allow(…)`")?;
+    let body = body
+        .rfind(')')
+        .map(|end| &body[..end])
+        .ok_or("missing closing `)`")?;
+    let mut codes = Vec::new();
+    let mut reason = None;
+    for part in split_top_level_commas(body) {
+        let part = part.trim();
+        if let Some(rest) = part.strip_prefix("reason") {
+            let rest = rest.trim_start();
+            let val = rest
+                .strip_prefix('=')
+                .map(str::trim)
+                .ok_or("expected `reason = \"…\"`")?;
+            let val = val
+                .strip_prefix('"')
+                .and_then(|v| v.strip_suffix('"'))
+                .ok_or("reason must be a double-quoted string")?;
+            if val.trim().is_empty() {
+                return Err("reason must not be empty".into());
+            }
+            reason = Some(val.to_string());
+        } else if is_rule_code(part) {
+            codes.push(part.to_string());
+        } else {
+            return Err(format!("`{part}` is neither a rule code nor a reason"));
+        }
+    }
+    if codes.is_empty() {
+        return Err("no rule codes listed".into());
+    }
+    let reason = reason.ok_or("missing `reason = \"…\"` (suppressions must say why)")?;
+    Ok((codes, reason))
+}
+
+/// Split on commas that are not inside a double-quoted string.
+fn split_top_level_commas(s: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut start = 0;
+    let mut in_str = false;
+    for (i, c) in s.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            ',' if !in_str => {
+                parts.push(&s[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&s[start..]);
+    parts
+}
+
+/// Apply inline suppressions: a violation on line `N` is suppressed by an
+/// allow on line `N` (trailing comment) or line `N − 1` (line above).
+/// Returns the surviving violations and the number suppressed.
+pub fn apply_inline(violations: Vec<Violation>, allows: &[InlineAllow]) -> (Vec<Violation>, usize) {
+    let mut kept = Vec::new();
+    let mut suppressed = 0usize;
+    for v in violations {
+        let hit = allows.iter().any(|a| {
+            (a.line == v.line || a.line + 1 == v.line) && a.codes.iter().any(|c| c == v.rule)
+        });
+        if hit {
+            suppressed += 1;
+        } else {
+            kept.push(v);
+        }
+    }
+    (kept, suppressed)
+}
+
+// --------------------------------------------------- lint-allow.toml file
+
+/// One `[[allow]]` entry of the backlog file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Repo-relative path (forward slashes) the entry covers.
+    pub path: String,
+    /// The single rule code it suppresses in that file.
+    pub rule: String,
+    /// The mandatory justification.
+    pub reason: String,
+    /// Expiry as days since the Unix epoch; after this day the entry is
+    /// inert and reported.
+    pub expires_day: i64,
+    /// The literal `YYYY-MM-DD` string, for reporting.
+    pub expires: String,
+}
+
+/// The parsed backlog file.
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    pub entries: Vec<AllowEntry>,
+}
+
+/// Days since the Unix epoch of a `YYYY-MM-DD` date (proleptic Gregorian;
+/// Howard Hinnant's `days_from_civil`).
+fn days_from_civil(y: i64, m: u32, d: u32) -> i64 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400;
+    let mp = i64::from((m + 9) % 12);
+    let doy = (153 * mp + 2) / 5 + i64::from(d) - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    era * 146_097 + doe - 719_468
+}
+
+/// Parse `YYYY-MM-DD` into days since the epoch.
+fn parse_date(s: &str) -> Result<i64, String> {
+    let parts: Vec<&str> = s.split('-').collect();
+    let [y, m, d] = parts.as_slice() else {
+        return Err(format!("`{s}` is not a YYYY-MM-DD date"));
+    };
+    let parse = |t: &str, lo: i64, hi: i64, what: &str| -> Result<i64, String> {
+        let v: i64 = t
+            .parse()
+            .map_err(|_| format!("`{t}` is not a valid {what} in `{s}`"))?;
+        if v < lo || v > hi {
+            return Err(format!("{what} `{t}` out of range in `{s}`"));
+        }
+        Ok(v)
+    };
+    let y = parse(y, 1970, 9999, "year")?;
+    let m = parse(m, 1, 12, "month")?;
+    let d = parse(d, 1, 31, "day")?;
+    Ok(days_from_civil(y, m as u32, d as u32))
+}
+
+/// Today as days since the Unix epoch (UTC). Used only to expire
+/// allowlist entries — never to influence analysis results.
+pub fn today_utc_day() -> i64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| (d.as_secs() / 86_400) as i64)
+}
+
+/// Strip a `#` comment that is outside any double-quoted string.
+fn strip_line_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parse the backlog file. Strict: unknown keys, missing fields, bad
+/// rule codes, and bad dates are hard errors — a typo in a suppression
+/// file must never silently widen what is suppressed.
+pub fn parse_allowlist(text: &str) -> Result<Allowlist, String> {
+    struct Partial {
+        start_line: usize,
+        path: Option<String>,
+        rule: Option<String>,
+        reason: Option<String>,
+        expires: Option<String>,
+    }
+    let mut entries = Vec::new();
+    let mut current: Option<Partial> = None;
+    let finish = |p: Partial| -> Result<AllowEntry, String> {
+        let need = |f: Option<String>, what: &str| {
+            f.ok_or(format!(
+                "entry starting at line {}: missing `{what}`",
+                p.start_line
+            ))
+        };
+        let path = need(p.path.clone(), "path")?;
+        let rule = need(p.rule.clone(), "rule")?;
+        let reason = need(p.reason.clone(), "reason")?;
+        let expires = need(p.expires.clone(), "expires")?;
+        if !is_rule_code(&rule) {
+            return Err(format!("`{rule}` is not a rule code (L001…)"));
+        }
+        if reason.trim().is_empty() {
+            return Err(format!("entry for `{path}`: reason must not be empty"));
+        }
+        let expires_day = parse_date(&expires)?;
+        Ok(AllowEntry {
+            path,
+            rule,
+            reason,
+            expires_day,
+            expires,
+        })
+    };
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = strip_line_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "[[allow]]" {
+            if let Some(p) = current.take() {
+                entries.push(finish(p)?);
+            }
+            current = Some(Partial {
+                start_line: lineno + 1,
+                path: None,
+                rule: None,
+                reason: None,
+                expires: None,
+            });
+            continue;
+        }
+        let Some((key, val)) = line.split_once('=') else {
+            return Err(format!("line {}: expected `key = \"value\"`", lineno + 1));
+        };
+        let Some(p) = current.as_mut() else {
+            return Err(format!(
+                "line {}: `{}` outside any [[allow]] entry",
+                lineno + 1,
+                key.trim()
+            ));
+        };
+        let val = val
+            .trim()
+            .strip_prefix('"')
+            .and_then(|v| v.strip_suffix('"'))
+            .ok_or(format!("line {}: value must be double-quoted", lineno + 1))?
+            .to_string();
+        let slot = match key.trim() {
+            "path" => &mut p.path,
+            "rule" => &mut p.rule,
+            "reason" => &mut p.reason,
+            "expires" => &mut p.expires,
+            other => return Err(format!("line {}: unknown key `{other}`", lineno + 1)),
+        };
+        if slot.replace(val).is_some() {
+            return Err(format!("line {}: duplicate `{}`", lineno + 1, key.trim()));
+        }
+    }
+    if let Some(p) = current.take() {
+        entries.push(finish(p)?);
+    }
+    Ok(Allowlist { entries })
+}
+
+/// The outcome of filtering violations through the allowlist.
+pub struct AllowlistOutcome {
+    /// Violations that survive.
+    pub kept: Vec<Violation>,
+    /// Count suppressed by live entries.
+    pub suppressed: usize,
+    /// Entries past their expiry date (reported; no longer suppressing).
+    pub expired: Vec<AllowEntry>,
+    /// Live entries that matched nothing (the backlog shrank — prune them).
+    pub unused: Vec<AllowEntry>,
+}
+
+/// Filter `violations` through the allowlist as of `today` (days since
+/// the epoch).
+pub fn apply_allowlist(
+    violations: Vec<Violation>,
+    list: &Allowlist,
+    today: i64,
+) -> AllowlistOutcome {
+    let mut kept = Vec::new();
+    let mut suppressed = 0usize;
+    let mut used: BTreeSet<usize> = BTreeSet::new();
+    for v in violations {
+        let hit = list
+            .entries
+            .iter()
+            .enumerate()
+            .find(|(_, e)| e.expires_day >= today && e.path == v.path && e.rule == v.rule);
+        match hit {
+            Some((i, _)) => {
+                used.insert(i);
+                suppressed += 1;
+            }
+            None => kept.push(v),
+        }
+    }
+    let expired = list
+        .entries
+        .iter()
+        .filter(|e| e.expires_day < today)
+        .cloned()
+        .collect();
+    let unused = list
+        .entries
+        .iter()
+        .enumerate()
+        .filter(|(i, e)| e.expires_day >= today && !used.contains(i))
+        .map(|(_, e)| e.clone())
+        .collect();
+    AllowlistOutcome {
+        kept,
+        suppressed,
+        expired,
+        unused,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(rule: &'static str, path: &str, line: u32) -> Violation {
+        Violation {
+            rule,
+            path: path.into(),
+            line,
+            msg: String::new(),
+        }
+    }
+
+    #[test]
+    fn directive_parses_codes_and_reason() {
+        let (codes, reason) =
+            parse_allow_directive("allow(L001, L004, reason = \"benchmarks, not results\")")
+                .expect("valid directive");
+        assert_eq!(codes, vec!["L001", "L004"]);
+        assert_eq!(reason, "benchmarks, not results");
+    }
+
+    #[test]
+    fn directive_requires_reason_and_codes() {
+        assert!(parse_allow_directive("allow(L001)").is_err());
+        assert!(parse_allow_directive("allow(reason = \"why\")").is_err());
+        assert!(parse_allow_directive("allow(L001, reason = \"\")").is_err());
+        assert!(parse_allow_directive("allow(L9999, reason = \"x\")").is_err());
+        assert!(parse_allow_directive("disallow(L001)").is_err());
+    }
+
+    #[test]
+    fn reason_may_contain_commas_and_parens() {
+        let (codes, reason) =
+            parse_allow_directive("allow(L002, reason = \"see len(), docs (Panics)\")")
+                .expect("commas inside the reason string are fine");
+        assert_eq!(codes, vec!["L002"]);
+        assert_eq!(reason, "see len(), docs (Panics)");
+    }
+
+    #[test]
+    fn inline_applies_same_line_and_line_above() {
+        let allows = [InlineAllow {
+            line: 10,
+            codes: vec!["L002".into()],
+            reason: "why".into(),
+        }];
+        let vs = vec![
+            v("L002", "f.rs", 10),
+            v("L002", "f.rs", 11),
+            v("L002", "f.rs", 12),
+        ];
+        let (kept, n) = apply_inline(vs, &allows);
+        assert_eq!(n, 2);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept.first().map(|k| k.line), Some(12));
+    }
+
+    #[test]
+    fn inline_does_not_cross_rules() {
+        let allows = [InlineAllow {
+            line: 5,
+            codes: vec!["L001".into()],
+            reason: "why".into(),
+        }];
+        let (kept, n) = apply_inline(vec![v("L002", "f.rs", 5)], &allows);
+        assert_eq!((kept.len(), n), (1, 0));
+    }
+
+    #[test]
+    fn allowlist_roundtrip_and_expiry() {
+        let text = r#"
+# the legacy backlog
+[[allow]]
+path = "crates/hom/src/dp.rs"   # treewidth DP
+rule = "L002"
+reason = "legacy unwrap backlog"
+expires = "2027-06-30"
+
+[[allow]]
+path = "crates/old/src/gone.rs"
+rule = "L002"
+reason = "already expired"
+expires = "2020-01-01"
+"#;
+        let list = parse_allowlist(text).expect("parses");
+        assert_eq!(list.entries.len(), 2);
+        let today = parse_date("2026-08-06").expect("valid date");
+        let vs = vec![
+            v("L002", "crates/hom/src/dp.rs", 3),
+            v("L002", "crates/old/src/gone.rs", 9),
+            v("L001", "crates/hom/src/dp.rs", 4),
+        ];
+        let out = apply_allowlist(vs, &list, today);
+        assert_eq!(out.suppressed, 1, "only the live entry suppresses");
+        assert_eq!(out.kept.len(), 2);
+        assert_eq!(out.expired.len(), 1);
+        assert!(out.unused.is_empty());
+    }
+
+    #[test]
+    fn allowlist_reports_unused_entries() {
+        let text = "[[allow]]\npath = \"a.rs\"\nrule = \"L002\"\nreason = \"x\"\nexpires = \"2027-01-01\"\n";
+        let list = parse_allowlist(text).expect("parses");
+        let out = apply_allowlist(Vec::new(), &list, 0);
+        assert_eq!(out.unused.len(), 1);
+    }
+
+    #[test]
+    fn allowlist_rejects_typos() {
+        assert!(
+            parse_allowlist("[[allow]]\npath = \"a\"\nrule = \"L002\"\nreason = \"r\"\n").is_err(),
+            "missing expires"
+        );
+        assert!(
+            parse_allowlist("[[allow]]\npth = \"a\"\n").is_err(),
+            "unknown key"
+        );
+        assert!(parse_allowlist("[[allow]]\npath = \"a\"\nrule = \"X1\"\nreason = \"r\"\nexpires = \"2027-01-01\"\n").is_err(), "bad rule code");
+        assert!(
+            parse_allowlist(
+                "[[allow]]\npath = \"a\"\nrule = \"L002\"\nreason = \"r\"\nexpires = \"soon\"\n"
+            )
+            .is_err(),
+            "bad date"
+        );
+        assert!(
+            parse_allowlist("path = \"a\"\n").is_err(),
+            "key outside entry"
+        );
+    }
+
+    #[test]
+    fn dates_compare_correctly() {
+        let early = parse_date("2026-08-06").expect("valid");
+        let later = parse_date("2026-12-31").expect("valid");
+        assert!(early < later);
+        assert_eq!(parse_date("1970-01-01").expect("epoch"), 0);
+        assert_eq!(parse_date("1970-02-01").expect("feb"), 31);
+    }
+}

@@ -1,0 +1,495 @@
+//! A minimal Rust lexer, just enough for lexical lint rules.
+//!
+//! The build environment is offline, so `ca-lint` cannot use `syn`; it
+//! hand-rolls the only part of Rust lexing that a naive regex scan gets
+//! wrong: knowing when text is *code* and when it is a comment, a string,
+//! or a char literal. The lexer handles:
+//!
+//! * line comments (`//…`) and **nested** block comments (`/* /* */ */`),
+//!   captured with their line numbers so suppression comments
+//!   (`// ca-lint: allow(...)`) can be matched to violations;
+//! * plain, byte, and **raw** strings (`r"…"`, `r#"…"#`, any `#` depth,
+//!   with `br`/`b` prefixes), with escapes — a `//` inside a string is
+//!   not a comment and a `"` inside a raw string does not end it unless
+//!   followed by enough `#`s;
+//! * char literals vs. lifetimes (`'a'` and `'"'` are chars, `'a` in
+//!   `&'a str` is a lifetime), including escaped chars (`'\''`);
+//! * raw identifiers (`r#match` is an identifier, `r#"…"#` a raw string).
+//!
+//! Everything else degrades to one-character punctuation tokens, which is
+//! all the rule engine needs: rules match short token patterns like
+//! `. unwrap (` or `env :: var ( "CA_…"`.
+
+/// What kind of lexeme a token is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`for`, `unwrap`, `HashMap`, …).
+    Ident,
+    /// A lifetime (`'a`, `'static`) — *not* a char literal.
+    Lifetime,
+    /// A string literal of any flavor; `text` holds the contents without
+    /// quotes, prefixes, or `#` fences.
+    Str,
+    /// A char or byte-char literal; `text` holds the contents.
+    Char,
+    /// A numeric literal (integer part only; `3.5` lexes as `3 . 5`).
+    Num,
+    /// A single punctuation character.
+    Punct,
+}
+
+/// One token with its 1-based source line.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+/// One comment (line or block), with the line it starts on. `text` is the
+/// body without the `//` / `/* */` markers.
+#[derive(Clone, Debug)]
+pub struct Comment {
+    pub line: u32,
+    pub text: String,
+}
+
+/// The result of lexing a file: code tokens and comments, separately.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub toks: Vec<Tok>,
+    pub comments: Vec<Comment>,
+}
+
+struct Cursor {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+}
+
+impl Cursor {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn eat_while(&mut self, pred: impl Fn(char) -> bool) -> String {
+        let mut out = String::new();
+        while let Some(c) = self.peek(0) {
+            if !pred(c) {
+                break;
+            }
+            out.push(c);
+            self.bump();
+        }
+        out
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// How many `#`s open a raw string at `cur.pos` (which must point just
+/// past the `r`), or `None` if this is not a raw string.
+fn raw_string_hashes(cur: &Cursor) -> Option<usize> {
+    let mut n = 0;
+    while cur.peek(n) == Some('#') {
+        n += 1;
+    }
+    (cur.peek(n) == Some('"')).then_some(n)
+}
+
+/// Lex `src` into tokens and comments. Never fails: unterminated literals
+/// simply run to end of file (the real compiler will reject the file long
+/// before the linter's verdict matters).
+pub fn lex(src: &str) -> Lexed {
+    let mut cur = Cursor {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+    };
+    let mut out = Lexed::default();
+
+    while let Some(c) = cur.peek(0) {
+        let line = cur.line;
+        // Whitespace.
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        // Comments.
+        if c == '/' && cur.peek(1) == Some('/') {
+            cur.bump();
+            cur.bump();
+            let text = cur.eat_while(|c| c != '\n');
+            out.comments.push(Comment { line, text });
+            continue;
+        }
+        if c == '/' && cur.peek(1) == Some('*') {
+            cur.bump();
+            cur.bump();
+            let mut depth = 1usize;
+            let mut text = String::new();
+            while depth > 0 {
+                match (cur.peek(0), cur.peek(1)) {
+                    (Some('/'), Some('*')) => {
+                        depth += 1;
+                        text.push_str("/*");
+                        cur.bump();
+                        cur.bump();
+                    }
+                    (Some('*'), Some('/')) => {
+                        depth -= 1;
+                        if depth > 0 {
+                            text.push_str("*/");
+                        }
+                        cur.bump();
+                        cur.bump();
+                    }
+                    (Some(c), _) => {
+                        text.push(c);
+                        cur.bump();
+                    }
+                    (None, _) => break, // unterminated: run to EOF
+                }
+            }
+            out.comments.push(Comment { line, text });
+            continue;
+        }
+        // Strings (plain, with possible b/r/br prefixes) and raw idents.
+        if c == '"' {
+            cur.bump();
+            out.toks.push(read_plain_string(&mut cur, line));
+            continue;
+        }
+        if is_ident_start(c) {
+            // Prefix disambiguation before generic ident lexing.
+            if c == 'b' && cur.peek(1) == Some('\'') {
+                cur.bump(); // b
+                cur.bump(); // '
+                out.toks.push(read_char(&mut cur, line));
+                continue;
+            }
+            let raw_prefix_len = match c {
+                'r' => Some(1),
+                'b' if cur.peek(1) == Some('r') => Some(2),
+                'b' if cur.peek(1) == Some('"') => Some(1),
+                _ => None,
+            };
+            if let Some(skip) = raw_prefix_len {
+                let mut probe = Cursor {
+                    chars: cur.chars.clone(),
+                    pos: cur.pos + skip,
+                    line: cur.line,
+                };
+                if let Some(hashes) = raw_string_hashes(&probe) {
+                    for _ in 0..skip + hashes + 1 {
+                        cur.bump();
+                    }
+                    out.toks.push(read_raw_string(&mut cur, line, hashes));
+                    continue;
+                }
+                if c == 'r' && cur.peek(1) == Some('#') {
+                    // Raw identifier r#match.
+                    probe.pos = cur.pos + 2;
+                    if probe.peek(0).is_some_and(is_ident_start) {
+                        cur.bump();
+                        cur.bump();
+                        let text = cur.eat_while(is_ident_continue);
+                        out.toks.push(Tok {
+                            kind: TokKind::Ident,
+                            text,
+                            line,
+                        });
+                        continue;
+                    }
+                }
+            }
+            let text = cur.eat_while(is_ident_continue);
+            out.toks.push(Tok {
+                kind: TokKind::Ident,
+                text,
+                line,
+            });
+            continue;
+        }
+        // Char literal or lifetime.
+        if c == '\'' {
+            cur.bump();
+            match (cur.peek(0), cur.peek(1)) {
+                // An escape is always a char literal: '\'' '\n' '\u{..}'.
+                (Some('\\'), _) => out.toks.push(read_char(&mut cur, line)),
+                // 'x' — a one-char literal (covers '"', '/', multibyte).
+                (Some(_), Some('\'')) => out.toks.push(read_char(&mut cur, line)),
+                // 'ident not followed by a close quote: a lifetime.
+                (Some(l), _) if is_ident_start(l) => {
+                    let text = cur.eat_while(is_ident_continue);
+                    out.toks.push(Tok {
+                        kind: TokKind::Lifetime,
+                        text,
+                        line,
+                    });
+                }
+                // Anything else ('(', ' ', EOF…): best-effort char literal.
+                _ => out.toks.push(read_char(&mut cur, line)),
+            }
+            continue;
+        }
+        // Numbers: the integer prefix is enough for the rules.
+        if c.is_ascii_digit() {
+            let text = cur.eat_while(|c| c.is_ascii_alphanumeric() || c == '_');
+            out.toks.push(Tok {
+                kind: TokKind::Num,
+                text,
+                line,
+            });
+            continue;
+        }
+        // Single-character punctuation.
+        cur.bump();
+        out.toks.push(Tok {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line,
+        });
+    }
+    out
+}
+
+/// Read a plain (or byte) string body; the opening quote is consumed.
+fn read_plain_string(cur: &mut Cursor, line: u32) -> Tok {
+    let mut text = String::new();
+    while let Some(c) = cur.bump() {
+        match c {
+            '\\' => {
+                text.push(c);
+                if let Some(esc) = cur.bump() {
+                    text.push(esc);
+                }
+            }
+            '"' => break,
+            _ => text.push(c),
+        }
+    }
+    Tok {
+        kind: TokKind::Str,
+        text,
+        line,
+    }
+}
+
+/// Read a raw string body closed by `"` + `hashes` `#`s; the opening
+/// fence is consumed.
+fn read_raw_string(cur: &mut Cursor, line: u32, hashes: usize) -> Tok {
+    let mut text = String::new();
+    while let Some(c) = cur.bump() {
+        if c == '"' && (0..hashes).all(|i| cur.peek(i) == Some('#')) {
+            for _ in 0..hashes {
+                cur.bump();
+            }
+            break;
+        }
+        text.push(c);
+    }
+    Tok {
+        kind: TokKind::Str,
+        text,
+        line,
+    }
+}
+
+/// Read a char (or byte-char) literal body; the opening quote is consumed.
+fn read_char(cur: &mut Cursor, line: u32) -> Tok {
+    let mut text = String::new();
+    while let Some(c) = cur.bump() {
+        match c {
+            '\\' => {
+                text.push(c);
+                if let Some(esc) = cur.bump() {
+                    text.push(esc);
+                }
+            }
+            '\'' => break,
+            _ => text.push(c),
+        }
+    }
+    Tok {
+        kind: TokKind::Char,
+        text,
+        line,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .toks
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn idents_nums_puncts() {
+        let got = kinds("let x = foo[0];");
+        assert_eq!(
+            got,
+            vec![
+                (TokKind::Ident, "let".into()),
+                (TokKind::Ident, "x".into()),
+                (TokKind::Punct, "=".into()),
+                (TokKind::Ident, "foo".into()),
+                (TokKind::Punct, "[".into()),
+                (TokKind::Num, "0".into()),
+                (TokKind::Punct, "]".into()),
+                (TokKind::Punct, ";".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn line_comments_are_captured_not_tokenized() {
+        let lexed = lex("a // unwrap() here is commentary\nb");
+        assert_eq!(lexed.toks.len(), 2);
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.comments[0].line, 1);
+        assert!(lexed.comments[0].text.contains("unwrap"));
+        assert_eq!(lexed.toks[1].line, 2);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let lexed = lex("a /* outer /* inner */ still comment */ b");
+        let texts: Vec<&str> = lexed.toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, vec!["a", "b"]);
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.comments[0].text.contains("inner"));
+        assert!(lexed.comments[0].text.contains("still comment"));
+    }
+
+    #[test]
+    fn block_comment_tracks_lines() {
+        let lexed = lex("/* one\ntwo\nthree */ x");
+        assert_eq!(lexed.toks[0].text, "x");
+        assert_eq!(lexed.toks[0].line, 3);
+    }
+
+    #[test]
+    fn strings_hide_comment_markers_and_quotes() {
+        let lexed = lex(r#"let s = "not // a comment \" still string"; y"#);
+        assert!(lexed.comments.is_empty());
+        let s = lexed
+            .toks
+            .iter()
+            .find(|t| t.kind == TokKind::Str)
+            .expect("one string");
+        assert!(s.text.contains("not // a comment"));
+        assert_eq!(lexed.toks.last().map(|t| t.text.as_str()), Some("y"));
+    }
+
+    #[test]
+    fn raw_strings_with_hash_fences() {
+        // r#"…"# may contain quotes and // without ending the literal.
+        let src = "let s = r#\"quote \" and // slash\"#; done";
+        let lexed = lex(src);
+        assert!(lexed.comments.is_empty());
+        let s = lexed
+            .toks
+            .iter()
+            .find(|t| t.kind == TokKind::Str)
+            .expect("raw string");
+        assert_eq!(s.text, "quote \" and // slash");
+        assert_eq!(lexed.toks.last().map(|t| t.text.as_str()), Some("done"));
+    }
+
+    #[test]
+    fn raw_string_deeper_fence_and_byte_variants() {
+        let src = "r##\"has \"# inside\"## b\"bytes\" br#\"raw bytes\"#";
+        let got = kinds(src);
+        assert_eq!(
+            got,
+            vec![
+                (TokKind::Str, "has \"# inside".into()),
+                (TokKind::Str, "bytes".into()),
+                (TokKind::Str, "raw bytes".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn raw_identifier_is_not_a_raw_string() {
+        let got = kinds("r#match x");
+        assert_eq!(
+            got,
+            vec![
+                (TokKind::Ident, "match".into()),
+                (TokKind::Ident, "x".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn char_literals_with_quote_and_slashes() {
+        // '"' and '/' chars, plus an escaped quote '\''.
+        let got = kinds(r#"'"' '/' '\'' ' '"#);
+        assert_eq!(
+            got,
+            vec![
+                (TokKind::Char, "\"".into()),
+                (TokKind::Char, "/".into()),
+                (TokKind::Char, "\\'".into()),
+                (TokKind::Char, " ".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn char_with_comment_lookalike_does_not_eat_code() {
+        // A '/' char literal followed by a real comment.
+        let lexed = lex("let c = '/'; // real comment\nnext");
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.toks.last().map(|t| t.text.as_str()), Some("next"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let got = kinds("&'a str + 'static");
+        assert!(got.contains(&(TokKind::Lifetime, "a".into())));
+        assert!(got.contains(&(TokKind::Lifetime, "static".into())));
+        assert!(!got.iter().any(|(k, _)| *k == TokKind::Char));
+    }
+
+    #[test]
+    fn byte_char_and_escapes() {
+        let got = kinds(r"b'x' '\n' '\u{1F600}'");
+        assert_eq!(got[0], (TokKind::Char, "x".into()));
+        assert_eq!(got[1], (TokKind::Char, "\\n".into()));
+        assert_eq!(got[2], (TokKind::Char, "\\u{1F600}".into()));
+    }
+
+    #[test]
+    fn unterminated_literals_run_to_eof_without_panic() {
+        assert!(lex("let s = \"open")
+            .toks
+            .iter()
+            .any(|t| t.kind == TokKind::Str));
+        assert!(lex("/* never closed").comments.len() == 1);
+        assert!(lex("r#\"open").toks.iter().any(|t| t.kind == TokKind::Str));
+    }
+}

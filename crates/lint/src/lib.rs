@@ -1,0 +1,82 @@
+//! # ca-lint — in-tree static analysis for the certain-answers workspace
+//!
+//! The paper's semantics make a hard promise: certain answers are an
+//! intersection over completions, so *evaluation order must never leak
+//! into output* (Libkin, PODS 2011, Theorems 5/7). PRs 1–2 built two
+//! parallel kernels whose results are byte-identical at any thread width;
+//! this crate guards that property mechanically instead of only by
+//! differential tests. It is dependency-free (the build is offline): a
+//! hand-rolled lexer ([`lexer`]), a lexical rule engine ([`rules`]), and
+//! a suppression layer ([`allow`]) — inline `// ca-lint: allow(…)`
+//! comments plus the expiring `lint-allow.toml` backlog.
+//!
+//! Run it with `cargo run -p ca-lint` (`-- --deny-all` to gate, `--json`
+//! for diffable output). The rule catalog lives in [`rules::CATALOG`] and
+//! in DESIGN.md §Static analysis.
+
+pub mod allow;
+pub mod lexer;
+pub mod rules;
+
+use std::path::{Path, PathBuf};
+
+pub use rules::{LintConfig, Violation};
+
+/// Lint one source string: run the enabled rules, then apply inline
+/// suppressions. Malformed suppressions are appended as `L000`
+/// violations. The file-level allowlist is *not* applied here — see
+/// [`allow::apply_allowlist`].
+pub fn lint_source(path: &str, src: &str, cfg: &LintConfig) -> Vec<Violation> {
+    let lexed = lexer::lex(src);
+    let violations = rules::run_rules(path, &lexed, cfg);
+    let (allows, mut bad) = allow::inline_allows(path, &lexed.comments);
+    let (mut kept, _suppressed) = allow::apply_inline(violations, &allows);
+    kept.append(&mut bad);
+    kept.sort_by(|a, b| (a.line, a.rule, &a.msg).cmp(&(b.line, b.rule, &b.msg)));
+    kept
+}
+
+/// Collect every `.rs` file the linter walks: `crates/*/src/**` plus the
+/// root package's `src/**`, sorted for deterministic output.
+pub fn workspace_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut members: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        members.sort();
+        for member in members {
+            collect_rs(&member.join("src"), &mut files)?;
+        }
+    }
+    collect_rs(&root.join("src"), &mut files)?;
+    files.sort();
+    Ok(files)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// A path relative to `root`, with forward slashes — the form rule scopes
+/// and allowlist entries match against.
+pub fn rel_path(root: &Path, file: &Path) -> String {
+    file.strip_prefix(root)
+        .unwrap_or(file)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}

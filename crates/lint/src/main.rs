@@ -1,0 +1,218 @@
+//! The `ca-lint` command-line driver.
+//!
+//! ```text
+//! cargo run -p ca-lint                 # report, exit 0
+//! cargo run -p ca-lint -- --deny-all   # report, exit 1 on any violation (CI gate)
+//! cargo run -p ca-lint -- --json       # machine-readable, diffable output
+//! cargo run -p ca-lint -- --root PATH  # lint another checkout
+//! ```
+//!
+//! Violations are sorted by `(path, line, rule)` so output — and the
+//! `--json` form in particular — is byte-stable across runs and diffable
+//! across PRs.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ca_lint::allow::{self, Allowlist};
+use ca_lint::rules::CATALOG;
+use ca_lint::{lint_source, rel_path, workspace_files, LintConfig, Violation};
+
+struct Opts {
+    root: PathBuf,
+    deny_all: bool,
+    json: bool,
+}
+
+fn parse_args() -> Result<Opts, String> {
+    let mut deny_all = false;
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny-all" => deny_all = true,
+            "--json" => json = true,
+            "--root" => {
+                let val = args.next().ok_or("--root requires a path")?;
+                root = Some(PathBuf::from(val));
+            }
+            "--help" | "-h" => {
+                println!("ca-lint: workspace static analysis\n");
+                println!("  --deny-all   exit nonzero on any violation (CI gate)");
+                println!("  --json       machine-readable output");
+                println!("  --root PATH  workspace root (default: auto-detected)\n");
+                println!("rules:");
+                for (code, name, summary) in CATALOG {
+                    println!("  {code} {name}: {summary}");
+                }
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    let root = match root {
+        Some(r) => r,
+        None => find_root()?,
+    };
+    Ok(Opts {
+        root,
+        deny_all,
+        json,
+    })
+}
+
+/// The workspace root: walk up from the current directory (or from this
+/// crate's manifest dir under `cargo run`) to the directory holding the
+/// workspace `Cargo.toml` and `crates/`.
+fn find_root() -> Result<PathBuf, String> {
+    let mut candidates = Vec::new();
+    if let Ok(cwd) = std::env::current_dir() {
+        candidates.push(cwd);
+    }
+    if let Ok(manifest) = std::env::var("CARGO_MANIFEST_DIR") {
+        candidates.push(PathBuf::from(manifest));
+    }
+    for start in candidates {
+        let mut dir = Some(start.as_path());
+        while let Some(d) = dir {
+            if d.join("crates").is_dir() && d.join("Cargo.toml").is_file() {
+                return Ok(d.to_path_buf());
+            }
+            dir = d.parent();
+        }
+    }
+    Err("could not locate the workspace root (no ancestor with crates/ + Cargo.toml)".into())
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("ca-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let design_doc = std::fs::read_to_string(opts.root.join("DESIGN.md")).unwrap_or_default();
+    let cfg = LintConfig::all(design_doc);
+
+    let allowlist = match std::fs::read_to_string(opts.root.join("lint-allow.toml")) {
+        Ok(text) => match allow::parse_allowlist(&text) {
+            Ok(list) => list,
+            Err(e) => {
+                eprintln!("ca-lint: lint-allow.toml: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        Err(_) => Allowlist::default(),
+    };
+
+    let files = match workspace_files(&opts.root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("ca-lint: walking workspace: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut violations: Vec<Violation> = Vec::new();
+    let mut n_files = 0usize;
+    for file in &files {
+        let rel = rel_path(&opts.root, file);
+        let src = match std::fs::read_to_string(file) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("ca-lint: reading {rel}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        n_files += 1;
+        violations.extend(lint_source(&rel, &src, &cfg));
+    }
+    violations
+        .sort_by(|a, b| (&a.path, a.line, a.rule, &a.msg).cmp(&(&b.path, b.line, b.rule, &b.msg)));
+
+    let outcome = allow::apply_allowlist(violations, &allowlist, allow::today_utc_day());
+
+    if opts.json {
+        let mut out = String::from("[\n");
+        for (i, v) in outcome.kept.iter().enumerate() {
+            let sep = if i + 1 == outcome.kept.len() { "" } else { "," };
+            out.push_str(&format!(
+                "  {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"message\": \"{}\"}}{sep}\n",
+                v.rule,
+                json_escape(&v.path),
+                v.line,
+                json_escape(&v.msg)
+            ));
+        }
+        out.push_str("]\n");
+        print!("{out}");
+    } else {
+        for v in &outcome.kept {
+            println!(
+                "{}:{}: {} {}: {}",
+                v.path,
+                v.line,
+                v.rule,
+                rule_name(v.rule),
+                v.msg
+            );
+        }
+        for e in &outcome.expired {
+            println!(
+                "lint-allow.toml: entry for {} ({}) EXPIRED {} — fix the violations or re-justify",
+                e.path, e.rule, e.expires
+            );
+        }
+        for e in &outcome.unused {
+            println!(
+                "lint-allow.toml: entry for {} ({}) matched nothing — prune it",
+                e.path, e.rule
+            );
+        }
+        println!(
+            "ca-lint: {} file(s), {} violation(s), {} allowlisted, {} expired entr{}, {} unused",
+            n_files,
+            outcome.kept.len(),
+            outcome.suppressed,
+            outcome.expired.len(),
+            if outcome.expired.len() == 1 {
+                "y"
+            } else {
+                "ies"
+            },
+            outcome.unused.len(),
+        );
+    }
+
+    // Expired allowlist entries gate like violations: the backlog may
+    // only shrink or be consciously re-justified.
+    let failing = outcome.kept.len() + outcome.expired.len();
+    if opts.deny_all && failing > 0 {
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}
+
+fn rule_name(code: &str) -> &'static str {
+    CATALOG
+        .iter()
+        .find(|&&(c, _, _)| c == code)
+        .map_or("malformed-suppression", |&(_, name, _)| name)
+}

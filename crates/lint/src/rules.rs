@@ -1,0 +1,559 @@
+//! The rule engine and the five repo-grounded rules.
+//!
+//! Rules are lexical: they match short token patterns produced by
+//! [`crate::lexer`], scoped by file path and by `#[cfg(test)]` / `#[test]`
+//! regions. The catalog (kept in sync with DESIGN.md §Static analysis):
+//!
+//! | code | name | guards |
+//! |------|------|--------|
+//! | L001 | nondeterministic-iteration | `HashMap`/`HashSet` iteration in result-producing modules |
+//! | L002 | panic-in-library | `unwrap`/`expect`/`panic!`/indexing-by-literal in library code |
+//! | L003 | thread-hygiene | `std::thread` / `CA_*` env reads outside sanctioned modules |
+//! | L004 | wall-clock-in-results | `Instant`/`SystemTime` in result-producing modules |
+//! | L005 | undocumented-env-var | every `CA_*` variable literal must appear in DESIGN.md |
+//!
+//! `L000` is reserved for malformed suppression comments (see
+//! [`crate::allow`]): a suppression that cannot be parsed, or that lacks a
+//! reason, is itself a violation — silence must always carry a why.
+
+use std::collections::BTreeSet;
+
+use crate::lexer::{Lexed, Tok, TokKind};
+
+/// Reported code of the malformed-suppression pseudo-rule.
+pub const BAD_SUPPRESSION: &str = "L000";
+
+/// The rule catalog: `(code, name, summary)` for every real rule.
+pub const CATALOG: [(&str, &str, &str); 5] = [
+    (
+        "L001",
+        "nondeterministic-iteration",
+        "HashMap/HashSet iteration order can leak into results; sort at the boundary or use BTreeMap/BTreeSet",
+    ),
+    (
+        "L002",
+        "panic-in-library",
+        "unwrap/expect/panic!/indexing-by-literal in library code; use typed errors or a documented-invariant match",
+    ),
+    (
+        "L003",
+        "thread-hygiene",
+        "std::thread and CA_* env reads are confined to the sanctioned kernel/config modules",
+    ),
+    (
+        "L004",
+        "wall-clock-in-results",
+        "Instant/SystemTime must not influence result-producing modules",
+    ),
+    (
+        "L005",
+        "undocumented-env-var",
+        "every CA_* environment variable must be documented in DESIGN.md",
+    ),
+];
+
+/// Files allowed to touch `std::thread`: the two parallel kernels plus the
+/// config module (for `available_parallelism`).
+const THREAD_SANCTIONED: [&str; 3] = [
+    "crates/core/src/config.rs",
+    "crates/hom/src/csp.rs",
+    "crates/query/src/engine/sweep.rs",
+];
+
+/// Files allowed to read `CA_*` environment variables: only the config
+/// module — both kernels take their width through it.
+const ENV_SANCTIONED: [&str; 1] = ["crates/core/src/config.rs"];
+
+/// One reported violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// Rule code (`L001`…`L005`, or [`BAD_SUPPRESSION`]).
+    pub rule: &'static str,
+    /// Repo-relative path with forward slashes.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable explanation.
+    pub msg: String,
+}
+
+/// Engine configuration: which rules run, and the documentation corpus
+/// that L005 checks env-var names against.
+pub struct LintConfig {
+    /// Enabled rule codes; rules not listed do not run.
+    pub enabled: BTreeSet<&'static str>,
+    /// Contents of `DESIGN.md` (empty ⇒ every `CA_*` literal is flagged).
+    pub design_doc: String,
+}
+
+impl LintConfig {
+    /// All five rules enabled against the given DESIGN.md contents.
+    pub fn all(design_doc: String) -> Self {
+        LintConfig {
+            enabled: CATALOG.iter().map(|&(code, _, _)| code).collect(),
+            design_doc,
+        }
+    }
+
+    /// All rules except `code` — used by the fixture self-tests to assert
+    /// each rule is load-bearing.
+    pub fn all_except(code: &str, design_doc: String) -> Self {
+        let mut cfg = LintConfig::all(design_doc);
+        cfg.enabled.retain(|&c| c != code);
+        cfg
+    }
+}
+
+// ---------------------------------------------------------------- scopes
+
+/// Vendored dependency stand-ins: not our code, never linted.
+fn is_vendored(path: &str) -> bool {
+    path.contains("proptest-shim") || path.contains("criterion-shim")
+}
+
+/// Result-producing modules (L001/L004 scope): the query engine, the
+/// certain-answer modules, and the CSP kernel — anywhere an internal
+/// ordering or timing choice could reach a caller-visible answer.
+fn is_result_module(path: &str) -> bool {
+    path.contains("/engine/") || path.ends_with("certain.rs") || path.ends_with("csp.rs")
+}
+
+/// Library code for L002: excludes binaries, benches, the bench crate
+/// (CLI tooling), and example/test trees.
+fn is_library_code(path: &str) -> bool {
+    !path.contains("/bin/")
+        && !path.ends_with("main.rs")
+        && !path.contains("crates/bench/")
+        && !path.contains("/tests/")
+        && !path.contains("/benches/")
+        && !path.contains("/examples/")
+}
+
+fn in_list(path: &str, list: &[&str]) -> bool {
+    list.contains(&path)
+}
+
+// ------------------------------------------------------- test-region mask
+
+/// Mark every token covered by a `#[cfg(test)]` or `#[test]` item as
+/// test code. The scan is lexical: an attribute whose tokens include the
+/// ident `test` (and not `not`, to spare `#[cfg(not(test))]`) opens a
+/// region at the next `{`, closed by its matching `}`.
+pub fn test_mask(toks: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].text != "#" || !matches!(toks.get(i + 1), Some(t) if t.text == "[") {
+            i += 1;
+            continue;
+        }
+        // Scan the attribute body to its closing ']'.
+        let mut j = i + 2;
+        let mut depth = 1usize;
+        let mut saw_test = false;
+        let mut saw_not = false;
+        while j < toks.len() && depth > 0 {
+            match toks[j].text.as_str() {
+                "[" => depth += 1,
+                "]" => depth -= 1,
+                "test" if toks[j].kind == TokKind::Ident => saw_test = true,
+                "not" if toks[j].kind == TokKind::Ident => saw_not = true,
+                _ => {}
+            }
+            j += 1;
+        }
+        if !saw_test || saw_not {
+            i = j;
+            continue;
+        }
+        // Find the item's body: the first '{' before any ';'.
+        let mut k = j;
+        while k < toks.len() && toks[k].text != "{" && toks[k].text != ";" {
+            k += 1;
+        }
+        if k >= toks.len() || toks[k].text == ";" {
+            i = k;
+            continue;
+        }
+        let mut braces = 1usize;
+        let mut end = k + 1;
+        while end < toks.len() && braces > 0 {
+            match toks[end].text.as_str() {
+                "{" => braces += 1,
+                "}" => braces -= 1,
+                _ => {}
+            }
+            end += 1;
+        }
+        for m in mask.iter_mut().take(end).skip(i) {
+            *m = true;
+        }
+        i = end;
+    }
+    mask
+}
+
+// ------------------------------------------------------------- the rules
+
+struct Ctx<'a> {
+    path: &'a str,
+    toks: &'a [Tok],
+    test: &'a [bool],
+    out: Vec<Violation>,
+}
+
+impl Ctx<'_> {
+    fn text(&self, i: usize) -> &str {
+        self.toks.get(i).map_or("", |t| t.text.as_str())
+    }
+
+    fn kind(&self, i: usize) -> Option<TokKind> {
+        self.toks.get(i).map(|t| t.kind)
+    }
+
+    fn is_ident(&self, i: usize, name: &str) -> bool {
+        self.kind(i) == Some(TokKind::Ident) && self.text(i) == name
+    }
+
+    fn emit(&mut self, rule: &'static str, i: usize, msg: String) {
+        self.out.push(Violation {
+            rule,
+            path: self.path.to_string(),
+            line: self.toks[i].line,
+            msg,
+        });
+    }
+}
+
+/// L001: collect identifiers declared with a `HashMap`/`HashSet` type or
+/// initializer, then flag ordered consumption of them.
+fn rule_l001(ctx: &mut Ctx<'_>) {
+    if !is_result_module(ctx.path) {
+        return;
+    }
+    // Pass 1: names bound to hash collections. Patterns (walking back over
+    // `std :: collections ::`-style path prefixes from the type name):
+    //   let [mut] NAME : [path::]Hash{Map,Set} …
+    //   let [mut] NAME = [path::]Hash{Map,Set} :: …
+    //   NAME : Hash{Map,Set} <       (struct field / parameter)
+    let mut names: BTreeSet<String> = BTreeSet::new();
+    for i in 0..ctx.toks.len() {
+        if ctx.test[i]
+            || ctx.kind(i) != Some(TokKind::Ident)
+            || !matches!(ctx.text(i), "HashMap" | "HashSet")
+        {
+            continue;
+        }
+        // Walk back over a `seg ::` path prefix.
+        let mut j = i;
+        while j >= 2 && ctx.text(j - 1) == ":" && ctx.text(j - 2) == ":" {
+            j -= 2;
+            if j >= 1 && ctx.kind(j - 1) == Some(TokKind::Ident) {
+                j -= 1;
+            }
+        }
+        if j == 0 {
+            continue;
+        }
+        let before = ctx.text(j - 1);
+        let name_idx = match before {
+            // `NAME : HashMap` — but not `:: HashMap` (path, handled above)
+            // and not `< … : …` generics: require an ident before the `:`.
+            ":" if j >= 2 && ctx.text(j - 2) != ":" && ctx.kind(j - 2) == Some(TokKind::Ident) => {
+                Some(j - 2)
+            }
+            // `NAME = HashMap::…`
+            "=" if j >= 2 && ctx.kind(j - 2) == Some(TokKind::Ident) => Some(j - 2),
+            _ => None,
+        };
+        if let Some(n) = name_idx {
+            let name = ctx.text(n);
+            if name != "let" && name != "mut" {
+                names.insert(name.to_string());
+            }
+        }
+    }
+    if names.is_empty() {
+        return;
+    }
+    // Pass 2: ordered consumption of a collected name.
+    const ORDERED: [&str; 5] = ["iter", "keys", "values", "into_iter", "drain"];
+    for i in 0..ctx.toks.len() {
+        if ctx.test[i] || ctx.kind(i) != Some(TokKind::Ident) {
+            continue;
+        }
+        let name = ctx.text(i);
+        if !names.contains(name) {
+            continue;
+        }
+        // `NAME . iter ( ` and friends.
+        if ctx.text(i + 1) == "." && ORDERED.contains(&ctx.text(i + 2)) && ctx.text(i + 3) == "(" {
+            let method = ctx.text(i + 2).to_string();
+            ctx.emit(
+                "L001",
+                i,
+                format!(
+                    "`{name}.{method}()` iterates a hash collection in a result-producing \
+                     module; hash order is nondeterministic — sort at the boundary or use \
+                     a BTree collection"
+                ),
+            );
+            continue;
+        }
+        // `for PAT in [&] [mut] NAME {` — direct loop over the collection.
+        if ctx.text(i + 1) == "{" {
+            let mut j = i;
+            while j > 0 && matches!(ctx.text(j - 1), "&" | "mut") {
+                j -= 1;
+            }
+            if j > 0 && ctx.is_ident(j - 1, "in") {
+                ctx.emit(
+                    "L001",
+                    i,
+                    format!(
+                        "`for … in {name}` iterates a hash collection in a result-producing \
+                         module; hash order is nondeterministic — sort at the boundary or \
+                         use a BTree collection"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// L002: panics in library code.
+fn rule_l002(ctx: &mut Ctx<'_>) {
+    if !is_library_code(ctx.path) {
+        return;
+    }
+    for i in 0..ctx.toks.len() {
+        if ctx.test[i] {
+            continue;
+        }
+        // `. unwrap (` / `. expect (`.
+        if ctx.text(i) == "."
+            && matches!(ctx.text(i + 1), "unwrap" | "expect")
+            && ctx.kind(i + 1) == Some(TokKind::Ident)
+            && ctx.text(i + 2) == "("
+        {
+            let call = ctx.text(i + 1).to_string();
+            ctx.emit(
+                "L002",
+                i,
+                format!(
+                    "`.{call}()` in library code can panic; return a typed error or use a \
+                     documented-invariant match"
+                ),
+            );
+        }
+        // `panic !`.
+        if ctx.is_ident(i, "panic") && ctx.text(i + 1) == "!" {
+            ctx.emit(
+                "L002",
+                i,
+                "`panic!` in library code; return a typed error instead".to_string(),
+            );
+        }
+        // Indexing by integer literal: `expr [ 0 ]` where expr ends in an
+        // identifier or a closing bracket (array literals `[0; 8]` and
+        // attribute brackets do not match).
+        if ctx.text(i) == "["
+            && ctx.kind(i + 1) == Some(TokKind::Num)
+            && ctx.text(i + 2) == "]"
+            && i > 0
+            && (ctx.kind(i - 1) == Some(TokKind::Ident) || matches!(ctx.text(i - 1), ")" | "]"))
+            && !matches!(ctx.text(i.wrapping_sub(1)), "if" | "in" | "return" | "else")
+        {
+            let n = ctx.text(i + 1).to_string();
+            ctx.emit(
+                "L002",
+                i,
+                format!(
+                    "indexing by literal `[{n}]` in library code can panic; prefer \
+                     `.get({n})` or a slice pattern"
+                ),
+            );
+        }
+    }
+}
+
+/// L003: thread and `CA_*` env hygiene.
+fn rule_l003(ctx: &mut Ctx<'_>) {
+    for i in 0..ctx.toks.len() {
+        if ctx.test[i] {
+            continue;
+        }
+        // `std :: thread` (any use: spawn, scope, available_parallelism).
+        if ctx.is_ident(i, "std")
+            && ctx.text(i + 1) == ":"
+            && ctx.text(i + 2) == ":"
+            && ctx.is_ident(i + 3, "thread")
+            && !in_list(ctx.path, &THREAD_SANCTIONED)
+        {
+            ctx.emit(
+                "L003",
+                i,
+                format!(
+                    "`std::thread` outside the sanctioned modules ({}); route parallelism \
+                     through the existing kernels so determinism stays provable",
+                    THREAD_SANCTIONED.join(", ")
+                ),
+            );
+        }
+        // `env :: var ( "CA_…" )` (also var_os).
+        if ctx.is_ident(i, "env")
+            && ctx.text(i + 1) == ":"
+            && ctx.text(i + 2) == ":"
+            && matches!(ctx.text(i + 3), "var" | "var_os")
+            && ctx.text(i + 4) == "("
+            && ctx.kind(i + 5) == Some(TokKind::Str)
+            && is_ca_var(ctx.text(i + 5))
+            && !in_list(ctx.path, &ENV_SANCTIONED)
+        {
+            let var = ctx.text(i + 5).to_string();
+            ctx.emit(
+                "L003",
+                i,
+                format!(
+                    "`{var}` read outside {}; all CA_* knobs go through ca_core::config",
+                    ENV_SANCTIONED.join(", ")
+                ),
+            );
+        }
+    }
+}
+
+/// L004: wall-clock reads in result-producing modules.
+fn rule_l004(ctx: &mut Ctx<'_>) {
+    if !is_result_module(ctx.path) {
+        return;
+    }
+    for i in 0..ctx.toks.len() {
+        if ctx.test[i] {
+            continue;
+        }
+        if ctx.kind(i) == Some(TokKind::Ident) && matches!(ctx.text(i), "Instant" | "SystemTime") {
+            let what = ctx.text(i).to_string();
+            ctx.emit(
+                "L004",
+                i,
+                format!(
+                    "`{what}` in a result-producing module; wall-clock time must never \
+                     influence certain-answer output (benchmarks live in crates/bench)"
+                ),
+            );
+        }
+    }
+}
+
+/// Is `lit` a `CA_*` environment-variable name (`CA_` + at least one
+/// `[A-Z0-9_]` character, nothing else)?
+fn is_ca_var(lit: &str) -> bool {
+    lit.len() > 3
+        && lit.starts_with("CA_")
+        && lit
+            .bytes()
+            .all(|b| b.is_ascii_uppercase() || b.is_ascii_digit() || b == b'_')
+}
+
+/// L005: every `CA_*` string literal in non-test code must be documented.
+fn rule_l005(ctx: &mut Ctx<'_>, design_doc: &str) {
+    for i in 0..ctx.toks.len() {
+        if ctx.test[i] || ctx.kind(i) != Some(TokKind::Str) {
+            continue;
+        }
+        let lit = ctx.text(i);
+        if is_ca_var(lit) && !design_doc.contains(lit) {
+            let lit = lit.to_string();
+            ctx.emit(
+                "L005",
+                i,
+                format!("environment variable `{lit}` is not documented in DESIGN.md"),
+            );
+        }
+    }
+}
+
+/// Run every enabled rule over one lexed file. `path` must be
+/// repo-relative with forward slashes. Suppressions are *not* applied
+/// here — see [`crate::lint_source`].
+pub fn run_rules(path: &str, lexed: &Lexed, cfg: &LintConfig) -> Vec<Violation> {
+    if is_vendored(path) {
+        return Vec::new();
+    }
+    let test = test_mask(&lexed.toks);
+    let mut ctx = Ctx {
+        path,
+        toks: &lexed.toks,
+        test: &test,
+        out: Vec::new(),
+    };
+    if cfg.enabled.contains("L001") {
+        rule_l001(&mut ctx);
+    }
+    if cfg.enabled.contains("L002") {
+        rule_l002(&mut ctx);
+    }
+    if cfg.enabled.contains("L003") {
+        rule_l003(&mut ctx);
+    }
+    if cfg.enabled.contains("L004") {
+        rule_l004(&mut ctx);
+    }
+    if cfg.enabled.contains("L005") {
+        rule_l005(&mut ctx, &cfg.design_doc);
+    }
+    let mut out = ctx.out;
+    out.sort_by(|a, b| (a.line, a.rule, &a.msg).cmp(&(b.line, b.rule, &b.msg)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn test_mask_covers_cfg_test_modules() {
+        let src =
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n fn t() { x.unwrap(); }\n}\nfn after() {}";
+        let lexed = lex(src);
+        let mask = test_mask(&lexed.toks);
+        let unwrap_idx = lexed
+            .toks
+            .iter()
+            .position(|t| t.text == "unwrap")
+            .expect("unwrap token");
+        assert!(mask[unwrap_idx]);
+        let after_idx = lexed
+            .toks
+            .iter()
+            .position(|t| t.text == "after")
+            .expect("after token");
+        assert!(!mask[after_idx]);
+    }
+
+    #[test]
+    fn test_mask_ignores_cfg_not_test() {
+        let src = "#[cfg(not(test))]\nfn shipped() { x.unwrap(); }";
+        let lexed = lex(src);
+        let mask = test_mask(&lexed.toks);
+        assert!(mask.iter().all(|&m| !m), "cfg(not(test)) is live code");
+    }
+
+    #[test]
+    fn test_mask_handles_test_attribute_on_fn() {
+        let src = "#[test]\nfn t() { x.unwrap(); }\nfn live() { y.unwrap(); }";
+        let lexed = lex(src);
+        let mask = test_mask(&lexed.toks);
+        let ups: Vec<usize> = lexed
+            .toks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.text == "unwrap")
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(ups.len(), 2);
+        assert!(mask[ups[0]] && !mask[ups[1]]);
+    }
+}

@@ -1,0 +1,273 @@
+//! Fixture self-tests: one positive and one negative snippet per rule.
+//!
+//! Every positive fixture is asserted twice — the rule fires when
+//! enabled, and the finding *disappears when the rule is disabled* — so
+//! each rule is provably load-bearing (a rule that never fires, or a
+//! harness that ignores `enabled`, fails here).
+
+use ca_lint::rules::CATALOG;
+use ca_lint::{lint_source, LintConfig};
+
+/// A path inside a result-producing module for L001/L004 fixtures.
+const RESULT_PATH: &str = "crates/query/src/engine/fixture.rs";
+/// An ordinary library path for L002/L003/L005 fixtures.
+const LIB_PATH: &str = "crates/gdm/src/fixture.rs";
+
+fn codes(path: &str, src: &str, cfg: &LintConfig) -> Vec<&'static str> {
+    lint_source(path, src, cfg)
+        .into_iter()
+        .map(|v| v.rule)
+        .collect()
+}
+
+/// Assert `src` at `path` trips `rule` — and stops tripping it when the
+/// rule is disabled.
+fn assert_fires(rule: &'static str, path: &str, src: &str) {
+    let design = "documented: CA_EVAL_THREADS CA_HOM_THREADS".to_string();
+    let with = codes(path, src, &LintConfig::all(design.clone()));
+    assert!(
+        with.contains(&rule),
+        "{rule} should fire on the positive fixture at {path}; got {with:?}"
+    );
+    let without = codes(path, src, &LintConfig::all_except(rule, design));
+    assert!(
+        !without.contains(&rule),
+        "{rule} must vanish when disabled; got {without:?}"
+    );
+}
+
+/// Assert `src` at `path` is clean for `rule` with every rule enabled.
+fn assert_clean(rule: &'static str, path: &str, src: &str) {
+    let design = "documented: CA_EVAL_THREADS CA_HOM_THREADS".to_string();
+    let got = codes(path, src, &LintConfig::all(design));
+    assert!(
+        !got.contains(&rule),
+        "{rule} must not fire on the negative fixture at {path}; got {got:?}"
+    );
+}
+
+// ------------------------------------------------------------------ L001
+
+#[test]
+fn l001_fires_on_hashmap_iteration_in_result_module() {
+    let src = r#"
+use std::collections::HashMap;
+pub fn answers() -> Vec<u32> {
+    let mut seen: HashMap<u32, u32> = HashMap::new();
+    seen.insert(1, 2);
+    let mut out = Vec::new();
+    for (k, _) in &seen {
+        out.push(*k);
+    }
+    out
+}
+"#;
+    assert_fires("L001", RESULT_PATH, src);
+}
+
+#[test]
+fn l001_fires_on_keys_method() {
+    let src = "fn f() { let m: std::collections::HashSet<u32> = Default::default(); let v: Vec<_> = m.iter().collect(); }";
+    assert_fires("L001", RESULT_PATH, src);
+}
+
+#[test]
+fn l001_ignores_btreemap_and_lookup_only_hashmaps() {
+    let src = r#"
+use std::collections::{BTreeMap, HashMap};
+pub fn answers() -> Vec<u32> {
+    let mut sorted: BTreeMap<u32, u32> = BTreeMap::new();
+    let cache: HashMap<u32, u32> = HashMap::new();
+    let _ = cache.get(&3);
+    sorted.insert(1, 2);
+    sorted.keys().copied().collect()
+}
+"#;
+    assert_clean("L001", RESULT_PATH, src);
+}
+
+#[test]
+fn l001_is_scoped_to_result_modules() {
+    let src = "fn f() { let m: std::collections::HashMap<u32, u32> = Default::default(); for x in &m {} }";
+    assert_clean("L001", "crates/gdm/src/generate.rs", src);
+}
+
+// ------------------------------------------------------------------ L002
+
+#[test]
+fn l002_fires_on_unwrap_expect_panic_and_literal_index() {
+    assert_fires(
+        "L002",
+        LIB_PATH,
+        "fn f(x: Option<u32>) -> u32 { x.unwrap() }",
+    );
+    assert_fires(
+        "L002",
+        LIB_PATH,
+        "fn f(x: Option<u32>) -> u32 { x.expect(\"always\") }",
+    );
+    assert_fires("L002", LIB_PATH, "fn f() { panic!(\"boom\") }");
+    assert_fires("L002", LIB_PATH, "fn f(v: &[u32]) -> u32 { v[0] }");
+}
+
+#[test]
+fn l002_ignores_tests_benches_and_array_literals() {
+    // In a #[cfg(test)] module: fine.
+    assert_clean(
+        "L002",
+        LIB_PATH,
+        "#[cfg(test)]\nmod tests {\n fn t(x: Option<u32>) { x.unwrap(); }\n}",
+    );
+    // In the bench crate: fine.
+    assert_clean(
+        "L002",
+        "crates/bench/src/report.rs",
+        "fn f(x: Option<u32>) -> u32 { x.unwrap() }",
+    );
+    // Array literals and unwrap_or are not flagged.
+    assert_clean(
+        "L002",
+        LIB_PATH,
+        "fn f(x: Option<u32>) -> u32 { let _a = [0]; let _b = [0; 4]; x.unwrap_or(1) }",
+    );
+    // A commented-out unwrap is not code.
+    assert_clean("L002", LIB_PATH, "fn f() {} // x.unwrap() would panic");
+}
+
+// ------------------------------------------------------------------ L003
+
+#[test]
+fn l003_fires_on_stray_threads_and_env_reads() {
+    assert_fires("L003", LIB_PATH, "fn f() { std::thread::spawn(|| {}); }");
+    assert_fires(
+        "L003",
+        LIB_PATH,
+        "fn f() -> usize { std::env::var(\"CA_SECRET_KNOB\").map_or(1, |v| v.len()) }",
+    );
+}
+
+#[test]
+fn l003_sanctions_the_kernels_and_config() {
+    assert_clean(
+        "L003",
+        "crates/query/src/engine/sweep.rs",
+        "fn f() { std::thread::scope(|_| {}); }",
+    );
+    assert_clean(
+        "L003",
+        "crates/hom/src/csp.rs",
+        "fn f() { std::thread::scope(|_| {}); }",
+    );
+    assert_clean(
+        "L003",
+        "crates/core/src/config.rs",
+        "fn f() -> bool { std::env::var(\"CA_EVAL_THREADS\").is_ok() }",
+    );
+    // Non-CA_ env reads are out of scope for L003.
+    assert_clean(
+        "L003",
+        LIB_PATH,
+        "fn f() -> bool { std::env::var(\"PROPTEST_CASES\").is_ok() }",
+    );
+}
+
+// ------------------------------------------------------------------ L004
+
+#[test]
+fn l004_fires_on_wall_clock_in_result_modules() {
+    assert_fires(
+        "L004",
+        RESULT_PATH,
+        "fn f() -> std::time::Instant { std::time::Instant::now() }",
+    );
+    assert_fires(
+        "L004",
+        RESULT_PATH,
+        "fn f() { let _ = std::time::SystemTime::now(); }",
+    );
+}
+
+#[test]
+fn l004_allows_timing_in_benches_and_tests() {
+    // Outside result modules: fine.
+    assert_clean(
+        "L004",
+        "crates/bench/src/report.rs",
+        "fn f() -> std::time::Instant { std::time::Instant::now() }",
+    );
+    // In a test module of a result module: fine.
+    assert_clean(
+        "L004",
+        RESULT_PATH,
+        "#[cfg(test)]\nmod tests {\n fn t() { let _ = std::time::Instant::now(); }\n}",
+    );
+}
+
+// ------------------------------------------------------------------ L005
+
+#[test]
+fn l005_fires_on_undocumented_env_var() {
+    assert_fires(
+        "L005",
+        LIB_PATH,
+        "const KNOB: &str = \"CA_UNDOCUMENTED_KNOB\";",
+    );
+}
+
+#[test]
+fn l005_accepts_documented_vars_and_non_var_strings() {
+    // CA_EVAL_THREADS is in the fixture design doc.
+    assert_clean("L005", LIB_PATH, "const KNOB: &str = \"CA_EVAL_THREADS\";");
+    // Lowercase / prefix-only strings are not env-var names.
+    assert_clean(
+        "L005",
+        LIB_PATH,
+        "const A: &str = \"CA_\"; const B: &str = \"ca_lower\"; const C: &str = \"CApital\";",
+    );
+}
+
+// ------------------------------------------- suppression, end to end
+
+#[test]
+fn inline_allow_suppresses_with_reason() {
+    let design = String::new();
+    let src = "fn f(x: Option<u32>) -> u32 {\n    // ca-lint: allow(L002, reason = \"fixture invariant\")\n    x.unwrap()\n}";
+    let got = codes(LIB_PATH, src, &LintConfig::all(design));
+    assert!(
+        got.is_empty(),
+        "allowed violation must be suppressed; got {got:?}"
+    );
+}
+
+#[test]
+fn inline_allow_without_reason_is_itself_a_violation() {
+    let design = String::new();
+    let src = "fn f(x: Option<u32>) -> u32 {\n    // ca-lint: allow(L002)\n    x.unwrap()\n}";
+    let got = codes(LIB_PATH, src, &LintConfig::all(design));
+    assert!(got.contains(&"L002"), "reason-less allow must not suppress");
+    assert!(got.contains(&"L000"), "reason-less allow is reported");
+}
+
+#[test]
+fn inline_allow_only_covers_its_own_lines() {
+    let design = String::new();
+    let src = "fn f(x: Option<u32>, y: Option<u32>) -> u32 {\n    // ca-lint: allow(L002, reason = \"first only\")\n    let a = x.unwrap();\n    let b = y.unwrap();\n    a + b\n}";
+    let got = codes(LIB_PATH, src, &LintConfig::all(design));
+    assert_eq!(
+        got,
+        vec!["L002"],
+        "second unwrap (two lines below) still fires"
+    );
+}
+
+// ------------------------------------------------- catalog sanity
+
+#[test]
+fn every_catalog_rule_has_a_fixture() {
+    // Guards against adding a rule without extending this corpus: the
+    // list here must mention every catalog code.
+    let covered = ["L001", "L002", "L003", "L004", "L005"];
+    for (code, _, _) in CATALOG {
+        assert!(covered.contains(&code), "no fixture coverage for {code}");
+    }
+}

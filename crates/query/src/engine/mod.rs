@@ -66,7 +66,9 @@ fn exec(
     }
     let atom = &cq.atoms[depth];
     let scanning = handles[depth] == index::SCAN;
-    let (key_buf, rest) = scratch.split_first_mut().expect("scratch per depth");
+    // Borrow this depth's scratch buffer by taking it out of the slice
+    // (and restoring it below), so the recursive call can borrow the rest.
+    let mut key_buf = std::mem::take(&mut scratch[depth]);
     let candidates: &[u32] = if scanning {
         // Full scan: bound positions (if any) are verified per candidate.
         idx.rows(atom.rel)
@@ -77,8 +79,9 @@ fn exec(
             plan::KeyPart::Const(v) => *v,
             plan::KeyPart::Slot(s) => slots[*s],
         }));
-        idx.probe(handles[depth], key_buf)
+        idx.probe(handles[depth], &key_buf)
     };
+    let mut keep_going = true;
     'cand: for &id in candidates {
         let fact = idx.fact(id);
         if scanning {
@@ -101,11 +104,13 @@ fn exec(
                 continue 'cand;
             }
         }
-        if !exec(cq, handles, idx, depth + 1, slots, rest, emit) {
-            return false;
+        if !exec(cq, handles, idx, depth + 1, slots, scratch, emit) {
+            keep_going = false;
+            break;
         }
     }
-    true
+    scratch[depth] = key_buf;
+    keep_going
 }
 
 /// Evaluate a compiled CQ, calling `emit` on every head row (with

@@ -203,7 +203,7 @@ fn join_order(q: &ConjunctiveQuery) -> Vec<usize> {
     let mut bound: Vec<u32> = Vec::new();
     let mut remaining: Vec<usize> = (0..n).collect();
     let mut order = Vec::with_capacity(n);
-    while !remaining.is_empty() {
+    loop {
         let best = remaining
             .iter()
             .map(|&i| {
@@ -226,8 +226,11 @@ fn join_order(q: &ConjunctiveQuery) -> Vec<usize> {
                 (usize::MAX - known, fresh.len(), i)
             })
             .min()
-            .map(|(_, _, i)| i)
-            .expect("remaining is nonempty");
+            .map(|(_, _, i)| i);
+        // `min()` is `None` exactly when no atoms remain: we are done.
+        let Some(best) = best else {
+            break;
+        };
         remaining.retain(|&i| i != best);
         for v in q.atoms[best].vars() {
             if !bound.contains(&v) {

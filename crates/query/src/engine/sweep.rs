@@ -23,12 +23,11 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use ca_core::value::{Null, Value};
 use ca_relational::database::{NaiveDatabase, Valuation};
 
-/// The sweep thread count: `CA_EVAL_THREADS`, else available parallelism.
+/// The sweep thread count: `CA_EVAL_THREADS`, else available parallelism
+/// (parsed by the shared [`ca_core::config`] policy: saturating, explicit
+/// fallback on malformed values).
 pub fn eval_threads() -> usize {
-    match std::env::var("CA_EVAL_THREADS") {
-        Ok(v) => v.parse().unwrap_or(1).max(1),
-        Err(_) => std::thread::available_parallelism().map_or(1, usize::from),
-    }
+    ca_core::config::eval_threads()
 }
 
 /// The space of completions of `db` into a constant pool, addressable by
@@ -62,6 +61,7 @@ impl<'a> CompletionSpace<'a> {
     pub fn len(&self) -> u128 {
         (self.pool.len() as u128)
             .checked_pow(self.nulls.len() as u32)
+            // ca-lint: allow(L002, reason = "deliberate documented panic (see # Panics): a sweep past u128 completions can never terminate, so failing fast beats a wrong answer")
             .expect("completion space exceeds u128 — brute force is hopeless here")
     }
 
@@ -141,8 +141,8 @@ pub fn parallel_intersect(
         return None;
     }
     let parts = chunks(count, threads);
-    if parts.len() <= 1 {
-        let (lo, hi) = parts[0];
+    if let [(lo, hi)] = parts.as_slice() {
+        let (lo, hi) = (*lo, *hi);
         let mut acc = eval(lo);
         for i in lo + 1..hi {
             if acc.is_empty() {
@@ -178,7 +178,12 @@ pub fn parallel_intersect(
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("sweep worker panicked"))
+            .map(|h| match h.join() {
+                Ok(partial) => partial,
+                // A worker only panics if `eval` panicked; re-raise the
+                // original payload rather than inventing a new panic here.
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
             .collect::<Vec<_>>()
     });
     // A set flag means some thread's partial intersection over a prefix of
@@ -186,12 +191,17 @@ pub fn parallel_intersect(
     if dead.load(Ordering::Relaxed) {
         return Some(BTreeSet::new());
     }
-    let mut iter = partials.into_iter();
-    let mut acc = iter.next().expect("at least one chunk");
-    for next in iter {
-        acc.retain(|row| next.contains(row));
-    }
-    Some(acc)
+    // `count > 0` guarantees at least one chunk; if that invariant ever
+    // broke, the empty-default is still the correct empty intersection.
+    Some(
+        partials
+            .into_iter()
+            .reduce(|mut acc, next| {
+                acc.retain(|row| next.contains(row));
+                acc
+            })
+            .unwrap_or_default(),
+    )
 }
 
 #[cfg(test)]
