@@ -51,8 +51,19 @@ pub fn threads_from(var: &str, fallback: impl FnOnce() -> usize) -> usize {
 }
 
 /// The machine's available parallelism, or `default` when unknown.
+///
+/// `std::thread::available_parallelism` is a syscall on every call and
+/// is not cached by std; the sweep drivers consult it per sweep, which
+/// for microsecond-scale grids (the Theorem 7(b) image enumeration) is
+/// measurable overhead. The width cannot change within a process, so it
+/// is read once. (`CA_*` variables are deliberately *not* cached — the
+/// documented semantics is that they are re-read per call.)
 pub fn available_parallelism_or(default: usize) -> usize {
-    std::thread::available_parallelism().map_or(default, usize::from)
+    use std::sync::OnceLock;
+    static WIDTH: OnceLock<Option<usize>> = OnceLock::new();
+    WIDTH
+        .get_or_init(|| std::thread::available_parallelism().ok().map(usize::from))
+        .unwrap_or(default)
 }
 
 /// Sweep worker count: `CA_EVAL_THREADS`, else available parallelism.

@@ -17,16 +17,22 @@
 //!   pointer for when constrained targets still admit universal
 //!   solutions).
 //! * [`solution`] — canonical universal solutions, cores of generalized
-//!   databases, core solutions, universality checking.
+//!   databases (via the incremental retraction engine of
+//!   `ca_hom::retract`), core solutions, universality checking.
+//! * [`reference`] — the seed-era per-candidate core loop, kept verbatim
+//!   as the differential oracle and benchmark baseline for [`solution`].
 //! * [`tgd`] — the relational st-tgd convenience layer.
 //! * [`trees`] — Proposition 10: the two trees with no least upper bound.
 
 pub mod chase;
 pub mod mapping;
+pub mod reference;
 pub mod solution;
 pub mod tgd;
 pub mod trees;
 
 pub use chase::{chase, ChaseOutcome, Egd};
 pub use mapping::{Mapping, Rule};
-pub use solution::{canonical_solution, core_of_gendb, core_solution, is_universal_solution};
+pub use solution::{
+    canonical_solution, core_of_gendb, core_of_gendb_with, core_solution, is_universal_solution,
+};

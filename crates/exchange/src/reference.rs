@@ -1,0 +1,77 @@
+//! Reference generalized-database core: the seed-era retract loop, kept
+//! verbatim as a differential-testing oracle and benchmark baseline for
+//! the incremental engine behind [`crate::solution::core_of_gendb`]
+//! (`ca_hom::retract` over the `ca_gdm::encode::self_hom_structure`
+//! encoding).
+//!
+//! Deliberately naive: every avoid-candidate in every shrink round
+//! rebuilds and re-propagates a fresh `gdm_hom_csp`. Do not optimize it;
+//! its value is being obviously correct.
+
+use ca_gdm::database::GenDb;
+use ca_gdm::hom::gdm_hom_csp;
+
+/// The core of a generalized database: iteratively find a proper
+/// endomorphism (one avoiding some node) and restrict to its node image.
+/// Exponential in the worst case (as for graphs); the result is the
+/// unique-up-to-isomorphism smallest hom-equivalent sub-instance.
+pub fn core_of_gendb(d: &GenDb) -> GenDb {
+    let mut current = d.clone();
+    loop {
+        let n = current.n_nodes();
+        let mut shrunk = false;
+        for avoid in 0..n as u32 {
+            let (mut csp, _, _) = gdm_hom_csp(&current, &current);
+            // Remove `avoid` from every *node* variable's domain (node
+            // variables come first).
+            for v in 0..n {
+                let dom: Vec<u32> = csp.domains[v]
+                    .iter()
+                    .copied()
+                    .filter(|&x| x != avoid)
+                    .collect();
+                csp.restrict_domain(v as u32, dom);
+            }
+            if let Some(sol) = csp.solve() {
+                // Restrict to the image nodes.
+                let mut keep: Vec<u32> = sol[..n].to_vec();
+                keep.sort_unstable();
+                keep.dedup();
+                current = induced(&current, &keep);
+                shrunk = true;
+                break;
+            }
+        }
+        if !shrunk {
+            return current;
+        }
+    }
+}
+
+/// The induced sub-database on `keep` (node ids renumbered in order).
+fn induced(d: &GenDb, keep: &[u32]) -> GenDb {
+    let mut renumber = vec![u32::MAX; d.n_nodes()];
+    for (new, &old) in keep.iter().enumerate() {
+        renumber[old as usize] = new as u32;
+    }
+    let mut out = GenDb::new(d.schema.clone());
+    for &old in keep {
+        out.add_node(
+            d.schema.label_name(d.labels[old as usize]),
+            d.data[old as usize].clone(),
+        );
+    }
+    for (rel, t) in &d.tuples {
+        if let Some(mapped) = t
+            .iter()
+            .map(|&x| {
+                let r = renumber[x as usize];
+                (r != u32::MAX).then_some(r)
+            })
+            .collect::<Option<Vec<u32>>>()
+        {
+            out.add_tuple(d.schema.relation_name(*rel), mapped);
+        }
+    }
+    out
+}

@@ -7,7 +7,10 @@
 //! equivalence class is its core, the *core solution*.
 
 use ca_gdm::database::GenDb;
-use ca_gdm::hom::{gdm_hom_csp, gdm_leq};
+use ca_gdm::encode::{self_hom_structure, value_self_hom_structure};
+use ca_gdm::hom::gdm_leq;
+use ca_hom::csp::default_threads;
+use ca_hom::retract::retract_core_with;
 
 use crate::mapping::Mapping;
 
@@ -27,41 +30,86 @@ pub fn canonical_solution(
     out
 }
 
-/// The core of a generalized database: iteratively find a proper
-/// endomorphism (one avoiding some node) and restrict to its node image.
-/// Exponential in the worst case (as for graphs); the result is the
-/// unique-up-to-isomorphism smallest hom-equivalent sub-instance.
+/// The core of a generalized database: the unique-up-to-isomorphism
+/// smallest hom-equivalent sub-instance. Exponential in the worst case
+/// (as for graphs).
+///
+/// Routed through the incremental retraction engine
+/// ([`ca_hom::retract`]) over the faithful self-homomorphism encoding
+/// ([`ca_gdm::encode::self_hom_structure`]): one CSP compile per core,
+/// in-place bitset domain restriction across the whole shrink loop,
+/// PTIME folding of dominated nodes. The seed-era per-candidate rebuild
+/// loop survives verbatim in [`crate::reference`] as the differential
+/// oracle.
 pub fn core_of_gendb(d: &GenDb) -> GenDb {
-    let mut current = d.clone();
-    loop {
-        let n = current.n_nodes();
-        let mut shrunk = false;
-        for avoid in 0..n as u32 {
-            let (mut csp, _, _) = gdm_hom_csp(&current, &current);
-            // Remove `avoid` from every *node* variable's domain (node
-            // variables come first).
-            for v in 0..n {
-                let dom: Vec<u32> = csp.domains[v]
-                    .iter()
-                    .copied()
-                    .filter(|&x| x != avoid)
-                    .collect();
-                csp.restrict_domain(v as u32, dom);
-            }
-            if let Some(sol) = csp.solve() {
-                // Restrict to the image nodes.
-                let mut keep: Vec<u32> = sol[..n].to_vec();
-                keep.sort_unstable();
-                keep.dedup();
-                current = induced(&current, &keep);
-                shrunk = true;
-                break;
-            }
+    core_of_gendb_with(d, default_threads())
+}
+
+/// [`core_of_gendb`] with an explicit probe-thread count. The kept node
+/// set (and hence the returned database) is identical at every width.
+///
+/// Purely relational databases (`σ = ∅`, which covers every
+/// data-exchange target in this crate) retract over the value-only
+/// encoding ([`value_self_hom_structure`]): the CSP has one variable
+/// per distinct value instead of nodes + values, and redundant facts
+/// become *foldable* (a pendant null moves without dragging a welded
+/// node element along), so most shrinkage needs no search at all.
+/// Databases with structural tuples use the general node encoding.
+pub fn core_of_gendb_with(d: &GenDb, threads: usize) -> GenDb {
+    if d.tuples.is_empty() {
+        return value_core(d, threads);
+    }
+    let (s, _universe) = self_hom_structure(d);
+    let probe: Vec<u32> = (0..d.n_nodes() as u32).collect();
+    let r = retract_core_with(&s, &probe, threads);
+    induced(d, &r.kept)
+}
+
+/// Core via the value-only encoding (`σ = ∅`). The engine retracts the
+/// value universe; the surviving database is the *image* of the facts
+/// under the found valuation: map every fact tuple, dedup, and keep the
+/// lowest node carrying each image tuple (image tuples are existing
+/// facts — that is the homomorphism condition — so this is an induced
+/// sub-database and a core).
+fn value_core(d: &GenDb, threads: usize) -> GenDb {
+    let (s, universe) = value_self_hom_structure(d);
+    let probe: Vec<u32> = (0..s.n_elements as u32).collect();
+    let r = retract_core_with(&s, &probe, threads);
+    // Image of each fact under the valuation, as (label, mapped tuple).
+    let image: Vec<(u32, Vec<u32>)> = (0..d.n_nodes())
+        .map(|node| {
+            let mapped: Vec<u32> = d.data[node]
+                .iter()
+                .filter_map(|v| universe.binary_search(v).ok())
+                .map(|vi| r.map.get(vi).copied().unwrap_or(vi as u32))
+                .collect();
+            (d.labels[node].0, mapped)
+        })
+        .collect();
+    // Keep the lowest node whose own tuple equals its image (every image
+    // tuple is some fact's tuple; ties collapse duplicates), one per
+    // distinct image.
+    let mut seen: Vec<(u32, Vec<u32>)> = Vec::new();
+    let mut keep: Vec<u32> = Vec::new();
+    for img in &image {
+        if seen.contains(img) {
+            continue;
         }
-        if !shrunk {
-            return current;
+        // Find the lowest node carrying exactly this image tuple.
+        if let Some(carrier) = (0..d.n_nodes()).find(|&m| {
+            d.labels[m].0 == img.0
+                && d.data[m]
+                    .iter()
+                    .map(|v| universe.binary_search(v).ok())
+                    .eq(img.1.iter().map(|&x| Some(x as usize)))
+        }) {
+            seen.push(img.clone());
+            keep.push(carrier as u32);
         }
     }
+    keep.sort_unstable();
+    keep.dedup();
+    induced(d, &keep)
 }
 
 /// The induced sub-database on `keep` (node ids renumbered in order).

@@ -10,6 +10,8 @@
 //! information ordering), which is what lets Section 5 derive the
 //! relational and XML results as corollaries.
 
+use ca_core::value::Value;
+use ca_hom::structure::RelStructure;
 use ca_relational::database::NaiveDatabase;
 use ca_xml::tree::XmlTree;
 
@@ -49,6 +51,133 @@ pub fn encode_xml(t: &XmlTree) -> GenDb {
         out.add_tuple(CHILD, vec![p as u32, c as u32]);
     }
     out
+}
+
+/// Encode a generalized database as a single relational structure whose
+/// self-homomorphisms are exactly the [`GdmHom`](crate::hom::GdmHom)
+/// endomorphisms of `d`. This is what lets the incremental retraction
+/// engine (`ca_hom::retract`) serve generalized-database cores with the
+/// same one-compile shrink loop it uses for digraphs.
+///
+/// Elements: the `n` nodes (ids `0..n`), then one element per distinct
+/// data value, in sorted `Value` order (ids `n..n + universe.len()`;
+/// the returned vector maps offsets back to values). Relations:
+///
+/// * one unary per label `a` (id = the label symbol) — forces node
+///   elements onto node elements with the same label;
+/// * the structural σ relations (id = `n_labels + rel`);
+/// * one binary `Dᵢ` per data position `i` (id = `n_labels + n_rels +
+///   i`) holding `(ν, ρ(ν)[i])` for every node — since each node has
+///   exactly one `Dᵢ` tuple, preserving them forces `ρ(h₁(ν)) =
+///   h₂(ρ(ν))` position-wise, with `h₂` read off the value elements;
+/// * one singleton unary per *constant* value element (id past the
+///   `Dᵢ` block, offset by the value's universe index) — pins `h₂` to
+///   the identity on constants. Null elements stay free, so `h₂` may
+///   send a null to any value of the universe, exactly the
+///   [`gdm_hom_csp`](crate::hom::gdm_hom_csp) semantics.
+///
+/// Faithfulness in both directions is checked on random instances by
+/// the `self_hom_structure_is_faithful` test below.
+pub fn self_hom_structure(d: &GenDb) -> (RelStructure, Vec<Value>) {
+    let n = d.n_nodes();
+    let mut universe: Vec<Value> = d.data.iter().flat_map(|t| t.iter().copied()).collect();
+    universe.sort_unstable();
+    universe.dedup();
+    let n_labels = d.schema.n_labels() as u32;
+    let n_rels = d.schema.n_relations() as u32;
+    let max_arity = d.data.iter().map(Vec::len).max().unwrap_or(0) as u32;
+
+    let mut s = RelStructure::new(n + universe.len());
+    for (node, label) in d.labels.iter().enumerate() {
+        s.add_tuple(label.0, vec![node as u32]);
+    }
+    for (rel, nodes) in &d.tuples {
+        s.add_tuple(n_labels + rel.0, nodes.clone());
+    }
+    for (node, data) in d.data.iter().enumerate() {
+        for (i, v) in data.iter().enumerate() {
+            // The universe contains every data value by construction, so
+            // the search cannot fail; skip defensively rather than panic.
+            let Ok(vi) = universe.binary_search(v) else {
+                continue;
+            };
+            s.add_tuple(
+                n_labels + n_rels + i as u32,
+                vec![node as u32, (n + vi) as u32],
+            );
+        }
+    }
+    for (vi, v) in universe.iter().enumerate() {
+        if v.is_const() {
+            s.add_tuple(
+                n_labels + n_rels + max_arity + vi as u32,
+                vec![(n + vi) as u32],
+            );
+        }
+    }
+    (s, universe)
+}
+
+/// Encode a *purely relational* generalized database (`σ = ∅`, the
+/// Section 5.1 relational coding) as a structure over its **values
+/// only**: self-homomorphisms are exactly the valuations `h₂` of GdmHom
+/// endomorphisms, with the node map read off fact tuples.
+///
+/// Elements: one per distinct data value in sorted `Value` order (the
+/// returned vector maps element ids back to values). Relations:
+///
+/// * one per label `a` (id = the label symbol) holding `ρ(ν)` — as
+///   value elements — for every `a`-labeled node `ν`: a valuation is a
+///   self-homomorphism iff it maps every fact tuple onto an existing
+///   fact tuple of the same label, which is precisely the GdmHom
+///   condition when `σ = ∅` (the node map `h₁` is then "any node
+///   carrying the image tuple");
+/// * one singleton unary per constant element (id = `n_labels` +
+///   universe index) — pins `h₂` to the identity on constants.
+///
+/// Why a second encoding next to [`self_hom_structure`]: dropping the
+/// node elements halves the CSP **and** un-welds nodes from their data,
+/// so the retraction engine's PTIME fold prepass fires on redundant
+/// facts (a pendant null `⊥` in `T(⊥, y)` folds onto any `x` with
+/// `T(x, y)` present — impossible in the node encoding, where the
+/// node–value pair would have to move in one step). The node encoding
+/// remains the faithful general coding for `σ ≠ ∅` (XML trees).
+///
+/// # Panics
+///
+/// Panics if `d` has structural tuples — callers dispatch on
+/// `d.tuples.is_empty()`.
+pub fn value_self_hom_structure(d: &GenDb) -> (RelStructure, Vec<Value>) {
+    assert!(
+        d.tuples.is_empty(),
+        "value encoding requires σ = ∅ (use self_hom_structure)"
+    );
+    let mut universe: Vec<Value> = d.data.iter().flat_map(|t| t.iter().copied()).collect();
+    universe.sort_unstable();
+    universe.dedup();
+    let n_labels = d.schema.n_labels() as u32;
+
+    let mut s = RelStructure::new(universe.len());
+    for (node, label) in d.labels.iter().enumerate() {
+        if d.data[node].is_empty() {
+            // Nullary facts constrain no values; their nodes are kept by
+            // the extraction in `core_of_gendb_with` unconditionally.
+            continue;
+        }
+        let tuple: Vec<u32> = d.data[node]
+            .iter()
+            .filter_map(|v| universe.binary_search(v).ok().map(|i| i as u32))
+            .collect();
+        if tuple.len() == d.data[node].len() {
+            s.add_tuple(label.0, tuple);
+        }
+    }
+    for (vi, v) in universe.iter().enumerate() {
+        if v.is_const() {
+            s.add_tuple(n_labels + vi as u32, vec![vi as u32]);
+        }
+    }
+    (s, universe)
 }
 
 #[cfg(test)]
@@ -140,5 +269,93 @@ mod tests {
         assert!(encode_relational(&codd).is_codd());
         let naive = table("R", 2, &[&[c(1), n(1)], &[n(1), c(2)]]);
         assert!(!encode_relational(&naive).is_codd());
+    }
+
+    /// Faithfulness of the self-homomorphism encoding: for every node
+    /// `v`, the encoded structure has a self-homomorphism whose node
+    /// elements avoid `v` **iff** the generalized database has a GdmHom
+    /// endomorphism whose node map avoids `v` — the property the
+    /// retraction engine relies on.
+    #[test]
+    fn self_hom_structure_is_faithful() {
+        use crate::generate::{random_tree_gendb, TreeGenParams};
+        use crate::hom::gdm_hom_csp;
+        let mut rng = Rng::new(2718);
+        for trial in 0..25 {
+            let p = TreeGenParams {
+                n_nodes: 5,
+                n_labels: 2,
+                max_data_arity: 2,
+                n_constants: 2,
+                null_pct: 50,
+                codd: false,
+            };
+            let d = random_tree_gendb(&mut rng, p);
+            let nn = d.n_nodes();
+            let (s, universe) = self_hom_structure(&d);
+            assert_eq!(s.n_elements, nn + universe.len());
+            let (gdm_csp, _, _) = gdm_hom_csp(&d, &d);
+            let struct_csp = s.hom_csp(&s);
+            for v in 0..nn as u32 {
+                let mut a = gdm_csp.clone();
+                for dom in a.domains.iter_mut().take(nn) {
+                    dom.retain(|&x| x != v);
+                }
+                let mut b = struct_csp.clone();
+                for dom in b.domains.iter_mut().take(nn) {
+                    dom.retain(|&x| x != v);
+                }
+                assert_eq!(
+                    a.satisfiable(),
+                    b.satisfiable(),
+                    "trial {trial}: avoidance of node {v} disagrees on {d:?}"
+                );
+            }
+        }
+    }
+
+    /// Faithfulness of the value-only encoding on purely relational
+    /// gendbs: for every null `⊥`, the encoded structure has a
+    /// self-homomorphism moving `⊥` off itself **iff** the generalized
+    /// database has a GdmHom endomorphism with `h₂(⊥) ≠ ⊥` — the
+    /// valuations coincide, which is what lets the retraction engine
+    /// work on values alone when `σ = ∅`.
+    #[test]
+    fn value_self_hom_structure_is_faithful() {
+        use crate::hom::gdm_hom_csp;
+        let mut rng = Rng::new(31_415);
+        for trial in 0..30 {
+            let p = DbParams {
+                n_facts: 5,
+                arity: 2,
+                n_constants: 2,
+                n_nulls: 3,
+                null_pct: 60,
+            };
+            let d = encode_relational(&random_naive_db(&mut rng, p));
+            let (s, universe) = value_self_hom_structure(&d);
+            assert_eq!(s.n_elements, universe.len());
+            let (gdm_csp, nulls, gdm_universe) = gdm_hom_csp(&d, &d);
+            assert_eq!(universe, gdm_universe, "both sort the same universe");
+            let nn = d.n_nodes();
+            let struct_csp = s.hom_csp(&s);
+            for &nl in &nulls {
+                let Ok(vi) = universe.binary_search(&ca_core::value::Value::Null(nl)) else {
+                    continue;
+                };
+                let Ok(ni) = nulls.binary_search(&nl) else {
+                    continue;
+                };
+                let mut a = gdm_csp.clone();
+                a.domains[nn + ni].retain(|&x| x != vi as u32);
+                let mut b = struct_csp.clone();
+                b.domains[vi].retain(|&x| x != vi as u32);
+                assert_eq!(
+                    a.satisfiable(),
+                    b.satisfiable(),
+                    "trial {trial}: moving null {nl:?} disagrees on {d:?}"
+                );
+            }
+        }
     }
 }

@@ -9,7 +9,10 @@
 //!   (directed paths `P_n`, directed cycles `C_n`, complete graphs `K_n`,
 //!   random digraphs), and rigidity checks.
 //! * [`core`] — graph cores: the smallest retract, unique up to
-//!   isomorphism, computed by retract search.
+//!   isomorphism, computed by the incremental retraction engine
+//!   (`ca_hom::retract`).
+//! * [`reference`] — the seed-era naive retract search, kept verbatim as
+//!   the differential oracle and benchmark baseline for [`core`].
 //! * [`bridge`] — graphs as null-only naïve tables (the identification
 //!   Theorem 3's proof uses).
 //! * [`families`] — antichains and chains inside the homomorphism order
@@ -25,7 +28,8 @@ pub mod core;
 pub mod digraph;
 pub mod families;
 pub mod lattice;
+pub mod reference;
 
-pub use crate::core::{core_of, is_core};
+pub use crate::core::{core_of, core_of_with, is_core, is_core_with};
 pub use digraph::Digraph;
 pub use lattice::{glb, lub};

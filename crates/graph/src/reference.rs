@@ -1,0 +1,53 @@
+//! Reference core computation: the seed-era retract search, kept
+//! verbatim as a differential-testing oracle and benchmark baseline for
+//! the incremental engine behind [`crate::core`] (`ca_hom::retract`).
+//!
+//! This is deliberately the naive algorithm: every candidate vertex in
+//! every shrink round recompiles and re-propagates a fresh
+//! self-homomorphism CSP — `O(n²)` solver compilations per core. Do not
+//! optimize it; its value is being obviously correct.
+
+use crate::digraph::Digraph;
+
+/// Is `g` a core: does every endomorphism use all vertices?
+///
+/// Equivalent (for finite graphs) to having no homomorphism into a proper
+/// induced subgraph, which is what we check: for each vertex `v`, is there
+/// an endomorphism avoiding `v`?
+pub fn is_core(g: &Digraph) -> bool {
+    let s = g.as_structure();
+    for v in 0..g.n as u32 {
+        if s.hom_csp(&s).solve_avoiding(v).is_some() {
+            return false;
+        }
+    }
+    true
+}
+
+/// Compute the core of `g` (a specific representative; unique up to
+/// isomorphism). Returns the core together with the list of original
+/// vertices retained.
+pub fn core_of(g: &Digraph) -> (Digraph, Vec<u32>) {
+    let mut current = g.clone();
+    // Track which original vertices the current graph's vertices are.
+    let mut original: Vec<u32> = (0..g.n as u32).collect();
+    loop {
+        let s = current.as_structure();
+        let mut shrunk = false;
+        for v in 0..current.n as u32 {
+            if let Some(h) = s.hom_csp(&s).solve_avoiding(v) {
+                // Restrict to the image of h.
+                let mut image: Vec<u32> = h.clone();
+                image.sort_unstable();
+                image.dedup();
+                original = image.iter().map(|&i| original[i as usize]).collect();
+                current = current.induced(&image);
+                shrunk = true;
+                break;
+            }
+        }
+        if !shrunk {
+            return (current, original);
+        }
+    }
+}

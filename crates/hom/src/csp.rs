@@ -466,7 +466,7 @@ impl Compiled {
                 root[v * n_words + (val as usize >> 6)] |= 1u64 << (val & 63);
             }
         }
-        let mut root_counts: Vec<u32> = (0..n_vars)
+        let root_counts: Vec<u32> = (0..n_vars)
             .map(|v| {
                 root[v * n_words..(v + 1) * n_words]
                     .iter()
@@ -543,27 +543,41 @@ impl Compiled {
             compiled.dead = !compiled.root_propagate();
         }
         // Re-derive counts after propagation.
-        root_counts = (0..n_vars)
-            .map(|v| {
-                compiled.root[v * n_words..(v + 1) * n_words]
-                    .iter()
-                    .map(|w| w.count_ones())
-                    .sum()
-            })
-            .collect();
-        compiled.root_counts = root_counts;
+        compiled.refresh_root_counts();
         compiled
+    }
+
+    /// Recompute `root_counts` from `root` (after any in-place mutation).
+    fn refresh_root_counts(&mut self) {
+        for v in 0..self.n_vars {
+            self.root_counts[v] = self.root[v * self.n_words..(v + 1) * self.n_words]
+                .iter()
+                .map(|w| w.count_ones())
+                .sum();
+        }
     }
 
     /// Make the root domains generalized-arc-consistent: drop every value
     /// with no supporting tuple in some constraint. Sound (never removes a
     /// solution value); returns false if a domain empties.
+    fn root_propagate(&mut self) -> bool {
+        let mut live = std::mem::take(&mut self.root);
+        let ok = self.propagate_live(&mut live);
+        self.root = live;
+        ok
+    }
+
+    /// Generalized arc consistency over an arbitrary live-domain buffer
+    /// (`n_vars * n_words` words), leaving the compiled root untouched.
+    /// This is the reusable half of root propagation: the retraction
+    /// engine calls it once per probe on a restricted copy of the root,
+    /// so one compile serves a whole shrink loop.
     ///
     /// The per-constraint support masks depend only on (table, scope
     /// domains), so they are cached: constraints sharing a table over
     /// identically-restricted variables — the common case in homomorphism
     /// CSPs — pay for one tuple walk between them.
-    fn root_propagate(&mut self) -> bool {
+    fn propagate_live(&self, live: &mut [u64]) -> bool {
         let n_words = self.n_words;
         let mut queued = vec![true; self.cons.len()];
         let mut queue: Vec<usize> = (0..self.cons.len()).collect();
@@ -578,32 +592,34 @@ impl Compiled {
                 .scope
                 .iter()
                 .flat_map(|&v| {
-                    self.root[v as usize * n_words..(v as usize + 1) * n_words]
+                    live[v as usize * n_words..(v as usize + 1) * n_words]
                         .iter()
                         .copied()
                 })
                 .collect();
-            let root = &self.root;
-            let (masks, any) = mask_cache
-                .entry((cc.table, domains_key))
-                .or_insert_with(|| {
-                    let mut masks = vec![0u64; arity * n_words];
-                    let mut any = false;
-                    'tuples: for ti in 0..tb.n_tuples() {
-                        let t = tb.tuple(ti);
-                        for (&val, &v) in t.iter().zip(cc.scope.iter()) {
-                            if !bit_set(root, v as usize * n_words, val) {
-                                continue 'tuples;
+            let (masks, any) = {
+                let live_ro: &[u64] = live;
+                mask_cache
+                    .entry((cc.table, domains_key))
+                    .or_insert_with(|| {
+                        let mut masks = vec![0u64; arity * n_words];
+                        let mut any = false;
+                        'tuples: for ti in 0..tb.n_tuples() {
+                            let t = tb.tuple(ti);
+                            for (&val, &v) in t.iter().zip(cc.scope.iter()) {
+                                if !bit_set(live_ro, v as usize * n_words, val) {
+                                    continue 'tuples;
+                                }
+                            }
+                            any = true;
+                            for (j, &val) in t.iter().enumerate() {
+                                masks[j * n_words + (val as usize >> 6)] |= 1u64 << (val & 63);
                             }
                         }
-                        any = true;
-                        for (j, &val) in t.iter().enumerate() {
-                            masks[j * n_words + (val as usize >> 6)] |= 1u64 << (val & 63);
-                        }
-                    }
-                    (masks, any)
-                })
-                .clone();
+                        (masks, any)
+                    })
+                    .clone()
+            };
             if !any {
                 return false;
             }
@@ -614,10 +630,10 @@ impl Compiled {
                 let mut changed = false;
                 let mut empty = true;
                 for w in 0..n_words {
-                    let old = self.root[base + w];
+                    let old = live[base + w];
                     let new = old & masks[j * n_words + w];
                     if new != old {
-                        self.root[base + w] = new;
+                        live[base + w] = new;
                         changed = true;
                     }
                     empty &= new == 0;
@@ -716,10 +732,25 @@ struct Search<'a> {
 
 impl<'a> Search<'a> {
     fn new(c: &'a Compiled, stop: Option<&'a AtomicBool>) -> Self {
+        Search::from_domains(c, c.root.clone(), stop)
+    }
+
+    /// A search starting from an explicit live-domain buffer instead of
+    /// the compiled root (the retraction engine's per-probe restriction).
+    /// The caller guarantees every domain in `live` is non-empty.
+    fn from_domains(c: &'a Compiled, live: Vec<u64>, stop: Option<&'a AtomicBool>) -> Self {
+        let counts: Vec<u32> = (0..c.n_vars)
+            .map(|v| {
+                live[v * c.n_words..(v + 1) * c.n_words]
+                    .iter()
+                    .map(|w| w.count_ones())
+                    .sum()
+            })
+            .collect();
         Search {
             c,
-            live: c.root.clone(),
-            counts: c.root_counts.clone(),
+            live,
+            counts,
             assign: vec![u32::MAX; c.n_vars],
             trail: Vec::new(),
             scratch: vec![0u64; c.max_arity * c.n_words],
@@ -759,7 +790,9 @@ impl<'a> Search<'a> {
     /// Restore the trail down to `mark`.
     fn undo(&mut self, mark: usize) {
         while self.trail.len() > mark {
-            let (v, w, old) = self.trail.pop().unwrap();
+            let Some((v, w, old)) = self.trail.pop() else {
+                break; // unreachable: the loop guard bounds the length
+            };
             let idx = v as usize * self.c.n_words + w as usize;
             let cur = self.live[idx];
             self.counts[v as usize] += old.count_ones() - cur.count_ones();
@@ -794,11 +827,12 @@ impl<'a> Search<'a> {
         let cc = &c.cons[ci];
         let tb = &c.tables[cc.table as usize];
         let n_words = c.n_words;
-        let pos = cc
-            .scope
-            .iter()
-            .position(|&u| u as usize == v)
-            .expect("constraint indexed under a scope variable");
+        // `var_cons[v]` only lists constraints with `v` in scope, so the
+        // position always exists; if the incidence map were ever corrupt,
+        // skipping the check (no pruning) is the sound fallback.
+        let Some(pos) = cc.scope.iter().position(|&u| u as usize == v) else {
+            return true;
+        };
 
         // Positions whose variable still needs support masks.
         let mut open: [usize; 16] = [0; 16];
@@ -962,12 +996,19 @@ where
                     }
                     work(i, values[i], &mut search);
                 }
-                all_stats.lock().unwrap().absorb(&search.stats);
+                all_stats
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .absorb(&search.stats);
             });
         }
     });
     // Fold worker stats into a thread-local the callers can read back.
-    let folded = *all_stats.lock().unwrap();
+    // (Stats are plain counters, so a poisoned lock — a worker panicking
+    // mid-absorb — still holds usable data.)
+    let folded = *all_stats
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     PAR_STATS.with(|s| s.set(folded));
 }
 
@@ -999,7 +1040,9 @@ fn par_solve(
             false
         });
         if let Some(sol) = local {
-            let mut slot = found.lock().unwrap();
+            let mut slot = found
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             let replace = slot.as_ref().is_none_or(|(b, _)| branch < *b);
             if replace {
                 *slot = Some((branch, sol));
@@ -1008,7 +1051,10 @@ fn par_solve(
         }
     });
     let stats = PAR_STATS.with(|s| s.get());
-    let sol = found.into_inner().unwrap().map(|(_, s)| s);
+    let sol = found
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .map(|(_, s)| s);
     (sol, stats)
 }
 
@@ -1050,11 +1096,16 @@ fn par_solve_all(
             local.len() < limit && found_total.load(Ordering::Relaxed) < limit
         });
         if !local.is_empty() {
-            results.lock().unwrap().push((branch, local));
+            results
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .push((branch, local));
         }
     });
     let stats = PAR_STATS.with(|s| s.get());
-    let mut per_branch = results.into_inner().unwrap();
+    let mut per_branch = results
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     per_branch.sort_unstable_by_key(|(b, _)| *b);
     let mut solutions: Vec<Vec<u32>> = per_branch.into_iter().flat_map(|(_, s)| s).collect();
     let truncated = solutions.len() >= limit;
@@ -1066,6 +1117,198 @@ fn par_solve_all(
         },
         stats,
     )
+}
+
+// ---------------------------------------------------------------------------
+// Incremental self-homomorphism solving for the retraction engine.
+// ---------------------------------------------------------------------------
+
+/// A self-homomorphism CSP compiled **once** and reused across a whole
+/// retraction shrink loop (see [`crate::retract`]).
+///
+/// The retraction engine maintains a shrinking *live set* over a
+/// designated list of probe variables (whose values are element ids of
+/// the structure being shrunk). Every probe — "is there a solution in
+/// which no probe variable takes the value `v`?" — reuses the compiled
+/// tables and support indices, paying only for a bitset copy, one GAC
+/// pass, and the search itself, never for recompilation. After a
+/// successful retraction the engine intersects the probe domains with the
+/// new live set *in place* ([`Self::restrict_probes`]), which is sound
+/// whenever a witness endomorphism into the live set is known.
+///
+/// `std::thread` usage is confined to this module (lint L003), so the
+/// deterministic parallel candidate probe lives here too.
+pub struct IncrementalSelfHom {
+    compiled: Compiled,
+    /// Variables whose domains track the live set.
+    probe: Vec<u32>,
+}
+
+impl IncrementalSelfHom {
+    /// Compile once. `probe` lists the variables whose domains will be
+    /// restricted as the live set shrinks (digraphs: every variable;
+    /// encoded generalized databases: the node-element prefix).
+    /// Out-of-range probe ids are ignored.
+    pub fn new(csp: &Csp, probe: &[u32]) -> Self {
+        let compiled = Compiled::new(csp);
+        let mut probe: Vec<u32> = probe
+            .iter()
+            .copied()
+            .filter(|&p| (p as usize) < compiled.n_vars)
+            .collect();
+        probe.sort_unstable();
+        probe.dedup();
+        IncrementalSelfHom { compiled, probe }
+    }
+
+    /// Proven unsatisfiable. Never true for a genuine self-homomorphism
+    /// problem (the identity is a solution) unless the caller's domain
+    /// restrictions exclude it *and* every alternative.
+    pub fn is_dead(&self) -> bool {
+        self.compiled.dead
+    }
+
+    /// Permanently intersect every probe variable's domain with the set
+    /// bits of `live` (a value bitset, 64 values per word), then restore
+    /// arc consistency. Sound whenever some known solution maps every
+    /// probe variable into `live` — the retraction invariant guarantees
+    /// one. Returns false (and marks the problem dead) if a domain
+    /// empties, which means that invariant was violated.
+    pub fn restrict_probes(&mut self, live: &[u64]) -> bool {
+        let n_words = self.compiled.n_words;
+        for &p in &self.probe {
+            let base = p as usize * n_words;
+            for w in 0..n_words {
+                let mask = live.get(w).copied().unwrap_or(0);
+                self.compiled.root[base + w] &= mask;
+            }
+        }
+        let ok = self.compiled.root_propagate();
+        self.compiled.refresh_root_counts();
+        if !ok {
+            self.compiled.dead = true;
+        }
+        ok
+    }
+
+    /// One probe: find a solution in which no probe variable takes the
+    /// value `avoid` (on top of the standing live restriction). Runs a
+    /// GAC pass on the restricted copy first — near-unsatisfiable probes
+    /// (e.g. removing any vertex of a directed cycle) die there without
+    /// search. Sequential and deterministic for a given root state.
+    pub fn probe_avoiding(&self, avoid: u32, stop: Option<&AtomicBool>) -> Option<Vec<u32>> {
+        let c = &self.compiled;
+        if c.dead {
+            return None;
+        }
+        let n_words = c.n_words;
+        let mut live = c.root.clone();
+        let wi = avoid as usize >> 6;
+        if wi < n_words {
+            let bit = 1u64 << (avoid & 63);
+            for &p in &self.probe {
+                live[p as usize * n_words + wi] &= !bit;
+            }
+        }
+        if !c.propagate_live(&mut live) {
+            return None;
+        }
+        let mut s = Search::from_domains(c, live, stop);
+        let mut found = None;
+        s.run(&mut |sol| {
+            found = Some(sol.to_vec());
+            false
+        });
+        found
+    }
+
+    /// Probe `candidates` for the lowest one that admits an avoiding
+    /// solution, using up to `threads` workers.
+    ///
+    /// Returns `(winner, failed)`: `winner` is `Some((index into
+    /// candidates, solution))` for the lowest admitting candidate (or
+    /// `None` when every candidate fails), and `failed` lists the
+    /// candidates *proven* to admit no avoiding solution — exactly those
+    /// before the winner (all of them when there is no winner).
+    ///
+    /// Deterministic at any thread width: candidates below the eventual
+    /// winner are never cancelled (cancellation only ever targets indices
+    /// above a successful one), each probe is a sequential search, and the
+    /// winner is the minimum successful index — so winner, solution bytes,
+    /// and the failed list are all thread-count-independent.
+    pub fn probe_lowest(
+        &self,
+        candidates: &[u32],
+        threads: usize,
+    ) -> (Option<(usize, Vec<u32>)>, Vec<u32>) {
+        let n_workers = threads.max(1).min(candidates.len());
+        if n_workers <= 1 {
+            let mut failed = Vec::new();
+            for (i, &v) in candidates.iter().enumerate() {
+                match self.probe_avoiding(v, None) {
+                    Some(sol) => return (Some((i, sol)), failed),
+                    None => failed.push(v),
+                }
+            }
+            return (None, failed);
+        }
+        let next = AtomicUsize::new(0);
+        let best = AtomicUsize::new(usize::MAX);
+        let stops: Vec<AtomicBool> = candidates.iter().map(|_| AtomicBool::new(false)).collect();
+        let found: Mutex<Vec<(usize, Vec<u32>)>> = Mutex::new(Vec::new());
+        let failed_idx: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for _ in 0..n_workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= candidates.len() {
+                        break;
+                    }
+                    if i > best.load(Ordering::Relaxed) {
+                        continue; // already beaten by a lower success
+                    }
+                    match self.probe_avoiding(candidates[i], Some(&stops[i])) {
+                        Some(sol) => {
+                            best.fetch_min(i, Ordering::Relaxed);
+                            for s in &stops[i + 1..] {
+                                s.store(true, Ordering::Relaxed);
+                            }
+                            found
+                                .lock()
+                                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                                .push((i, sol));
+                        }
+                        None => {
+                            // A cancelled search also reports "no solution";
+                            // only an uncancelled run is a genuine proof.
+                            if !stops[i].load(Ordering::Relaxed) {
+                                failed_idx
+                                    .lock()
+                                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                                    .push(i);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        let mut wins = found
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        wins.sort_unstable_by_key(|(i, _)| *i);
+        let winner = wins.into_iter().next();
+        let cut = winner.as_ref().map_or(candidates.len(), |(i, _)| *i);
+        let mut failed: Vec<usize> = failed_idx
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        failed.sort_unstable();
+        let failed = failed
+            .into_iter()
+            .filter(|&i| i < cut)
+            .map(|i| candidates[i])
+            .collect();
+        (winner, failed)
+    }
 }
 
 #[cfg(test)]

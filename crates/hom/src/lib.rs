@@ -24,6 +24,10 @@
 //! * [`structure`] — finite relational structures (the structural part
 //!   `M_λ` of generalized databases) and homomorphism problems between
 //!   them, compiled to CSPs.
+//! * [`retract`] — the incremental retraction engine behind every core
+//!   computation (digraph cores, generalized-database cores, the §4
+//!   lattice): compile the self-homomorphism CSP once, shrink by in-place
+//!   domain restriction, fold dominated elements without search.
 //! * [`treewidth`] — tree decompositions: validation, exact recognition
 //!   for width ≤ 2, and a min-fill heuristic for general graphs.
 //! * [`dp`] — the polynomial-time *R-compatible homomorphism* algorithm of
@@ -35,6 +39,7 @@ pub mod dp;
 pub mod matching;
 pub mod propagate;
 pub mod reference;
+pub mod retract;
 pub mod structure;
 pub mod treewidth;
 

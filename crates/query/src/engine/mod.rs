@@ -49,6 +49,15 @@ pub fn compile_ucq(q: &UnionQuery, schema: &Schema) -> Result<CompiledUcq, PlanE
     CompiledUcq::compile(q, schema)
 }
 
+/// Reusable per-evaluation buffers threaded through [`exec`]: the
+/// variable-slot assignment, one probe-key scratch buffer per join
+/// depth, and the head-row buffer handed to `emit`.
+struct ExecBufs {
+    slots: Vec<Value>,
+    scratch: Vec<Vec<Value>>,
+    head_buf: Vec<Value>,
+}
+
 /// Execute the plan suffix from `depth`, with `handles` naming each
 /// atom's index table. Returns `false` iff `emit` requested a stop.
 fn exec(
@@ -56,19 +65,23 @@ fn exec(
     handles: &[usize],
     idx: &DbIndex<'_>,
     depth: usize,
-    slots: &mut [Value],
-    scratch: &mut [Vec<Value>],
+    bufs: &mut ExecBufs,
     emit: &mut dyn FnMut(&[Value]) -> bool,
 ) -> bool {
     if depth == cq.atoms.len() {
-        let row: Vec<Value> = cq.head_slots.iter().map(|&s| slots[s]).collect();
-        return emit(&row);
+        // One reused buffer for every head row: `emit` sees a borrow, so
+        // no per-row allocation on the hot path.
+        bufs.head_buf.clear();
+        for &s in &cq.head_slots {
+            bufs.head_buf.push(bufs.slots[s]);
+        }
+        return emit(&bufs.head_buf);
     }
     let atom = &cq.atoms[depth];
     let scanning = handles[depth] == index::SCAN;
     // Borrow this depth's scratch buffer by taking it out of the slice
     // (and restoring it below), so the recursive call can borrow the rest.
-    let mut key_buf = std::mem::take(&mut scratch[depth]);
+    let mut key_buf = std::mem::take(&mut bufs.scratch[depth]);
     let candidates: &[u32] = if scanning {
         // Full scan: bound positions (if any) are verified per candidate.
         idx.rows(atom.rel)
@@ -77,7 +90,7 @@ fn exec(
         key_buf.clear();
         key_buf.extend(atom.key.iter().map(|kp| match kp {
             plan::KeyPart::Const(v) => *v,
-            plan::KeyPart::Slot(s) => slots[*s],
+            plan::KeyPart::Slot(s) => bufs.slots[*s],
         }));
         idx.probe(handles[depth], &key_buf)
     };
@@ -89,7 +102,7 @@ fn exec(
             for (&pos, kp) in atom.sig.iter().zip(&atom.key) {
                 let expected = match kp {
                     plan::KeyPart::Const(v) => *v,
-                    plan::KeyPart::Slot(s) => slots[*s],
+                    plan::KeyPart::Slot(s) => bufs.slots[*s],
                 };
                 if fact[pos] != expected {
                     continue 'cand;
@@ -97,19 +110,19 @@ fn exec(
             }
         }
         for &(pos, slot) in &atom.binds {
-            slots[slot] = fact[pos];
+            bufs.slots[slot] = fact[pos];
         }
         for &(pos, slot) in &atom.checks {
-            if fact[pos] != slots[slot] {
+            if fact[pos] != bufs.slots[slot] {
                 continue 'cand;
             }
         }
-        if !exec(cq, handles, idx, depth + 1, slots, scratch, emit) {
+        if !exec(cq, handles, idx, depth + 1, bufs, emit) {
             keep_going = false;
             break;
         }
     }
-    scratch[depth] = key_buf;
+    bufs.scratch[depth] = key_buf;
     keep_going
 }
 
@@ -120,10 +133,49 @@ pub fn eval_cq_into(
     idx: &mut DbIndex<'_>,
     emit: &mut dyn FnMut(&[Value]) -> bool,
 ) {
-    let handles = idx.ensure_cq(cq);
     let mut slots = vec![Value::Const(0); cq.n_slots];
-    let mut scratch = vec![Vec::new(); cq.atoms.len()];
-    exec(cq, &handles, &*idx, 0, &mut slots, &mut scratch, emit);
+    let mut head_buf = Vec::with_capacity(cq.head_slots.len());
+    if let [atom] = cq.atoms.as_slice() {
+        // Single-atom fast path: with one atom there is no join to
+        // accelerate, so building (or even resolving) a hash index can
+        // never amortize against the single scan that replaces it —
+        // measurably so on small relations (`e02_ucq_edge`). Verify the
+        // bound-position signature inline, exactly as the scanning
+        // branch of `exec` would.
+        'cand: for &id in idx.rows(atom.rel) {
+            let fact = idx.fact(id);
+            for (&pos, kp) in atom.sig.iter().zip(&atom.key) {
+                let expected = match kp {
+                    plan::KeyPart::Const(v) => *v,
+                    plan::KeyPart::Slot(s) => slots[*s],
+                };
+                if fact[pos] != expected {
+                    continue 'cand;
+                }
+            }
+            for &(pos, slot) in &atom.binds {
+                slots[slot] = fact[pos];
+            }
+            for &(pos, slot) in &atom.checks {
+                if fact[pos] != slots[slot] {
+                    continue 'cand;
+                }
+            }
+            head_buf.clear();
+            head_buf.extend(cq.head_slots.iter().map(|&s| slots[s]));
+            if !emit(&head_buf) {
+                return;
+            }
+        }
+        return;
+    }
+    let handles = idx.ensure_cq(cq);
+    let mut bufs = ExecBufs {
+        slots,
+        scratch: vec![Vec::new(); cq.atoms.len()],
+        head_buf,
+    };
+    exec(cq, &handles, &*idx, 0, &mut bufs, emit);
 }
 
 /// Evaluate a compiled UCQ on a prepared index: the union of the

@@ -83,6 +83,24 @@ impl<'a> CompletionSpace<'a> {
     }
 }
 
+/// Below this many completions the sweeps stay sequential regardless of
+/// the requested thread count: spawning a scope and merging per-thread
+/// sets costs more than the whole sweep on small grids (mirrors
+/// `auto_config()` in `ca_hom::csp`, which gates the solver's pool the
+/// same way). Measured on `BENCH_query.json`: the 1296-completion
+/// `phi0_C4` grid ran at 0.16× under a forced pool; grids past ~20k
+/// amortize it.
+const PAR_MIN_COMPLETIONS: u128 = 20_000;
+
+/// The thread count actually used for a sweep of `count` completions.
+fn effective_threads(count: u128, threads: usize) -> usize {
+    if count < PAR_MIN_COMPLETIONS {
+        1
+    } else {
+        threads.max(1)
+    }
+}
+
 /// Split `0..count` into at most `threads` contiguous non-empty chunks.
 fn chunks(count: u128, threads: usize) -> Vec<(u128, u128)> {
     let threads = (threads.max(1) as u128).min(count.max(1));
@@ -101,7 +119,7 @@ fn chunks(count: u128, threads: usize) -> Vec<(u128, u128)> {
 /// with early exit on the first failure. Vacuously true for `count == 0`
 /// (the usual convention for an intersection over an empty family).
 pub fn parallel_all(count: u128, threads: usize, check: impl Fn(u128) -> bool + Sync) -> bool {
-    let parts = chunks(count, threads);
+    let parts = chunks(count, effective_threads(count, threads));
     if parts.len() <= 1 {
         return parts.first().is_none_or(|&(lo, hi)| (lo..hi).all(&check));
     }
@@ -140,7 +158,7 @@ pub fn parallel_intersect(
     if count == 0 {
         return None;
     }
-    let parts = chunks(count, threads);
+    let parts = chunks(count, effective_threads(count, threads));
     if let [(lo, hi)] = parts.as_slice() {
         let (lo, hi) = (*lo, *hi);
         let mut acc = eval(lo);
@@ -250,6 +268,33 @@ mod tests {
             assert!(!parallel_all(100, threads, |i| i != 63));
             assert!(parallel_all(0, threads, |_| false), "vacuous truth");
         }
+    }
+
+    /// Counts below [`PAR_MIN_COMPLETIONS`] must stay sequential (pool
+    /// spawn would dominate); above it the requested width applies.
+    #[test]
+    fn small_grids_stay_sequential() {
+        assert_eq!(effective_threads(PAR_MIN_COMPLETIONS - 1, 8), 1);
+        assert_eq!(effective_threads(PAR_MIN_COMPLETIONS, 8), 8);
+        assert_eq!(effective_threads(0, 8), 1);
+        assert_eq!(effective_threads(PAR_MIN_COMPLETIONS, 0), 1);
+    }
+
+    /// The genuinely parallel path (count past the threshold) agrees
+    /// with sequential on both sweeps.
+    #[test]
+    fn parallel_path_agrees_past_threshold() {
+        let count = PAR_MIN_COMPLETIONS + 5_000;
+        assert!(parallel_all(count, 4, |i| i < count));
+        assert!(!parallel_all(count, 4, |i| i != PAR_MIN_COMPLETIONS + 63));
+        let eval = |i: u128| -> BTreeSet<Vec<Value>> {
+            (0..4u8)
+                .filter(|&j| u128::from(j) != i % 97)
+                .map(|j| vec![c(i64::from(j))])
+                .collect()
+        };
+        let expected = parallel_intersect(count, 1, eval).unwrap();
+        assert_eq!(parallel_intersect(count, 4, eval).unwrap(), expected);
     }
 
     #[test]

@@ -121,6 +121,54 @@ fn certain_sweep_order_is_layout_and_thread_independent() {
     }
 }
 
+/// The incremental retraction engine: the kept vertex set, the induced
+/// core, and the witness-derived numbering must be identical at every
+/// probe-thread width (lowest-candidate-wins makes the parallel probe
+/// sweep order-insensitive). Pinned on a graph large enough that several
+/// probes race: core(C3 × C4) ⊔ C2 ⊔ C6 retracts nontrivially.
+#[test]
+fn retraction_is_thread_width_independent() {
+    use ca_graph::{core_of_with, Digraph};
+    let g = Digraph::cycle(12)
+        .disjoint_union(&Digraph::cycle(2))
+        .disjoint_union(&Digraph::cycle(6))
+        .disjoint_union(&Digraph::path(3));
+    let (base_core, base_kept) = core_of_with(&g, 1);
+    for threads in [2usize, 4, 8] {
+        let (core, kept) = core_of_with(&g, threads);
+        assert_eq!(base_kept, kept, "kept set diverged at {threads} threads");
+        assert_eq!(base_core.edges, core.edges);
+        assert_eq!(base_core.n, core.n);
+    }
+}
+
+/// Same pin for generalized-database cores: node-for-node identical
+/// output at every thread width.
+#[test]
+fn gendb_core_is_thread_width_independent() {
+    use ca_exchange::solution::core_of_gendb_with;
+    use ca_gdm::database::GenDb;
+    use ca_gdm::schema::GenSchema;
+    let schema = GenSchema::from_parts(&[("T", 2)], &[]);
+    let mut d = GenDb::new(schema);
+    // Three parallel chains x →⊥ᵢ→ y plus one grounded chain: the core
+    // keeps a single chain, so several nodes compete for removal.
+    for i in 1..=3u32 {
+        d.add_node("T", vec![c(1), n(i)]);
+        d.add_node("T", vec![n(i), c(2)]);
+    }
+    d.add_node("T", vec![c(1), c(7)]);
+    d.add_node("T", vec![c(7), c(2)]);
+    let base = core_of_gendb_with(&d, 1);
+    for threads in [2usize, 4, 8] {
+        assert_eq!(
+            base,
+            core_of_gendb_with(&d, threads),
+            "gendb core diverged at {threads} threads"
+        );
+    }
+}
+
 /// Sanity for the proxy itself: permuted insertion is canonicalized
 /// away by the sorted fact store, so every rebuild is the *same*
 /// logical database — any divergence the tests above could observe
