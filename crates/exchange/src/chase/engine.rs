@@ -1,0 +1,853 @@
+//! The semi-naive, delta-driven chase engine.
+//!
+//! Purely relational inputs (`σ = ∅` — every data-exchange target in
+//! this crate) chase on the compiled join machinery of
+//! [`ca_query::engine`] instead of re-running the reference loop's CSP
+//! matcher over the whole instance after every single firing:
+//!
+//! * each rule body compiles **once** into one *pinned* join plan per
+//!   body atom ([`CompiledCq::compile_pinned`]); a round evaluates each
+//!   plan with its pinned atom ranging over the **delta** — the facts
+//!   added or rewritten since the previous round — so any match using at
+//!   least one new fact is found exactly through the plan pinned at that
+//!   fact's position, and quiet regions are never re-derived (semi-naive
+//!   evaluation);
+//! * a *trigger* is a valuation of the rule's frontier (sorted body∩head
+//!   nulls). Fired triggers are remembered per rule in a hash set over
+//!   the **interned fact store**, so no trigger ever fires twice; head
+//!   satisfaction is decided set-at-a-time by evaluating the head
+//!   pattern as a query whose answers are precisely the satisfied
+//!   frontier valuations, instead of one satisfiability probe per match;
+//! * egd equalities accumulate in a **union-find** over values (constant
+//!   roots win; two distinct constant roots fail the chase) and rewrite
+//!   only the facts that mention a merged null, via a null-occurrence
+//!   index — never the whole instance;
+//! * the match phase runs in parallel over the round's (rule, pinned
+//!   plan) tasks ([`sweep::parallel_map`], under `CA_EVAL_THREADS`), and
+//!   firing applies the collected triggers in (rule index, frontier
+//!   valuation) order — lowest trigger wins — with fresh existential
+//!   nulls drawn in that same order, so the chased instance is
+//!   byte-identical at every thread count.
+//!
+//! Differences from the reference loop, all benign up to
+//! hom-equivalence (the differential suite compares with `gdm_equiv`):
+//! facts are interned, so duplicate nodes collapse; triggers fire per
+//! distinct frontier valuation rather than per body match (the extra
+//! matches the reference enumerates are satisfied the moment the first
+//! one fires); and rounds fire every round-start-active trigger where
+//! the reference restarts after each firing, so step budgets are spent
+//! in a different order — outcome agreement on terminating inputs is
+//! unaffected, since chase failure and success are order-independent.
+
+use std::collections::hash_map::Entry;
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+use ca_core::symbol::Symbol;
+use ca_core::value::{Null, NullGen, Value};
+use ca_gdm::database::GenDb;
+use ca_query::ast::{Atom, ConjunctiveQuery, Term};
+use ca_query::engine::{
+    eval_prepared_into, eval_seeded_into, prepare_cq, sweep, CompiledCq, DbIndex, PreparedCq,
+};
+use ca_relational::schema::Schema;
+
+use super::{ChaseConfig, ChaseOutcome, Egd};
+use crate::mapping::Rule;
+
+/// The atoms of a purely relational pattern: one atom per node, the
+/// node's label as the relation, nulls as variables (by null id),
+/// constants as constants. Shared with the mapping layer's compiled
+/// body-match fast path.
+pub(crate) fn pattern_atoms(d: &GenDb) -> Vec<Atom> {
+    d.labels
+        .iter()
+        .zip(&d.data)
+        .map(|(&label, row)| {
+            let args = row
+                .iter()
+                .map(|v| match v {
+                    Value::Null(nl) => Term::Var(nl.0),
+                    Value::Const(c) => Term::Const(*c),
+                })
+                .collect();
+            Atom::new(d.schema.label_name(label), args)
+        })
+        .collect()
+}
+
+/// One position of a head-fact template, resolved at firing time.
+enum HeadTerm {
+    /// A constant from the rule head.
+    Const(Value),
+    /// The value of the trigger row at this frontier index.
+    Frontier(usize),
+    /// An existential null: fresh per firing, shared across the head
+    /// instantiation by its rule-local null id.
+    Existential(Null),
+}
+
+/// A head fact to instantiate when a trigger fires.
+struct HeadFact {
+    rel: Symbol,
+    template: Vec<HeadTerm>,
+}
+
+/// One tgd compiled against the instance schema.
+struct CompiledRule {
+    /// One `(pinned relation, pinned plan)` per body atom; the plan's
+    /// head projects onto the sorted frontier.
+    plans: Vec<(Symbol, CompiledCq)>,
+    /// The head pattern as a query over the same frontier head: its
+    /// answer set is exactly the set of satisfied frontier valuations.
+    head_plan: CompiledCq,
+    /// The head facts to instantiate on firing.
+    head_facts: Vec<HeadFact>,
+}
+
+/// One egd compiled against the instance schema: pinned body plans
+/// projecting onto the two equated nulls.
+struct CompiledEgd {
+    plans: Vec<(Symbol, CompiledCq)>,
+}
+
+fn compile_rule(rule: &Rule, schema: &Schema) -> Option<CompiledRule> {
+    let frontier: Vec<Null> = rule.frontier().into_iter().collect();
+    let head_vars: Vec<u32> = frontier.iter().map(|nl| nl.0).collect();
+    let body_q = ConjunctiveQuery::with_head(head_vars.clone(), pattern_atoms(&rule.body));
+    let mut plans = Vec::with_capacity(body_q.atoms.len());
+    for pin in 0..body_q.atoms.len() {
+        let plan = CompiledCq::compile_pinned(&body_q, schema, pin).ok()?;
+        let rel = schema.relation(&body_q.atoms[pin].rel)?;
+        plans.push((rel, plan));
+    }
+    let head_q = ConjunctiveQuery::with_head(head_vars, pattern_atoms(&rule.head));
+    let head_plan = CompiledCq::compile(&head_q, schema).ok()?;
+    let mut head_facts = Vec::with_capacity(rule.head.n_nodes());
+    for (label, row) in rule.head.labels.iter().zip(&rule.head.data) {
+        let rel = schema.relation(rule.head.schema.label_name(*label))?;
+        let template = row
+            .iter()
+            .map(|v| match v {
+                Value::Const(_) => HeadTerm::Const(*v),
+                // `frontier` is sorted (built from a BTreeSet).
+                Value::Null(nl) => match frontier.binary_search(nl) {
+                    Ok(i) => HeadTerm::Frontier(i),
+                    Err(_) => HeadTerm::Existential(*nl),
+                },
+            })
+            .collect();
+        head_facts.push(HeadFact { rel, template });
+    }
+    Some(CompiledRule {
+        plans,
+        head_plan,
+        head_facts,
+    })
+}
+
+fn compile_egd(egd: &Egd, schema: &Schema) -> Option<CompiledEgd> {
+    let q = ConjunctiveQuery::with_head(
+        vec![egd.equal.0 .0, egd.equal.1 .0],
+        pattern_atoms(&egd.body),
+    );
+    // Validate once unpinned: an equated null not bound by the body (or
+    // an empty body) is an UnboundHeadVar — fall back to the reference,
+    // which owns the semantics of such malformed egds.
+    CompiledCq::compile(&q, schema).ok()?;
+    let mut plans = Vec::with_capacity(q.atoms.len());
+    for pin in 0..q.atoms.len() {
+        let plan = CompiledCq::compile_pinned(&q, schema, pin).ok()?;
+        let rel = schema.relation(&q.atoms[pin].rel)?;
+        plans.push((rel, plan));
+    }
+    Some(CompiledEgd { plans })
+}
+
+/// Union-find over values. Constants are always roots; between two null
+/// roots the smaller null id wins, so the representative choice is
+/// deterministic.
+#[derive(Default)]
+struct UnionFind {
+    parent: HashMap<Null, Value>,
+}
+
+impl UnionFind {
+    fn find(&self, v: Value) -> Value {
+        let mut cur = v;
+        while let Value::Null(nl) = cur {
+            match self.parent.get(&nl) {
+                Some(&p) => cur = p,
+                None => break,
+            }
+        }
+        cur
+    }
+
+    /// Union the classes of `a` and `b`. `Err(())` on a constant clash,
+    /// `Ok(Some(n))` when null `n` was merged away, `Ok(None)` when the
+    /// classes already coincided.
+    fn union(&mut self, a: Value, b: Value) -> Result<Option<Null>, ()> {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return Ok(None);
+        }
+        match (ra, rb) {
+            (Value::Const(_), Value::Const(_)) => Err(()),
+            (Value::Null(nl), root @ Value::Const(_))
+            | (root @ Value::Const(_), Value::Null(nl)) => {
+                self.parent.insert(nl, root);
+                Ok(Some(nl))
+            }
+            (Value::Null(x), Value::Null(y)) => {
+                let (loser, root) = if x.0 < y.0 { (y, x) } else { (x, y) };
+                self.parent.insert(loser, Value::Null(root));
+                Ok(Some(loser))
+            }
+        }
+    }
+}
+
+/// The interned fact store: each distinct `(relation, tuple)` is one
+/// fact with a stable id. Egd rewrites mutate tuples in place (or
+/// collapse a fact into an existing identical one, marking it dead); the
+/// null-occurrence index tolerates stale entries — rewriting re-checks
+/// liveness and recomputes tuples from scratch.
+#[derive(Default)]
+struct FactStore {
+    rels: Vec<Symbol>,
+    tuples: Vec<Vec<Value>>,
+    live: Vec<bool>,
+    /// `(relation, tuple) → id`; keys always describe the live tuple of
+    /// their id, so lookups never resurrect a collapsed fact.
+    intern: HashMap<(Symbol, Vec<Value>), u32>,
+    /// Fact ids whose tuple has (or once had) this null.
+    occ: HashMap<Null, Vec<u32>>,
+}
+
+impl FactStore {
+    fn len(&self) -> usize {
+        self.rels.len()
+    }
+
+    fn is_live(&self, id: u32) -> bool {
+        self.live[id as usize]
+    }
+
+    fn rel(&self, id: u32) -> Symbol {
+        self.rels[id as usize]
+    }
+
+    fn fact(&self, id: u32) -> (Symbol, &[Value]) {
+        (self.rels[id as usize], self.tuples[id as usize].as_slice())
+    }
+
+    /// Intern a fact; `Some(id)` iff it is new (callers delta-track it).
+    fn insert(&mut self, rel: Symbol, tuple: Vec<Value>) -> Option<u32> {
+        match self.intern.entry((rel, tuple)) {
+            Entry::Occupied(_) => None,
+            Entry::Vacant(v) => {
+                let id = self.rels.len() as u32;
+                let tuple = v.key().1.clone();
+                v.insert(id);
+                self.rels.push(rel);
+                self.live.push(true);
+                for val in &tuple {
+                    if let Value::Null(nl) = val {
+                        self.occ.entry(*nl).or_default().push(id);
+                    }
+                }
+                self.tuples.push(tuple);
+                Some(id)
+            }
+        }
+    }
+
+    /// Rewrite every live fact mentioning a merged null through the
+    /// union-find, returning the ids whose tuple changed in place (facts
+    /// that collapse into an existing identical fact go dead instead and
+    /// are not reported — the surviving fact's tuple did not change, so
+    /// every match through it was already found when *it* was delta).
+    fn rewrite(&mut self, merged: &[Null], uf: &UnionFind) -> Vec<u32> {
+        let mut ids: Vec<u32> = Vec::new();
+        for nl in merged {
+            if let Some(v) = self.occ.get(nl) {
+                ids.extend_from_slice(v);
+            }
+        }
+        ids.sort_unstable();
+        ids.dedup();
+        let mut changed = Vec::new();
+        for id in ids {
+            if !self.live[id as usize] {
+                continue;
+            }
+            let new_tuple: Vec<Value> = self.tuples[id as usize]
+                .iter()
+                .map(|&v| uf.find(v))
+                .collect();
+            if new_tuple == self.tuples[id as usize] {
+                continue;
+            }
+            let rel = self.rels[id as usize];
+            let old_key = (rel, std::mem::take(&mut self.tuples[id as usize]));
+            self.intern.remove(&old_key);
+            match self.intern.entry((rel, new_tuple)) {
+                Entry::Occupied(_) => {
+                    self.live[id as usize] = false;
+                }
+                Entry::Vacant(v) => {
+                    let t = v.key().1.clone();
+                    v.insert(id);
+                    for val in &t {
+                        if let Value::Null(nl) = val {
+                            self.occ.entry(*nl).or_default().push(id);
+                        }
+                    }
+                    self.tuples[id as usize] = t;
+                    changed.push(id);
+                }
+            }
+        }
+        changed
+    }
+}
+
+/// Try to run the engine. `None` (caller falls back to the reference
+/// chase) when any structural tuples are present or a pattern does not
+/// compile against the instance schema.
+pub(super) fn try_chase(
+    instance: &GenDb,
+    tgds: &[Rule],
+    egds: &[Egd],
+    cfg: &ChaseConfig,
+) -> Option<ChaseOutcome> {
+    if !instance.tuples.is_empty()
+        || tgds
+            .iter()
+            .any(|r| !r.body.tuples.is_empty() || !r.head.tuples.is_empty())
+        || egds.iter().any(|e| !e.body.tuples.is_empty())
+    {
+        return None;
+    }
+    // The instance schema's labels as a relational schema. Pattern labels
+    // resolve against it by *name*, since each pattern carries its own
+    // interner.
+    let mut schema = Schema::new();
+    let mut rel_of_label: Vec<Symbol> = Vec::new();
+    for sym in instance.schema.label_symbols() {
+        let rel = schema.add_relation(
+            instance.schema.label_name(sym),
+            instance.schema.label_arity(sym),
+        );
+        rel_of_label.push(rel);
+    }
+    let rules: Vec<CompiledRule> = tgds
+        .iter()
+        .map(|r| compile_rule(r, &schema))
+        .collect::<Option<_>>()?;
+    let cegds: Vec<CompiledEgd> = egds
+        .iter()
+        .map(|e| compile_egd(e, &schema))
+        .collect::<Option<_>>()?;
+    // Fresh existentials avoid every null in sight, as in the reference.
+    let gen = NullGen::avoiding(
+        instance.nulls().into_iter().chain(
+            tgds.iter()
+                .flat_map(|r| r.body.nulls().into_iter().chain(r.head.nulls())),
+        ),
+    );
+    Some(run(
+        &schema,
+        &rules,
+        &cegds,
+        instance,
+        &rel_of_label,
+        gen,
+        cfg,
+    ))
+}
+
+/// A round's trigger (or satisfied) set for one rule: frontier
+/// valuations, kept sorted so firing order is deterministic.
+type TriggerSet = BTreeSet<Vec<Value>>;
+
+fn run(
+    schema: &Schema,
+    rules: &[CompiledRule],
+    egds: &[CompiledEgd],
+    instance: &GenDb,
+    rel_of_label: &[Symbol],
+    mut gen: NullGen,
+    cfg: &ChaseConfig,
+) -> ChaseOutcome {
+    let mut store = FactStore::default();
+    let mut uf = UnionFind::default();
+    let mut fired: Vec<HashSet<Vec<Value>>> = rules.iter().map(|_| HashSet::new()).collect();
+    let mut steps = 0usize;
+    // Load the instance; duplicate nodes intern to one fact.
+    let mut delta: Vec<u32> = Vec::new();
+    for (label, row) in instance.labels.iter().zip(&instance.data) {
+        let rel = rel_of_label.get(label.index()).copied().unwrap_or(*label); // unreachable: every instance label is in its schema
+        if let Some(id) = store.insert(rel, row.clone()) {
+            delta.push(id);
+        }
+    }
+    let mut first_round = true;
+    loop {
+        // Budget semantics mirror the reference's `for _ in 0..max_steps`
+        // loop: the pass that *observes* the fixpoint needs a step too,
+        // so a round may only begin while budget remains (in particular,
+        // `max_steps == 0` aborts immediately).
+        if steps >= cfg.max_steps {
+            return ChaseOutcome::Aborted;
+        }
+        let round_start_steps = steps;
+
+        // ---- egd phase: fixpoint over this round's delta ----
+        let mut rewritten_all: Vec<u32> = Vec::new();
+        if !egds.is_empty() {
+            let mut egd_delta: Vec<u32> = delta.clone();
+            while !egd_delta.is_empty() {
+                let pairs = match egd_matches(schema, &store, egds, &egd_delta, cfg) {
+                    Ok(p) => p,
+                    Err(()) => return ChaseOutcome::Overflow,
+                };
+                let mut merged: Vec<Null> = Vec::new();
+                for (a, b) in pairs {
+                    if uf.find(a) == uf.find(b) {
+                        continue;
+                    }
+                    if steps >= cfg.max_steps {
+                        return ChaseOutcome::Aborted;
+                    }
+                    match uf.union(a, b) {
+                        Err(()) => return ChaseOutcome::Failed,
+                        Ok(Some(loser)) => {
+                            steps += 1;
+                            merged.push(loser);
+                        }
+                        Ok(None) => {}
+                    }
+                }
+                if merged.is_empty() {
+                    break;
+                }
+                let changed = store.rewrite(&merged, &uf);
+                // Keep the dedup keys aligned with the rewritten
+                // instance: fired valuations go through the same merge
+                // substitution as the facts (order-independent — the set
+                // is rebuilt, not iterated into anything ordered).
+                for set in fired.iter_mut() {
+                    *set = set
+                        .drain()
+                        .map(|row| row.iter().map(|&v| uf.find(v)).collect())
+                        .collect();
+                }
+                egd_delta = changed.clone();
+                rewritten_all.extend(changed);
+            }
+        }
+
+        // ---- tgd phase: collect round-start triggers, then fire ----
+        let mut tgd_seed: Vec<u32> = delta
+            .iter()
+            .chain(rewritten_all.iter())
+            .copied()
+            .filter(|&id| store.is_live(id))
+            .collect();
+        tgd_seed.sort_unstable();
+        tgd_seed.dedup();
+        let (triggers, satisfied) =
+            match tgd_matches(schema, &store, rules, &fired, &tgd_seed, first_round, cfg) {
+                Ok(x) => x,
+                Err(()) => return ChaseOutcome::Overflow,
+            };
+        let mut inserted: Vec<u32> = Vec::new();
+        for (r, rule) in rules.iter().enumerate() {
+            for row in &triggers[r] {
+                if fired[r].contains(row) {
+                    continue;
+                }
+                // Mark fired even when already satisfied: satisfaction is
+                // monotone under fact addition, and egd merges rewrite
+                // the fired rows together with the facts, so a satisfied
+                // trigger can never need firing later.
+                fired[r].insert(row.clone());
+                if satisfied[r].contains(row) {
+                    continue;
+                }
+                if steps >= cfg.max_steps {
+                    return ChaseOutcome::Aborted;
+                }
+                steps += 1;
+                let mut fresh: HashMap<Null, Value> = HashMap::new();
+                for hf in &rule.head_facts {
+                    let tuple: Vec<Value> = hf
+                        .template
+                        .iter()
+                        .map(|t| match t {
+                            HeadTerm::Const(v) => *v,
+                            HeadTerm::Frontier(i) => row[*i],
+                            HeadTerm::Existential(nl) => {
+                                *fresh.entry(*nl).or_insert_with(|| Value::Null(gen.fresh()))
+                            }
+                        })
+                        .collect();
+                    if let Some(id) = store.insert(hf.rel, tuple) {
+                        inserted.push(id);
+                    }
+                }
+            }
+        }
+
+        delta = inserted;
+        first_round = false;
+        if steps == round_start_steps {
+            // No merge and no firing: every trigger is satisfied or
+            // fired, the instance is a fixpoint.
+            return ChaseOutcome::Done(Box::new(rebuild(schema, &store, instance)));
+        }
+    }
+}
+
+/// Snapshot the live facts: `(store ids in order, store id → snapshot id
+/// or MAX)`.
+fn snapshot(store: &FactStore) -> (Vec<u32>, Vec<u32>) {
+    let mut snap = Vec::new();
+    let mut back = vec![u32::MAX; store.len()];
+    for id in 0..store.len() as u32 {
+        if store.is_live(id) {
+            back[id as usize] = snap.len() as u32;
+            snap.push(id);
+        }
+    }
+    (snap, back)
+}
+
+/// Partition delta store ids into per-relation snapshot-id seed lists.
+fn seeds_by_rel(schema: &Schema, store: &FactStore, back: &[u32], seed: &[u32]) -> Vec<Vec<u32>> {
+    let mut out = vec![Vec::new(); schema.len()];
+    for &id in seed {
+        let s = back[id as usize];
+        if s != u32::MAX {
+            out[store.rel(id).index()].push(s);
+        }
+    }
+    out
+}
+
+/// Parallelism pays only when the match phase has real work: below this
+/// many seed facts summed over the round's tasks, the thread-scope spawn
+/// dominates the joins and the phase stays sequential (mirrors
+/// `PAR_MIN_COMPLETIONS` in `ca_query::engine::sweep`).
+const PAR_MIN_SEED: usize = 512;
+
+fn effective_threads(threads: usize, total_seed: usize) -> usize {
+    // A width beyond the physical cores is pure spawn-and-contend
+    // overhead (results are byte-identical at every width, so this is
+    // invisible except in wall time).
+    let threads = threads.min(ca_core::config::available_parallelism_or(1));
+    if threads <= 1 || total_seed < PAR_MIN_SEED {
+        1
+    } else {
+        threads
+    }
+}
+
+/// A unit of match work: one `(rule-or-egd index, pinned-plan index)`
+/// pair restricted to `seed[lo..hi]` of the pinned relation's seed list.
+/// Seeds are chunked so a round with few (rule, pin) pairs but a large
+/// delta still spreads across the thread pool, and each chunk dedups its
+/// own output so workers share the set-building cost too.
+struct MatchTask {
+    rule: usize,
+    pin: usize,
+    lo: usize,
+    hi: usize,
+}
+
+/// Split every nonempty (rule, pin) seed list into chunks of at least
+/// `PAR_MIN_SEED / 2` seeds, aiming for a few chunks per thread.
+fn chunk_tasks(plan_seeds: &[(usize, usize, usize)], threads: usize) -> Vec<MatchTask> {
+    let total: usize = plan_seeds.iter().map(|&(_, _, n)| n).sum();
+    let chunk = if threads <= 1 {
+        usize::MAX
+    } else {
+        (total.div_ceil(threads * 4)).max(PAR_MIN_SEED / 2)
+    };
+    let mut tasks = Vec::new();
+    for &(rule, pin, n) in plan_seeds {
+        let mut lo = 0;
+        while lo < n {
+            let hi = (lo + chunk).min(n);
+            tasks.push(MatchTask { rule, pin, lo, hi });
+            lo = hi;
+        }
+    }
+    tasks
+}
+
+/// Evaluate every egd's pinned plans over the seed, returning the sorted
+/// set of equality pairs. `Err(())` = match budget exceeded.
+fn egd_matches(
+    schema: &Schema,
+    store: &FactStore,
+    egds: &[CompiledEgd],
+    seed: &[u32],
+    cfg: &ChaseConfig,
+) -> Result<BTreeSet<(Value, Value)>, ()> {
+    let (snap, back) = snapshot(store);
+    let mut idx = DbIndex::from_facts(schema.len(), snap.iter().map(|&id| store.fact(id)));
+    let prepared: Vec<Vec<PreparedCq>> = egds
+        .iter()
+        .map(|e| {
+            e.plans
+                .iter()
+                .map(|(_, p)| prepare_cq(p, &mut idx))
+                .collect()
+        })
+        .collect();
+    let seeds = seeds_by_rel(schema, store, &back, seed);
+    let mut plan_seeds: Vec<(usize, usize, usize)> = Vec::new();
+    let mut total_seed = 0usize;
+    for (e, egd) in egds.iter().enumerate() {
+        for (p, (rel, _)) in egd.plans.iter().enumerate() {
+            let n = seeds[rel.index()].len();
+            if n > 0 {
+                plan_seeds.push((e, p, n));
+                total_seed += n;
+            }
+        }
+    }
+    let threads = effective_threads(cfg.threads, total_seed);
+    let tasks = chunk_tasks(&plan_seeds, threads);
+    let limit = cfg.match_limit;
+    let results: Vec<(BTreeSet<(Value, Value)>, bool)> =
+        sweep::parallel_map(tasks.len(), threads, |t| {
+            let MatchTask {
+                rule: e,
+                pin: p,
+                lo,
+                hi,
+            } = tasks[t];
+            let (rel, plan) = &egds[e].plans[p];
+            let mut set: BTreeSet<(Value, Value)> = BTreeSet::new();
+            let mut over = false;
+            eval_seeded_into(
+                plan,
+                &prepared[e][p],
+                &idx,
+                &seeds[rel.index()][lo..hi],
+                &mut |row| {
+                    if let [a, b] = row {
+                        if set.contains(&(*a, *b)) {
+                            return true;
+                        }
+                        if set.len() == limit {
+                            over = true;
+                            return false;
+                        }
+                        set.insert((*a, *b));
+                    }
+                    true
+                },
+            );
+            (set, over)
+        });
+    let mut pairs = BTreeSet::new();
+    for (set, over) in results {
+        if over {
+            return Err(());
+        }
+        pairs.extend(set);
+        if pairs.len() > limit {
+            return Err(());
+        }
+    }
+    Ok(pairs)
+}
+
+/// Evaluate every rule's pinned plans over the seed, and the head plans
+/// of rules with unfired candidates. Returns per-rule `(triggers,
+/// satisfied)` frontier-valuation sets. `Err(())` = match budget
+/// exceeded.
+#[allow(clippy::type_complexity)]
+fn tgd_matches(
+    schema: &Schema,
+    store: &FactStore,
+    rules: &[CompiledRule],
+    fired: &[HashSet<Vec<Value>>],
+    seed: &[u32],
+    first_round: bool,
+    cfg: &ChaseConfig,
+) -> Result<(Vec<TriggerSet>, Vec<TriggerSet>), ()> {
+    let n_rules = rules.len();
+    let mut triggers: Vec<TriggerSet> = vec![BTreeSet::new(); n_rules];
+    let mut satisfied: Vec<TriggerSet> = vec![BTreeSet::new(); n_rules];
+    if n_rules == 0 {
+        return Ok((triggers, satisfied));
+    }
+    let (snap, back) = snapshot(store);
+    let mut idx = DbIndex::from_facts(schema.len(), snap.iter().map(|&id| store.fact(id)));
+    // Resolve every plan's index tables up front (mutably), so the
+    // parallel phases below can share the index immutably.
+    let prepared: Vec<(Vec<PreparedCq>, PreparedCq)> = rules
+        .iter()
+        .map(|r| {
+            (
+                r.plans
+                    .iter()
+                    .map(|(_, p)| prepare_cq(p, &mut idx))
+                    .collect(),
+                prepare_cq(&r.head_plan, &mut idx),
+            )
+        })
+        .collect();
+    let seeds = seeds_by_rel(schema, store, &back, seed);
+    let mut plan_seeds: Vec<(usize, usize, usize)> = Vec::new();
+    let mut total_seed = 0usize;
+    for (r, rule) in rules.iter().enumerate() {
+        for (p, (rel, _)) in rule.plans.iter().enumerate() {
+            let n = seeds[rel.index()].len();
+            if n > 0 {
+                plan_seeds.push((r, p, n));
+                total_seed += n;
+            }
+        }
+    }
+    let threads = effective_threads(cfg.threads, total_seed);
+    let tasks = chunk_tasks(&plan_seeds, threads);
+    let limit = cfg.match_limit;
+    let results: Vec<(TriggerSet, bool)> = sweep::parallel_map(tasks.len(), threads, |t| {
+        let MatchTask {
+            rule: r,
+            pin: p,
+            lo,
+            hi,
+        } = tasks[t];
+        let (rel, plan) = &rules[r].plans[p];
+        let mut set: TriggerSet = BTreeSet::new();
+        let mut over = false;
+        eval_seeded_into(
+            plan,
+            &prepared[r].0[p],
+            &idx,
+            &seeds[rel.index()][lo..hi],
+            &mut |row| {
+                if set.contains(row) {
+                    return true;
+                }
+                if set.len() == limit {
+                    over = true;
+                    return false;
+                }
+                set.insert(row.to_vec());
+                true
+            },
+        );
+        (set, over)
+    });
+    for (t, (set, over)) in results.into_iter().enumerate() {
+        if over {
+            return Err(());
+        }
+        triggers[tasks[t].rule].extend(set);
+        if triggers[tasks[t].rule].len() > limit {
+            return Err(());
+        }
+    }
+    // A rule with an empty body has no atom to seed: its single trigger
+    // (the empty valuation) exists from round one.
+    if first_round {
+        for (r, rule) in rules.iter().enumerate() {
+            if rule.plans.is_empty() {
+                triggers[r].insert(Vec::new());
+            }
+        }
+    }
+    // Head satisfaction, set-at-a-time, for rules with unfired candidates.
+    let needy: Vec<usize> = (0..n_rules)
+        .filter(|&r| triggers[r].iter().any(|row| !fired[r].contains(row)))
+        .collect();
+    let head_results: Vec<(TriggerSet, bool)> = sweep::parallel_map(needy.len(), threads, |i| {
+        let r = needy[i];
+        let mut set = BTreeSet::new();
+        let mut over = false;
+        eval_prepared_into(&rules[r].head_plan, &prepared[r].1, &idx, &mut |row| {
+            if set.len() == limit {
+                over = true;
+                return false;
+            }
+            set.insert(row.to_vec());
+            true
+        });
+        (set, over)
+    });
+    for (i, (set, over)) in head_results.into_iter().enumerate() {
+        if over {
+            return Err(());
+        }
+        satisfied[needy[i]] = set;
+    }
+    Ok((triggers, satisfied))
+}
+
+/// The chased instance: one node per live fact, in store-id (= creation)
+/// order, over the original generalized schema.
+fn rebuild(schema: &Schema, store: &FactStore, instance: &GenDb) -> GenDb {
+    let mut out = GenDb::new(instance.schema.clone());
+    for id in 0..store.len() as u32 {
+        if store.is_live(id) {
+            let (rel, tuple) = store.fact(id);
+            out.add_node(schema.name(rel), tuple.to_vec());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(x: i64) -> Value {
+        Value::Const(x)
+    }
+    fn nl(id: u32) -> Null {
+        Null(id)
+    }
+
+    #[test]
+    fn union_find_merges_deterministically() {
+        let mut uf = UnionFind::default();
+        // Null-null: the smaller id becomes the root.
+        assert_eq!(uf.union(Value::null(7), Value::null(3)), Ok(Some(nl(7))));
+        assert_eq!(uf.find(Value::null(7)), Value::null(3));
+        // Null-const: the constant wins.
+        assert_eq!(uf.union(Value::null(3), c(5)), Ok(Some(nl(3))));
+        assert_eq!(uf.find(Value::null(7)), c(5));
+        // Same class: no-op.
+        assert_eq!(uf.union(Value::null(7), c(5)), Ok(None));
+        // Const-const through the classes: clash.
+        assert_eq!(uf.union(c(6), Value::null(7)), Err(()));
+    }
+
+    #[test]
+    fn store_rewrite_touches_only_affected_facts_and_collapses_duplicates() {
+        let mut store = FactStore::default();
+        let rel = Symbol(0);
+        let a = store.insert(rel, vec![c(1), Value::null(9)]).unwrap();
+        let b = store.insert(rel, vec![c(1), c(5)]).unwrap();
+        let other = store.insert(rel, vec![c(2), c(2)]).unwrap();
+        // Duplicate insert interns to the existing fact.
+        assert_eq!(store.insert(rel, vec![c(1), c(5)]), None);
+        let mut uf = UnionFind::default();
+        assert_eq!(uf.union(Value::null(9), c(5)), Ok(Some(nl(9))));
+        let changed = store.rewrite(&[nl(9)], &uf);
+        // Fact `a` rewrote into `b`'s tuple: it collapses (goes dead)
+        // rather than duplicating, and nothing is reported as changed.
+        assert!(changed.is_empty());
+        assert!(!store.is_live(a));
+        assert!(store.is_live(b) && store.is_live(other));
+        assert_eq!(store.fact(other).1, &[c(2), c(2)]);
+    }
+}

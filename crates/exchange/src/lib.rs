@@ -15,15 +15,20 @@
 //! * [`mapping`] — mappings, rule application `M(D)`, solution checking.
 //! * [`chase`] — the chase with target tgds/egds (the paper's future-work
 //!   pointer for when constrained targets still admit universal
-//!   solutions).
+//!   solutions), run by a semi-naive, delta-driven engine on the compiled
+//!   join machinery of `ca_query::engine`.
+//! * [`certain`] — certain answers on constrained targets: chase the
+//!   canonical solution, evaluate naively, keep null-free rows.
 //! * [`solution`] — canonical universal solutions, cores of generalized
 //!   databases (via the incremental retraction engine of
 //!   `ca_hom::retract`), core solutions, universality checking.
-//! * [`reference`] — the seed-era per-candidate core loop, kept verbatim
-//!   as the differential oracle and benchmark baseline for [`solution`].
+//! * [`reference`] — the seed-era core loop and chase loop, kept verbatim
+//!   as the differential oracles and benchmark baselines for [`solution`]
+//!   and [`chase`].
 //! * [`tgd`] — the relational st-tgd convenience layer.
 //! * [`trees`] — Proposition 10: the two trees with no least upper bound.
 
+pub mod certain;
 pub mod chase;
 pub mod mapping;
 pub mod reference;
@@ -31,7 +36,8 @@ pub mod solution;
 pub mod tgd;
 pub mod trees;
 
-pub use chase::{chase, ChaseOutcome, Egd};
+pub use certain::{certain_answers_via_chase, CertainAnswers};
+pub use chase::{chase, chase_with, ChaseConfig, ChaseOutcome, Egd, DEFAULT_MATCH_LIMIT};
 pub use mapping::{Mapping, Rule};
 pub use solution::{
     canonical_solution, core_of_gendb, core_of_gendb_with, core_solution, is_universal_solution,

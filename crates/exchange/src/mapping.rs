@@ -38,6 +38,33 @@ impl Rule {
     }
 }
 
+/// The compiled-engine body matcher: `None` when either side has
+/// structural tuples or the body does not compile against `d`'s labels
+/// (the CSP path owns those cases).
+fn compiled_body_matches(rule: &Rule, d: &GenDb, limit: usize) -> Option<Vec<Vec<(Null, Value)>>> {
+    if !rule.body.tuples.is_empty() || !d.tuples.is_empty() {
+        return None;
+    }
+    let db = ca_gdm::encode::relational_view(d)?;
+    let nulls: Vec<Null> = rule.body.nulls().into_iter().collect();
+    let q = ca_query::ast::ConjunctiveQuery::with_head(
+        nulls.iter().map(|nl| nl.0).collect(),
+        crate::chase::engine::pattern_atoms(&rule.body),
+    );
+    let plan = ca_query::engine::CompiledCq::compile(&q, &db.schema).ok()?;
+    let mut idx = ca_query::engine::DbIndex::new(&db);
+    let mut out: Vec<Vec<(Null, Value)>> = Vec::new();
+    ca_query::engine::eval_cq_into(&plan, &mut idx, &mut |row| {
+        // Truncate at `limit` exactly as `Csp::solve_all(limit)` does.
+        if out.len() >= limit {
+            return false;
+        }
+        out.push(nulls.iter().copied().zip(row.iter().copied()).collect());
+        true
+    });
+    Some(out)
+}
+
 /// A schema mapping: a finite set of rules.
 #[derive(Clone, Debug, Default)]
 pub struct Mapping {
@@ -53,7 +80,16 @@ impl Mapping {
 
     /// All homomorphisms from `body` into the source `d` (as null
     /// valuations), up to `limit`.
+    ///
+    /// Purely relational bodies match through the compiled join engine
+    /// (one join plan, indexed lookups); anything with structural tuples
+    /// falls back to the CSP matcher. Both paths enumerate the same
+    /// multiset of valuations — one per assignment of body nodes to
+    /// instance nodes.
     fn body_matches(&self, rule: &Rule, d: &GenDb, limit: usize) -> Vec<Vec<(Null, Value)>> {
+        if let Some(fast) = compiled_body_matches(rule, d, limit) {
+            return fast;
+        }
         let (csp, nulls, universe) = gdm_hom_csp(&rule.body, d);
         csp.solve_all(limit)
             .solutions
@@ -90,11 +126,14 @@ impl Mapping {
                 let mut subst: Vec<(Null, Value)> = Vec::new();
                 for nl in rule.head.nulls() {
                     if frontier.contains(&nl) {
+                        // A frontier null is a body null, so every body
+                        // match binds it; the identity fallback keeps
+                        // the unreachable branch total.
                         let v = h2
                             .iter()
                             .find(|(m, _)| *m == nl)
                             .map(|&(_, v)| v)
-                            .expect("frontier null bound by body match");
+                            .unwrap_or(Value::Null(nl));
                         subst.push((nl, v));
                     } else {
                         subst.push((nl, Value::Null(gen.fresh())));
@@ -126,11 +165,13 @@ impl Mapping {
                 let mut impossible = false;
                 for (i, nl) in nulls.iter().enumerate() {
                     if frontier.contains(nl) {
+                        // Every body match binds the frontier (see
+                        // `applications`); identity fallback for totality.
                         let target = h2
                             .iter()
                             .find(|(m, _)| m == nl)
                             .map(|&(_, v)| v)
-                            .expect("frontier null bound");
+                            .unwrap_or(Value::Null(*nl));
                         match universe.binary_search(&target) {
                             Ok(pos) => csp.restrict_domain((n + i) as u32, vec![pos as u32]),
                             Err(_) => {

@@ -8,8 +8,8 @@
 
 use ca_gdm::database::GenDb;
 use ca_gdm::encode::{self_hom_structure, value_self_hom_structure};
-use ca_gdm::hom::gdm_leq;
-use ca_hom::csp::default_threads;
+use ca_gdm::hom::{gdm_hom_csp, gdm_leq};
+use ca_hom::csp::{default_threads, IncrementalSelfHom};
 use ca_hom::retract::retract_core_with;
 
 use crate::mapping::Mapping;
@@ -57,12 +57,71 @@ pub fn core_of_gendb(d: &GenDb) -> GenDb {
 /// Databases with structural tuples use the general node encoding.
 pub fn core_of_gendb_with(d: &GenDb, threads: usize) -> GenDb {
     if d.tuples.is_empty() {
+        if d.n_nodes() <= SMALL_CORE_MAX_NODES && !has_foldable_null(d) {
+            return small_core(d);
+        }
         return value_core(d, threads);
     }
     let (s, _universe) = self_hom_structure(d);
     let probe: Vec<u32> = (0..d.n_nodes() as u32).collect();
     let r = retract_core_with(&s, &probe, threads);
     induced(d, &r.kept)
+}
+
+/// Below this many nodes the retraction engine's setup (encoding, fold
+/// prepass, support tables) costs more than the search it saves, and the
+/// direct loop in [`small_core`] wins — unless the instance has
+/// single-occurrence nulls, which the engine folds away without any
+/// search at all (see [`has_foldable_null`]).
+const SMALL_CORE_MAX_NODES: usize = 64;
+
+/// Does any null occur in exactly one fact position? Such "pendant"
+/// nulls are where the engine's PTIME fold prepass shines (it removes
+/// them with no search), so instances with them stay on the engine path
+/// at every size.
+fn has_foldable_null(d: &GenDb) -> bool {
+    let mut counts: std::collections::HashMap<ca_core::value::Null, usize> =
+        std::collections::HashMap::new();
+    for row in &d.data {
+        for v in row {
+            if let ca_core::value::Value::Null(nl) = v {
+                *counts.entry(*nl).or_insert(0) += 1;
+            }
+        }
+    }
+    counts.values().any(|&c| c == 1)
+}
+
+/// Direct core loop for tiny purely relational instances: per shrink
+/// round, compile the self-homomorphism CSP **once** into an
+/// [`IncrementalSelfHom`] (support tables and all) and run one cheap
+/// GAC-prefixed probe per avoid-candidate. The seed-era reference
+/// rebuilds and recompiles the whole CSP per candidate; hoisting the
+/// compile out of the candidate loop is the entire speedup.
+fn small_core(d: &GenDb) -> GenDb {
+    let mut current = d.clone();
+    loop {
+        let n = current.n_nodes();
+        let (base, _, _) = gdm_hom_csp(&current, &current);
+        // Restrict node variables only (they come first in the encoding);
+        // value variables follow and keep their full domains.
+        let probe: Vec<u32> = (0..n as u32).collect();
+        let inc = IncrementalSelfHom::new(&base, &probe);
+        let mut shrunk = false;
+        for avoid in 0..n as u32 {
+            if let Some(sol) = inc.probe_avoiding(avoid, None) {
+                let mut keep: Vec<u32> = sol[..n].to_vec();
+                keep.sort_unstable();
+                keep.dedup();
+                current = induced(&current, &keep);
+                shrunk = true;
+                break;
+            }
+        }
+        if !shrunk {
+            return current;
+        }
+    }
 }
 
 /// Core via the value-only encoding (`σ = ∅`). The engine retracts the

@@ -31,6 +31,30 @@ pub fn encode_relational(db: &NaiveDatabase) -> GenDb {
     out
 }
 
+/// Decode a purely relational generalized database (`σ = ∅`) back into a
+/// naïve relational database: one fact per node, the node's label read
+/// as the relation name. The inverse of [`encode_relational`] up to
+/// duplicate nodes (a [`NaiveDatabase`] is a fact *set*, so nodes with
+/// equal label and data collapse into one fact). Returns `None` when the
+/// database carries structural tuples — those have no relational
+/// reading. This is the bridge that lets the data-exchange chase and
+/// certain-answer paths run on the compiled join engine of `ca_query`.
+pub fn relational_view(d: &GenDb) -> Option<NaiveDatabase> {
+    if !d.tuples.is_empty() {
+        return None;
+    }
+    let mut schema = ca_relational::schema::Schema::new();
+    for sym in d.schema.label_symbols() {
+        schema.add_relation(d.schema.label_name(sym), d.schema.label_arity(sym));
+    }
+    let mut out = NaiveDatabase::new(schema);
+    for (label, data) in d.labels.iter().zip(&d.data) {
+        let rel = out.schema.relation(d.schema.label_name(*label))?;
+        out.add_fact(rel, data.clone());
+    }
+    Some(out)
+}
+
 /// The name of the child relation used by XML encodings.
 pub const CHILD: &str = "child";
 
@@ -205,6 +229,21 @@ mod tests {
         assert_eq!(g.schema.n_relations(), 0);
         assert_eq!(g.data[0], vec![c(1), n(1)]);
         assert_eq!(g.data[1], vec![n(1), n(2), c(2)]);
+    }
+
+    #[test]
+    fn relational_view_inverts_encoding() {
+        let mut schema = ca_relational::schema::Schema::new();
+        schema.add_relation("R", 2);
+        schema.add_relation("S", 3);
+        let mut db = ca_relational::database::NaiveDatabase::new(schema);
+        db.add("R", vec![c(1), n(1)]);
+        db.add("S", vec![n(1), n(2), c(2)]);
+        let g = encode_relational(&db);
+        assert_eq!(relational_view(&g), Some(db));
+        // Structural tuples have no relational reading.
+        let xml = encode_xml(&example_tree());
+        assert_eq!(relational_view(&xml), None);
     }
 
     /// Faithfulness of the relational encoding: `D ⊑ D′ ⇔ enc(D) ⊑

@@ -63,6 +63,29 @@ impl<'a> DbIndex<'a> {
         }
     }
 
+    /// Build an index over an explicit fact list instead of a
+    /// [`NaiveDatabase`] — used by the chase engine, whose interned fact
+    /// store is not a database. Fact ids are assigned in iteration order,
+    /// so callers can translate their own ids onto index ids. Every
+    /// `Symbol` yielded must satisfy `index() < n_relations`.
+    pub fn from_facts<I>(n_relations: usize, facts: I) -> Self
+    where
+        I: IntoIterator<Item = (Symbol, &'a [Value])>,
+    {
+        let mut by_rel = vec![Vec::new(); n_relations];
+        let mut args = Vec::new();
+        for (id, (rel, tuple)) in facts.into_iter().enumerate() {
+            by_rel[rel.index()].push(id as u32);
+            args.push(tuple);
+        }
+        DbIndex {
+            args,
+            by_rel,
+            tables: Vec::new(),
+            dir: HashMap::new(),
+        }
+    }
+
     /// All fact ids of a relation.
     pub(crate) fn rows(&self, rel: Symbol) -> &[u32] {
         &self.by_rel[rel.index()]

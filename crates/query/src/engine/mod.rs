@@ -178,6 +178,94 @@ pub fn eval_cq_into(
     exec(cq, &handles, &*idx, 0, &mut bufs, emit);
 }
 
+/// The index-table handles of one compiled CQ on one [`DbIndex`],
+/// resolved once by [`prepare_cq`]. Keeping the handles outside the
+/// index lets many evaluations (and many threads) share one immutably
+/// borrowed index afterwards — the access pattern of the semi-naive
+/// chase, which prepares every rule plan up front and then runs the
+/// match phase in parallel.
+pub struct PreparedCq {
+    handles: Vec<usize>,
+}
+
+/// Resolve a compiled CQ's index tables on `idx` (building any missing
+/// ones). The returned handles are only meaningful for this (plan,
+/// index) pair.
+pub fn prepare_cq(cq: &CompiledCq, idx: &mut DbIndex<'_>) -> PreparedCq {
+    PreparedCq {
+        handles: idx.ensure_cq(cq),
+    }
+}
+
+/// Evaluate a prepared CQ against an immutably borrowed index, calling
+/// `emit` on every head row (with duplicates; returning `false` stops
+/// early). `prep` must come from [`prepare_cq`] for the same plan and
+/// index.
+pub fn eval_prepared_into(
+    cq: &CompiledCq,
+    prep: &PreparedCq,
+    idx: &DbIndex<'_>,
+    emit: &mut dyn FnMut(&[Value]) -> bool,
+) {
+    debug_assert_eq!(prep.handles.len(), cq.atoms.len());
+    let mut bufs = ExecBufs {
+        slots: vec![Value::Const(0); cq.n_slots],
+        scratch: vec![Vec::new(); cq.atoms.len()],
+        head_buf: Vec::with_capacity(cq.head_slots.len()),
+    };
+    exec(cq, &prep.handles, idx, 0, &mut bufs, emit);
+}
+
+/// Semi-naive evaluation of a prepared CQ: the **first** atom of the
+/// plan ranges over `seed` — an explicit list of fact ids of its
+/// relation, typically a delta set — instead of the whole relation, and
+/// the remaining atoms join as usual. Compile the plan with
+/// [`CompiledCq::compile_pinned`] so the atom to be seeded leads the
+/// join order; nothing precedes it, so its key parts are all constants,
+/// verified inline per candidate here (a `Slot` part is treated as
+/// unmatched rather than trusted). A plan with no atoms emits nothing:
+/// there is no atom to seed.
+pub fn eval_seeded_into(
+    cq: &CompiledCq,
+    prep: &PreparedCq,
+    idx: &DbIndex<'_>,
+    seed: &[u32],
+    emit: &mut dyn FnMut(&[Value]) -> bool,
+) {
+    let Some(atom) = cq.atoms.first() else {
+        return;
+    };
+    debug_assert_eq!(prep.handles.len(), cq.atoms.len());
+    let mut bufs = ExecBufs {
+        slots: vec![Value::Const(0); cq.n_slots],
+        scratch: vec![Vec::new(); cq.atoms.len()],
+        head_buf: Vec::with_capacity(cq.head_slots.len()),
+    };
+    'cand: for &id in seed {
+        let fact = idx.fact(id);
+        for (&pos, kp) in atom.sig.iter().zip(&atom.key) {
+            let expected = match kp {
+                plan::KeyPart::Const(v) => *v,
+                plan::KeyPart::Slot(_) => continue 'cand,
+            };
+            if fact[pos] != expected {
+                continue 'cand;
+            }
+        }
+        for &(pos, slot) in &atom.binds {
+            bufs.slots[slot] = fact[pos];
+        }
+        for &(pos, slot) in &atom.checks {
+            if fact[pos] != bufs.slots[slot] {
+                continue 'cand;
+            }
+        }
+        if !exec(cq, &prep.handles, idx, 1, &mut bufs, emit) {
+            return;
+        }
+    }
+}
+
 /// Evaluate a compiled UCQ on a prepared index: the union of the
 /// disjuncts' answer sets.
 pub fn eval_ucq_on(ucq: &CompiledUcq, idx: &mut DbIndex<'_>) -> BTreeSet<Vec<Value>> {
@@ -387,6 +475,67 @@ mod tests {
             assert!(certain_table_over(&plan, &db, &[], threads).is_empty());
             assert!(certain_bool_over(&plan, &db, &[], threads));
         }
+    }
+
+    #[test]
+    fn seeded_eval_finds_exactly_the_delta_joins() {
+        // R(x,y) ∧ R(y,z) with the first atom seeded by the last fact
+        // only: answers must use that fact in position one.
+        let q = ConjunctiveQuery::with_head(
+            vec![0, 2],
+            vec![
+                Atom::new("R", vec![V(0), V(1)]),
+                Atom::new("R", vec![V(1), V(2)]),
+            ],
+        );
+        let db = table("R", 2, &[&[c(1), c(2)], &[c(2), c(3)], &[c(3), c(4)]]);
+        let plan = CompiledCq::compile_pinned(&q, &db.schema, 0).unwrap();
+        let mut idx = DbIndex::new(&db);
+        let prep = prepare_cq(&plan, &mut idx);
+        let seed_id = db
+            .facts()
+            .iter()
+            .position(|f| f.args == vec![c(2), c(3)])
+            .unwrap() as u32;
+        let mut rows = BTreeSet::new();
+        eval_seeded_into(&plan, &prep, &idx, &[seed_id], &mut |row| {
+            rows.insert(row.to_vec());
+            true
+        });
+        assert_eq!(rows, BTreeSet::from([vec![c(2), c(4)]]));
+        // Seeding with every fact recovers the full answer set.
+        let all: Vec<u32> = (0..db.facts().len() as u32).collect();
+        let mut full = BTreeSet::new();
+        eval_seeded_into(&plan, &prep, &idx, &all, &mut |row| {
+            full.insert(row.to_vec());
+            true
+        });
+        assert_eq!(full, eval_cq(&q, &db).unwrap());
+    }
+
+    #[test]
+    fn from_facts_index_matches_database_index() {
+        let db = table("R", 2, &[&[c(1), c(2)], &[c(2), c(3)], &[c(2), c(4)]]);
+        let rows: Vec<(ca_core::symbol::Symbol, &[Value])> = db
+            .facts()
+            .iter()
+            .map(|f| (f.rel, f.args.as_slice()))
+            .collect();
+        let mut idx = DbIndex::from_facts(db.schema.len(), rows);
+        let q = ConjunctiveQuery::with_head(
+            vec![0, 2],
+            vec![
+                Atom::new("R", vec![V(0), V(1)]),
+                Atom::new("R", vec![V(1), V(2)]),
+            ],
+        );
+        let plan = CompiledCq::compile(&q, &db.schema).unwrap();
+        let mut out = BTreeSet::new();
+        eval_cq_into(&plan, &mut idx, &mut |row| {
+            out.insert(row.to_vec());
+            true
+        });
+        assert_eq!(out, eval_cq(&q, &db).unwrap());
     }
 
     #[test]

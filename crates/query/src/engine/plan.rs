@@ -117,6 +117,28 @@ pub struct CompiledCq {
 impl CompiledCq {
     /// Compile a CQ against a schema.
     pub fn compile(q: &ConjunctiveQuery, schema: &Schema) -> Result<CompiledCq, PlanError> {
+        Self::compile_with_pin(q, schema, None)
+    }
+
+    /// Compile with atom `pin` forced to the front of the join order (the
+    /// remaining atoms are ordered greedily as usual). Because nothing
+    /// precedes the pinned atom, its key parts are all constants, which
+    /// is what lets [`crate::engine::eval_seeded_into`] range it over an
+    /// explicit fact list (a semi-naive delta set) instead of the whole
+    /// relation. A `pin` out of range is ignored (plain compilation).
+    pub fn compile_pinned(
+        q: &ConjunctiveQuery,
+        schema: &Schema,
+        pin: usize,
+    ) -> Result<CompiledCq, PlanError> {
+        Self::compile_with_pin(q, schema, Some(pin))
+    }
+
+    fn compile_with_pin(
+        q: &ConjunctiveQuery,
+        schema: &Schema,
+        pin: Option<usize>,
+    ) -> Result<CompiledCq, PlanError> {
         // Resolve relations and validate arities up front.
         let mut rels = Vec::with_capacity(q.atoms.len());
         for atom in &q.atoms {
@@ -136,7 +158,7 @@ impl CompiledCq {
             rels.push(rel);
         }
 
-        let order = join_order(q);
+        let order = join_order(q, pin);
         let mut slots: BTreeMap<u32, usize> = BTreeMap::new();
         let mut atoms = Vec::with_capacity(order.len());
         for &i in &order {
@@ -197,12 +219,23 @@ impl CompiledCq {
 /// Greedy bound-variable join ordering: repeatedly pick the atom with the
 /// most positions already known (constants + variables bound by earlier
 /// picks), tie-breaking on fewer fresh variables, then original order.
-/// Deterministic by construction.
-fn join_order(q: &ConjunctiveQuery) -> Vec<usize> {
+/// Deterministic by construction. When `pin` names an atom, that atom is
+/// forced to the front and the greedy order continues from its variable
+/// bindings.
+fn join_order(q: &ConjunctiveQuery, pin: Option<usize>) -> Vec<usize> {
     let n = q.atoms.len();
     let mut bound: Vec<u32> = Vec::new();
     let mut remaining: Vec<usize> = (0..n).collect();
     let mut order = Vec::with_capacity(n);
+    if let Some(p) = pin.filter(|&p| p < n) {
+        remaining.retain(|&i| i != p);
+        for v in q.atoms[p].vars() {
+            if !bound.contains(&v) {
+                bound.push(v);
+            }
+        }
+        order.push(p);
+    }
     loop {
         let best = remaining
             .iter()
@@ -305,11 +338,31 @@ mod tests {
             Atom::new("S", vec![V(0)]),
             Atom::new("R", vec![V(1), C(3)]),
         ]);
-        let order = join_order(&q);
+        let order = join_order(&q, None);
         assert_eq!(order[0], 2, "constant atom should lead: {order:?}");
         // Whatever follows, every later atom shares a variable with the
         // prefix (the query is connected), so no cartesian products.
         assert_eq!(order.len(), 3);
+    }
+
+    #[test]
+    fn pinned_atom_leads_and_its_key_is_constant_only() {
+        // Same query: pinning atom 0 overrides the greedy leader, and the
+        // pinned atom's probe key carries no Slot parts (nothing is bound
+        // before it), the invariant seeded evaluation relies on.
+        let q = ConjunctiveQuery::boolean(vec![
+            Atom::new("R", vec![V(0), V(1)]),
+            Atom::new("S", vec![V(0)]),
+            Atom::new("R", vec![V(1), C(3)]),
+        ]);
+        assert_eq!(join_order(&q, Some(0))[0], 0);
+        let plan = CompiledCq::compile_pinned(&q, &schema(), 0).unwrap();
+        assert!(plan.atoms[0]
+            .key
+            .iter()
+            .all(|k| matches!(k, KeyPart::Const(_))));
+        // Out-of-range pin falls back to the plain greedy order.
+        assert_eq!(join_order(&q, Some(17)), join_order(&q, None));
     }
 
     #[test]

@@ -222,10 +222,58 @@ pub fn parallel_intersect(
     )
 }
 
+/// Deterministic parallel map: compute `f(0), …, f(count - 1)` on at most
+/// `threads` workers over contiguous index chunks and return the results
+/// **in index order**, so the output is byte-identical at every thread
+/// count. Used by the chase engine's match phase (this module is the
+/// sanctioned home for `std::thread` in the query crate). Runs
+/// sequentially for `threads <= 1` or fewer than two items.
+pub fn parallel_map<T: Send>(
+    count: usize,
+    threads: usize,
+    f: impl Fn(usize) -> T + Sync,
+) -> Vec<T> {
+    let width = threads.max(1).min(count.max(1));
+    if width <= 1 {
+        return (0..count).map(f).collect();
+    }
+    let per = count.div_ceil(width).max(1);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        let mut lo = 0;
+        while lo < count {
+            let hi = (lo + per).min(count);
+            let f = &f;
+            handles.push(scope.spawn(move || (lo..hi).map(f).collect::<Vec<T>>()));
+            lo = hi;
+        }
+        let mut out = Vec::with_capacity(count);
+        for h in handles {
+            match h.join() {
+                Ok(part) => out.extend(part),
+                // A worker only panics if `f` panicked; re-raise the
+                // original payload rather than inventing a new panic here.
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        out
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use ca_relational::database::build::{c, n, table};
+
+    #[test]
+    fn parallel_map_is_order_preserving_at_every_width() {
+        let expected: Vec<usize> = (0..103).map(|i| i * i).collect();
+        for threads in [1, 2, 3, 4, 9] {
+            assert_eq!(parallel_map(103, threads, |i| i * i), expected);
+        }
+        assert!(parallel_map(0, 4, |i| i).is_empty());
+        assert_eq!(parallel_map(1, 4, |i| i), vec![0]);
+    }
 
     #[test]
     fn completion_space_counts() {
