@@ -378,7 +378,8 @@ fn main() {
     println!("{report}");
 
     let json = format!(
-        "{{\n  \"bench\": \"chase_bench\",\n  \"threads_default\": {},\n  \"host_cores\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"chase_bench\",\n  \"git_rev\": \"{}\",\n  \"threads_default\": {},\n  \"host_cores\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+        ca_bench::report::git_rev(),
         default_threads(),
         host_cores,
         json_rows.join(",\n")

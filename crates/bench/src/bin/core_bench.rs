@@ -332,7 +332,8 @@ fn main() {
     println!("{report}");
 
     let json = format!(
-        "{{\n  \"bench\": \"core_bench\",\n  \"threads_default\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"core_bench\",\n  \"git_rev\": \"{}\",\n  \"threads_default\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+        ca_bench::report::git_rev(),
         default_threads(),
         json_rows.join(",\n")
     );

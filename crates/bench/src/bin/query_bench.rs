@@ -338,7 +338,8 @@ fn main() {
     println!("{report}");
 
     let json = format!(
-        "{{\n  \"bench\": \"query_bench\",\n  \"threads_default\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"query_bench\",\n  \"git_rev\": \"{}\",\n  \"threads_default\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+        ca_bench::report::git_rev(),
         engine::eval_threads(),
         json_rows.join(",\n")
     );

@@ -404,7 +404,8 @@ fn main() {
     println!("{report}");
 
     let json = format!(
-        "{{\n  \"bench\": \"solver_bench\",\n  \"threads_default\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"solver_bench\",\n  \"git_rev\": \"{}\",\n  \"threads_default\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+        ca_bench::report::git_rev(),
         ca_hom::csp::default_threads(),
         json_rows.join(",\n")
     );

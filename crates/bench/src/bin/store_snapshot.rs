@@ -1,0 +1,135 @@
+//! `store_snapshot` — pack, inspect, and dump columnar-store snapshots.
+//!
+//! The workspace fact store (`ca_core::store`) serializes to a
+//! versioned little-endian snapshot; this CLI is the operational
+//! surface around it:
+//!
+//! ```text
+//! store_snapshot pack <db.txt> <out.snapshot>   # text database → snapshot
+//! store_snapshot info <snapshot>                # header + per-relation stats (zero-copy view)
+//! store_snapshot dump <snapshot>                # snapshot → text database on stdout
+//! ```
+//!
+//! `pack` parses the `R(1, ?x, _)` text syntax (`ca_relational::parse`),
+//! bulk-loads it through `to_store`, and writes `FactStore::to_bytes`.
+//! `info` never materializes a store: it reads the snapshot through
+//! `SnapshotView`, which parses only the header and relation directory
+//! (O(relations), not O(facts)) — so inspecting a multi-gigabyte
+//! snapshot is instant. `dump` round-trips through `FactStore` and
+//! prints one fact per line in the same text syntax `pack` accepts, so
+//! `pack` ∘ `dump` is the identity on normalized databases.
+
+use std::process::ExitCode;
+
+use ca_core::store::{FactStore, SnapshotView};
+use ca_core::value::Value;
+use ca_relational::{from_store, parse_database, to_store};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  store_snapshot pack <db.txt> <out.snapshot>\n  \
+         store_snapshot info <snapshot>\n  store_snapshot dump <snapshot>"
+    );
+    ExitCode::FAILURE
+}
+
+fn fail(what: &str, err: impl std::fmt::Display) -> ExitCode {
+    eprintln!("store_snapshot: {what}: {err}");
+    ExitCode::FAILURE
+}
+
+fn pack(db_path: &str, out_path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(db_path) {
+        Ok(t) => t,
+        Err(e) => return fail(db_path, e),
+    };
+    let db = match parse_database(&text) {
+        Ok(db) => db,
+        Err(e) => return fail(db_path, e),
+    };
+    let bytes = to_store(&db).to_bytes();
+    if let Err(e) = std::fs::write(out_path, &bytes) {
+        return fail(out_path, e);
+    }
+    eprintln!(
+        "store_snapshot: packed {} fact(s) into {} ({} bytes)",
+        db.len(),
+        out_path,
+        bytes.len()
+    );
+    ExitCode::SUCCESS
+}
+
+fn info(path: &str) -> ExitCode {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) => return fail(path, e),
+    };
+    let view = match SnapshotView::parse(&bytes) {
+        Ok(v) => v,
+        Err(e) => return fail(path, e),
+    };
+    println!("snapshot: {path}");
+    println!("  bytes:     {}", bytes.len());
+    println!("  constants: {}", view.n_consts());
+    println!("  nulls:     {}", view.n_nulls());
+    println!("  facts:     {}", view.n_facts());
+    println!("  relations: {}", view.n_rels());
+    for r in 0..view.n_rels() {
+        match (
+            view.rel_name(r),
+            view.rel_arity(r),
+            view.rel_rows(r),
+            view.rel_live(r),
+        ) {
+            (Ok(name), Ok(arity), Ok(rows), Ok(live)) => {
+                println!("    {name}/{arity}: {rows} row(s), {live} live");
+            }
+            _ => return fail(path, "corrupt relation directory"),
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn dump(path: &str) -> ExitCode {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) => return fail(path, e),
+    };
+    let store = match FactStore::from_bytes(&bytes) {
+        Ok(s) => s,
+        Err(e) => return fail(path, e),
+    };
+    let db = from_store(&store);
+    for f in db.facts() {
+        let args: Vec<String> = f
+            .args
+            .iter()
+            .map(|v| match v {
+                Value::Const(c) => c.to_string(),
+                Value::Null(n) => format!("?x{}", n.0),
+            })
+            .collect();
+        println!("{}({})", db.schema.name(f.rel), args.join(", "));
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    match args.get(1).map(String::as_str) {
+        Some("pack") => match (args.get(2), args.get(3)) {
+            (Some(db), Some(out)) => pack(db, out),
+            _ => usage(),
+        },
+        Some("info") => match args.get(2) {
+            Some(p) => info(p),
+            None => usage(),
+        },
+        Some("dump") => match args.get(2) {
+            Some(p) => dump(p),
+            None => usage(),
+        },
+        _ => usage(),
+    }
+}

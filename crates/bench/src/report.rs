@@ -78,6 +78,22 @@ pub fn timed<T>(f: impl FnOnce() -> T) -> (T, u128) {
     (out, start.elapsed().as_micros())
 }
 
+/// The current git revision, for stamping `BENCH_*.json` emissions so a
+/// recorded run is attributable to the exact tree that produced it.
+/// `"unknown"` when git (or the repository) is unavailable — bench
+/// output must not depend on the host's tooling.
+pub fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

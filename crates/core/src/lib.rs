@@ -22,6 +22,12 @@
 //!   certain answers are computed by naïve evaluation.
 //! * [`config`] — the `CA_*` environment knobs (thread widths for the
 //!   parallel kernels), parsed once with a single saturating policy.
+//! * [`fxhash`] — the fixed-seed Fx hasher backing the store's hot maps
+//!   (trusted in-process keys; deterministic across runs and hosts).
+//! * [`store`] — the workspace-wide columnar interned fact store all
+//!   engines evaluate over: a global value interner with dense tagged
+//!   ids, per-relation column pages with a live bitmap, the null
+//!   occurrence index, and the versioned binary snapshot format.
 //!
 //! Everything downstream (naïve tables, XML trees, generalized databases)
 //! instantiates these abstractions; the theory-level results are tested here
@@ -30,8 +36,10 @@
 pub mod complete;
 pub mod config;
 pub mod domain;
+pub mod fxhash;
 pub mod powerdomain;
 pub mod preorder;
+pub mod store;
 pub mod symbol;
 pub mod value;
 

@@ -14,7 +14,10 @@
 //!   evaluation);
 //! * a *trigger* is a valuation of the rule's frontier (sorted body∩head
 //!   nulls). Fired triggers are remembered per rule in a hash set over
-//!   the **interned fact store**, so no trigger ever fires twice; head
+//!   the **workspace columnar fact store** ([`ca_core::store::FactStore`]
+//!   — interned values, column-major tuples, a live bitmap, and a
+//!   store-level null-occurrence index), so no trigger ever fires twice;
+//!   head
 //!   satisfaction is decided set-at-a-time by evaluating the head
 //!   pattern as a query whose answers are precisely the satisfied
 //!   frontier valuations, instead of one satisfiability probe per match;
@@ -39,9 +42,10 @@
 //! in a different order — outcome agreement on terminating inputs is
 //! unaffected, since chase failure and success are order-independent.
 
-use std::collections::hash_map::Entry;
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::BTreeSet;
 
+use ca_core::fxhash::{FxHashMap, FxHashSet};
+use ca_core::store::{FactId, FactStore};
 use ca_core::symbol::Symbol;
 use ca_core::value::{Null, NullGen, Value};
 use ca_gdm::database::GenDb;
@@ -168,7 +172,7 @@ fn compile_egd(egd: &Egd, schema: &Schema) -> Option<CompiledEgd> {
 /// deterministic.
 #[derive(Default)]
 struct UnionFind {
-    parent: HashMap<Null, Value>,
+    parent: FxHashMap<Null, Value>,
 }
 
 impl UnionFind {
@@ -204,111 +208,6 @@ impl UnionFind {
                 Ok(Some(loser))
             }
         }
-    }
-}
-
-/// The interned fact store: each distinct `(relation, tuple)` is one
-/// fact with a stable id. Egd rewrites mutate tuples in place (or
-/// collapse a fact into an existing identical one, marking it dead); the
-/// null-occurrence index tolerates stale entries — rewriting re-checks
-/// liveness and recomputes tuples from scratch.
-#[derive(Default)]
-struct FactStore {
-    rels: Vec<Symbol>,
-    tuples: Vec<Vec<Value>>,
-    live: Vec<bool>,
-    /// `(relation, tuple) → id`; keys always describe the live tuple of
-    /// their id, so lookups never resurrect a collapsed fact.
-    intern: HashMap<(Symbol, Vec<Value>), u32>,
-    /// Fact ids whose tuple has (or once had) this null.
-    occ: HashMap<Null, Vec<u32>>,
-}
-
-impl FactStore {
-    fn len(&self) -> usize {
-        self.rels.len()
-    }
-
-    fn is_live(&self, id: u32) -> bool {
-        self.live[id as usize]
-    }
-
-    fn rel(&self, id: u32) -> Symbol {
-        self.rels[id as usize]
-    }
-
-    fn fact(&self, id: u32) -> (Symbol, &[Value]) {
-        (self.rels[id as usize], self.tuples[id as usize].as_slice())
-    }
-
-    /// Intern a fact; `Some(id)` iff it is new (callers delta-track it).
-    fn insert(&mut self, rel: Symbol, tuple: Vec<Value>) -> Option<u32> {
-        match self.intern.entry((rel, tuple)) {
-            Entry::Occupied(_) => None,
-            Entry::Vacant(v) => {
-                let id = self.rels.len() as u32;
-                let tuple = v.key().1.clone();
-                v.insert(id);
-                self.rels.push(rel);
-                self.live.push(true);
-                for val in &tuple {
-                    if let Value::Null(nl) = val {
-                        self.occ.entry(*nl).or_default().push(id);
-                    }
-                }
-                self.tuples.push(tuple);
-                Some(id)
-            }
-        }
-    }
-
-    /// Rewrite every live fact mentioning a merged null through the
-    /// union-find, returning the ids whose tuple changed in place (facts
-    /// that collapse into an existing identical fact go dead instead and
-    /// are not reported — the surviving fact's tuple did not change, so
-    /// every match through it was already found when *it* was delta).
-    fn rewrite(&mut self, merged: &[Null], uf: &UnionFind) -> Vec<u32> {
-        let mut ids: Vec<u32> = Vec::new();
-        for nl in merged {
-            if let Some(v) = self.occ.get(nl) {
-                ids.extend_from_slice(v);
-            }
-        }
-        ids.sort_unstable();
-        ids.dedup();
-        let mut changed = Vec::new();
-        for id in ids {
-            if !self.live[id as usize] {
-                continue;
-            }
-            let new_tuple: Vec<Value> = self.tuples[id as usize]
-                .iter()
-                .map(|&v| uf.find(v))
-                .collect();
-            if new_tuple == self.tuples[id as usize] {
-                continue;
-            }
-            let rel = self.rels[id as usize];
-            let old_key = (rel, std::mem::take(&mut self.tuples[id as usize]));
-            self.intern.remove(&old_key);
-            match self.intern.entry((rel, new_tuple)) {
-                Entry::Occupied(_) => {
-                    self.live[id as usize] = false;
-                }
-                Entry::Vacant(v) => {
-                    let t = v.key().1.clone();
-                    v.insert(id);
-                    for val in &t {
-                        if let Value::Null(nl) = val {
-                            self.occ.entry(*nl).or_default().push(id);
-                        }
-                    }
-                    self.tuples[id as usize] = t;
-                    changed.push(id);
-                }
-            }
-        }
-        changed
     }
 }
 
@@ -380,15 +279,23 @@ fn run(
     mut gen: NullGen,
     cfg: &ChaseConfig,
 ) -> ChaseOutcome {
-    let mut store = FactStore::default();
+    // The chase state lives in the workspace columnar store; relations
+    // are registered in schema order, so store symbols coincide with the
+    // schema symbols the plans were compiled against.
+    let mut store = FactStore::new();
+    for sym in schema.symbols() {
+        let reg = store.add_relation(schema.name(sym), schema.arity(sym));
+        debug_assert_eq!(reg, sym, "store symbols mirror schema symbols");
+    }
     let mut uf = UnionFind::default();
-    let mut fired: Vec<HashSet<Vec<Value>>> = rules.iter().map(|_| HashSet::new()).collect();
+    let mut fired: Vec<FxHashSet<Vec<Value>>> =
+        rules.iter().map(|_| FxHashSet::default()).collect();
     let mut steps = 0usize;
     // Load the instance; duplicate nodes intern to one fact.
-    let mut delta: Vec<u32> = Vec::new();
+    let mut delta: Vec<FactId> = Vec::new();
     for (label, row) in instance.labels.iter().zip(&instance.data) {
         let rel = rel_of_label.get(label.index()).copied().unwrap_or(*label); // unreachable: every instance label is in its schema
-        if let Some(id) = store.insert(rel, row.clone()) {
+        if let Some(id) = store.insert(rel, row) {
             delta.push(id);
         }
     }
@@ -432,7 +339,7 @@ fn run(
                 if merged.is_empty() {
                     break;
                 }
-                let changed = store.rewrite(&merged, &uf);
+                let changed = store.rewrite(&merged, |v| uf.find(v));
                 // Keep the dedup keys aligned with the rewritten
                 // instance: fired valuations go through the same merge
                 // substitution as the facts (order-independent — the set
@@ -480,7 +387,7 @@ fn run(
                     return ChaseOutcome::Aborted;
                 }
                 steps += 1;
-                let mut fresh: HashMap<Null, Value> = HashMap::new();
+                let mut fresh: FxHashMap<Null, Value> = FxHashMap::default();
                 for hf in &rule.head_facts {
                     let tuple: Vec<Value> = hf
                         .template
@@ -493,7 +400,7 @@ fn run(
                             }
                         })
                         .collect();
-                    if let Some(id) = store.insert(hf.rel, tuple) {
+                    if let Some(id) = store.insert(hf.rel, &tuple) {
                         inserted.push(id);
                     }
                 }
@@ -510,27 +417,15 @@ fn run(
     }
 }
 
-/// Snapshot the live facts: `(store ids in order, store id → snapshot id
-/// or MAX)`.
-fn snapshot(store: &FactStore) -> (Vec<u32>, Vec<u32>) {
-    let mut snap = Vec::new();
-    let mut back = vec![u32::MAX; store.len()];
-    for id in 0..store.len() as u32 {
-        if store.is_live(id) {
-            back[id as usize] = snap.len() as u32;
-            snap.push(id);
-        }
-    }
-    (snap, back)
-}
-
-/// Partition delta store ids into per-relation snapshot-id seed lists.
-fn seeds_by_rel(schema: &Schema, store: &FactStore, back: &[u32], seed: &[u32]) -> Vec<Vec<u32>> {
+/// Partition delta fact ids into per-relation row-id seed lists (the
+/// seeded evaluator pins plans on rows of the pinned relation's column
+/// pages). Dead facts are skipped — a fact can die between the delta
+/// being recorded and the match phase that consumes it.
+fn seeds_by_rel(schema: &Schema, store: &FactStore, seed: &[FactId]) -> Vec<Vec<u32>> {
     let mut out = vec![Vec::new(); schema.len()];
     for &id in seed {
-        let s = back[id as usize];
-        if s != u32::MAX {
-            out[store.rel(id).index()].push(s);
+        if store.is_live(id) {
+            out[store.fact_rel(id).index()].push(store.fact_row(id));
         }
     }
     out
@@ -593,11 +488,10 @@ fn egd_matches(
     schema: &Schema,
     store: &FactStore,
     egds: &[CompiledEgd],
-    seed: &[u32],
+    seed: &[FactId],
     cfg: &ChaseConfig,
 ) -> Result<BTreeSet<(Value, Value)>, ()> {
-    let (snap, back) = snapshot(store);
-    let mut idx = DbIndex::from_facts(schema.len(), snap.iter().map(|&id| store.fact(id)));
+    let mut idx = DbIndex::over(store);
     let prepared: Vec<Vec<PreparedCq>> = egds
         .iter()
         .map(|e| {
@@ -607,7 +501,7 @@ fn egd_matches(
                 .collect()
         })
         .collect();
-    let seeds = seeds_by_rel(schema, store, &back, seed);
+    let seeds = seeds_by_rel(schema, store, seed);
     let mut plan_seeds: Vec<(usize, usize, usize)> = Vec::new();
     let mut total_seed = 0usize;
     for (e, egd) in egds.iter().enumerate() {
@@ -640,10 +534,13 @@ fn egd_matches(
                 &seeds[rel.index()][lo..hi],
                 &mut |row| {
                     if let [a, b] = row {
-                        if set.contains(&(*a, *b)) {
-                            return true;
-                        }
+                        // Insert straight away (dedup is free for Copy
+                        // pairs); only a full set needs the existence
+                        // check to tell "duplicate" from "over budget".
                         if set.len() == limit {
+                            if set.contains(&(*a, *b)) {
+                                return true;
+                            }
                             over = true;
                             return false;
                         }
@@ -676,8 +573,8 @@ fn tgd_matches(
     schema: &Schema,
     store: &FactStore,
     rules: &[CompiledRule],
-    fired: &[HashSet<Vec<Value>>],
-    seed: &[u32],
+    fired: &[FxHashSet<Vec<Value>>],
+    seed: &[FactId],
     first_round: bool,
     cfg: &ChaseConfig,
 ) -> Result<(Vec<TriggerSet>, Vec<TriggerSet>), ()> {
@@ -687,8 +584,7 @@ fn tgd_matches(
     if n_rules == 0 {
         return Ok((triggers, satisfied));
     }
-    let (snap, back) = snapshot(store);
-    let mut idx = DbIndex::from_facts(schema.len(), snap.iter().map(|&id| store.fact(id)));
+    let mut idx = DbIndex::over(store);
     // Resolve every plan's index tables up front (mutably), so the
     // parallel phases below can share the index immutably.
     let prepared: Vec<(Vec<PreparedCq>, PreparedCq)> = rules
@@ -703,7 +599,7 @@ fn tgd_matches(
             )
         })
         .collect();
-    let seeds = seeds_by_rel(schema, store, &back, seed);
+    let seeds = seeds_by_rel(schema, store, seed);
     let mut plan_seeds: Vec<(usize, usize, usize)> = Vec::new();
     let mut total_seed = 0usize;
     for (r, rule) in rules.iter().enumerate() {
@@ -796,11 +692,8 @@ fn tgd_matches(
 /// order, over the original generalized schema.
 fn rebuild(schema: &Schema, store: &FactStore, instance: &GenDb) -> GenDb {
     let mut out = GenDb::new(instance.schema.clone());
-    for id in 0..store.len() as u32 {
-        if store.is_live(id) {
-            let (rel, tuple) = store.fact(id);
-            out.add_node(schema.name(rel), tuple.to_vec());
-        }
+    for id in store.iter_live() {
+        out.add_node(schema.name(store.fact_rel(id)), store.fact_values(id));
     }
     out
 }
@@ -831,23 +724,26 @@ mod tests {
         assert_eq!(uf.union(c(6), Value::null(7)), Err(()));
     }
 
+    /// The engine's usage contract with the workspace columnar store:
+    /// union-find substitutions applied via `rewrite` collapse duplicates
+    /// silently and leave unrelated facts untouched.
     #[test]
     fn store_rewrite_touches_only_affected_facts_and_collapses_duplicates() {
-        let mut store = FactStore::default();
-        let rel = Symbol(0);
-        let a = store.insert(rel, vec![c(1), Value::null(9)]).unwrap();
-        let b = store.insert(rel, vec![c(1), c(5)]).unwrap();
-        let other = store.insert(rel, vec![c(2), c(2)]).unwrap();
+        let mut store = FactStore::new();
+        let rel = store.add_relation("R", 2);
+        let a = store.insert(rel, &[c(1), Value::null(9)]).unwrap();
+        let b = store.insert(rel, &[c(1), c(5)]).unwrap();
+        let other = store.insert(rel, &[c(2), c(2)]).unwrap();
         // Duplicate insert interns to the existing fact.
-        assert_eq!(store.insert(rel, vec![c(1), c(5)]), None);
+        assert_eq!(store.insert(rel, &[c(1), c(5)]), None);
         let mut uf = UnionFind::default();
         assert_eq!(uf.union(Value::null(9), c(5)), Ok(Some(nl(9))));
-        let changed = store.rewrite(&[nl(9)], &uf);
+        let changed = store.rewrite(&[nl(9)], |v| uf.find(v));
         // Fact `a` rewrote into `b`'s tuple: it collapses (goes dead)
         // rather than duplicating, and nothing is reported as changed.
         assert!(changed.is_empty());
         assert!(!store.is_live(a));
         assert!(store.is_live(b) && store.is_live(other));
-        assert_eq!(store.fact(other).1, &[c(2), c(2)]);
+        assert_eq!(store.fact_values(other), vec![c(2), c(2)]);
     }
 }

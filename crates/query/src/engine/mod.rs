@@ -10,14 +10,18 @@
 //!    repeated variables pushed into per-atom matchers, variables
 //!    resolved to dense slots, schema errors rejected with a typed
 //!    [`PlanError`];
-//! 2. **indexed execution** ([`index`]) — per-relation hash indices
-//!    keyed by each atom's bound-position signature, built lazily on
-//!    first probe and cached across the disjuncts of a UCQ and across
-//!    repeated evaluations on the same database;
+//! 2. **columnar indexed execution** ([`index`]) — plans execute over
+//!    the workspace columnar store (`ca_core::store`): the inner join
+//!    loop reads interned `u32` ids straight from column pages (no tuple
+//!    cloning, no `Value` hashing), with per-relation posting tables
+//!    (CSR or hash) keyed by each atom's bound-position signature, built
+//!    lazily on first probe and cached across the disjuncts of a UCQ and
+//!    across repeated evaluations on the same store;
 //! 3. **parallel completion sweep** ([`sweep`]) — brute-force certain
 //!    answers sweep the `|pool|^#nulls` completion grid in parallel
-//!    (`CA_EVAL_THREADS`), with early exit once the intersection
-//!    empties and thread-count-independent results.
+//!    (`CA_EVAL_THREADS`), grounding each completion by remapping null
+//!    ids over shared column pages, with early exit once the
+//!    intersection empties and thread-count-independent results.
 //!
 //! The old evaluator survives unchanged as [`crate::reference`] and
 //! serves as the differential-testing oracle (`tests/eval_differential.rs`),
@@ -29,6 +33,7 @@ pub mod sweep;
 
 use std::collections::BTreeSet;
 
+use ca_core::store::ValueId;
 use ca_core::value::Value;
 use ca_relational::database::NaiveDatabase;
 use ca_relational::schema::Schema;
@@ -50,19 +55,22 @@ pub fn compile_ucq(q: &UnionQuery, schema: &Schema) -> Result<CompiledUcq, PlanE
 }
 
 /// Reusable per-evaluation buffers threaded through [`exec`]: the
-/// variable-slot assignment, one probe-key scratch buffer per join
-/// depth, and the head-row buffer handed to `emit`.
+/// variable-slot assignment (interned value ids), one probe-key scratch
+/// buffer per join depth, and the head-row buffer handed to `emit`
+/// (translated back to [`Value`]s only at emission).
 struct ExecBufs {
-    slots: Vec<Value>,
-    scratch: Vec<Vec<Value>>,
+    slots: Vec<ValueId>,
+    scratch: Vec<Vec<ValueId>>,
     head_buf: Vec<Value>,
 }
 
-/// Execute the plan suffix from `depth`, with `handles` naming each
-/// atom's index table. Returns `false` iff `emit` requested a stop.
+/// Execute the plan suffix from `depth`, with `access` naming each
+/// atom's posting table and id-resolved key. The join loop compares
+/// interned `u32` ids read straight from the store's column pages.
+/// Returns `false` iff `emit` requested a stop.
 fn exec(
     cq: &CompiledCq,
-    handles: &[usize],
+    access: &[index::AtomAccess],
     idx: &DbIndex<'_>,
     depth: usize,
     bufs: &mut ExecBufs,
@@ -73,12 +81,14 @@ fn exec(
         // no per-row allocation on the hot path.
         bufs.head_buf.clear();
         for &s in &cq.head_slots {
-            bufs.head_buf.push(bufs.slots[s]);
+            bufs.head_buf.push(idx.value(bufs.slots[s]));
         }
         return emit(&bufs.head_buf);
     }
     let atom = &cq.atoms[depth];
-    let scanning = handles[depth] == index::SCAN;
+    let acc = &access[depth];
+    let cols = idx.cols(atom.rel);
+    let scanning = acc.handle == index::SCAN;
     // Borrow this depth's scratch buffer by taking it out of the slice
     // (and restoring it below), so the recursive call can borrow the rest.
     let mut key_buf = std::mem::take(&mut bufs.scratch[depth]);
@@ -88,36 +98,36 @@ fn exec(
     } else {
         // Reuse this depth's scratch buffer for the probe key.
         key_buf.clear();
-        key_buf.extend(atom.key.iter().map(|kp| match kp {
-            plan::KeyPart::Const(v) => *v,
-            plan::KeyPart::Slot(s) => bufs.slots[*s],
+        key_buf.extend(acc.key.iter().map(|kp| match kp {
+            index::IdKey::Const(id) => *id,
+            index::IdKey::Slot(s) => bufs.slots[*s],
         }));
-        idx.probe(handles[depth], &key_buf)
+        idx.probe(acc.handle, &key_buf)
     };
     let mut keep_going = true;
-    'cand: for &id in candidates {
-        let fact = idx.fact(id);
+    'cand: for &row in candidates {
+        let r = row as usize;
         if scanning {
             // The index did not filter on the signature; do it here.
-            for (&pos, kp) in atom.sig.iter().zip(&atom.key) {
+            for (&pos, kp) in atom.sig.iter().zip(&acc.key) {
                 let expected = match kp {
-                    plan::KeyPart::Const(v) => *v,
-                    plan::KeyPart::Slot(s) => bufs.slots[*s],
+                    index::IdKey::Const(id) => *id,
+                    index::IdKey::Slot(s) => bufs.slots[*s],
                 };
-                if fact[pos] != expected {
+                if cols[pos][r] != expected {
                     continue 'cand;
                 }
             }
         }
         for &(pos, slot) in &atom.binds {
-            bufs.slots[slot] = fact[pos];
+            bufs.slots[slot] = cols[pos][r];
         }
         for &(pos, slot) in &atom.checks {
-            if fact[pos] != bufs.slots[slot] {
+            if cols[pos][r] != bufs.slots[slot] {
                 continue 'cand;
             }
         }
-        if !exec(cq, handles, idx, depth + 1, bufs, emit) {
+        if !exec(cq, access, idx, depth + 1, bufs, emit) {
             keep_going = false;
             break;
         }
@@ -133,67 +143,70 @@ pub fn eval_cq_into(
     idx: &mut DbIndex<'_>,
     emit: &mut dyn FnMut(&[Value]) -> bool,
 ) {
-    let mut slots = vec![Value::Const(0); cq.n_slots];
+    let mut slots: Vec<ValueId> = vec![0; cq.n_slots];
     let mut head_buf = Vec::with_capacity(cq.head_slots.len());
     if let [atom] = cq.atoms.as_slice() {
         // Single-atom fast path: with one atom there is no join to
-        // accelerate, so building (or even resolving) a hash index can
-        // never amortize against the single scan that replaces it —
+        // accelerate, so building (or even resolving) a posting table
+        // can never amortize against the single scan that replaces it —
         // measurably so on small relations (`e02_ucq_edge`). Verify the
         // bound-position signature inline, exactly as the scanning
         // branch of `exec` would.
-        'cand: for &id in idx.rows(atom.rel) {
-            let fact = idx.fact(id);
-            for (&pos, kp) in atom.sig.iter().zip(&atom.key) {
+        let key = idx.resolve_key(&atom.key);
+        let cols = idx.cols(atom.rel);
+        'cand: for &row in idx.rows(atom.rel) {
+            let r = row as usize;
+            for (&pos, kp) in atom.sig.iter().zip(&key) {
                 let expected = match kp {
-                    plan::KeyPart::Const(v) => *v,
-                    plan::KeyPart::Slot(s) => slots[*s],
+                    index::IdKey::Const(id) => *id,
+                    index::IdKey::Slot(s) => slots[*s],
                 };
-                if fact[pos] != expected {
+                if cols[pos][r] != expected {
                     continue 'cand;
                 }
             }
             for &(pos, slot) in &atom.binds {
-                slots[slot] = fact[pos];
+                slots[slot] = cols[pos][r];
             }
             for &(pos, slot) in &atom.checks {
-                if fact[pos] != slots[slot] {
+                if cols[pos][r] != slots[slot] {
                     continue 'cand;
                 }
             }
             head_buf.clear();
-            head_buf.extend(cq.head_slots.iter().map(|&s| slots[s]));
+            head_buf.extend(cq.head_slots.iter().map(|&s| idx.value(slots[s])));
             if !emit(&head_buf) {
                 return;
             }
         }
         return;
     }
-    let handles = idx.ensure_cq(cq);
+    let access = idx.ensure_cq(cq);
     let mut bufs = ExecBufs {
         slots,
         scratch: vec![Vec::new(); cq.atoms.len()],
         head_buf,
     };
-    exec(cq, &handles, &*idx, 0, &mut bufs, emit);
+    exec(cq, &access, &*idx, 0, &mut bufs, emit);
 }
 
-/// The index-table handles of one compiled CQ on one [`DbIndex`],
-/// resolved once by [`prepare_cq`]. Keeping the handles outside the
-/// index lets many evaluations (and many threads) share one immutably
-/// borrowed index afterwards — the access pattern of the semi-naive
-/// chase, which prepares every rule plan up front and then runs the
-/// match phase in parallel.
+/// The resolved access paths of one compiled CQ on one [`DbIndex`],
+/// resolved once by [`prepare_cq`]: per atom, a posting-table handle and
+/// the key with plan constants interned to value ids. Keeping them
+/// outside the index lets many evaluations (and many threads) share one
+/// immutably borrowed index afterwards — the access pattern of the
+/// semi-naive chase, which prepares every rule plan up front and then
+/// runs the match phase in parallel.
 pub struct PreparedCq {
-    handles: Vec<usize>,
+    access: Vec<index::AtomAccess>,
 }
 
-/// Resolve a compiled CQ's index tables on `idx` (building any missing
-/// ones). The returned handles are only meaningful for this (plan,
+/// Resolve a compiled CQ's posting tables on `idx` (building any missing
+/// ones). The returned access paths are only meaningful for this (plan,
 /// index) pair.
 pub fn prepare_cq(cq: &CompiledCq, idx: &mut DbIndex<'_>) -> PreparedCq {
     PreparedCq {
-        handles: idx.ensure_cq(cq),
+        access: idx.ensure_cq(cq),
     }
 }
 
@@ -207,24 +220,24 @@ pub fn eval_prepared_into(
     idx: &DbIndex<'_>,
     emit: &mut dyn FnMut(&[Value]) -> bool,
 ) {
-    debug_assert_eq!(prep.handles.len(), cq.atoms.len());
+    debug_assert_eq!(prep.access.len(), cq.atoms.len());
     let mut bufs = ExecBufs {
-        slots: vec![Value::Const(0); cq.n_slots],
+        slots: vec![0; cq.n_slots],
         scratch: vec![Vec::new(); cq.atoms.len()],
         head_buf: Vec::with_capacity(cq.head_slots.len()),
     };
-    exec(cq, &prep.handles, idx, 0, &mut bufs, emit);
+    exec(cq, &prep.access, idx, 0, &mut bufs, emit);
 }
 
 /// Semi-naive evaluation of a prepared CQ: the **first** atom of the
-/// plan ranges over `seed` — an explicit list of fact ids of its
-/// relation, typically a delta set — instead of the whole relation, and
-/// the remaining atoms join as usual. Compile the plan with
-/// [`CompiledCq::compile_pinned`] so the atom to be seeded leads the
-/// join order; nothing precedes it, so its key parts are all constants,
-/// verified inline per candidate here (a `Slot` part is treated as
-/// unmatched rather than trusted). A plan with no atoms emits nothing:
-/// there is no atom to seed.
+/// plan ranges over `seed` — an explicit list of live *row ids of its
+/// relation* (a fact id translates via `FactStore::fact_row`), typically
+/// a delta set — instead of the whole relation, and the remaining atoms
+/// join as usual. Compile the plan with [`CompiledCq::compile_pinned`]
+/// so the atom to be seeded leads the join order; nothing precedes it,
+/// so its key parts are all constants, verified inline per candidate
+/// here (a `Slot` part is treated as unmatched rather than trusted). A
+/// plan with no atoms emits nothing: there is no atom to seed.
 pub fn eval_seeded_into(
     cq: &CompiledCq,
     prep: &PreparedCq,
@@ -235,32 +248,36 @@ pub fn eval_seeded_into(
     let Some(atom) = cq.atoms.first() else {
         return;
     };
-    debug_assert_eq!(prep.handles.len(), cq.atoms.len());
+    debug_assert_eq!(prep.access.len(), cq.atoms.len());
+    let Some(acc) = prep.access.first() else {
+        return;
+    };
+    let cols = idx.cols(atom.rel);
     let mut bufs = ExecBufs {
-        slots: vec![Value::Const(0); cq.n_slots],
+        slots: vec![0; cq.n_slots],
         scratch: vec![Vec::new(); cq.atoms.len()],
         head_buf: Vec::with_capacity(cq.head_slots.len()),
     };
-    'cand: for &id in seed {
-        let fact = idx.fact(id);
-        for (&pos, kp) in atom.sig.iter().zip(&atom.key) {
+    'cand: for &row in seed {
+        let r = row as usize;
+        for (&pos, kp) in atom.sig.iter().zip(&acc.key) {
             let expected = match kp {
-                plan::KeyPart::Const(v) => *v,
-                plan::KeyPart::Slot(_) => continue 'cand,
+                index::IdKey::Const(id) => *id,
+                index::IdKey::Slot(_) => continue 'cand,
             };
-            if fact[pos] != expected {
+            if cols[pos][r] != expected {
                 continue 'cand;
             }
         }
         for &(pos, slot) in &atom.binds {
-            bufs.slots[slot] = fact[pos];
+            bufs.slots[slot] = cols[pos][r];
         }
         for &(pos, slot) in &atom.checks {
-            if fact[pos] != bufs.slots[slot] {
+            if cols[pos][r] != bufs.slots[slot] {
                 continue 'cand;
             }
         }
-        if !exec(cq, &prep.handles, idx, 1, &mut bufs, emit) {
+        if !exec(cq, &prep.access, idx, 1, &mut bufs, emit) {
             return;
         }
     }
@@ -336,8 +353,7 @@ pub fn certain_table_over(
 ) -> BTreeSet<Vec<Value>> {
     let space = CompletionSpace::new(db, pool);
     sweep::parallel_intersect(space.len(), threads, |i| {
-        let completion = space.completion(i);
-        eval_ucq_on(plan, &mut DbIndex::new(&completion))
+        eval_ucq_on(plan, &mut DbIndex::from_store(space.completion_store(i)))
     })
     .unwrap_or_default()
 }
@@ -353,8 +369,7 @@ pub fn certain_bool_over(
 ) -> bool {
     let space = CompletionSpace::new(db, pool);
     sweep::parallel_all(space.len(), threads, |i| {
-        let completion = space.completion(i);
-        eval_ucq_bool_on(plan, &mut DbIndex::new(&completion))
+        eval_ucq_bool_on(plan, &mut DbIndex::from_store(space.completion_store(i)))
     })
 }
 
@@ -514,14 +529,10 @@ mod tests {
     }
 
     #[test]
-    fn from_facts_index_matches_database_index() {
+    fn store_backed_index_matches_database_index() {
         let db = table("R", 2, &[&[c(1), c(2)], &[c(2), c(3)], &[c(2), c(4)]]);
-        let rows: Vec<(ca_core::symbol::Symbol, &[Value])> = db
-            .facts()
-            .iter()
-            .map(|f| (f.rel, f.args.as_slice()))
-            .collect();
-        let mut idx = DbIndex::from_facts(db.schema.len(), rows);
+        let store = ca_relational::to_store(&db);
+        let mut idx = DbIndex::over(&store);
         let q = ConjunctiveQuery::with_head(
             vec![0, 2],
             vec![

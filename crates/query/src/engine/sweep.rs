@@ -20,8 +20,10 @@
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicBool, Ordering};
 
+use ca_core::store::{null_index, FactStore, ValueId};
 use ca_core::value::{Null, Value};
 use ca_relational::database::{NaiveDatabase, Valuation};
+use ca_relational::store_bridge::to_store;
 
 /// The sweep thread count: `CA_EVAL_THREADS`, else available parallelism
 /// (parsed by the shared [`ca_core::config`] policy: saturating, explicit
@@ -37,16 +39,44 @@ pub struct CompletionSpace<'a> {
     db: &'a NaiveDatabase,
     nulls: Vec<Null>,
     pool: &'a [i64],
+    /// The database loaded once into the columnar store; completions are
+    /// stamped out of it by [`FactStore::clone_remapped`] without
+    /// re-interning or re-hashing anything per completion.
+    base: FactStore,
+    /// Pool constants pre-interned in `base` (parallel to `pool`).
+    pool_ids: Vec<ValueId>,
+    /// Dense null index in `base` → position in the sorted `nulls` list
+    /// (the digit position in the linear completion index).
+    digit_of_dense: Vec<usize>,
 }
 
 impl<'a> CompletionSpace<'a> {
     /// Set up the space. The pool may be empty only if the database has
     /// no nulls (otherwise the space is empty — see [`Self::len`]).
     pub fn new(db: &'a NaiveDatabase, pool: &'a [i64]) -> Self {
+        let nulls: Vec<Null> = db.nulls().into_iter().collect();
+        let mut base = to_store(db);
+        let pool_ids = pool
+            .iter()
+            .map(|&k| base.intern_value(Value::Const(k)))
+            .collect();
+        // Every null in `nulls` occurs in some fact, so it is already
+        // interned; map its dense store index back to its digit position.
+        let mut digit_of_dense = vec![0usize; nulls.len()];
+        for (pos, &n) in nulls.iter().enumerate() {
+            if let Some(id) = base.lookup_value(Value::Null(n)) {
+                digit_of_dense[null_index(id) as usize] = pos;
+            } else {
+                debug_assert!(false, "database nulls are interned by to_store");
+            }
+        }
         CompletionSpace {
-            nulls: db.nulls().into_iter().collect(),
+            nulls,
             db,
             pool,
+            base,
+            pool_ids,
+            digit_of_dense,
         }
     }
 
@@ -80,6 +110,22 @@ impl<'a> CompletionSpace<'a> {
             rest /= base;
         }
         self.db.apply(&h)
+    }
+
+    /// Materialize completion `i` directly in the columnar store: clone
+    /// the base column pages with each null's id overwritten by its pool
+    /// constant's id. Same digit convention as [`Self::completion`], no
+    /// per-completion interning or hashing.
+    pub fn completion_store(&self, i: u128) -> FactStore {
+        let base = self.pool.len() as u128;
+        let mut digits: Vec<ValueId> = Vec::with_capacity(self.nulls.len());
+        let mut rest = i;
+        for _ in &self.nulls {
+            digits.push(self.pool_ids[(rest % base) as usize]);
+            rest /= base;
+        }
+        self.base
+            .clone_remapped(|dense| digits[self.digit_of_dense[dense as usize]])
     }
 }
 
@@ -307,6 +353,26 @@ mod tests {
         by_index.sort_by(|a, b| a.facts().cmp(b.facts()));
         legacy.sort_by(|a, b| a.facts().cmp(b.facts()));
         assert_eq!(by_index, legacy);
+    }
+
+    /// The columnar completion path grounds every null exactly as the
+    /// legacy `Valuation`-based one, at every linear index — including
+    /// when grounding collapses distinct facts into duplicates.
+    #[test]
+    fn completion_store_matches_completion() {
+        use ca_relational::store_bridge::from_store;
+        let db = table("R", 2, &[&[c(0), n(1)], &[n(2), n(1)], &[n(2), c(0)]]);
+        let pool = [0, 1, 5];
+        let space = CompletionSpace::new(&db, &pool);
+        assert_eq!(space.len(), 9);
+        for i in 0..space.len() {
+            let store = space.completion_store(i);
+            assert_eq!(from_store(&store), space.completion(i), "index {i}");
+        }
+        // No nulls: the sole completion is the database itself.
+        let complete = table("R", 1, &[&[c(7)]]);
+        let space = CompletionSpace::new(&complete, &[]);
+        assert_eq!(from_store(&space.completion_store(0)), complete);
     }
 
     #[test]

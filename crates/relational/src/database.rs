@@ -78,13 +78,26 @@ impl Valuation {
 
 /// An incomplete relational database (a *naïve database*): a set of facts
 /// over `C ∪ N` conforming to a schema.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug)]
 pub struct NaiveDatabase {
     /// The schema facts must conform to.
     pub schema: Schema,
     /// The facts, kept sorted and deduplicated (set semantics).
     facts: Vec<Fact>,
+    /// The last name→symbol resolution served by [`Self::add`]: bulk
+    /// ingest repeats the same relation name, so memoizing one pair
+    /// makes the by-name path O(distinct names) lookups instead of
+    /// O(facts). Not part of the database's identity (ignored by `==`).
+    add_memo: Option<(String, Symbol)>,
 }
+
+impl PartialEq for NaiveDatabase {
+    fn eq(&self, other: &Self) -> bool {
+        self.schema == other.schema && self.facts == other.facts
+    }
+}
+
+impl Eq for NaiveDatabase {}
 
 impl NaiveDatabase {
     /// An empty database over a schema.
@@ -92,6 +105,7 @@ impl NaiveDatabase {
         NaiveDatabase {
             schema,
             facts: Vec::new(),
+            add_memo: None,
         }
     }
 
@@ -110,12 +124,20 @@ impl NaiveDatabase {
         }
     }
 
-    /// Convenience: add a fact by relation name.
+    /// Convenience: add a fact by relation name. Consecutive adds with
+    /// the same name reuse the memoized symbol instead of re-resolving.
     pub fn add(&mut self, rel_name: &str, args: Vec<Value>) {
-        let rel = self
-            .schema
-            .relation(rel_name)
-            .unwrap_or_else(|| panic!("unknown relation {rel_name}"));
+        let rel = match &self.add_memo {
+            Some((name, sym)) if name == rel_name => *sym,
+            _ => {
+                let sym = self
+                    .schema
+                    .relation(rel_name)
+                    .unwrap_or_else(|| panic!("unknown relation {rel_name}"));
+                self.add_memo = Some((rel_name.to_string(), sym));
+                sym
+            }
+        };
         self.add_fact(rel, args);
     }
 
@@ -327,6 +349,25 @@ mod tests {
         let mut db = table("R", 1, &[&[c(1)]]);
         db.add("R", vec![c(1)]);
         assert_eq!(db.len(), 1);
+    }
+
+    /// Bulk-adding 10⁵ facts by name resolves the relation name exactly
+    /// once: `add` memoizes the `(name, symbol)` pair, so the by-name
+    /// path costs O(distinct names) schema lookups, not O(facts).
+    #[test]
+    fn bulk_add_does_not_rerun_name_resolution() {
+        let schema = Schema::from_relations(&[("R", 1), ("S", 1)]);
+        let mut db = NaiveDatabase::new(schema);
+        for i in 0..100_000 {
+            db.add("R", vec![c(i)]);
+        }
+        assert_eq!(db.len(), 100_000);
+        assert_eq!(db.schema.name_lookups(), 1, "one lookup for 10⁵ adds");
+        // Switching names re-resolves once each; switching back again
+        // re-resolves (the memo is one entry deep, by design).
+        db.add("S", vec![c(0)]);
+        db.add("R", vec![c(-1)]);
+        assert_eq!(db.schema.name_lookups(), 3);
     }
 
     #[test]

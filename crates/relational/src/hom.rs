@@ -10,6 +10,7 @@
 //! nulls of `D`, candidate values are the values of `D′`, and each fact of
 //! `D` contributes a table constraint listing the compatible facts of `D′`.
 
+use ca_core::store::{self, ValueInterner};
 use ca_core::value::Value;
 use ca_hom::csp::Csp;
 
@@ -19,8 +20,14 @@ use crate::database::{NaiveDatabase, Valuation};
 /// occurring in the target, indexed for the CSP. Returned by [`hom_csp`]
 /// so callers can translate CSP solutions back to [`Value`]s without
 /// rebuilding the index.
+///
+/// Backed by the workspace value interner (`ca_core::store`): values are
+/// interned in sorted order, so the dense CSP ids `0..len` enumerate the
+/// constants first (ascending), then the nulls (ascending) — exactly the
+/// order the pre-store `Vec<Value>` table produced.
 pub struct ValueIndex {
-    values: Vec<Value>,
+    interner: ValueInterner,
+    n_consts: u32,
 }
 
 impl ValueIndex {
@@ -33,27 +40,44 @@ impl ValueIndex {
             .collect();
         values.sort_unstable();
         values.dedup();
-        ValueIndex { values }
+        let mut interner = ValueInterner::new();
+        for v in values {
+            interner.intern(v);
+        }
+        let n_consts = interner.n_consts();
+        ValueIndex { interner, n_consts }
     }
 
-    /// The CSP id of a value, if it occurs in the target.
+    /// The CSP id of a value, if it occurs in the target. Constants map
+    /// to their interned id, nulls to `n_consts + dense null index` —
+    /// the CSP wants one contiguous id space.
     pub fn id(&self, v: Value) -> Option<u32> {
-        self.values.binary_search(&v).ok().map(|i| i as u32)
+        self.interner.lookup(v).map(|id| {
+            if store::id_is_null(id) {
+                self.n_consts + store::null_index(id)
+            } else {
+                id
+            }
+        })
     }
 
     /// The value behind a CSP id.
     pub fn value(&self, id: u32) -> Value {
-        self.values[id as usize]
+        if id < self.n_consts {
+            Value::Const(self.interner.const_at(id))
+        } else {
+            Value::null(self.interner.null_at(id - self.n_consts))
+        }
     }
 
     /// Number of indexed values.
     pub fn len(&self) -> usize {
-        self.values.len()
+        self.interner.len()
     }
 
     /// True if the target has no values at all.
     pub fn is_empty(&self) -> bool {
-        self.values.is_empty()
+        self.interner.is_empty()
     }
 }
 

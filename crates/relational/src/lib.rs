@@ -20,6 +20,10 @@
 //! * [`tuplewise`] — the 1990s orderings: tuple-wise `⊴`, its Hoare/Plotkin
 //!   set liftings, Proposition 4 (`⊑ = ⊴` on Codd databases), the CWA
 //!   ordering `⊑_cwa`, and Proposition 8 (Hall's condition).
+//! * [`store_bridge`] — `to_store`/`from_store` between naïve databases
+//!   and the workspace columnar fact store (`ca_core::store`), keeping
+//!   the `Vec<Value>` types as the API surface while engines evaluate
+//!   over columns.
 //! * [`parse`] — a text syntax for naïve databases (`R(1, ?x, _)`).
 //! * [`generate`] — deterministic random-instance generators for the
 //!   experiments.
@@ -31,6 +35,7 @@ pub mod hom;
 pub mod ordering;
 pub mod parse;
 pub mod schema;
+pub mod store_bridge;
 pub mod tuplewise;
 
 pub use database::{Fact, NaiveDatabase, Valuation};
@@ -39,3 +44,4 @@ pub use hom::{find_hom, find_onto_hom, is_hom, OntoOutcome, ValueIndex};
 pub use ordering::InfoOrder;
 pub use parse::parse_database;
 pub use schema::Schema;
+pub use store_bridge::{from_store, to_store};

@@ -1,13 +1,38 @@
 //! Relational schemas: relation names with associated arities.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use ca_core::symbol::{Interner, Symbol};
 
 /// A relational schema: a set of relation names with arities.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Debug, Default)]
 pub struct Schema {
     interner: Interner,
     arities: Vec<usize>,
+    /// Name-resolution counter (observability only): bumped by every
+    /// [`Self::relation`] call so tests can pin that bulk-ingest paths
+    /// intern a name once instead of re-resolving per fact. Ignored by
+    /// `Clone`/`PartialEq` — it is not part of the schema's identity.
+    lookups: AtomicU64,
 }
+
+impl Clone for Schema {
+    fn clone(&self) -> Self {
+        Schema {
+            interner: self.interner.clone(),
+            arities: self.arities.clone(),
+            lookups: AtomicU64::new(0),
+        }
+    }
+}
+
+impl PartialEq for Schema {
+    fn eq(&self, other: &Self) -> bool {
+        self.interner == other.interner && self.arities == other.arities
+    }
+}
+
+impl Eq for Schema {}
 
 impl Schema {
     /// An empty schema.
@@ -42,7 +67,15 @@ impl Schema {
 
     /// Look up a relation by name.
     pub fn relation(&self, name: &str) -> Option<Symbol> {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
         self.interner.get(name)
+    }
+
+    /// How many by-name lookups this schema has served (see the
+    /// `lookups` field). Bulk-ingest paths memoize the resolved symbol,
+    /// so this stays O(distinct names), not O(facts).
+    pub fn name_lookups(&self) -> u64 {
+        self.lookups.load(Ordering::Relaxed)
     }
 
     /// The arity of a relation.

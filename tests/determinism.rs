@@ -169,6 +169,85 @@ fn gendb_core_is_thread_width_independent() {
     }
 }
 
+/// The columnar store: two *independently built* stores over the same
+/// logical database must agree on everything order-sensitive — the fact
+/// scan sequence (`iter_live` + `fact_values`), the interner's constant
+/// and null tables, and the serialized snapshot, which is byte-identical
+/// exactly when every column, bitmap, and directory entry matches.
+#[test]
+fn store_scan_order_is_build_independent() {
+    use ca_relational::store_bridge::to_store;
+    let scan = |s: &ca_core::store::FactStore| -> Vec<(String, Vec<Value>)> {
+        s.iter_live()
+            .map(|f| (s.rel_name(s.fact_rel(f)).to_string(), s.fact_values(f)))
+            .collect()
+    };
+    let base = to_store(&build_permuted(0));
+    let base_scan = scan(&base);
+    assert!(!base_scan.is_empty(), "fixture store must have facts");
+    let base_bytes = base.to_bytes();
+    for rotation in 1..6 {
+        let other = to_store(&build_permuted(rotation));
+        assert_eq!(
+            base_scan,
+            scan(&other),
+            "fact scan order diverged on rebuild #{rotation}"
+        );
+        assert_eq!(
+            base.values().n_consts(),
+            other.values().n_consts(),
+            "interner constant table diverged on rebuild #{rotation}"
+        );
+        assert_eq!(
+            base_bytes,
+            other.to_bytes(),
+            "snapshot bytes diverged on rebuild #{rotation}: column or bitmap layout leaked"
+        );
+    }
+}
+
+/// Store-backed evaluation: the lazily built posting tables (CSR or
+/// hash) are the only order-sensitive index structure left; answers
+/// drawn through them must be identical across independently built
+/// stores and across evaluation widths 1 vs 4 (the `CA_EVAL_THREADS`
+/// knob — `certain_table_over` takes the resolved width explicitly, so
+/// this pins exactly what varying the env var varies). The fixture
+/// exceeds `INDEX_THRESHOLD`, so postings are genuinely probed.
+#[test]
+fn store_backed_postings_are_layout_and_thread_independent() {
+    use ca_query::engine::DbIndex;
+    use ca_relational::store_bridge::to_store;
+    let pool = [1, 2, 3, 5];
+    let db0 = build_permuted(0);
+    let plan = engine::compile_ucq(&query(), &db0.schema).expect("query fits schema");
+    let store0 = to_store(&db0);
+    let mut idx0 = DbIndex::over(&store0);
+    let baseline: Vec<Vec<Value>> = engine::eval_ucq_on(&plan, &mut idx0).into_iter().collect();
+    assert!(!baseline.is_empty(), "fixture query must have answers");
+    let certain_base: Vec<Vec<Value>> = engine::certain_table_over(&plan, &db0, &pool, 1)
+        .into_iter()
+        .collect();
+    for rotation in 1..4 {
+        let db = build_permuted(rotation);
+        let store = to_store(&db);
+        let mut idx = DbIndex::over(&store);
+        let run: Vec<Vec<Value>> = engine::eval_ucq_on(&plan, &mut idx).into_iter().collect();
+        assert_eq!(
+            baseline, run,
+            "store-backed answers diverged on rebuild #{rotation}: posting order leaked"
+        );
+        for threads in [1usize, 4] {
+            let certain: Vec<Vec<Value>> = engine::certain_table_over(&plan, &db, &pool, threads)
+                .into_iter()
+                .collect();
+            assert_eq!(
+                certain_base, certain,
+                "certain answers diverged (rebuild #{rotation}, width {threads})"
+            );
+        }
+    }
+}
+
 /// Sanity for the proxy itself: permuted insertion is canonicalized
 /// away by the sorted fact store, so every rebuild is the *same*
 /// logical database — any divergence the tests above could observe
