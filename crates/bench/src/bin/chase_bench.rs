@@ -136,6 +136,7 @@ fn engine_cfg(threads: usize) -> ChaseConfig {
         max_steps: BUDGET,
         match_limit: MATCH_LIMIT,
         threads,
+        certify: false,
     }
 }
 

@@ -60,7 +60,7 @@ pub fn certain_answers_via_chase(
         ChaseOutcome::Done(db) => db,
         ChaseOutcome::Failed => return CertainAnswers::NoSolution,
         ChaseOutcome::Aborted => return CertainAnswers::Aborted,
-        ChaseOutcome::Overflow => return CertainAnswers::Overflow,
+        ChaseOutcome::Overflow(_) => return CertainAnswers::Overflow,
     };
     let Some(rel) = ca_gdm::encode::relational_view(&universal) else {
         return CertainAnswers::Unsupported;

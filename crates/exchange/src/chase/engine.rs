@@ -42,8 +42,11 @@
 //! in a different order — outcome agreement on terminating inputs is
 //! unaffected, since chase failure and success are order-independent.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
+use ca_cert::{
+    CertAtom, CertEgd, CertFact, CertRule, CertTerm, ChaseCert, ChaseCertOutcome, ChaseStep,
+};
 use ca_core::fxhash::{FxHashMap, FxHashSet};
 use ca_core::store::{FactId, FactStore};
 use ca_core::symbol::Symbol;
@@ -96,6 +99,49 @@ struct HeadFact {
     template: Vec<HeadTerm>,
 }
 
+/// Full-assignment provenance plans for one pattern body, compiled only
+/// under [`ChaseConfig::certify`]: the same pinned body plans, but with
+/// **every** sorted body variable in the head, so each answer row *is* a
+/// complete body assignment (the witness a [`ChaseStep`] records).
+struct CertPlans {
+    /// `(pinned relation, pinned plan)` per body atom; head = `body_vars`.
+    plans: Vec<(Symbol, CompiledCq)>,
+    /// All body variables, sorted (the provenance rows' column order).
+    body_vars: Vec<u32>,
+    /// Positions in `body_vars` of the normal plan's head projection
+    /// (a rule's frontier, or an egd's equated pair).
+    proj: Vec<usize>,
+}
+
+impl CertPlans {
+    fn compile(atoms: &[Atom], proj_vars: &[u32], schema: &Schema) -> Option<CertPlans> {
+        let q = ConjunctiveQuery::with_head(
+            {
+                let mut vars: Vec<u32> = atoms.iter().flat_map(Atom::vars).collect();
+                vars.sort_unstable();
+                vars.dedup();
+                vars
+            },
+            atoms.to_vec(),
+        );
+        let mut plans = Vec::with_capacity(q.atoms.len());
+        for pin in 0..q.atoms.len() {
+            let plan = CompiledCq::compile_pinned(&q, schema, pin).ok()?;
+            let rel = schema.relation(&q.atoms[pin].rel)?;
+            plans.push((rel, plan));
+        }
+        let proj = proj_vars
+            .iter()
+            .map(|v| q.head.binary_search(v).ok())
+            .collect::<Option<Vec<usize>>>()?;
+        Some(CertPlans {
+            plans,
+            body_vars: q.head,
+            proj,
+        })
+    }
+}
+
 /// One tgd compiled against the instance schema.
 struct CompiledRule {
     /// One `(pinned relation, pinned plan)` per body atom; the plan's
@@ -106,15 +152,19 @@ struct CompiledRule {
     head_plan: CompiledCq,
     /// The head facts to instantiate on firing.
     head_facts: Vec<HeadFact>,
+    /// Provenance plans (certify mode only).
+    cert: Option<CertPlans>,
 }
 
 /// One egd compiled against the instance schema: pinned body plans
 /// projecting onto the two equated nulls.
 struct CompiledEgd {
     plans: Vec<(Symbol, CompiledCq)>,
+    /// Provenance plans (certify mode only).
+    cert: Option<CertPlans>,
 }
 
-fn compile_rule(rule: &Rule, schema: &Schema) -> Option<CompiledRule> {
+fn compile_rule(rule: &Rule, schema: &Schema, certify: bool) -> Option<CompiledRule> {
     let frontier: Vec<Null> = rule.frontier().into_iter().collect();
     let head_vars: Vec<u32> = frontier.iter().map(|nl| nl.0).collect();
     let body_q = ConjunctiveQuery::with_head(head_vars.clone(), pattern_atoms(&rule.body));
@@ -124,6 +174,11 @@ fn compile_rule(rule: &Rule, schema: &Schema) -> Option<CompiledRule> {
         let rel = schema.relation(&body_q.atoms[pin].rel)?;
         plans.push((rel, plan));
     }
+    let cert = if certify {
+        Some(CertPlans::compile(&body_q.atoms, &head_vars, schema)?)
+    } else {
+        None
+    };
     let head_q = ConjunctiveQuery::with_head(head_vars, pattern_atoms(&rule.head));
     let head_plan = CompiledCq::compile(&head_q, schema).ok()?;
     let mut head_facts = Vec::with_capacity(rule.head.n_nodes());
@@ -146,14 +201,13 @@ fn compile_rule(rule: &Rule, schema: &Schema) -> Option<CompiledRule> {
         plans,
         head_plan,
         head_facts,
+        cert,
     })
 }
 
-fn compile_egd(egd: &Egd, schema: &Schema) -> Option<CompiledEgd> {
-    let q = ConjunctiveQuery::with_head(
-        vec![egd.equal.0 .0, egd.equal.1 .0],
-        pattern_atoms(&egd.body),
-    );
+fn compile_egd(egd: &Egd, schema: &Schema, certify: bool) -> Option<CompiledEgd> {
+    let pair = [egd.equal.0 .0, egd.equal.1 .0];
+    let q = ConjunctiveQuery::with_head(pair.to_vec(), pattern_atoms(&egd.body));
     // Validate once unpinned: an equated null not bound by the body (or
     // an empty body) is an UnboundHeadVar — fall back to the reference,
     // which owns the semantics of such malformed egds.
@@ -164,7 +218,12 @@ fn compile_egd(egd: &Egd, schema: &Schema) -> Option<CompiledEgd> {
         let rel = schema.relation(&q.atoms[pin].rel)?;
         plans.push((rel, plan));
     }
-    Some(CompiledEgd { plans })
+    let cert = if certify {
+        Some(CertPlans::compile(&q.atoms, &pair, schema)?)
+    } else {
+        None
+    };
+    Some(CompiledEgd { plans, cert })
 }
 
 /// Union-find over values. Constants are always roots; between two null
@@ -211,15 +270,75 @@ impl UnionFind {
     }
 }
 
+/// A pattern body/head in checker vocabulary: the exact mirror of
+/// [`pattern_atoms`] (nulls as variables by id, constants literal).
+fn cert_atoms(d: &GenDb) -> Vec<CertAtom> {
+    d.labels
+        .iter()
+        .zip(&d.data)
+        .map(|(&label, row)| CertAtom {
+            rel: d.schema.label_name(label).to_owned(),
+            args: row
+                .iter()
+                .map(|v| match v {
+                    Value::Null(nl) => CertTerm::Var(nl.0),
+                    Value::Const(c) => CertTerm::Const(*c),
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// The constraint-set and initial-instance half of a chase certificate,
+/// built up front; [`run`] appends the derivation and outcome.
+struct CertSkeleton {
+    rules: Vec<CertRule>,
+    egds: Vec<CertEgd>,
+    initial: Vec<CertFact>,
+}
+
+fn cert_skeleton(instance: &GenDb, tgds: &[Rule], egds: &[Egd]) -> CertSkeleton {
+    CertSkeleton {
+        rules: tgds
+            .iter()
+            .map(|r| CertRule {
+                body: cert_atoms(&r.body),
+                head: cert_atoms(&r.head),
+            })
+            .collect(),
+        egds: egds
+            .iter()
+            .map(|e| CertEgd {
+                body: cert_atoms(&e.body),
+                equal: (e.equal.0 .0, e.equal.1 .0),
+            })
+            .collect(),
+        // Canonicalized (sorted, deduplicated): the certificate's bytes
+        // must not depend on the caller's node insertion order.
+        initial: {
+            let mut facts: Vec<CertFact> = instance
+                .labels
+                .iter()
+                .zip(&instance.data)
+                .map(|(&label, row)| (instance.schema.label_name(label).to_owned(), row.clone()))
+                .collect();
+            facts.sort();
+            facts.dedup();
+            facts
+        },
+    }
+}
+
 /// Try to run the engine. `None` (caller falls back to the reference
 /// chase) when any structural tuples are present or a pattern does not
-/// compile against the instance schema.
+/// compile against the instance schema. The second component is the
+/// derivation log, present exactly when [`ChaseConfig::certify`] is set.
 pub(super) fn try_chase(
     instance: &GenDb,
     tgds: &[Rule],
     egds: &[Egd],
     cfg: &ChaseConfig,
-) -> Option<ChaseOutcome> {
+) -> Option<(ChaseOutcome, Option<ChaseCert>)> {
     if !instance.tuples.is_empty()
         || tgds
             .iter()
@@ -242,11 +361,11 @@ pub(super) fn try_chase(
     }
     let rules: Vec<CompiledRule> = tgds
         .iter()
-        .map(|r| compile_rule(r, &schema))
+        .map(|r| compile_rule(r, &schema, cfg.certify))
         .collect::<Option<_>>()?;
     let cegds: Vec<CompiledEgd> = egds
         .iter()
-        .map(|e| compile_egd(e, &schema))
+        .map(|e| compile_egd(e, &schema, cfg.certify))
         .collect::<Option<_>>()?;
     // Fresh existentials avoid every null in sight, as in the reference.
     let gen = NullGen::avoiding(
@@ -255,6 +374,7 @@ pub(super) fn try_chase(
                 .flat_map(|r| r.body.nulls().into_iter().chain(r.head.nulls())),
         ),
     );
+    let skeleton = cfg.certify.then(|| cert_skeleton(instance, tgds, egds));
     Some(run(
         &schema,
         &rules,
@@ -263,6 +383,7 @@ pub(super) fn try_chase(
         &rel_of_label,
         gen,
         cfg,
+        skeleton,
     ))
 }
 
@@ -270,6 +391,70 @@ pub(super) fn try_chase(
 /// valuations, kept sorted so firing order is deterministic.
 type TriggerSet = BTreeSet<Vec<Value>>;
 
+/// A body assignment in step vocabulary: sorted `(variable, value)` pairs.
+type Assignment = Vec<(u32, Value)>;
+
+/// The in-flight derivation log of a certified run.
+struct Recorder {
+    skeleton: CertSkeleton,
+    steps: Vec<ChaseStep>,
+    /// Set when a step found no provenance witness. This is unreachable
+    /// by construction (the provenance plans enumerate a superset of the
+    /// budgeted match sets over the same seeds); if it ever trips, the
+    /// run stays correct and the certificate is withheld rather than
+    /// emitted broken.
+    poisoned: bool,
+}
+
+impl Recorder {
+    fn finish(self, outcome: ChaseCertOutcome) -> Option<ChaseCert> {
+        if self.poisoned {
+            return None;
+        }
+        Some(ChaseCert {
+            rules: self.skeleton.rules,
+            egds: self.skeleton.egds,
+            initial: self.skeleton.initial,
+            steps: self.steps,
+            outcome,
+        })
+    }
+}
+
+/// The facts of a rebuilt instance in checker vocabulary.
+fn gendb_facts(d: &GenDb) -> Vec<CertFact> {
+    let mut facts: Vec<CertFact> = d
+        .labels
+        .iter()
+        .zip(&d.data)
+        .map(|(&label, row)| (d.schema.label_name(label).to_owned(), row.clone()))
+        .collect();
+    // Canonicalized: store fact ids follow insertion order, which must
+    // not leak into certificate bytes.
+    facts.sort();
+    facts.dedup();
+    facts
+}
+
+/// The live store facts, union-find-resolved, in checker vocabulary.
+/// (`rewrite` lags the union-find mid-merge-batch, so resolution is
+/// applied here rather than trusting the store to be current.)
+fn resolved_facts(schema: &Schema, store: &FactStore, uf: &UnionFind) -> Vec<CertFact> {
+    let mut facts: Vec<CertFact> = store
+        .iter_live()
+        .map(|id| {
+            (
+                schema.name(store.fact_rel(id)).to_owned(),
+                store.fact_values(id).iter().map(|&v| uf.find(v)).collect(),
+            )
+        })
+        .collect();
+    facts.sort();
+    facts.dedup();
+    facts
+}
+
+#[allow(clippy::too_many_arguments)]
 fn run(
     schema: &Schema,
     rules: &[CompiledRule],
@@ -278,7 +463,8 @@ fn run(
     rel_of_label: &[Symbol],
     mut gen: NullGen,
     cfg: &ChaseConfig,
-) -> ChaseOutcome {
+    skeleton: Option<CertSkeleton>,
+) -> (ChaseOutcome, Option<ChaseCert>) {
     // The chase state lives in the workspace columnar store; relations
     // are registered in schema order, so store symbols coincide with the
     // schema symbols the plans were compiled against.
@@ -288,6 +474,11 @@ fn run(
         debug_assert_eq!(reg, sym, "store symbols mirror schema symbols");
     }
     let mut uf = UnionFind::default();
+    let mut rec: Option<Recorder> = skeleton.map(|skeleton| Recorder {
+        skeleton,
+        steps: Vec::new(),
+        poisoned: false,
+    });
     let mut fired: Vec<FxHashSet<Vec<Value>>> =
         rules.iter().map(|_| FxHashSet::default()).collect();
     let mut steps = 0usize;
@@ -306,7 +497,11 @@ fn run(
         // so a round may only begin while budget remains (in particular,
         // `max_steps == 0` aborts immediately).
         if steps >= cfg.max_steps {
-            return ChaseOutcome::Aborted;
+            let cert = rec.take().and_then(|r| {
+                let partial = resolved_facts(schema, &store, &uf);
+                r.finish(ChaseCertOutcome::Aborted { partial })
+            });
+            return (ChaseOutcome::Aborted, cert);
         }
         let round_start_steps = steps;
 
@@ -317,18 +512,58 @@ fn run(
             while !egd_delta.is_empty() {
                 let pairs = match egd_matches(schema, &store, egds, &egd_delta, cfg) {
                     Ok(p) => p,
-                    Err(()) => return ChaseOutcome::Overflow,
+                    Err(()) => {
+                        let partial = Box::new(rebuild(schema, &store, instance, &uf));
+                        let cert = rec.take().and_then(|r| {
+                            let partial = gendb_facts(&partial);
+                            r.finish(ChaseCertOutcome::Overflow { partial })
+                        });
+                        return (ChaseOutcome::Overflow(partial), cert);
+                    }
                 };
+                // Full-assignment witnesses for this batch, from the same
+                // seeds and store state the pairs came from (certify only).
+                let prov = rec
+                    .as_ref()
+                    .filter(|_| !pairs.is_empty())
+                    .map(|_| egd_provenance(schema, &store, egds, &egd_delta));
                 let mut merged: Vec<Null> = Vec::new();
                 for (a, b) in pairs {
                     if uf.find(a) == uf.find(b) {
                         continue;
                     }
                     if steps >= cfg.max_steps {
-                        return ChaseOutcome::Aborted;
+                        let cert = rec.take().and_then(|r| {
+                            let partial = resolved_facts(schema, &store, &uf);
+                            r.finish(ChaseCertOutcome::Aborted { partial })
+                        });
+                        return (ChaseOutcome::Aborted, cert);
                     }
-                    match uf.union(a, b) {
-                        Err(()) => return ChaseOutcome::Failed,
+                    let union = uf.union(a, b);
+                    if let Some(recd) = rec.as_mut() {
+                        // Distinct roots make `Ok(None)` unreachable here,
+                        // so every taken branch is a recordable step.
+                        let merged_entry = match union {
+                            Err(()) => Some(None),
+                            Ok(Some(loser)) => Some(Some((loser, uf.find(Value::Null(loser))))),
+                            Ok(None) => None,
+                        };
+                        if let Some(merged_entry) = merged_entry {
+                            match prov.as_ref().and_then(|p| p.get(&(a, b))) {
+                                Some((e, assignment)) => recd.steps.push(ChaseStep::Merge {
+                                    egd: *e,
+                                    assignment: assignment.clone(),
+                                    merged: merged_entry,
+                                }),
+                                None => recd.poisoned = true,
+                            }
+                        }
+                    }
+                    match union {
+                        Err(()) => {
+                            let cert = rec.take().and_then(|r| r.finish(ChaseCertOutcome::Failed));
+                            return (ChaseOutcome::Failed, cert);
+                        }
                         Ok(Some(loser)) => {
                             steps += 1;
                             merged.push(loser);
@@ -367,8 +602,20 @@ fn run(
         let (triggers, satisfied) =
             match tgd_matches(schema, &store, rules, &fired, &tgd_seed, first_round, cfg) {
                 Ok(x) => x,
-                Err(()) => return ChaseOutcome::Overflow,
+                Err(()) => {
+                    let partial = Box::new(rebuild(schema, &store, instance, &uf));
+                    let cert = rec.take().and_then(|r| {
+                        let partial = gendb_facts(&partial);
+                        r.finish(ChaseCertOutcome::Overflow { partial })
+                    });
+                    return (ChaseOutcome::Overflow(partial), cert);
+                }
             };
+        // Full-assignment witnesses for this round's firings (certify
+        // only; same seeds and store state as the trigger match above).
+        let prov = rec
+            .as_ref()
+            .map(|_| tgd_provenance(schema, &store, rules, &tgd_seed, first_round));
         let mut inserted: Vec<u32> = Vec::new();
         for (r, rule) in rules.iter().enumerate() {
             for row in &triggers[r] {
@@ -384,7 +631,11 @@ fn run(
                     continue;
                 }
                 if steps >= cfg.max_steps {
-                    return ChaseOutcome::Aborted;
+                    let cert = rec.take().and_then(|rr| {
+                        let partial = resolved_facts(schema, &store, &uf);
+                        rr.finish(ChaseCertOutcome::Aborted { partial })
+                    });
+                    return (ChaseOutcome::Aborted, cert);
                 }
                 steps += 1;
                 let mut fresh: FxHashMap<Null, Value> = FxHashMap::default();
@@ -404,6 +655,27 @@ fn run(
                         inserted.push(id);
                     }
                 }
+                if let Some(recd) = rec.as_mut() {
+                    match prov
+                        .as_ref()
+                        .and_then(|p| p.get(r))
+                        .and_then(|m| m.get(row))
+                    {
+                        Some(assignment) => {
+                            let mut ledger: Vec<(u32, Null)> = fresh
+                                .iter()
+                                .filter_map(|(k, v)| v.as_null().map(|n| (k.0, n)))
+                                .collect();
+                            ledger.sort_unstable();
+                            recd.steps.push(ChaseStep::Fire {
+                                rule: r,
+                                assignment: assignment.clone(),
+                                fresh: ledger,
+                            });
+                        }
+                        None => recd.poisoned = true,
+                    }
+                }
             }
         }
 
@@ -412,9 +684,114 @@ fn run(
         if steps == round_start_steps {
             // No merge and no firing: every trigger is satisfied or
             // fired, the instance is a fixpoint.
-            return ChaseOutcome::Done(Box::new(rebuild(schema, &store, instance)));
+            let done = Box::new(rebuild(schema, &store, instance, &uf));
+            let cert = rec.take().and_then(|r| {
+                let final_facts = gendb_facts(&done);
+                r.finish(ChaseCertOutcome::Done { final_facts })
+            });
+            return (ChaseOutcome::Done(done), cert);
         }
     }
+}
+
+/// Evaluate the egds' full-assignment provenance plans over the same
+/// seeds as the match phase (sequential, unbudgeted): for every equality
+/// pair, the lexicographically least `(egd index, body assignment)`
+/// witnessing it. Certify mode only — the hot path never calls this.
+fn egd_provenance(
+    schema: &Schema,
+    store: &FactStore,
+    egds: &[CompiledEgd],
+    seed: &[FactId],
+) -> BTreeMap<(Value, Value), (usize, Assignment)> {
+    let mut idx = DbIndex::over(store);
+    let seeds = seeds_by_rel(schema, store, seed);
+    let mut out: BTreeMap<(Value, Value), (usize, Assignment)> = BTreeMap::new();
+    for (e, egd) in egds.iter().enumerate() {
+        let Some(cert) = &egd.cert else { continue };
+        let (Some(&pa), Some(&pb)) = (cert.proj.first(), cert.proj.get(1)) else {
+            continue;
+        };
+        for (rel, plan) in &cert.plans {
+            let prepared = prepare_cq(plan, &mut idx);
+            let rows = &seeds[rel.index()];
+            eval_seeded_into(plan, &prepared, &idx, rows, &mut |row| {
+                if let (Some(&a), Some(&b)) = (row.get(pa), row.get(pb)) {
+                    let assignment: Assignment = cert
+                        .body_vars
+                        .iter()
+                        .copied()
+                        .zip(row.iter().copied())
+                        .collect();
+                    let candidate = (e, assignment);
+                    match out.get_mut(&(a, b)) {
+                        Some(best) => {
+                            if candidate < *best {
+                                *best = candidate;
+                            }
+                        }
+                        None => {
+                            out.insert((a, b), candidate);
+                        }
+                    }
+                }
+                true
+            });
+        }
+    }
+    out
+}
+
+/// Evaluate the rules' full-assignment provenance plans over the same
+/// seeds as the match phase (sequential, unbudgeted): per rule, for every
+/// frontier valuation, the least full body assignment projecting to it.
+/// Certify mode only.
+fn tgd_provenance(
+    schema: &Schema,
+    store: &FactStore,
+    rules: &[CompiledRule],
+    seed: &[FactId],
+    first_round: bool,
+) -> Vec<BTreeMap<Vec<Value>, Assignment>> {
+    let mut idx = DbIndex::over(store);
+    let seeds = seeds_by_rel(schema, store, seed);
+    let mut out: Vec<BTreeMap<Vec<Value>, Assignment>> = vec![BTreeMap::new(); rules.len()];
+    for (rule, map) in rules.iter().zip(out.iter_mut()) {
+        let Some(cert) = &rule.cert else { continue };
+        // An empty-body rule has the empty trigger from round one.
+        if cert.plans.is_empty() && first_round {
+            map.insert(Vec::new(), Vec::new());
+        }
+        for (rel, plan) in &cert.plans {
+            let prepared = prepare_cq(plan, &mut idx);
+            let rows = &seeds[rel.index()];
+            eval_seeded_into(plan, &prepared, &idx, rows, &mut |row| {
+                let frontier_row: Option<Vec<Value>> =
+                    cert.proj.iter().map(|&p| row.get(p).copied()).collect();
+                let Some(frontier_row) = frontier_row else {
+                    return true;
+                };
+                let assignment: Assignment = cert
+                    .body_vars
+                    .iter()
+                    .copied()
+                    .zip(row.iter().copied())
+                    .collect();
+                match map.get_mut(&frontier_row) {
+                    Some(best) => {
+                        if assignment < *best {
+                            *best = assignment;
+                        }
+                    }
+                    None => {
+                        map.insert(frontier_row, assignment);
+                    }
+                }
+                true
+            });
+        }
+    }
+    out
 }
 
 /// Partition delta fact ids into per-relation row-id seed lists (the
@@ -688,12 +1065,16 @@ fn tgd_matches(
     Ok((triggers, satisfied))
 }
 
-/// The chased instance: one node per live fact, in store-id (= creation)
-/// order, over the original generalized schema.
-fn rebuild(schema: &Schema, store: &FactStore, instance: &GenDb) -> GenDb {
+/// The chased (or partially chased) instance: one node per live fact, in
+/// store-id (= creation) order, over the original generalized schema.
+/// Values go through the union-find — a no-op after a completed rewrite,
+/// load-bearing on the partial-progress paths where `rewrite` may lag the
+/// merges already recorded.
+fn rebuild(schema: &Schema, store: &FactStore, instance: &GenDb, uf: &UnionFind) -> GenDb {
     let mut out = GenDb::new(instance.schema.clone());
     for id in store.iter_live() {
-        out.add_node(schema.name(store.fact_rel(id)), store.fact_values(id));
+        let row: Vec<Value> = store.fact_values(id).iter().map(|&v| uf.find(v)).collect();
+        out.add_node(schema.name(store.fact_rel(id)), row);
     }
     out
 }

@@ -38,6 +38,7 @@
 
 pub(crate) mod engine;
 
+use ca_cert::ChaseCert;
 use ca_core::value::Null;
 use ca_gdm::database::GenDb;
 
@@ -64,8 +65,10 @@ pub enum ChaseOutcome {
     Aborted,
     /// A rule exceeded the per-round match budget
     /// ([`ChaseConfig::match_limit`]): the trigger set is too large to
-    /// enumerate, so no sound fixpoint claim can be made.
-    Overflow,
+    /// enumerate, so no sound fixpoint claim can be made. Carries the
+    /// facts derived before giving up — partial progress is reported, not
+    /// silently dropped (the instance is *not* a fixpoint).
+    Overflow(Box<GenDb>),
 }
 
 /// The default per-rule-per-round match budget (matches the mapping
@@ -84,16 +87,23 @@ pub struct ChaseConfig {
     /// Worker threads for the engine's match phase (the reference
     /// fallback ignores this).
     pub threads: usize,
+    /// Record a replayable derivation log ([`ca_cert::ChaseCert`]) while
+    /// chasing. Off by default: the hot path then allocates nothing for
+    /// provenance. Certified runs evaluate one extra (sequential)
+    /// full-assignment plan per rule per round to attach body witnesses
+    /// to every firing and merge.
+    pub certify: bool,
 }
 
 impl ChaseConfig {
-    /// Defaults: the given step budget, [`DEFAULT_MATCH_LIMIT`], and the
-    /// `CA_EVAL_THREADS` thread count.
+    /// Defaults: the given step budget, [`DEFAULT_MATCH_LIMIT`], the
+    /// `CA_EVAL_THREADS` thread count, and no certification.
     pub fn new(max_steps: usize) -> Self {
         ChaseConfig {
             max_steps,
             match_limit: DEFAULT_MATCH_LIMIT,
             threads: ca_query::engine::eval_threads(),
+            certify: false,
         }
     }
 
@@ -126,8 +136,32 @@ pub fn chase_with(
     cfg: &ChaseConfig,
 ) -> ChaseOutcome {
     match engine::try_chase(instance, tgds, egds, cfg) {
-        Some(outcome) => outcome,
+        Some((outcome, _)) => outcome,
         None => crate::reference::chase_with(instance, tgds, egds, cfg.max_steps, cfg.match_limit),
+    }
+}
+
+/// [`chase_with`] with certification forced on: returns the outcome plus
+/// a replayable derivation log ([`ca_cert::check_chase`] verifies it with
+/// no search). The certificate is `None` only on the reference fallback
+/// (structural tuples / non-compiling patterns), which predates the
+/// derivation log.
+pub fn chase_certified(
+    instance: &GenDb,
+    tgds: &[Rule],
+    egds: &[Egd],
+    cfg: &ChaseConfig,
+) -> (ChaseOutcome, Option<ChaseCert>) {
+    let cfg = ChaseConfig {
+        certify: true,
+        ..cfg.clone()
+    };
+    match engine::try_chase(instance, tgds, egds, &cfg) {
+        Some(x) => x,
+        None => (
+            crate::reference::chase_with(instance, tgds, egds, cfg.max_steps, cfg.match_limit),
+            None,
+        ),
     }
 }
 
@@ -281,24 +315,137 @@ mod tests {
 
     /// satellite: the match budget surfaces as the typed `Overflow`
     /// outcome — in the engine and in the reference wrapper — instead of
-    /// the seed's silent truncation.
+    /// the seed's silent truncation, and it carries the partial progress
+    /// (at least the seed facts) instead of dropping it.
     #[test]
     fn match_budget_overrun_is_typed_overflow() {
         let start = tdb(&[[c(1), c(2)], [c(2), c(3)], [c(3), c(4)]]);
         let cfg = ChaseConfig {
-            max_steps: 100,
             match_limit: 1,
             threads: 1,
+            ..ChaseConfig::new(100)
         };
         // The transitivity body has 2 matches in round one: over budget.
-        assert_eq!(
-            chase_with(&start, &[transitivity()], &[], &cfg),
-            ChaseOutcome::Overflow
+        let engine_partial = match chase_with(&start, &[transitivity()], &[], &cfg) {
+            ChaseOutcome::Overflow(partial) => partial,
+            other => panic!("expected overflow, got {other:?}"),
+        };
+        let reference_partial =
+            match crate::reference::chase_with(&start, &[transitivity()], &[], 100, 1) {
+                ChaseOutcome::Overflow(partial) => partial,
+                other => panic!("expected overflow, got {other:?}"),
+            };
+        // Both partial instances contain every starting fact.
+        for partial in [&engine_partial, &reference_partial] {
+            for row in &start.data {
+                assert!(
+                    partial.data.contains(row),
+                    "partial progress lost seed fact {row:?}"
+                );
+            }
+        }
+    }
+
+    /// An overflow after real progress keeps the derived facts: the first
+    /// round of transitivity fires within budget, the second overflows.
+    #[test]
+    fn overflow_partial_progress_keeps_derived_facts() {
+        // Chain of 5: round one derives 3 new edges (closure needs 6 new
+        // edges), round two's trigger set exceeds the budget of 4.
+        let start = tdb(&[[c(1), c(2)], [c(2), c(3)], [c(3), c(4)], [c(4), c(5)]]);
+        let cfg = ChaseConfig {
+            match_limit: 4,
+            threads: 1,
+            ..ChaseConfig::new(100)
+        };
+        match chase_with(&start, &[transitivity()], &[], &cfg) {
+            ChaseOutcome::Overflow(partial) => {
+                assert!(
+                    partial.n_nodes() > start.n_nodes(),
+                    "first-round derivations must survive the overflow"
+                );
+                assert!(partial.data.contains(&vec![c(1), c(3)]));
+            }
+            other => panic!("expected overflow, got {other:?}"),
+        }
+    }
+
+    /// Certified runs replay through the engine-blind checker for every
+    /// outcome kind, and certification does not change the outcome.
+    #[test]
+    fn certified_chase_roundtrips_through_checker() {
+        let cfg = ChaseConfig::with_threads(1000, 1);
+        // Done: mixed tgd+egd chase with merges and firings. Symmetry
+        // keeps functionality satisfiable: ⊥7 merges into 2, then the
+        // reversed edge closes the instance.
+        let start = tdb(&[[c(1), c(2)], [c(1), n(7)]]);
+        let mut body = GenDb::new(schema());
+        body.add_node("T", vec![n(1), n(2)]);
+        let mut head = GenDb::new(schema());
+        head.add_node("T", vec![n(2), n(1)]);
+        let symmetry = Rule { body, head };
+        let mut body = GenDb::new(schema());
+        body.add_node("T", vec![n(1), n(2)]);
+        let mut head = GenDb::new(schema());
+        head.add_node("T", vec![n(2), n(3)]);
+        let grow = Rule { body, head }; // T(x,y) → ∃z T(y,z): draws fresh nulls
+        let bounded = ChaseConfig::with_threads(6, 1);
+        let (outcome, cert) = chase_certified(
+            &start,
+            std::slice::from_ref(&symmetry),
+            &[functionality()],
+            &cfg,
         );
+        let cert = cert.expect("engine path certifies");
+        assert_eq!(ca_cert::check_chase(&cert), Ok(()));
+        match (&outcome, &cert.outcome) {
+            (ChaseOutcome::Done(d), ca_cert::ChaseCertOutcome::Done { final_facts }) => {
+                assert_eq!(final_facts.len(), d.n_nodes());
+            }
+            other => panic!("expected certified Done, got {other:?}"),
+        }
         assert_eq!(
-            crate::reference::chase_with(&start, &[transitivity()], &[], 100, 1),
-            ChaseOutcome::Overflow
+            outcome,
+            chase_with(&start, &[symmetry], &[functionality()], &cfg),
+            "certification must not change the outcome"
         );
+        // Failed: constant clash, recorded as a final clash merge.
+        let clash = tdb(&[[c(1), c(5)], [c(1), c(6)]]);
+        let (outcome, cert) = chase_certified(&clash, &[], &[functionality()], &cfg);
+        assert_eq!(outcome, ChaseOutcome::Failed);
+        let cert = cert.expect("engine path certifies");
+        assert_eq!(cert.outcome, ca_cert::ChaseCertOutcome::Failed);
+        assert_eq!(ca_cert::check_chase(&cert), Ok(()));
+        // Aborted: divergent chase, partial progress certified.
+        let (outcome, cert) = chase_certified(&tdb(&[[c(1), c(2)]]), &[grow], &[], &bounded);
+        assert_eq!(outcome, ChaseOutcome::Aborted);
+        let cert = cert.expect("engine path certifies");
+        assert!(matches!(
+            &cert.outcome,
+            ca_cert::ChaseCertOutcome::Aborted { partial } if partial.len() > 1
+        ));
+        assert_eq!(ca_cert::check_chase(&cert), Ok(()));
+        // Overflow: match budget overrun, partial progress certified and
+        // equal to the outcome's payload.
+        let chain = tdb(&[[c(1), c(2)], [c(2), c(3)], [c(3), c(4)]]);
+        let tight = ChaseConfig {
+            match_limit: 1,
+            threads: 1,
+            ..ChaseConfig::new(100)
+        };
+        let (outcome, cert) = chase_certified(&chain, &[transitivity()], &[], &tight);
+        let partial = match outcome {
+            ChaseOutcome::Overflow(p) => p,
+            other => panic!("expected overflow, got {other:?}"),
+        };
+        let cert = cert.expect("engine path certifies");
+        match &cert.outcome {
+            ca_cert::ChaseCertOutcome::Overflow { partial: facts } => {
+                assert_eq!(facts.len(), partial.n_nodes());
+            }
+            other => panic!("expected certified overflow, got {other:?}"),
+        }
+        assert_eq!(ca_cert::check_chase(&cert), Ok(()));
     }
 
     /// In-module differential sanity: engine and reference agree (up to

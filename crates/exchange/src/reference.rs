@@ -162,7 +162,7 @@ pub fn chase_with(
         let mut fired = false;
         'egds: for egd in egds {
             let Some(ms) = matches_of(&egd.body, &current, match_limit) else {
-                return ChaseOutcome::Overflow;
+                return ChaseOutcome::Overflow(Box::new(current.clone()));
             };
             for m in ms {
                 let get = |nl: Null| {
@@ -193,7 +193,7 @@ pub fn chase_with(
         // Tgds.
         'tgds: for rule in tgds {
             let Some(ms) = matches_of(&rule.body, &current, match_limit) else {
-                return ChaseOutcome::Overflow;
+                return ChaseOutcome::Overflow(Box::new(current.clone()));
             };
             for m in ms {
                 if head_extends(rule, &current, &m) {

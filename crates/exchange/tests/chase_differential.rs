@@ -144,4 +144,36 @@ proptest! {
         let four = chase_with(&d, &tgds, &egds, &ChaseConfig::with_threads(BUDGET, 4));
         prop_assert_eq!(one, four, "thread width changed the chase on {:?}", &d);
     }
+
+    /// Certificate round-trip: the certified chase reaches the same
+    /// outcome as the plain entry point, and its derivation log replays
+    /// through the engine-blind checker — engine, reference (via
+    /// `chase_agrees_with_reference`), and certificate all agree.
+    #[test]
+    fn certified_chase_agrees_and_replays(seed in 0u64..10_000, facts in 0usize..7, bits in 1u8..8) {
+        use ca_cert::ChaseCertOutcome;
+        use ca_exchange::chase::chase_certified;
+
+        let d = gen_instance(seed, facts);
+        let (tgds, egds) = rule_pool(bits);
+        let cfg = ChaseConfig::with_threads(BUDGET, 1);
+        let plain = chase_with(&d, &tgds, &egds, &cfg);
+        let (certified, cert) = chase_certified(&d, &tgds, &egds, &cfg);
+        prop_assert_eq!(&plain, &certified, "certify flag changed the outcome on {:?}", &d);
+        let cert = cert.expect("the compiled engine must certify terminating pools");
+        prop_assert_eq!(
+            ca_cert::check_chase(&cert),
+            Ok(()),
+            "checker rejected a live derivation log on {:?}",
+            &d
+        );
+        // The certified outcome variant matches the engine's.
+        match (&certified, &cert.outcome) {
+            (ChaseOutcome::Done(db), ChaseCertOutcome::Done { final_facts }) => {
+                prop_assert_eq!(db.n_nodes(), final_facts.len());
+            }
+            (ChaseOutcome::Failed, ChaseCertOutcome::Failed) => {}
+            other => prop_assert!(false, "cert outcome diverged on {:?}: {:?}", &d, other),
+        }
+    }
 }

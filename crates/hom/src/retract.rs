@@ -37,6 +37,7 @@
 
 use crate::csp::{default_threads, IncrementalSelfHom};
 use crate::structure::RelStructure;
+use ca_cert::{CoreCert, CoreStep};
 
 /// The result of a retraction run.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -64,6 +65,48 @@ pub fn retract_core(s: &RelStructure, probe: &[u32]) -> Retraction {
 ///
 /// Deterministic at every `threads` width (lowest-candidate-wins).
 pub fn retract_core_with(s: &RelStructure, probe: &[u32], threads: usize) -> Retraction {
+    run_retract(s, probe, threads, None)
+}
+
+/// Like [`retract_core_with`], but also records every fold and every
+/// solver-found endomorphism into a replayable [`CoreCert`]. The
+/// certificate attests that `map` is an endomorphism built exactly from
+/// the recorded chain and retracts `probe` onto `kept`; minimality is
+/// not a replayable claim (see [`CoreCert`]).
+pub fn retract_core_certified(
+    s: &RelStructure,
+    probe: &[u32],
+    threads: usize,
+) -> (Retraction, CoreCert) {
+    let mut steps: Vec<CoreStep> = Vec::new();
+    let r = run_retract(s, probe, threads, Some(&mut steps));
+    let mut tuples = s.tuples.clone();
+    tuples.sort_unstable();
+    tuples.dedup();
+    let mut probe_sorted: Vec<u32> = probe
+        .iter()
+        .copied()
+        .filter(|&p| (p as usize) < s.n_elements)
+        .collect();
+    probe_sorted.sort_unstable();
+    probe_sorted.dedup();
+    let cert = CoreCert {
+        n_elements: s.n_elements as u32,
+        tuples,
+        probe: probe_sorted,
+        steps,
+        kept: r.kept.clone(),
+        map: r.map.clone(),
+    };
+    (r, cert)
+}
+
+fn run_retract(
+    s: &RelStructure,
+    probe: &[u32],
+    threads: usize,
+    mut rec: Option<&mut Vec<CoreStep>>,
+) -> Retraction {
     let n = s.n_elements;
     let mut map: Vec<u32> = (0..n as u32).collect();
     let mut live: Vec<u32> = probe
@@ -81,7 +124,7 @@ pub fn retract_core_with(s: &RelStructure, probe: &[u32], threads: usize) -> Ret
     all_tuples.sort_unstable();
     all_tuples.dedup();
 
-    fold_pass(s, &all_tuples, &mut live, &mut map);
+    fold_pass(s, &all_tuples, &mut live, &mut map, rec.as_deref_mut());
     if live.len() <= 1 {
         // A single live element cannot be avoided (its probe domain would
         // be empty), so the loop below could only pin it: done already.
@@ -126,6 +169,9 @@ pub fn retract_core_with(s: &RelStructure, probe: &[u32], threads: usize) -> Ret
             }
             g = g2;
         }
+        if let Some(r) = rec.as_deref_mut() {
+            r.push(CoreStep::Endo { g: g.clone() });
+        }
         for x in map.iter_mut() {
             *x = g[*x as usize];
         }
@@ -133,7 +179,7 @@ pub fn retract_core_with(s: &RelStructure, probe: &[u32], threads: usize) -> Ret
         new_live.sort_unstable();
         new_live.dedup();
         live = new_live;
-        fold_pass(s, &all_tuples, &mut live, &mut map);
+        fold_pass(s, &all_tuples, &mut live, &mut map, rec.as_deref_mut());
         let ok = inc.restrict_probes(&live_mask(&live, n_words));
         debug_assert!(ok, "retraction invariant violated: live set unreachable");
         if !ok {
@@ -174,6 +220,7 @@ fn fold_pass(
     all_tuples: &[(u32, Vec<u32>)],
     live: &mut Vec<u32>,
     map: &mut [u32],
+    mut rec: Option<&mut Vec<CoreStep>>,
 ) {
     if live.len() < 2 {
         return;
@@ -204,6 +251,9 @@ fn fold_pass(
                     continue;
                 }
                 if fold_ok(all_tuples, &mapped, &occ, u, w) {
+                    if let Some(r) = rec.as_deref_mut() {
+                        r.push(CoreStep::Fold { u, w });
+                    }
                     for x in map.iter_mut() {
                         if *x == u {
                             *x = w;
@@ -325,9 +375,43 @@ mod tests {
         let mut map: Vec<u32> = (0..4).collect();
         let mut all = s.tuples.clone();
         all.sort_unstable();
-        fold_pass(&s, &all, &mut live, &mut map);
+        let mut steps = Vec::new();
+        fold_pass(&s, &all, &mut live, &mut map, Some(&mut steps));
         assert_eq!(live, vec![1, 2, 3]);
         assert_eq!(map[0], 3);
+        assert_eq!(steps, vec![ca_cert::CoreStep::Fold { u: 0, w: 3 }]);
+    }
+
+    #[test]
+    fn certified_retractions_replay_through_checker() {
+        // Fold-only shrinkage (pendant vertex), solver-driven shrinkage
+        // (C8 ⊔ C2), and a no-shrink core (C3 ⊔ C4) all round-trip.
+        let cases = [
+            digraph(4, &[(0, 1), (1, 2), (3, 1)]),
+            dicycle(8).disjoint_union(&dicycle(2)),
+            dicycle(3).disjoint_union(&dicycle(4)),
+        ];
+        for s in &cases {
+            let (r, cert) = retract_core_certified(s, &all_probe(s), 1);
+            assert_eq!(r, retract_core_with(s, &all_probe(s), 1));
+            assert_eq!(ca_cert::check_core(&cert), Ok(()));
+            assert_eq!(cert.kept, r.kept);
+            assert_eq!(cert.map, r.map);
+        }
+    }
+
+    #[test]
+    fn tampered_core_cert_is_rejected() {
+        let s = dicycle(8).disjoint_union(&dicycle(2));
+        let (_, cert) = retract_core_certified(&s, &all_probe(&s), 1);
+        let mut bad = cert.clone();
+        bad.steps.pop();
+        assert!(ca_cert::check_core(&bad).is_err(), "truncated chain passed");
+        let mut bad = cert;
+        if let Some(k) = bad.kept.first_mut() {
+            *k = (s.n_elements as u32).saturating_sub(1);
+        }
+        assert!(ca_cert::check_core(&bad).is_err(), "forged kept set passed");
     }
 
     #[test]

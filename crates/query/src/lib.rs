@@ -33,6 +33,7 @@
 
 pub mod ast;
 pub mod certain;
+pub mod certify;
 pub mod containment;
 pub mod engine;
 pub mod eval;

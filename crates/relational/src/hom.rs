@@ -10,6 +10,7 @@
 //! nulls of `D`, candidate values are the values of `D′`, and each fact of
 //! `D` contributes a table constraint listing the compatible facts of `D′`.
 
+use ca_cert::HomCert;
 use ca_core::store::{self, ValueInterner};
 use ca_core::value::Value;
 use ca_hom::csp::Csp;
@@ -189,8 +190,14 @@ pub enum OntoOutcome {
     /// All homomorphisms were enumerated; none is onto.
     NotFound,
     /// The enumeration limit was exhausted without finding an onto
-    /// homomorphism; absence is *not* established.
-    Inconclusive,
+    /// homomorphism; absence is *not* established. Carries the partial
+    /// progress — how many candidate homomorphisms were enumerated and
+    /// individually refuted before the cap — so callers (and tests) can
+    /// see *why* the search gave up instead of a bare "don't know".
+    Inconclusive {
+        /// Candidates enumerated and refuted (equals the limit).
+        examined: usize,
+    },
 }
 
 impl OntoOutcome {
@@ -244,10 +251,57 @@ pub fn find_onto_hom(src: &NaiveDatabase, dst: &NaiveDatabase, limit: usize) -> 
         }
     }
     if e.truncated {
-        OntoOutcome::Inconclusive
+        OntoOutcome::Inconclusive {
+            examined: e.solutions.len(),
+        }
     } else {
         OntoOutcome::NotFound
     }
+}
+
+/// Build a [`HomCert`] for `h` as a homomorphism of `src`: the mapping on
+/// the source's nulls, in ascending null order (the certificate's
+/// canonical form).
+fn hom_cert_of(src: &NaiveDatabase, h: &Valuation, onto: bool) -> HomCert {
+    HomCert {
+        mapping: src
+            .nulls()
+            .into_iter()
+            .filter_map(|n| h.get(n).map(|v| (n, v)))
+            .collect(),
+        onto,
+    }
+}
+
+/// [`find_hom`], emitting a typed certificate alongside the witness. The
+/// certificate verifies against store snapshots of the two databases
+/// ([`crate::store_bridge::to_store`]) via [`ca_cert::check_hom`];
+/// [`find_hom`] itself stays the thin wrapper that discards it.
+pub fn find_hom_certified(
+    src: &NaiveDatabase,
+    dst: &NaiveDatabase,
+) -> Option<(Valuation, HomCert)> {
+    let h = find_hom(src, dst)?;
+    let cert = hom_cert_of(src, &h, false);
+    Some((h, cert))
+}
+
+/// [`find_onto_hom`], emitting a typed certificate for a positive
+/// outcome (`onto` set, so the checker also verifies coverage of every
+/// target fact). Negative outcomes carry no certificate: absence is not
+/// replayable, and the inconclusive case's partial progress lives in
+/// [`OntoOutcome::Inconclusive`] itself.
+pub fn find_onto_hom_certified(
+    src: &NaiveDatabase,
+    dst: &NaiveDatabase,
+    limit: usize,
+) -> (OntoOutcome, Option<HomCert>) {
+    let outcome = find_onto_hom(src, dst, limit);
+    let cert = match &outcome {
+        OntoOutcome::Found(h) => Some(hom_cert_of(src, h, true)),
+        _ => None,
+    };
+    (outcome, cert)
 }
 
 /// Membership: is the complete database `r` in `[[d]]`?
@@ -352,6 +406,49 @@ mod tests {
         let small = table("R", 1, &[&[n(1)]]);
         assert!(find_hom(&small, &d2).is_some());
         assert!(find_onto_hom(&small, &d2, 1000).definitely_absent());
+    }
+
+    /// satellite: an exhausted enumeration cap carries its partial
+    /// progress — the number of candidates examined and refuted — rather
+    /// than a bare "don't know".
+    #[test]
+    fn inconclusive_carries_refuted_candidate_count() {
+        // One null over three target facts: three homomorphisms, none
+        // onto (a single-fact image cannot cover three facts).
+        let d = table("R", 1, &[&[n(1)]]);
+        let r = table("R", 1, &[&[c(1)], &[c(2)], &[c(3)]]);
+        assert_eq!(
+            find_onto_hom(&d, &r, 2),
+            OntoOutcome::Inconclusive { examined: 2 }
+        );
+        // An exhaustive enumeration is a definite no, not inconclusive.
+        assert!(find_onto_hom(&d, &r, 1000).definitely_absent());
+    }
+
+    /// satellite: certified wrappers emit certificates the independent
+    /// checker accepts, and the plain APIs agree with them.
+    #[test]
+    fn certified_wrappers_roundtrip_through_checker() {
+        use crate::store_bridge::to_store;
+        let d = table("R", 2, &[&[c(1), n(1)], &[n(2), n(1)]]);
+        let r = table("R", 2, &[&[c(1), c(4)], &[c(3), c(4)]]);
+        let (h, cert) = find_hom_certified(&d, &r).expect("hom exists");
+        assert!(is_hom(&d, &r, &h));
+        assert_eq!(
+            ca_cert::check_hom(&cert, &to_store(&d), &to_store(&r)),
+            Ok(())
+        );
+        // Onto: the certificate additionally certifies coverage.
+        let src = table("R", 1, &[&[n(1)], &[n(2)]]);
+        let dst = table("R", 1, &[&[c(1)], &[c(2)]]);
+        let (outcome, onto_cert) = find_onto_hom_certified(&src, &dst, 1000);
+        assert!(outcome.found());
+        let cert = onto_cert.expect("positive outcomes carry a certificate");
+        assert!(cert.onto);
+        assert_eq!(
+            ca_cert::check_hom(&cert, &to_store(&src), &to_store(&dst)),
+            Ok(())
+        );
     }
 
     #[test]

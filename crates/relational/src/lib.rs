@@ -40,7 +40,10 @@ pub mod tuplewise;
 
 pub use database::{Fact, NaiveDatabase, Valuation};
 pub use glb::{glb_databases, glb_many, merge_tuples};
-pub use hom::{find_hom, find_onto_hom, is_hom, OntoOutcome, ValueIndex};
+pub use hom::{
+    find_hom, find_hom_certified, find_onto_hom, find_onto_hom_certified, is_hom, OntoOutcome,
+    ValueIndex,
+};
 pub use ordering::InfoOrder;
 pub use parse::parse_database;
 pub use schema::Schema;

@@ -248,6 +248,145 @@ fn store_backed_postings_are_layout_and_thread_independent() {
     }
 }
 
+/// Certificates are part of the result boundary, so the same pin
+/// discipline applies to their canonical bytes: the certified
+/// certain-answer drivers must emit byte-identical certificates across
+/// independently rebuilt databases (fresh hash-table seeds everywhere)
+/// and across sweep widths 1 vs 4.
+#[test]
+fn query_certificates_are_layout_and_thread_independent() {
+    use ca_query::certify;
+    let q = query();
+    let baseline = {
+        let db = build_permuted(0);
+        let (verdict, cert) = certify::certain_bool_certified(&q, &db, 1);
+        let (table, certs) = certify::certain_table_certified(&q, &db, 1);
+        assert!(!table.is_empty(), "fixture query must have certain rows");
+        assert_eq!(certs.len(), table.len(), "every certain row certifies");
+        (
+            verdict,
+            cert.map(|c| c.to_bytes()),
+            certs
+                .iter()
+                .flat_map(|(_, m)| m.to_bytes())
+                .collect::<Vec<u8>>(),
+        )
+    };
+    for rotation in 0..4 {
+        for threads in [1usize, 4] {
+            let db = build_permuted(rotation);
+            let (verdict, cert) = certify::certain_bool_certified(&q, &db, threads);
+            let (_, certs) = certify::certain_table_certified(&q, &db, threads);
+            let run = (
+                verdict,
+                cert.map(|c| c.to_bytes()),
+                certs
+                    .iter()
+                    .flat_map(|(_, m)| m.to_bytes())
+                    .collect::<Vec<u8>>(),
+            );
+            assert_eq!(
+                baseline, run,
+                "certificate bytes diverged (rebuild #{rotation}, {threads} threads)"
+            );
+        }
+    }
+}
+
+/// Chase derivation logs: byte-identical certificates across chase
+/// thread widths 1 vs 4 and across independently rebuilt instances.
+#[test]
+fn chase_certificates_are_layout_and_thread_independent() {
+    use ca_exchange::chase::{chase_certified, ChaseConfig};
+    use ca_exchange::mapping::Rule;
+    use ca_gdm::database::GenDb;
+    use ca_gdm::schema::GenSchema;
+
+    let schema = || GenSchema::from_parts(&[("T", 2)], &[]);
+    // Permuted insertion order: the logical instance is identical, the
+    // interner and every derived hash table is rebuilt from scratch.
+    let instance = |rotation: usize| {
+        let mut facts = vec![
+            ("T", vec![c(1), c(2)]),
+            ("T", vec![c(2), n(4)]),
+            ("T", vec![n(4), c(3)]),
+            ("T", vec![c(3), n(5)]),
+        ];
+        let mid = rotation % facts.len();
+        facts.rotate_left(mid);
+        let mut d = GenDb::new(schema());
+        for (rel, args) in facts {
+            d.add_node(rel, args);
+        }
+        d
+    };
+    // Transitivity keeps the chase multi-round without diverging.
+    let transitivity = {
+        let mut body = GenDb::new(schema());
+        body.add_node("T", vec![n(1), n(2)]);
+        body.add_node("T", vec![n(2), n(3)]);
+        let mut head = GenDb::new(schema());
+        head.add_node("T", vec![n(1), n(3)]);
+        Rule { body, head }
+    };
+    let tgds = [transitivity];
+    let baseline = {
+        let (_, cert) = chase_certified(
+            &instance(0),
+            &tgds,
+            &[],
+            &ChaseConfig::with_threads(10_000, 1),
+        );
+        cert.expect("engine certifies the fixture chase").to_bytes()
+    };
+    for rotation in 0..4 {
+        for threads in [1usize, 4] {
+            let cfg = ChaseConfig::with_threads(10_000, threads);
+            let (_, cert) = chase_certified(&instance(rotation), &tgds, &[], &cfg);
+            let run = cert.expect("engine certifies the fixture chase").to_bytes();
+            assert_eq!(
+                baseline, run,
+                "chase certificate bytes diverged (rebuild #{rotation}, {threads} threads)"
+            );
+        }
+    }
+}
+
+/// Core-retraction certificates: byte-identical fold/endomorphism chains
+/// at every probe-thread width.
+#[test]
+fn core_certificates_are_thread_width_independent() {
+    use ca_hom::retract::retract_core_certified;
+    use ca_hom::structure::RelStructure;
+
+    // C6 ⊔ C2 ⊔ a pendant path: several probes race for removal.
+    let mut s = RelStructure::new(11);
+    for i in 0..6u32 {
+        s.add_tuple(0, vec![i, (i + 1) % 6]);
+    }
+    s.add_tuple(0, vec![6, 7]);
+    s.add_tuple(0, vec![7, 6]);
+    s.add_tuple(0, vec![8, 9]);
+    s.add_tuple(0, vec![9, 10]);
+    s.add_tuple(0, vec![10, 8]);
+    let probe: Vec<u32> = (0..11).collect();
+    let (base_r, base_cert) = retract_core_certified(&s, &probe, 1);
+    assert_eq!(ca_cert::check_core(&base_cert), Ok(()));
+    let base_bytes = base_cert.to_bytes();
+    for threads in [2usize, 4, 8] {
+        let (r, cert) = retract_core_certified(&s, &probe, threads);
+        assert_eq!(
+            base_r.kept, r.kept,
+            "kept set diverged at {threads} threads"
+        );
+        assert_eq!(
+            base_bytes,
+            cert.to_bytes(),
+            "core certificate bytes diverged at {threads} threads"
+        );
+    }
+}
+
 /// Sanity for the proxy itself: permuted insertion is canonicalized
 /// away by the sorted fact store, so every rebuild is the *same*
 /// logical database — any divergence the tests above could observe

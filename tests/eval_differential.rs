@@ -132,6 +132,77 @@ proptest! {
         );
     }
 
+    /// Certificate round-trip: every verdict the certified drivers emit
+    /// must replay through the engine-blind checker — engine, reference,
+    /// and certificate all agree. (Same small instances as the sweep
+    /// invariant so the |pool|^#nulls grid stays cheap.)
+    #[test]
+    fn certified_verdicts_round_trip(seed in any::<u64>()) {
+        use ca_cert::{check_certain_row, check_non_certain, CertainVerdictCert};
+        use ca_query::certify;
+
+        let mut rng = Rng::new(seed ^ 0xce47);
+        let schema = random_schema(&mut rng, 2, 2);
+        let db = random_naive_db_over(
+            &mut rng,
+            &schema,
+            DbParams { n_facts: 4, arity: 0, n_constants: 2, n_nulls: 2, null_pct: 40 },
+        );
+        let head_arity = rng.below(2) as usize;
+        let q = random_ucq_over(
+            &mut rng,
+            &schema,
+            head_arity,
+            QueryParams {
+                n_disjuncts: 2,
+                n_atoms: 2,
+                n_vars: 3,
+                arity: 0,
+                n_constants: 2,
+                const_pct: 25,
+            },
+        );
+        let facts = certify::db_facts(&db);
+
+        // Boolean verdict: agrees with the uncertified driver, and the
+        // certificate (either polarity) passes the checker.
+        let (verdict, cert) = certify::certain_bool_certified(&q, &db, 1);
+        prop_assert_eq!(verdict, certain_answer_bool_with(&q, &db, 1));
+        let bq = certify::cert_query(&certify::boolean_form(&q));
+        match cert {
+            Some(CertainVerdictCert::Certain(m)) => {
+                prop_assert!(verdict, "certain cert on a non-certain verdict");
+                prop_assert_eq!(check_certain_row(&bq, &facts, &m), Ok(()));
+            }
+            Some(CertainVerdictCert::NonCertain(nc)) => {
+                prop_assert!(!verdict, "non-certain cert on a certain verdict");
+                prop_assert_eq!(check_non_certain(&bq, &facts, &nc), Ok(()));
+            }
+            None => prop_assert!(
+                db.nulls().is_empty() || !verdict,
+                "cert withheld outside the vacuous corner"
+            ),
+        }
+
+        // Table: agrees with the uncertified driver, every row carries a
+        // checkable naïve match, and a fabricated non-row is refutable
+        // with a checkable completion.
+        let (table, certs) = certify::certain_table_certified(&q, &db, 1);
+        prop_assert_eq!(&table, &certain_table_with(&q, &db, 1));
+        prop_assert_eq!(certs.len(), table.len(), "uncertified certain row");
+        let cq = certify::cert_query(&q);
+        for (row, m) in &certs {
+            prop_assert!(table.contains(row));
+            prop_assert_eq!(check_certain_row(&cq, &facts, m), Ok(()));
+        }
+        let bogus = vec![ca_core::value::Value::Const(987_654); q.head_arity()];
+        if !table.contains(&bogus) && !db.nulls().is_empty() {
+            let nc = certify::refute_row(&q, &db, &bogus)
+                .expect("a non-certain row must have a falsifying completion");
+            prop_assert_eq!(check_non_certain(&cq, &facts, &nc), Ok(()));
+        }
+    }
+
     /// Lenient compilation matches the reference evaluator even when the
     /// query mentions relations outside the schema: the broken disjunct
     /// contributes nothing, the others still answer.
