@@ -9,8 +9,8 @@
 //!
 //! Determinism note: a fixed seed makes *hash values* reproducible, but
 //! map iteration order is still insertion-dependent — the workspace
-//! lint (`ca-lint` L001) keeps map iteration out of result paths
-//! regardless of hasher.
+//! lint (`ca-lint` L007) keeps map iteration off deterministic-output
+//! paths regardless of hasher.
 
 use std::hash::{BuildHasherDefault, Hasher};
 

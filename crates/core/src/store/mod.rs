@@ -71,6 +71,31 @@ pub const fn null_index(id: ValueId) -> u32 {
 /// order and never reused (dead facts keep their id).
 pub type FactId = u32;
 
+/// Checked narrowing of a count into the dense `u32` id space shared by
+/// [`ValueId`], [`FactId`], row numbers and [`Symbol`] indices. A
+/// truncating `as` cast here would wrap and silently alias an unrelated
+/// value or fact, so overflow aborts instead.
+#[inline]
+#[track_caller]
+pub fn dense_count(n: usize) -> u32 {
+    match u32::try_from(n) {
+        Ok(v) => v,
+        // ca-lint: allow(L002, reason = "deliberate documented panic: overflowing the dense u32 id space must abort, a wrapped id aliases unrelated values or facts")
+        Err(_) => panic!("dense id space overflow: {n} does not fit in u32"),
+    }
+}
+
+/// Checked `+ 1` on a dense `u32` counter; see [`dense_count`].
+#[inline]
+#[track_caller]
+fn dense_inc(n: u32) -> u32 {
+    match n.checked_add(1) {
+        Some(v) => v,
+        // ca-lint: allow(L002, reason = "deliberate documented panic: overflowing the dense u32 id space must abort, a wrapped id aliases unrelated values or facts")
+        None => panic!("dense id space overflow: counter past u32::MAX"),
+    }
+}
+
 /// The global value interner: constants and nulls each get dense ids, in
 /// first-interning order.
 #[derive(Clone, Debug, Default)]
@@ -93,7 +118,7 @@ impl ValueInterner {
             Value::Const(c) => match self.by_const.entry(c) {
                 Entry::Occupied(e) => *e.get(),
                 Entry::Vacant(e) => {
-                    let id = self.consts.len() as u32;
+                    let id = dense_count(self.consts.len());
                     debug_assert!(id < NULL_TAG, "constant universe exceeds 2^31");
                     self.consts.push(c);
                     *e.insert(id)
@@ -102,7 +127,7 @@ impl ValueInterner {
             Value::Null(Null(n)) => match self.by_null.entry(n) {
                 Entry::Occupied(e) => *e.get(),
                 Entry::Vacant(e) => {
-                    let idx = self.nulls.len() as u32;
+                    let idx = dense_count(self.nulls.len());
                     debug_assert!(idx < !NULL_TAG, "null universe exceeds 2^31 - 1");
                     self.nulls.push(n);
                     *e.insert(NULL_TAG | idx)
@@ -136,17 +161,17 @@ impl ValueInterner {
 
     /// Number of interned constants.
     pub fn n_consts(&self) -> u32 {
-        self.consts.len() as u32
+        dense_count(self.consts.len())
     }
 
     /// Number of interned nulls.
     pub fn n_nulls(&self) -> u32 {
-        self.nulls.len() as u32
+        dense_count(self.nulls.len())
     }
 
     /// Total interned values.
     pub fn len(&self) -> usize {
-        self.consts.len() + self.nulls.len()
+        self.consts.len().saturating_add(self.nulls.len())
     }
 
     /// Whether nothing has been interned.
@@ -156,12 +181,20 @@ impl ValueInterner {
 
     /// The constant at dense index `i` (interning order).
     pub fn const_at(&self, i: u32) -> i64 {
-        self.consts[i as usize]
+        match self.consts.get(i as usize) {
+            Some(&c) => c,
+            // Same indexing invariant as [`Self::value`]: dense indices
+            // come from this interner.
+            None => unreachable!("constant index {i} out of range"),
+        }
     }
 
     /// The null label at dense index `i` (interning order).
     pub fn null_at(&self, i: u32) -> u32 {
-        self.nulls[i as usize]
+        match self.nulls.get(i as usize) {
+            Some(&n) => n,
+            None => unreachable!("null index {i} out of range"),
+        }
     }
 }
 
@@ -228,12 +261,15 @@ impl RelTable {
             col.push(id);
         }
         let word = (row / 64) as usize;
-        if word == self.live.len() {
-            self.live.push(0);
+        let bit = 1u64 << (row % 64);
+        match self.live.get_mut(word) {
+            Some(w) => *w |= bit,
+            // Rows fill the bitmap densely, so the next word is at most
+            // one past the end.
+            None => self.live.push(bit),
         }
-        self.live[word] |= 1 << (row % 64);
-        self.n_rows += 1;
-        self.n_live += 1;
+        self.n_rows = dense_inc(self.n_rows);
+        self.n_live = dense_inc(self.n_live);
         row
     }
 
@@ -371,7 +407,7 @@ impl FactStore {
 
     /// Iterate over all relation symbols in declaration order.
     pub fn relations(&self) -> impl Iterator<Item = Symbol> + '_ {
-        (0..self.arities.len() as u32).map(Symbol)
+        (0..dense_count(self.arities.len())).map(Symbol)
     }
 
     /// The column table of a relation.
@@ -405,7 +441,7 @@ impl FactStore {
 
     /// Total facts ever inserted (live and dead).
     pub fn n_facts(&self) -> u32 {
-        self.fact_rel.len() as u32
+        dense_count(self.fact_rel.len())
     }
 
     /// Live facts.
@@ -423,9 +459,14 @@ impl FactStore {
         self.fact_row[f as usize]
     }
 
-    /// Is the fact live?
+    /// Is the fact live? A fact id this store never issued is not live.
     pub fn is_live(&self, f: FactId) -> bool {
-        self.tables[self.fact_rel[f as usize].index()].is_live(self.fact_row[f as usize])
+        let (Some(rel), Some(&row)) =
+            (self.fact_rel.get(f as usize), self.fact_row.get(f as usize))
+        else {
+            return false;
+        };
+        self.tables.get(rel.index()).is_some_and(|t| t.is_live(row))
     }
 
     /// Iterate over the live fact ids, in fact-id (= creation) order.
@@ -434,10 +475,22 @@ impl FactStore {
     }
 
     /// Append a fact's value ids to `buf` (columns gathered into a row).
+    ///
+    /// Directory invariant: `f` was issued by this store, so its relation
+    /// and row exist and every column covers the row.
     pub fn fact_ids_into(&self, f: FactId, buf: &mut Vec<ValueId>) {
-        let table = &self.tables[self.fact_rel[f as usize].index()];
-        let row = self.fact_row[f as usize] as usize;
-        buf.extend(table.cols().iter().map(|col| col[row]));
+        let (rel, row) = match (self.fact_rel.get(f as usize), self.fact_row.get(f as usize)) {
+            (Some(rel), Some(&row)) => (rel, row as usize),
+            _ => unreachable!("foreign fact id {f}"),
+        };
+        let table = match self.tables.get(rel.index()) {
+            Some(t) => t,
+            None => unreachable!("fact {f} names an undeclared relation"),
+        };
+        buf.extend(table.cols().iter().map(|col| match col.get(row) {
+            Some(&id) => id,
+            None => unreachable!("fact {f} row {row} past its column"),
+        }));
     }
 
     /// A fact's tuple, resolved back to [`Value`]s.
@@ -469,7 +522,7 @@ impl FactStore {
 
     /// Id-level [`Self::append`].
     pub fn append_ids(&mut self, rel: Symbol, ids: &[ValueId]) -> FactId {
-        let f = self.fact_rel.len() as u32;
+        let f = dense_count(self.fact_rel.len());
         let row = self.tables[rel.index()].push_row(ids);
         self.fact_rel.push(rel);
         self.fact_row.push(row);
@@ -501,12 +554,20 @@ impl FactStore {
         match intern.entry((rel, ids)) {
             Entry::Occupied(_) => None,
             Entry::Vacant(v) => {
-                let f = fact_rel.len() as u32;
+                let f = dense_count(fact_rel.len());
                 let key_ids = &v.key().1;
-                let row = tables[rel.index()].push_row(key_ids);
+                let row = match tables.get_mut(rel.index()) {
+                    Some(t) => t.push_row(key_ids),
+                    None => unreachable!("insert into undeclared relation {rel:?}"),
+                };
                 for &id in key_ids {
                     if id_is_null(id) {
-                        occ[null_index(id) as usize].push(f);
+                        match occ.get_mut(null_index(id) as usize) {
+                            Some(facts) => facts.push(f),
+                            // grow_occ above sized `occ` to the interned
+                            // null universe.
+                            None => unreachable!("occurrence index not grown for {id}"),
+                        }
                     }
                 }
                 v.insert(f);
@@ -685,13 +746,20 @@ impl FactStore {
             self.fact_ids_into(f, &mut ids);
             for &id in &ids {
                 if id_is_null(id) {
-                    self.occ[null_index(id) as usize].push(f);
+                    match self.occ.get_mut(null_index(id) as usize) {
+                        Some(facts) => facts.push(f),
+                        // `occ` was resized to the interned null universe
+                        // just above, and columns only hold interned ids.
+                        None => unreachable!("occurrence index not grown for {id}"),
+                    }
                 }
             }
             if self.is_live(f) {
-                self.intern
-                    .entry((self.fact_rel[f as usize], ids.clone()))
-                    .or_insert(f);
+                let rel = match self.fact_rel.get(f as usize) {
+                    Some(&rel) => rel,
+                    None => unreachable!("foreign fact id {f}"),
+                };
+                self.intern.entry((rel, ids.clone())).or_insert(f);
             }
         }
         self.maps_built = true;

@@ -38,7 +38,7 @@ use std::fmt;
 use crate::symbol::{Interner, Symbol};
 use crate::value::Value;
 
-use super::{id_is_null, null_index, FactStore, RelTable, ValueInterner};
+use super::{dense_count, id_is_null, null_index, FactStore, RelTable, ValueInterner};
 
 /// Current snapshot format version.
 pub const SNAPSHOT_VERSION: u32 = 1;
@@ -94,14 +94,21 @@ fn rd_i64(buf: &[u8], off: usize) -> Result<i64, SnapshotError> {
     rd_u64(buf, off).map(|v| v as i64)
 }
 
-/// Round a byte length up to 8-byte alignment.
+/// Round a byte length up to 8-byte alignment. Saturates near
+/// `usize::MAX` so an attacker-sized length cannot wrap to a small pad;
+/// the saturated value then fails every bounds check downstream.
 const fn pad8(len: usize) -> usize {
-    (len + 7) & !7
+    len.saturating_add(7) & !7
 }
 
 /// Checked offset advance; overflow means the buffer can't hold it.
 fn advance(off: usize, by: usize) -> Result<usize, SnapshotError> {
     off.checked_add(by).ok_or(SnapshotError::Truncated)
+}
+
+/// Checked size multiply; overflow means the buffer can't hold it.
+fn size_mul(a: usize, b: usize) -> Result<usize, SnapshotError> {
+    a.checked_mul(b).ok_or(SnapshotError::Truncated)
 }
 
 struct RelDir {
@@ -176,31 +183,25 @@ impl<'a> SnapshotView<'a> {
                 name_off,
                 name_len,
                 arity,
-                n_rows: n_rows as u32,
+                // In range: n_rows ≤ n_facts < u32::MAX, checked above.
+                n_rows: u32::try_from(n_rows)
+                    .map_err(|_| SnapshotError::Corrupt("relation rows out of range"))?,
                 live_off: 0,
                 cols_off: 0,
             });
         }
         let consts_off = off;
-        off = advance(
-            off,
-            (n_consts as usize)
-                .checked_mul(8)
-                .ok_or(SnapshotError::Truncated)?,
-        )?;
+        off = advance(off, size_mul(n_consts as usize, 8)?)?;
         let nulls_off = off;
-        off = advance(off, pad8((n_nulls as usize) * 4))?;
+        off = advance(off, pad8(size_mul(n_nulls as usize, 4)?))?;
         let fact_rel_off = off;
-        off = advance(off, pad8((n_facts as usize) * 4))?;
+        off = advance(off, pad8(size_mul(n_facts as usize, 4)?))?;
         for e in &mut rels {
             e.live_off = off;
-            off = advance(off, (e.n_rows as usize).div_ceil(64) * 8)?;
+            off = advance(off, size_mul((e.n_rows as usize).div_ceil(64), 8)?)?;
             e.cols_off = off;
-            let page = pad8((e.n_rows as usize) * 4);
-            off = advance(
-                off,
-                e.arity.checked_mul(page).ok_or(SnapshotError::Truncated)?,
-            )?;
+            let page = pad8(size_mul(e.n_rows as usize, 4)?);
+            off = advance(off, size_mul(e.arity, page)?)?;
         }
         if off > buf.len() {
             return Err(SnapshotError::Truncated);
@@ -208,12 +209,16 @@ impl<'a> SnapshotView<'a> {
         if off < buf.len() {
             return Err(SnapshotError::Corrupt("trailing bytes"));
         }
+        // All four counts were range-checked against u32 above; try_from
+        // keeps the narrowing honest if those checks ever drift.
+        let count =
+            |v: u64| u32::try_from(v).map_err(|_| SnapshotError::Corrupt("count out of range"));
         Ok(SnapshotView {
             buf,
-            n_consts: n_consts as u32,
-            n_nulls: n_nulls as u32,
-            n_rels: n_rels as u32,
-            n_facts: n_facts as u32,
+            n_consts: count(n_consts)?,
+            n_nulls: count(n_nulls)?,
+            n_rels: count(n_rels)?,
+            n_facts: count(n_facts)?,
             rels,
             consts_off,
             nulls_off,
@@ -260,9 +265,10 @@ impl<'a> SnapshotView<'a> {
     /// The name of relation `r`.
     pub fn rel_name(&self, r: u32) -> Result<&'a str, SnapshotError> {
         let e = self.rel(r)?;
+        let end = advance(e.name_off, e.name_len)?;
         let bytes = self
             .buf
-            .get(e.name_off..e.name_off + e.name_len)
+            .get(e.name_off..end)
             .ok_or(SnapshotError::Truncated)?;
         std::str::from_utf8(bytes).map_err(|_| SnapshotError::Corrupt("relation name not utf-8"))
     }
@@ -295,7 +301,7 @@ impl<'a> SnapshotView<'a> {
     /// One raw live-bitmap word of relation `r`.
     pub fn live_word(&self, r: u32, w: usize) -> Result<u64, SnapshotError> {
         let e = self.rel(r)?;
-        rd_u64(self.buf, advance(e.live_off, w * 8)?)
+        rd_u64(self.buf, advance(e.live_off, size_mul(w, 8)?)?)
     }
 
     /// The relation index of fact `f`.
@@ -309,8 +315,9 @@ impl<'a> SnapshotView<'a> {
         if c >= e.arity || row >= e.n_rows {
             return Err(SnapshotError::Corrupt("column access out of range"));
         }
-        let page = pad8((e.n_rows as usize) * 4);
-        rd_u32(self.buf, advance(e.cols_off, c * page + row as usize * 4)?)
+        let page = pad8(size_mul(e.n_rows as usize, 4)?);
+        let in_page = advance(size_mul(c, page)?, size_mul(row as usize, 4)?)?;
+        rd_u32(self.buf, advance(e.cols_off, in_page)?)
     }
 
     fn check_pad(&self, start: usize, end: usize) -> Result<(), SnapshotError> {
@@ -349,10 +356,10 @@ impl FactStore {
         push_u64(&mut out, self.arities.len() as u64);
         push_u64(&mut out, self.fact_rel.len() as u64);
         for r in 0..self.arities.len() {
-            let sym = Symbol(r as u32);
+            let sym = Symbol(dense_count(r));
             let name = self.rel_name(sym);
-            push_u32(&mut out, name.len() as u32);
-            push_u32(&mut out, self.arities[r] as u32);
+            push_u32(&mut out, dense_count(name.len()));
+            push_u32(&mut out, dense_count(self.arities[r]));
             push_u64(&mut out, self.tables[r].n_rows() as u64);
             out.extend_from_slice(name.as_bytes());
             push_pad8(&mut out);
@@ -428,8 +435,8 @@ impl FactStore {
             fact_row.push(*seen);
             *seen += 1;
         }
-        for r in 0..view.n_rels() {
-            if rows_seen[r as usize] != view.rel_rows(r)? {
+        for (r, &seen) in rows_seen.iter().enumerate() {
+            if seen != view.rel_rows(dense_count(r))? {
                 return Err(SnapshotError::Corrupt(
                     "fact directory disagrees with relation rows",
                 ));
@@ -474,15 +481,20 @@ impl FactStore {
         // byte-identical.
         for r in 0..view.n_rels() {
             let e = view.rel(r)?;
-            view.check_pad(e.name_off + e.name_len, e.name_off + pad8(e.name_len))?;
+            view.check_pad(
+                advance(e.name_off, e.name_len)?,
+                advance(e.name_off, pad8(e.name_len))?,
+            )?;
         }
+        let nulls_bytes = size_mul(view.n_nulls() as usize, 4)?;
         view.check_pad(
-            view.nulls_off + view.n_nulls() as usize * 4,
-            view.nulls_off + pad8(view.n_nulls() as usize * 4),
+            advance(view.nulls_off, nulls_bytes)?,
+            advance(view.nulls_off, pad8(nulls_bytes))?,
         )?;
+        let facts_bytes = size_mul(view.n_facts() as usize, 4)?;
         view.check_pad(
-            view.fact_rel_off + view.n_facts() as usize * 4,
-            view.fact_rel_off + pad8(view.n_facts() as usize * 4),
+            advance(view.fact_rel_off, facts_bytes)?,
+            advance(view.fact_rel_off, pad8(facts_bytes))?,
         )?;
         Ok(FactStore::from_loaded_parts(
             rel_names, arities, tables, values, fact_rel, fact_row,
@@ -498,9 +510,11 @@ fn col_pad_check(
     n_rows: u32,
 ) -> Result<(), SnapshotError> {
     let e = view.rel(r)?;
-    let page = pad8(n_rows as usize * 4);
-    let data_end = e.cols_off + c * page + n_rows as usize * 4;
-    let page_end = e.cols_off + (c + 1) * page;
+    let data_bytes = size_mul(n_rows as usize, 4)?;
+    let page = pad8(data_bytes);
+    let col_off = advance(e.cols_off, size_mul(c, page)?)?;
+    let data_end = advance(col_off, data_bytes)?;
+    let page_end = advance(col_off, page)?;
     view.check_pad(data_end, page_end)
 }
 

@@ -7,6 +7,8 @@
 use std::collections::HashMap;
 use std::fmt;
 
+use crate::store::dense_count;
+
 /// An interned name. Only meaningful relative to the [`Interner`] that
 /// produced it.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -38,7 +40,7 @@ impl Interner {
         if let Some(&s) = self.by_name.get(name) {
             return s;
         }
-        let s = Symbol(self.names.len() as u32);
+        let s = Symbol(dense_count(self.names.len()));
         self.names.push(name.to_owned());
         self.by_name.insert(name.to_owned(), s);
         s
@@ -69,7 +71,7 @@ impl Interner {
         self.names
             .iter()
             .enumerate()
-            .map(|(i, n)| (Symbol(i as u32), n.as_str()))
+            .map(|(i, n)| (Symbol(dense_count(i)), n.as_str()))
     }
 }
 

@@ -80,8 +80,8 @@ const SMALL_CORE_MAX_NODES: usize = 64;
 /// them with no search), so instances with them stay on the engine path
 /// at every size.
 fn has_foldable_null(d: &GenDb) -> bool {
-    let mut counts: std::collections::HashMap<ca_core::value::Null, usize> =
-        std::collections::HashMap::new();
+    let mut counts: std::collections::BTreeMap<ca_core::value::Null, usize> =
+        std::collections::BTreeMap::new();
     for row in &d.data {
         for v in row {
             if let ca_core::value::Value::Null(nl) = v {

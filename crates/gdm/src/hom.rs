@@ -46,7 +46,14 @@ pub fn gdm_hom_csp(src: &GenDb, dst: &GenDb) -> (Csp, Vec<Null>, Vec<Value>) {
     assert_eq!(src.schema, dst.schema, "same generalized schema required");
     let n = src.n_nodes();
     let nulls: Vec<Null> = src.nulls().into_iter().collect();
-    let null_var = |nl: Null| -> u32 { (n + nulls.binary_search(&nl).unwrap()) as u32 };
+    let null_var = |nl: Null| -> u32 {
+        match nulls.binary_search(&nl) {
+            Ok(i) => (n + i) as u32,
+            // `nulls` enumerates every null of `src`, so any null met
+            // while compiling src's tuples is present.
+            Err(_) => unreachable!("null not in src's null set"),
+        }
+    };
     let universe = value_universe(dst);
     let val_id = |v: Value| -> Option<u32> { universe.binary_search(&v).ok().map(|i| i as u32) };
 

@@ -61,7 +61,9 @@ pub fn path_chain(n: usize) -> Vec<Digraph> {
 /// Verify that a family is a strict chain in the given order (each member
 /// strictly above the next).
 pub fn is_strict_descending_chain(family: &[Digraph]) -> bool {
-    family.windows(2).all(|w| w[1].strictly_below(&w[0]))
+    family
+        .windows(2)
+        .all(|w| matches!(w, [above, below] if below.strictly_below(above)))
 }
 
 #[cfg(test)]

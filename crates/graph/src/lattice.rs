@@ -132,9 +132,11 @@ pub fn refute_glb_of_power_cycles(g: &Digraph) -> GlbRefutation {
             GlbRefutation::DominatedByPath { longest_path: k }
         }
         None => {
-            let k = g
-                .shortest_cycle()
-                .expect("cyclic graph has a shortest cycle");
+            let k = match g.shortest_cycle() {
+                Some(k) => k,
+                // `longest_path()` returned None, so `g` has a cycle.
+                None => unreachable!("graph with no longest path must contain a cycle"),
+            };
             // Find m with 2^m > k; then g ⋢ C_{2^m} because its k-cycle
             // cannot map into a longer directed cycle.
             let mut m = 1u32;

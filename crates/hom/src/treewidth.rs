@@ -47,7 +47,10 @@ impl TreeDecomposition {
             }
             let mut seen = vec![false; n];
             let mut stack = vec![0usize];
-            seen[0] = true;
+            let Some(first) = seen.first_mut() else {
+                return false;
+            };
+            *first = true;
             let mut count = 1;
             while let Some(t) = stack.pop() {
                 for &(a, b) in &self.edges {
@@ -107,9 +110,12 @@ impl TreeDecomposition {
                 continue;
             }
             // BFS within holding bags only.
+            let Some(&start) = holding.first() else {
+                continue;
+            };
             let mut seen: BTreeSet<usize> = BTreeSet::new();
-            let mut stack = vec![holding[0]];
-            seen.insert(holding[0]);
+            let mut stack = vec![start];
+            seen.insert(start);
             while let Some(t) = stack.pop() {
                 for &(a, b) in &self.edges {
                     let other = if a == t {
@@ -147,7 +153,9 @@ impl TreeDecomposition {
         }
         let mut seen = vec![false; n];
         let mut stack = vec![0usize];
-        seen[0] = true;
+        if let Some(first) = seen.first_mut() {
+            *first = true;
+        }
         while let Some(t) = stack.pop() {
             for &u in &adj[t] {
                 if !seen[u] {
@@ -244,7 +252,9 @@ fn connect_forest(td: &mut TreeDecomposition) {
         }
     }
     for w in reps.windows(2) {
-        td.edges.push((w[0], w[1]));
+        if let &[a, b] = w {
+            td.edges.push((a, b));
+        }
     }
 }
 
@@ -289,21 +299,22 @@ pub fn decompose_min_fill(adj: &[BTreeSet<u32>]) -> TreeDecomposition {
     let mut alive = vec![true; n];
     let mut order = Vec::with_capacity(n);
     for _ in 0..n {
-        let v = (0..n)
-            .filter(|&v| alive[v])
-            .min_by_key(|&v| {
-                let nbrs: Vec<u32> = fill[v].iter().copied().collect();
-                let mut missing = 0usize;
-                for i in 0..nbrs.len() {
-                    for j in (i + 1)..nbrs.len() {
-                        if !fill[nbrs[i] as usize].contains(&nbrs[j]) {
-                            missing += 1;
-                        }
+        let picked = (0..n).filter(|&v| alive[v]).min_by_key(|&v| {
+            let nbrs: Vec<u32> = fill[v].iter().copied().collect();
+            let mut missing = 0usize;
+            for i in 0..nbrs.len() {
+                for j in (i + 1)..nbrs.len() {
+                    if !fill[nbrs[i] as usize].contains(&nbrs[j]) {
+                        missing += 1;
                     }
                 }
-                (missing, nbrs.len())
-            })
-            .expect("an alive vertex exists");
+            }
+            (missing, nbrs.len())
+        });
+        let Some(v) = picked else {
+            // One vertex dies per round, so round i of n has n - i alive.
+            unreachable!("an alive vertex exists each elimination round");
+        };
         order.push(v as u32);
         alive[v] = false;
         let nbrs: Vec<u32> = fill[v].iter().copied().collect();

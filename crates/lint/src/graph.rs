@@ -1,0 +1,411 @@
+//! The workspace item graph: every parsed file, a flat function table,
+//! a conservative name-based call-edge approximation, and the crate
+//! dependency DAG read from the `Cargo.toml` manifests.
+//!
+//! The call graph is deliberately over-approximate: a call site `name(…)`
+//! (including `recv.name(…)` and `Type::name(…)`) gets an edge to *every*
+//! workspace function called `name` that lives in the caller's crate or
+//! in its transitive dependency cone. Over-approximation is the right
+//! direction for the taint rules built on top (L007/L008): a spurious
+//! edge can at worst flag a function that then gets cleaned up or
+//! justified inline; a missed edge would let nondeterminism or unchecked
+//! parsing hide. There is no type resolution and no macro expansion —
+//! the analysis must stay dependency-free and total on every file.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::lexer::{Lexed, TokKind};
+use crate::parser::FileItems;
+
+/// One parsed source file, ready for graph construction and rules.
+pub struct FileRecord {
+    /// Repo-relative path with forward slashes.
+    pub path: String,
+    pub lexed: Lexed,
+    /// `#[cfg(test)]` mask, parallel to `lexed.toks`.
+    pub test: Vec<bool>,
+    pub items: FileItems,
+}
+
+/// The slice of a `Cargo.toml` the graph needs: package name and the
+/// `[dependencies]` entries (section-exact — `[workspace.dependencies]`
+/// and `[dev-dependencies]` are deliberately ignored: layering governs
+/// the runtime dependency cone, not test scaffolding).
+#[derive(Clone, Debug, Default)]
+pub struct Manifest {
+    /// Repo-relative manifest path (`crates/cert/Cargo.toml`).
+    pub path: String,
+    /// `[package] name`, empty for a virtual manifest.
+    pub package: String,
+    /// `[dependencies]` keys with their 1-based line numbers.
+    pub deps: Vec<(String, u32)>,
+}
+
+/// Parse the subset of TOML the manifests use: `[section]` headers,
+/// `key = value` lines, and dotted keys (`ca-core.workspace = true`).
+pub fn parse_manifest(path: &str, text: &str) -> Manifest {
+    #[derive(PartialEq)]
+    enum Section {
+        Package,
+        Deps,
+        Other,
+    }
+    let mut section = Section::Other;
+    let mut out = Manifest {
+        path: path.to_string(),
+        ..Manifest::default()
+    };
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.starts_with('[') {
+            section = match line {
+                "[package]" => Section::Package,
+                "[dependencies]" => Section::Deps,
+                _ => Section::Other,
+            };
+            continue;
+        }
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            continue;
+        };
+        // `ca-core.workspace = true` declares a dependency on `ca-core`.
+        let key = key.trim().split('.').next().unwrap_or("").trim();
+        match section {
+            Section::Package if key == "name" => {
+                out.package = value.trim().trim_matches('"').to_string();
+            }
+            Section::Deps if !key.is_empty() => {
+                let line_no = u32::try_from(idx + 1).unwrap_or(u32::MAX);
+                out.deps.push((key.to_string(), line_no));
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Normalize a crate name as written in source (`ca_core`) to its
+/// package form (`ca-core`).
+pub fn norm_crate(name: &str) -> String {
+    name.replace('_', "-")
+}
+
+/// One function in the flat workspace table.
+pub struct FnNode {
+    /// Index into the `files` slice the graph was built from.
+    pub file: usize,
+    /// Index into that file's `items.fns`.
+    pub local: usize,
+    pub name: String,
+    /// Package name of the owning crate (`ca-core`, `certain-answers`).
+    pub krate: String,
+    pub is_test: bool,
+}
+
+/// The workspace item graph.
+pub struct WorkspaceGraph {
+    pub manifests: Vec<Manifest>,
+    /// Package name per file, parallel to the `files` slice.
+    pub file_crate: Vec<String>,
+    pub fns: Vec<FnNode>,
+    /// Call edges: `calls[f]` lists callee function ids, deduplicated.
+    pub calls: Vec<Vec<u32>>,
+    /// Direct manifest dependencies per package.
+    pub crate_deps: BTreeMap<String, BTreeSet<String>>,
+    /// Transitive dependency cone per package, including the package
+    /// itself — the set of crates its code can call into.
+    pub cone: BTreeMap<String, BTreeSet<String>>,
+}
+
+/// Identifiers that look like calls (`name (`) but are control flow or
+/// declarations, never workspace function calls.
+const NOT_CALLS: [&str; 16] = [
+    "if", "while", "for", "match", "return", "loop", "fn", "in", "as", "let", "mut", "else",
+    "move", "ref", "unsafe", "where",
+]; // `box` and `yield` never precede `(` in this codebase
+
+impl WorkspaceGraph {
+    /// Build the graph. `files` must already exclude vendored code.
+    pub fn build(files: &[FileRecord], manifests: Vec<Manifest>) -> WorkspaceGraph {
+        // crates/<dir>/ → package name, from the manifest paths.
+        let mut dir_pkg: BTreeMap<&str, &str> = BTreeMap::new();
+        let mut root_pkg = "certain-answers";
+        for m in &manifests {
+            if m.package.is_empty() {
+                continue;
+            }
+            if m.path == "Cargo.toml" {
+                root_pkg = &m.package;
+            } else if let Some(dir) = m
+                .path
+                .strip_prefix("crates/")
+                .and_then(|r| r.strip_suffix("/Cargo.toml"))
+            {
+                dir_pkg.insert(dir, &m.package);
+            }
+        }
+        let file_crate: Vec<String> = files
+            .iter()
+            .map(|f| match f.path.strip_prefix("crates/") {
+                Some(rest) => {
+                    let dir = rest.split('/').next().unwrap_or("");
+                    dir_pkg
+                        .get(dir)
+                        .map_or_else(|| format!("ca-{dir}"), |p| (*p).to_string())
+                }
+                None => root_pkg.to_string(),
+            })
+            .collect();
+
+        let mut crate_deps: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        for m in &manifests {
+            if m.package.is_empty() {
+                continue;
+            }
+            let entry = crate_deps.entry(m.package.clone()).or_default();
+            for (dep, _) in &m.deps {
+                entry.insert(dep.clone());
+            }
+        }
+        // Transitive cone, fixpoint over the (acyclic in practice,
+        // bounded regardless) dependency relation.
+        let mut cone: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        for krate in file_crate.iter().chain(crate_deps.keys()) {
+            let mut seen: BTreeSet<String> = BTreeSet::new();
+            let mut queue: VecDeque<String> = VecDeque::new();
+            seen.insert(krate.clone());
+            queue.push_back(krate.clone());
+            while let Some(k) = queue.pop_front() {
+                if let Some(deps) = crate_deps.get(&k) {
+                    for d in deps {
+                        if seen.insert(d.clone()) {
+                            queue.push_back(d.clone());
+                        }
+                    }
+                }
+            }
+            cone.insert(krate.clone(), seen);
+        }
+
+        // Flat function table + name index.
+        let mut fns: Vec<FnNode> = Vec::new();
+        let mut by_name: BTreeMap<&str, Vec<u32>> = BTreeMap::new();
+        for (fi, f) in files.iter().enumerate() {
+            for (li, item) in f.items.fns.iter().enumerate() {
+                let id = u32::try_from(fns.len()).unwrap_or(u32::MAX);
+                by_name.entry(item.name.as_str()).or_default().push(id);
+                fns.push(FnNode {
+                    file: fi,
+                    local: li,
+                    name: item.name.clone(),
+                    krate: file_crate[fi].clone(),
+                    is_test: item.is_test,
+                });
+            }
+        }
+
+        // Call edges: for each function, scan the tokens it owns for
+        // `name (` call sites and link to same-name functions in the
+        // caller's dependency cone.
+        let mut calls: Vec<Vec<u32>> = vec![Vec::new(); fns.len()];
+        let mut base = 0usize;
+        for (fi, f) in files.iter().enumerate() {
+            let toks = &f.lexed.toks;
+            let empty = BTreeSet::new();
+            let reach = cone.get(&file_crate[fi]).unwrap_or(&empty);
+            for (i, tok) in toks.iter().enumerate() {
+                if tok.kind != TokKind::Ident
+                    || f.test.get(i).copied().unwrap_or(false)
+                    || NOT_CALLS.contains(&tok.text.as_str())
+                {
+                    continue;
+                }
+                if toks.get(i + 1).map(|t| t.text.as_str()) != Some("(") {
+                    continue;
+                }
+                if i > 0 && toks[i - 1].text == "fn" {
+                    continue; // the declaration itself
+                }
+                let Some(&owner) = f.items.owner.get(i) else {
+                    continue;
+                };
+                if owner == crate::parser::NO_OWNER {
+                    continue; // call-ish token outside any function body
+                }
+                let caller = base + owner as usize;
+                let Some(callees) = by_name.get(tok.text.as_str()) else {
+                    continue;
+                };
+                for &callee in callees {
+                    if reach.contains(&fns[callee as usize].krate) {
+                        calls[caller].push(callee);
+                    }
+                }
+            }
+            base += f.items.fns.len();
+        }
+        for edges in &mut calls {
+            edges.sort_unstable();
+            edges.dedup();
+        }
+
+        WorkspaceGraph {
+            manifests,
+            file_crate,
+            fns,
+            calls,
+            crate_deps,
+            cone,
+        }
+    }
+
+    /// Global ids of functions named `name` declared in the file at
+    /// `path`.
+    pub fn find_fns(&self, files: &[FileRecord], path: &str, name: &str) -> Vec<u32> {
+        self.fns
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.name == name && files[f.file].path == path)
+            .map(|(id, _)| u32::try_from(id).unwrap_or(u32::MAX))
+            .collect()
+    }
+
+    /// Forward reachability from `seeds` over the call edges, skipping
+    /// test functions. Returns, per function, the seed id it was first
+    /// reached from (`None` = unreachable).
+    pub fn reachable_from(&self, seeds: &[u32]) -> Vec<Option<u32>> {
+        let mut origin: Vec<Option<u32>> = vec![None; self.fns.len()];
+        let mut queue: VecDeque<u32> = VecDeque::new();
+        for &s in seeds {
+            let si = s as usize;
+            if si < origin.len() && origin[si].is_none() && !self.fns[si].is_test {
+                origin[si] = Some(s);
+                queue.push_back(s);
+            }
+        }
+        while let Some(f) = queue.pop_front() {
+            let seed = origin[f as usize];
+            for &callee in &self.calls[f as usize] {
+                let ci = callee as usize;
+                if origin[ci].is_none() && !self.fns[ci].is_test {
+                    origin[ci] = seed;
+                    queue.push_back(callee);
+                }
+            }
+        }
+        origin
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse_items;
+    use crate::rules::test_mask;
+
+    fn record(path: &str, src: &str) -> FileRecord {
+        let lexed = lex(src);
+        let test = test_mask(&lexed.toks);
+        let items = parse_items(&lexed, &test);
+        FileRecord {
+            path: path.to_string(),
+            lexed,
+            test,
+            items,
+        }
+    }
+
+    #[test]
+    fn manifest_parses_package_and_deps_sections_exactly() {
+        let text = "[package]\nname = \"ca-cert\"\n\n[dependencies]\nca-core = { path = \"../core\" }\n\n[dev-dependencies]\nproptest = \"1\"\n\n[workspace.dependencies]\nother = \"2\"\n";
+        let m = parse_manifest("crates/cert/Cargo.toml", text);
+        assert_eq!(m.package, "ca-cert");
+        let deps: Vec<&str> = m.deps.iter().map(|(d, _)| d.as_str()).collect();
+        assert_eq!(deps, ["ca-core"], "dev- and workspace-deps are ignored");
+    }
+
+    #[test]
+    fn manifest_parses_dotted_workspace_keys() {
+        let m = parse_manifest(
+            "crates/hom/Cargo.toml",
+            "[package]\nname = \"ca-hom\"\n[dependencies]\nca-core.workspace = true\n",
+        );
+        assert_eq!(
+            m.deps.iter().map(|(d, _)| d.as_str()).collect::<Vec<_>>(),
+            ["ca-core"]
+        );
+    }
+
+    #[test]
+    fn call_edges_respect_the_dependency_cone() {
+        let files = vec![
+            record(
+                "crates/cert/src/a.rs",
+                "pub fn emit() { helper(); forbidden(); }\nfn helper() {}",
+            ),
+            record("crates/query/src/b.rs", "pub fn forbidden() {}"),
+        ];
+        let manifests = vec![
+            parse_manifest(
+                "crates/cert/Cargo.toml",
+                "[package]\nname = \"ca-cert\"\n[dependencies]\nca-core = {}\n",
+            ),
+            parse_manifest(
+                "crates/query/Cargo.toml",
+                "[package]\nname = \"ca-query\"\n[dependencies]\n",
+            ),
+        ];
+        let g = WorkspaceGraph::build(&files, manifests);
+        let emit = g.find_fns(&files, "crates/cert/src/a.rs", "emit");
+        assert_eq!(emit.len(), 1);
+        let callees: Vec<&str> = g.calls[emit[0] as usize]
+            .iter()
+            .map(|&c| g.fns[c as usize].name.as_str())
+            .collect();
+        assert!(callees.contains(&"helper"), "same-crate edge exists");
+        assert!(
+            !callees.contains(&"forbidden"),
+            "ca-query is outside ca-cert's cone — no edge"
+        );
+    }
+
+    #[test]
+    fn reachability_skips_test_functions() {
+        let files = vec![record(
+            "crates/core/src/a.rs",
+            "pub fn seed() { step(); }\nfn step() { sink(); }\nfn sink() {}\n#[cfg(test)]\nmod tests { fn sink() {} }",
+        )];
+        let g = WorkspaceGraph::build(&files, Vec::new());
+        let seeds = g.find_fns(&files, "crates/core/src/a.rs", "seed");
+        let reach = g.reachable_from(&seeds);
+        let reached: Vec<&str> = g
+            .fns
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| reach[i].is_some())
+            .map(|(_, f)| f.name.as_str())
+            .collect();
+        assert_eq!(reached, ["seed", "step", "sink"]);
+    }
+
+    #[test]
+    fn transitive_cone_includes_indirect_deps() {
+        let manifests = vec![
+            parse_manifest(
+                "crates/query/Cargo.toml",
+                "[package]\nname = \"ca-query\"\n[dependencies]\nca-hom = {}\n",
+            ),
+            parse_manifest(
+                "crates/hom/Cargo.toml",
+                "[package]\nname = \"ca-hom\"\n[dependencies]\nca-core = {}\n",
+            ),
+        ];
+        let g = WorkspaceGraph::build(&[], manifests);
+        let cone = g.cone.get("ca-query").expect("cone");
+        assert!(cone.contains("ca-core"), "transitive: query → hom → core");
+    }
+}

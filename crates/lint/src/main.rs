@@ -16,7 +16,9 @@ use std::process::ExitCode;
 
 use ca_lint::allow::{self, Allowlist};
 use ca_lint::rules::CATALOG;
-use ca_lint::{lint_source, rel_path, workspace_files, LintConfig, Violation};
+use ca_lint::{
+    lint_sources, rel_path, render_json, workspace_files, workspace_manifests, LintConfig,
+};
 
 struct Opts {
     root: PathBuf,
@@ -85,21 +87,6 @@ fn find_root() -> Result<PathBuf, String> {
     Err("could not locate the workspace root (no ancestor with crates/ + Cargo.toml)".into())
 }
 
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
 fn main() -> ExitCode {
     let opts = match parse_args() {
         Ok(o) => o,
@@ -130,39 +117,32 @@ fn main() -> ExitCode {
         }
     };
 
-    let mut violations: Vec<Violation> = Vec::new();
-    let mut n_files = 0usize;
+    let manifests = match workspace_manifests(&opts.root) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("ca-lint: reading manifests: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut sources: Vec<(String, String)> = Vec::new();
     for file in &files {
         let rel = rel_path(&opts.root, file);
-        let src = match std::fs::read_to_string(file) {
-            Ok(s) => s,
+        match std::fs::read_to_string(file) {
+            Ok(src) => sources.push((rel, src)),
             Err(e) => {
                 eprintln!("ca-lint: reading {rel}: {e}");
                 return ExitCode::from(2);
             }
         };
-        n_files += 1;
-        violations.extend(lint_source(&rel, &src, &cfg));
     }
-    violations
-        .sort_by(|a, b| (&a.path, a.line, a.rule, &a.msg).cmp(&(&b.path, b.line, b.rule, &b.msg)));
+    let n_files = sources.len();
+    let violations = lint_sources(&sources, &manifests, &cfg);
 
     let outcome = allow::apply_allowlist(violations, &allowlist, allow::today_utc_day());
 
     if opts.json {
-        let mut out = String::from("[\n");
-        for (i, v) in outcome.kept.iter().enumerate() {
-            let sep = if i + 1 == outcome.kept.len() { "" } else { "," };
-            out.push_str(&format!(
-                "  {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"message\": \"{}\"}}{sep}\n",
-                v.rule,
-                json_escape(&v.path),
-                v.line,
-                json_escape(&v.msg)
-            ));
-        }
-        out.push_str("]\n");
-        print!("{out}");
+        print!("{}", render_json(&outcome.kept));
     } else {
         for v in &outcome.kept {
             println!(

@@ -1,0 +1,268 @@
+//! Item-level parsing on top of [`crate::lexer`]: brace-matched items,
+//! `mod`/`use` resolution, and per-function body spans.
+//!
+//! This is deliberately *not* a Rust parser. It is the smallest
+//! structural layer the graph rules (L006–L010) need: where each
+//! function body starts and ends (so taint analyses can attribute a
+//! token to its innermost enclosing function), which crates a file
+//! names in `use` declarations and qualified paths (so layering can be
+//! checked without resolving imports), and which modules a file
+//! declares. Everything is a single left-to-right pass over the token
+//! stream with a brace-depth counter; malformed input (unbalanced
+//! braces, truncated items) degrades to shorter spans, never to a
+//! panic — the corpus test in `tests/parser_corpus.rs` pins that.
+
+use crate::lexer::{Lexed, TokKind};
+
+/// Owner sentinel: a token outside every function body.
+pub const NO_OWNER: u32 = u32::MAX;
+
+/// A `fn` item: free function, inherent/trait method, or nested fn.
+#[derive(Clone, Debug)]
+pub struct FnItem {
+    /// The identifier after the `fn` keyword.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token index of the `fn` keyword.
+    pub kw: usize,
+    /// Token indices of the body braces, inclusive: `body.0` is the `{`,
+    /// `body.1` the matching `}` (or the last token if unterminated).
+    /// Meaningless when `has_body` is false.
+    pub body: (usize, usize),
+    /// False for body-less signatures (trait methods, extern decls).
+    pub has_body: bool,
+    /// Declared inside a `#[cfg(test)]` / `#[test]` region.
+    pub is_test: bool,
+}
+
+/// A `mod` declaration.
+#[derive(Clone, Debug)]
+pub struct ModDecl {
+    pub name: String,
+    pub line: u32,
+    /// `mod m { … }` (true) vs `mod m;` (false).
+    pub inline: bool,
+}
+
+/// A `use` declaration; only the path root is kept (`ca_core`, `std`,
+/// `crate`, …) — that is all the layering rule needs.
+#[derive(Clone, Debug)]
+pub struct UseDecl {
+    pub root: String,
+    pub line: u32,
+    pub is_test: bool,
+}
+
+/// The head of a qualified path `head::…` outside a `use` declaration
+/// (e.g. `ca_core::store::FactStore` written inline).
+#[derive(Clone, Debug)]
+pub struct PathHead {
+    pub name: String,
+    pub line: u32,
+    pub is_test: bool,
+}
+
+/// Everything the parser extracts from one file.
+#[derive(Clone, Debug, Default)]
+pub struct FileItems {
+    pub fns: Vec<FnItem>,
+    pub mods: Vec<ModDecl>,
+    pub uses: Vec<UseDecl>,
+    pub path_heads: Vec<PathHead>,
+    /// For each token, the index into `fns` of the innermost enclosing
+    /// function body, or [`NO_OWNER`].
+    pub owner: Vec<u32>,
+}
+
+/// Parse one lexed file. `test` is the `#[cfg(test)]` mask from
+/// [`crate::rules::test_mask`], parallel to `lexed.toks`.
+pub fn parse_items(lexed: &Lexed, test: &[bool]) -> FileItems {
+    let toks = &lexed.toks;
+    let mut items = FileItems {
+        owner: vec![NO_OWNER; toks.len()],
+        ..FileItems::default()
+    };
+    // Open function bodies: (fn index, brace depth of its `{`).
+    let mut stack: Vec<(usize, usize)> = Vec::new();
+    // A declared fn whose body `{` (at the stored token index) has not
+    // been reached yet. Signatures contain no braces, so one suffices.
+    let mut pending: Option<(usize, usize)> = None;
+    let mut depth = 0usize;
+
+    let text = |i: usize| toks.get(i).map_or("", |t| t.text.as_str());
+    let is_ident = |i: usize| toks.get(i).is_some_and(|t| t.kind == TokKind::Ident);
+
+    for i in 0..toks.len() {
+        match text(i) {
+            "{" => {
+                depth += 1;
+                if let Some((f, open)) = pending {
+                    if open == i {
+                        stack.push((f, depth));
+                        pending = None;
+                    }
+                }
+            }
+            "}" => {
+                items.owner[i] = stack.last().map_or(NO_OWNER, |&(f, _)| f as u32);
+                if let Some(&(f, d)) = stack.last() {
+                    if d == depth {
+                        if let Some(item) = items.fns.get_mut(f) {
+                            item.body.1 = i;
+                        }
+                        stack.pop();
+                    }
+                }
+                depth = depth.saturating_sub(1);
+                continue;
+            }
+            "fn" if is_ident(i) && is_ident(i + 1) => {
+                // Scan the signature for the body `{` (or `;` for a
+                // body-less decl). Signatures are brace-free in practice;
+                // a const-generic brace would just shorten the span.
+                let mut j = i + 2;
+                while j < toks.len() && text(j) != "{" && text(j) != ";" {
+                    j += 1;
+                }
+                let has_body = j < toks.len() && text(j) == "{";
+                let f = items.fns.len();
+                items.fns.push(FnItem {
+                    name: text(i + 1).to_string(),
+                    line: toks[i].line,
+                    kw: i,
+                    body: if has_body {
+                        (j, toks.len() - 1)
+                    } else {
+                        (i, i)
+                    },
+                    has_body,
+                    is_test: test.get(i).copied().unwrap_or(false),
+                });
+                if has_body {
+                    pending = Some((f, j));
+                }
+            }
+            "mod" if is_ident(i) && is_ident(i + 1) => {
+                items.mods.push(ModDecl {
+                    name: text(i + 1).to_string(),
+                    line: toks[i].line,
+                    inline: text(i + 2) == "{",
+                });
+            }
+            "use" if is_ident(i) => {
+                // Root = first identifier of the path (skipping a
+                // leading `::`).
+                let mut j = i + 1;
+                while j < toks.len() && text(j) == ":" {
+                    j += 1;
+                }
+                if is_ident(j) {
+                    items.uses.push(UseDecl {
+                        root: text(j).to_string(),
+                        line: toks[i].line,
+                        is_test: test.get(i).copied().unwrap_or(false),
+                    });
+                }
+            }
+            _ => {}
+        }
+        items.owner[i] = stack.last().map_or(NO_OWNER, |&(f, _)| f as u32);
+
+        // `head :: …` where `head` starts the path (previous token is
+        // not `:`, so mid-path segments are skipped).
+        if is_ident(i) && text(i + 1) == ":" && text(i + 2) == ":" && (i == 0 || text(i - 1) != ":")
+        {
+            items.path_heads.push(PathHead {
+                name: text(i).to_string(),
+                line: toks[i].line,
+                is_test: test.get(i).copied().unwrap_or(false),
+            });
+        }
+    }
+    items
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::rules::test_mask;
+
+    fn parse(src: &str) -> FileItems {
+        let lexed = lex(src);
+        let mask = test_mask(&lexed.toks);
+        parse_items(&lexed, &mask)
+    }
+
+    #[test]
+    fn records_fns_with_body_spans() {
+        let items = parse("fn a() { let x = 1; }\npub fn b(v: u32) -> u32 { v }");
+        assert_eq!(items.fns.len(), 2);
+        assert_eq!(items.fns[0].name, "a");
+        assert_eq!(items.fns[1].name, "b");
+        for f in &items.fns {
+            assert!(f.has_body);
+            assert!(f.body.0 < f.body.1);
+        }
+    }
+
+    #[test]
+    fn nested_fn_owns_its_own_tokens() {
+        let src = "fn outer() { fn inner() { marker(); } other(); }";
+        let items = parse(src);
+        let lexed = lex(src);
+        assert_eq!(items.fns.len(), 2);
+        let marker = lexed.toks.iter().position(|t| t.text == "marker");
+        let other = lexed.toks.iter().position(|t| t.text == "other");
+        let (marker, other) = (marker.expect("marker"), other.expect("other"));
+        assert_eq!(items.owner[marker], 1, "inner body belongs to `inner`");
+        assert_eq!(items.owner[other], 0, "after inner, back to `outer`");
+    }
+
+    #[test]
+    fn bodyless_signatures_and_fn_pointer_types() {
+        let items =
+            parse("trait T { fn sig(&self); }\nfn takes(f: fn(u32) -> u32) -> u32 { f(1) }");
+        let names: Vec<&str> = items.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["sig", "takes"]);
+        assert!(!items.fns[0].has_body);
+        assert!(items.fns[1].has_body);
+    }
+
+    #[test]
+    fn use_roots_and_mods() {
+        let items = parse("use std::collections::HashMap;\nuse ca_core::store::FactStore;\nmod sub;\nmod inline_mod { }\n");
+        let roots: Vec<&str> = items.uses.iter().map(|u| u.root.as_str()).collect();
+        assert_eq!(roots, ["std", "ca_core"]);
+        assert_eq!(items.mods.len(), 2);
+        assert!(!items.mods[0].inline);
+        assert!(items.mods[1].inline);
+    }
+
+    #[test]
+    fn path_heads_skip_mid_path_segments() {
+        let items = parse("fn f() { let _ = ca_query::engine::eval(); }");
+        let heads: Vec<&str> = items.path_heads.iter().map(|p| p.name.as_str()).collect();
+        assert!(heads.contains(&"ca_query"));
+        assert!(!heads.contains(&"engine"), "mid-path segment is not a head");
+    }
+
+    #[test]
+    fn unbalanced_braces_do_not_panic() {
+        for src in ["fn a() { { }", "}}} fn b() {}", "fn c() {", "{", "}"] {
+            let items = parse(src);
+            assert_eq!(items.owner.len(), lex(src).toks.len());
+        }
+    }
+
+    #[test]
+    fn test_mask_propagates_to_items() {
+        let items = parse("#[cfg(test)]\nmod tests { fn t() {} use ca_query::x; }\nfn live() {}");
+        let t = items.fns.iter().find(|f| f.name == "t").expect("t");
+        let live = items.fns.iter().find(|f| f.name == "live").expect("live");
+        assert!(t.is_test);
+        assert!(!live.is_test);
+        assert!(items.uses.iter().all(|u| u.is_test));
+    }
+}

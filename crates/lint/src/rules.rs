@@ -1,35 +1,44 @@
-//! The rule engine and the five repo-grounded rules.
+//! The rule engine: four per-file lexical rules and five graph-powered
+//! workspace rules.
 //!
-//! Rules are lexical: they match short token patterns produced by
-//! [`crate::lexer`], scoped by file path and by `#[cfg(test)]` / `#[test]`
-//! regions. The catalog (kept in sync with DESIGN.md §Static analysis):
+//! Per-file rules match short token patterns produced by
+//! [`crate::lexer`], scoped by file path and by `#[cfg(test)]` /
+//! `#[test]` regions. Graph rules additionally see the workspace item
+//! graph ([`crate::graph`]): function bodies, a conservative name-based
+//! call graph, and the crate dependency DAG. The catalog (kept in sync
+//! with DESIGN.md §Static analysis):
 //!
 //! | code | name | guards |
 //! |------|------|--------|
-//! | L001 | nondeterministic-iteration | `HashMap`/`HashSet` iteration in result-producing modules |
 //! | L002 | panic-in-library | `unwrap`/`expect`/`panic!`/indexing-by-literal in library code |
 //! | L003 | thread-hygiene | `std::thread` / `CA_*` env reads outside sanctioned modules |
 //! | L004 | wall-clock-in-results | `Instant`/`SystemTime` in result-producing modules |
 //! | L005 | undocumented-env-var | every `CA_*` variable literal must appear in DESIGN.md |
+//! | L006 | crate-layering | manifest deps and cross-crate `use` obey [`LAYERING`] |
+//! | L007 | determinism-taint | hash iteration reachable from a deterministic-output seed |
+//! | L008 | untrusted-input | unchecked parsing reachable from `SnapshotView` byte parsing |
+//! | L009 | truncating-id-cast | `as u8/u16/u32` in `ValueId`/`FactId`-adjacent code |
+//! | L010 | thread-merge | `std::thread` outside the kernels needs a deterministic merge |
 //!
 //! `L000` is reserved for malformed suppression comments (see
 //! [`crate::allow`]): a suppression that cannot be parsed, or that lacks a
 //! reason, is itself a violation — silence must always carry a why.
+//!
+//! L001 (nondeterministic-iteration, a per-file module-name heuristic)
+//! is retired: L007 subsumes it with interprocedural reach from the
+//! actual deterministic-output emitters instead of a path pattern.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
+use crate::graph::{norm_crate, FileRecord, WorkspaceGraph};
 use crate::lexer::{Lexed, Tok, TokKind};
+use crate::parser::FnItem;
 
 /// Reported code of the malformed-suppression pseudo-rule.
 pub const BAD_SUPPRESSION: &str = "L000";
 
 /// The rule catalog: `(code, name, summary)` for every real rule.
-pub const CATALOG: [(&str, &str, &str); 5] = [
-    (
-        "L001",
-        "nondeterministic-iteration",
-        "HashMap/HashSet iteration order can leak into results; sort at the boundary or use BTreeMap/BTreeSet",
-    ),
+pub const CATALOG: [(&str, &str, &str); 9] = [
     (
         "L002",
         "panic-in-library",
@@ -50,6 +59,31 @@ pub const CATALOG: [(&str, &str, &str); 5] = [
         "undocumented-env-var",
         "every CA_* environment variable must be documented in DESIGN.md",
     ),
+    (
+        "L006",
+        "crate-layering",
+        "manifest dependencies and cross-crate uses must respect the declared layering table (rules::LAYERING)",
+    ),
+    (
+        "L007",
+        "determinism-taint",
+        "HashMap/HashSet iteration or RandomState reachable from a deterministic-output seed (certificate/snapshot/bench emitters); sort at the boundary or use a BTree collection",
+    ),
+    (
+        "L008",
+        "untrusted-input",
+        "unchecked indexing, unwrap/expect, or unvalidated length arithmetic reachable from snapshot byte parsing; untrusted bytes must flow through checked reads",
+    ),
+    (
+        "L009",
+        "truncating-id-cast",
+        "truncating `as` casts in ValueId/FactId-adjacent code; use u32::try_from or the checked id helpers",
+    ),
+    (
+        "L010",
+        "thread-merge",
+        "std::thread outside the sanctioned kernels must merge per-thread results deterministically (sort / reduce in index order)",
+    ),
 ];
 
 /// Files allowed to touch `std::thread`: the two parallel kernels plus the
@@ -67,7 +101,7 @@ const ENV_SANCTIONED: [&str; 1] = ["crates/core/src/config.rs"];
 /// One reported violation.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Violation {
-    /// Rule code (`L001`…`L005`, or [`BAD_SUPPRESSION`]).
+    /// Rule code (`L002`…`L010`, or [`BAD_SUPPRESSION`]).
     pub rule: &'static str,
     /// Repo-relative path with forward slashes.
     pub path: String,
@@ -107,11 +141,11 @@ impl LintConfig {
 // ---------------------------------------------------------------- scopes
 
 /// Vendored dependency stand-ins: not our code, never linted.
-fn is_vendored(path: &str) -> bool {
+pub fn is_vendored(path: &str) -> bool {
     path.contains("proptest-shim") || path.contains("criterion-shim")
 }
 
-/// Result-producing modules (L001/L004 scope): the query engine, the
+/// Result-producing modules (L004 scope): the query engine, the
 /// certain-answer modules, and the CSP kernel — anywhere an internal
 /// ordering or timing choice could reach a caller-visible answer.
 fn is_result_module(path: &str) -> bool {
@@ -225,101 +259,59 @@ impl Ctx<'_> {
     }
 }
 
-/// L001: collect identifiers declared with a `HashMap`/`HashSet` type or
-/// initializer, then flag ordered consumption of them.
-fn rule_l001(ctx: &mut Ctx<'_>) {
-    if !is_result_module(ctx.path) {
-        return;
-    }
-    // Pass 1: names bound to hash collections. Patterns (walking back over
-    // `std :: collections ::`-style path prefixes from the type name):
-    //   let [mut] NAME : [path::]Hash{Map,Set} …
-    //   let [mut] NAME = [path::]Hash{Map,Set} :: …
-    //   NAME : Hash{Map,Set} <       (struct field / parameter)
+/// Identifiers bound to a `HashMap`/`HashSet` anywhere in the file
+/// (whole-file, so struct fields cover `self.field` consumption inside
+/// methods). Patterns (walking back over `std :: collections ::`-style
+/// path prefixes from the type name):
+///   `let [mut] NAME : [path::]Hash{Map,Set} …`
+///   `let [mut] NAME = [path::]Hash{Map,Set} :: …`
+///   `NAME : Hash{Map,Set} <`       (struct field / parameter)
+fn hash_bound_names(toks: &[Tok], test: &[bool]) -> BTreeSet<String> {
+    let text = |i: usize| toks.get(i).map_or("", |t| t.text.as_str());
+    let kind = |i: usize| toks.get(i).map(|t| t.kind);
     let mut names: BTreeSet<String> = BTreeSet::new();
-    for i in 0..ctx.toks.len() {
-        if ctx.test[i]
-            || ctx.kind(i) != Some(TokKind::Ident)
-            || !matches!(ctx.text(i), "HashMap" | "HashSet")
-        {
+    for (i, &in_test) in test.iter().enumerate().take(toks.len()) {
+        if in_test || kind(i) != Some(TokKind::Ident) || !matches!(text(i), "HashMap" | "HashSet") {
             continue;
         }
         // Walk back over a `seg ::` path prefix.
         let mut j = i;
-        while j >= 2 && ctx.text(j - 1) == ":" && ctx.text(j - 2) == ":" {
+        while j >= 2 && text(j - 1) == ":" && text(j - 2) == ":" {
             j -= 2;
-            if j >= 1 && ctx.kind(j - 1) == Some(TokKind::Ident) {
+            if j >= 1 && kind(j - 1) == Some(TokKind::Ident) {
                 j -= 1;
             }
+        }
+        // Walk back over reference/lifetime/mut prefixes so borrowed
+        // parameters (`m: &HashMap<…>`, `m: &'a mut HashMap<…>`) bind too.
+        while j >= 1 && (matches!(text(j - 1), "&" | "mut") || text(j - 1).starts_with('\'')) {
+            j -= 1;
         }
         if j == 0 {
             continue;
         }
-        let before = ctx.text(j - 1);
-        let name_idx = match before {
+        let name_idx = match text(j - 1) {
             // `NAME : HashMap` — but not `:: HashMap` (path, handled above)
             // and not `< … : …` generics: require an ident before the `:`.
-            ":" if j >= 2 && ctx.text(j - 2) != ":" && ctx.kind(j - 2) == Some(TokKind::Ident) => {
+            ":" if j >= 2 && text(j - 2) != ":" && kind(j - 2) == Some(TokKind::Ident) => {
                 Some(j - 2)
             }
             // `NAME = HashMap::…`
-            "=" if j >= 2 && ctx.kind(j - 2) == Some(TokKind::Ident) => Some(j - 2),
+            "=" if j >= 2 && kind(j - 2) == Some(TokKind::Ident) => Some(j - 2),
             _ => None,
         };
         if let Some(n) = name_idx {
-            let name = ctx.text(n);
+            let name = text(n);
             if name != "let" && name != "mut" {
                 names.insert(name.to_string());
             }
         }
     }
-    if names.is_empty() {
-        return;
-    }
-    // Pass 2: ordered consumption of a collected name.
-    const ORDERED: [&str; 5] = ["iter", "keys", "values", "into_iter", "drain"];
-    for i in 0..ctx.toks.len() {
-        if ctx.test[i] || ctx.kind(i) != Some(TokKind::Ident) {
-            continue;
-        }
-        let name = ctx.text(i);
-        if !names.contains(name) {
-            continue;
-        }
-        // `NAME . iter ( ` and friends.
-        if ctx.text(i + 1) == "." && ORDERED.contains(&ctx.text(i + 2)) && ctx.text(i + 3) == "(" {
-            let method = ctx.text(i + 2).to_string();
-            ctx.emit(
-                "L001",
-                i,
-                format!(
-                    "`{name}.{method}()` iterates a hash collection in a result-producing \
-                     module; hash order is nondeterministic — sort at the boundary or use \
-                     a BTree collection"
-                ),
-            );
-            continue;
-        }
-        // `for PAT in [&] [mut] NAME {` — direct loop over the collection.
-        if ctx.text(i + 1) == "{" {
-            let mut j = i;
-            while j > 0 && matches!(ctx.text(j - 1), "&" | "mut") {
-                j -= 1;
-            }
-            if j > 0 && ctx.is_ident(j - 1, "in") {
-                ctx.emit(
-                    "L001",
-                    i,
-                    format!(
-                        "`for … in {name}` iterates a hash collection in a result-producing \
-                         module; hash order is nondeterministic — sort at the boundary or \
-                         use a BTree collection"
-                    ),
-                );
-            }
-        }
-    }
+    names
 }
+
+/// Hash-collection methods whose call order reaches the consumer.
+const ORDERED_CONSUMPTION: [&str; 5] = ["iter", "keys", "values", "into_iter", "drain"];
 
 /// L002: panics in library code.
 fn rule_l002(ctx: &mut Ctx<'_>) {
@@ -488,9 +480,6 @@ pub fn run_rules(path: &str, lexed: &Lexed, cfg: &LintConfig) -> Vec<Violation> 
         test: &test,
         out: Vec::new(),
     };
-    if cfg.enabled.contains("L001") {
-        rule_l001(&mut ctx);
-    }
     if cfg.enabled.contains("L002") {
         rule_l002(&mut ctx);
     }
@@ -505,6 +494,570 @@ pub fn run_rules(path: &str, lexed: &Lexed, cfg: &LintConfig) -> Vec<Violation> 
     }
     let mut out = ctx.out;
     out.sort_by(|a, b| (a.line, a.rule, &a.msg).cmp(&(b.line, b.rule, &b.msg)));
+    out
+}
+
+// ------------------------------------------------- graph-powered rules
+
+/// L006 layering table: for every workspace package, the complete set
+/// of workspace crates it may depend on — by manifest `[dependencies]`
+/// or by `use`/qualified path in non-test source. A crate absent from
+/// this table is itself a violation: new crates must be placed in the
+/// hierarchy deliberately. Kept in sync with DESIGN.md §Static analysis.
+pub const LAYERING: &[(&str, &[&str])] = &[
+    ("ca-core", &[]),
+    ("ca-lint", &[]),
+    ("ca-cert", &["ca-core"]),
+    ("ca-hom", &["ca-core", "ca-cert"]),
+    ("ca-relational", &["ca-core", "ca-cert", "ca-hom"]),
+    (
+        "ca-query",
+        &["ca-core", "ca-cert", "ca-hom", "ca-relational"],
+    ),
+    ("ca-xml", &["ca-core", "ca-hom", "ca-relational"]),
+    ("ca-graph", &["ca-core", "ca-hom", "ca-relational"]),
+    (
+        "ca-gdm",
+        &[
+            "ca-core",
+            "ca-hom",
+            "ca-relational",
+            "ca-xml",
+            "ca-graph",
+            "ca-query",
+        ],
+    ),
+    (
+        "ca-exchange",
+        &[
+            "ca-core",
+            "ca-cert",
+            "ca-hom",
+            "ca-relational",
+            "ca-gdm",
+            "ca-query",
+            "ca-graph",
+            "ca-xml",
+        ],
+    ),
+    (
+        "ca-bench",
+        &[
+            "ca-core",
+            "ca-cert",
+            "ca-hom",
+            "ca-relational",
+            "ca-query",
+            "ca-xml",
+            "ca-graph",
+            "ca-gdm",
+            "ca-exchange",
+        ],
+    ),
+    (
+        "certain-answers",
+        &[
+            "ca-core",
+            "ca-cert",
+            "ca-hom",
+            "ca-relational",
+            "ca-query",
+            "ca-xml",
+            "ca-graph",
+            "ca-gdm",
+            "ca-exchange",
+            "ca-bench",
+        ],
+    ),
+];
+
+/// L007 taint seeds: functions whose output is promised byte-identical
+/// across thread widths and store rebuilds — certificate byte emitters,
+/// the snapshot writer, and every bench binary (they write BENCH json
+/// and result tables that the paper-reproduction diffing compares).
+pub fn is_determinism_seed(path: &str, name: &str) -> bool {
+    let byte_emitter =
+        path == "crates/cert/src/bytes.rs" || path == "crates/core/src/store/snapshot.rs";
+    (byte_emitter && name == "to_bytes")
+        || (path.starts_with("crates/bench/src/bin/") && name == "main")
+}
+
+/// Frozen differential oracles: deliberately naive code whose outputs
+/// are compared order-insensitively, exempt from L007.
+fn is_determinism_exempt(path: &str) -> bool {
+    path.ends_with("/reference.rs")
+}
+
+/// L008 taint seeds: the snapshot byte-parsing entry points. Everything
+/// they reach handles attacker-controllable bytes.
+pub fn is_untrusted_seed(path: &str, name: &str) -> bool {
+    path == "crates/core/src/store/snapshot.rs" && (name == "parse" || name == "from_bytes")
+}
+
+/// L010 deterministic-merge markers: a thread-using function must fold
+/// its per-thread results through one of these (sort family, ordered
+/// reduce/fold, or an order-insensitive aggregate) before they escape.
+pub const MERGE_MARKERS: [&str; 15] = [
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable",
+    "sort_unstable_by",
+    "sort_unstable_by_key",
+    "reduce",
+    "fold",
+    "min",
+    "min_by",
+    "min_by_key",
+    "max",
+    "max_by",
+    "max_by_key",
+    "sum",
+];
+
+fn push(out: &mut Vec<Violation>, rule: &'static str, path: &str, line: u32, msg: String) {
+    out.push(Violation {
+        rule,
+        path: path.to_string(),
+        line,
+        msg,
+    });
+}
+
+fn layering_of(pkg: &str) -> Option<&'static [&'static str]> {
+    LAYERING
+        .iter()
+        .find(|&&(p, _)| p == pkg)
+        .map(|&(_, allowed)| allowed)
+}
+
+/// L006: crate layering, checked both in the manifests and at every
+/// cross-crate `use`/qualified path in non-test source.
+fn rule_l006(files: &[FileRecord], g: &WorkspaceGraph, out: &mut Vec<Violation>) {
+    for m in &g.manifests {
+        if m.package.is_empty() || is_vendored(&m.path) {
+            continue;
+        }
+        let Some(allowed) = layering_of(&m.package) else {
+            push(
+                out,
+                "L006",
+                &m.path,
+                1,
+                format!(
+                    "crate `{}` is not in the layering table (rules::LAYERING); \
+                     place new crates in the hierarchy deliberately",
+                    m.package
+                ),
+            );
+            continue;
+        };
+        for (dep, line) in &m.deps {
+            if dep.starts_with("ca-") && !allowed.contains(&dep.as_str()) {
+                push(
+                    out,
+                    "L006",
+                    &m.path,
+                    *line,
+                    format!(
+                        "`{}` may not depend on `{dep}`; the layering table allows only [{}]",
+                        m.package,
+                        allowed.join(", ")
+                    ),
+                );
+            }
+        }
+    }
+    for (fi, f) in files.iter().enumerate() {
+        let me = &g.file_crate[fi];
+        let Some(allowed) = layering_of(me) else {
+            continue; // the manifest check already reported the crate
+        };
+        let mut seen: BTreeSet<(u32, String)> = BTreeSet::new();
+        let refs = f
+            .items
+            .uses
+            .iter()
+            .filter(|u| !u.is_test)
+            .map(|u| (u.line, u.root.as_str()))
+            .chain(
+                f.items
+                    .path_heads
+                    .iter()
+                    .filter(|p| !p.is_test)
+                    .map(|p| (p.line, p.name.as_str())),
+            );
+        for (line, name) in refs {
+            let pkg = norm_crate(name);
+            if !pkg.starts_with("ca-") || pkg == *me || allowed.contains(&pkg.as_str()) {
+                continue;
+            }
+            if seen.insert((line, pkg.clone())) {
+                push(
+                    out,
+                    "L006",
+                    &f.path,
+                    line,
+                    format!(
+                        "`{me}` may not use `{pkg}`; the layering table allows only [{}]",
+                        allowed.join(", ")
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Token indices a function body owns directly (its own code, excluding
+/// nested fns and test regions).
+fn owned_tokens(f: &FileRecord, local: usize, item: &FnItem) -> Vec<usize> {
+    if !item.has_body {
+        return Vec::new();
+    }
+    let local = u32::try_from(local).unwrap_or(u32::MAX);
+    (item.body.0..=item.body.1.min(f.lexed.toks.len().saturating_sub(1)))
+        .filter(|&i| {
+            f.items.owner.get(i).copied() == Some(local) && !f.test.get(i).copied().unwrap_or(true)
+        })
+        .collect()
+}
+
+/// L007: interprocedural determinism taint. BFS forward from the seed
+/// emitters over the call graph; in every reached function, flag hash
+/// iteration (via [`hash_bound_names`] collected file-wide, so struct
+/// fields count) and `RandomState` construction.
+fn rule_l007(files: &[FileRecord], g: &WorkspaceGraph, out: &mut Vec<Violation>) {
+    let seeds: Vec<u32> = g
+        .fns
+        .iter()
+        .enumerate()
+        .filter(|&(_, f)| is_determinism_seed(&files[f.file].path, &f.name))
+        .map(|(id, _)| u32::try_from(id).unwrap_or(u32::MAX))
+        .collect();
+    let origin = g.reachable_from(&seeds);
+    let mut names_cache: BTreeMap<usize, BTreeSet<String>> = BTreeMap::new();
+    for (id, node) in g.fns.iter().enumerate() {
+        let Some(seed) = origin[id] else {
+            continue;
+        };
+        let f = &files[node.file];
+        if is_determinism_exempt(&f.path) {
+            continue;
+        }
+        let Some(item) = f.items.fns.get(node.local) else {
+            continue;
+        };
+        let seed_node = &g.fns[seed as usize];
+        let seed_label = format!("{}::{}", files[seed_node.file].path, seed_node.name);
+        let names = names_cache
+            .entry(node.file)
+            .or_insert_with(|| hash_bound_names(&f.lexed.toks, &f.test));
+        let toks = &f.lexed.toks;
+        let text = |i: usize| toks.get(i).map_or("", |t| t.text.as_str());
+        for i in owned_tokens(f, node.local, item) {
+            if toks[i].kind != TokKind::Ident {
+                continue;
+            }
+            let name = text(i);
+            if name == "RandomState" {
+                push(
+                    out,
+                    "L007",
+                    &f.path,
+                    toks[i].line,
+                    format!(
+                        "`RandomState` in `{}`, reachable from deterministic-output seed \
+                         `{seed_label}`; seeded hashing breaks byte-identical replay",
+                        item.name
+                    ),
+                );
+                continue;
+            }
+            if !names.contains(name) {
+                continue;
+            }
+            // `NAME . iter ( ` and friends.
+            if text(i + 1) == "."
+                && ORDERED_CONSUMPTION.contains(&text(i + 2))
+                && text(i + 3) == "("
+            {
+                let method = text(i + 2);
+                push(
+                    out,
+                    "L007",
+                    &f.path,
+                    toks[i].line,
+                    format!(
+                        "`{name}.{method}()` iterates a hash collection in `{}`, reachable \
+                         from deterministic-output seed `{seed_label}`; hash order is \
+                         nondeterministic — sort at the boundary or use a BTree collection",
+                        item.name
+                    ),
+                );
+                continue;
+            }
+            // `for PAT in [&] [mut] NAME {` — direct loop.
+            if text(i + 1) == "{" {
+                let mut j = i;
+                while j > 0 && matches!(text(j - 1), "&" | "mut") {
+                    j -= 1;
+                }
+                if j > 0
+                    && toks.get(j - 1).is_some_and(|t| t.kind == TokKind::Ident)
+                    && text(j - 1) == "in"
+                {
+                    push(
+                        out,
+                        "L007",
+                        &f.path,
+                        toks[i].line,
+                        format!(
+                            "`for … in {name}` iterates a hash collection in `{}`, reachable \
+                             from deterministic-output seed `{seed_label}`; hash order is \
+                             nondeterministic — sort at the boundary or use a BTree collection",
+                            item.name
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// An identifier that names a length/offset quantity — the operands
+/// whose unchecked arithmetic L008 flags.
+fn is_lenish(t: &Tok) -> bool {
+    t.kind == TokKind::Ident
+        && (matches!(t.text.as_str(), "len" | "off" | "offset" | "page")
+            || t.text.ends_with("_len")
+            || t.text.ends_with("_off")
+            || t.text.ends_with("_offset")
+            || t.text.starts_with("n_"))
+}
+
+/// L008: untrusted-input hygiene in everything reachable from snapshot
+/// byte parsing: no unwrap/expect, no unchecked indexing, no raw `+`/`*`
+/// on length-ish operands (use `checked_add`/`checked_mul` or the
+/// snapshot `advance` helper, which reject overflow as `Corrupt`).
+fn rule_l008(files: &[FileRecord], g: &WorkspaceGraph, out: &mut Vec<Violation>) {
+    let seeds: Vec<u32> = g
+        .fns
+        .iter()
+        .enumerate()
+        .filter(|&(_, f)| is_untrusted_seed(&files[f.file].path, &f.name))
+        .map(|(id, _)| u32::try_from(id).unwrap_or(u32::MAX))
+        .collect();
+    let origin = g.reachable_from(&seeds);
+    for (id, node) in g.fns.iter().enumerate() {
+        if origin[id].is_none() {
+            continue;
+        }
+        let f = &files[node.file];
+        let Some(item) = f.items.fns.get(node.local) else {
+            continue;
+        };
+        let toks = &f.lexed.toks;
+        let text = |i: usize| toks.get(i).map_or("", |t| t.text.as_str());
+        let kind = |i: usize| toks.get(i).map(|t| t.kind);
+        for i in owned_tokens(f, node.local, item) {
+            // `. unwrap (` / `. expect (`.
+            if text(i) == "."
+                && matches!(text(i + 1), "unwrap" | "expect")
+                && kind(i + 1) == Some(TokKind::Ident)
+                && text(i + 2) == "("
+            {
+                push(
+                    out,
+                    "L008",
+                    &f.path,
+                    toks[i].line,
+                    format!(
+                        "`.{}()` in `{}`, reachable from snapshot byte parsing; untrusted \
+                         bytes must surface as a typed SnapshotError, never a panic",
+                        text(i + 1),
+                        item.name
+                    ),
+                );
+            }
+            // Unchecked indexing/slicing: `expr [ … ]` where expr ends in
+            // an identifier or closing bracket. Array literals, types and
+            // attributes do not match.
+            if text(i) == "["
+                && i > 0
+                && (matches!(text(i - 1), ")" | "]")
+                    || (kind(i - 1) == Some(TokKind::Ident)
+                        && !matches!(
+                            text(i - 1),
+                            "if" | "in" | "return" | "else" | "match" | "loop" | "break"
+                        )))
+            {
+                push(
+                    out,
+                    "L008",
+                    &f.path,
+                    toks[i].line,
+                    format!(
+                        "unchecked indexing in `{}`, reachable from snapshot byte parsing; \
+                         use `.get(..)` and map a miss to SnapshotError::Corrupt",
+                        item.name
+                    ),
+                );
+            }
+            // Unvalidated length arithmetic: binary `+`/`*` with a
+            // length-ish identifier within three tokens either side.
+            // Compound assignments (`+=`, `*=`) are counter updates, not
+            // offset computation into the byte buffer, and are skipped.
+            if matches!(text(i), "+" | "*")
+                && kind(i) == Some(TokKind::Punct)
+                && text(i + 1) != "="
+                && i > 0
+                && (matches!(kind(i - 1), Some(TokKind::Ident) | Some(TokKind::Num))
+                    || matches!(text(i - 1), ")" | "]"))
+            {
+                let window = (i.saturating_sub(3)..=(i + 3).min(toks.len().saturating_sub(1)))
+                    .filter(|&j| j != i);
+                let mut lenish = false;
+                for j in window {
+                    if toks.get(j).is_some_and(is_lenish) {
+                        lenish = true;
+                    }
+                }
+                if lenish {
+                    push(
+                        out,
+                        "L008",
+                        &f.path,
+                        toks[i].line,
+                        format!(
+                            "unvalidated length arithmetic (`{}`) in `{}`, reachable from \
+                             snapshot byte parsing; overflow on attacker-sized lengths must \
+                             go through checked_add/checked_mul (or the advance helper)",
+                            text(i),
+                            item.name
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// L009: truncating `as` casts in id-typed store code. Scope: library
+/// files under `crates/core/src/` plus any library file whose tokens
+/// mention `ValueId`/`FactId` (store-adjacent engine code).
+fn rule_l009(files: &[FileRecord], out: &mut Vec<Violation>) {
+    for f in files {
+        if !is_library_code(&f.path) {
+            continue;
+        }
+        let toks = &f.lexed.toks;
+        let in_scope = f.path.starts_with("crates/core/src/")
+            || toks.iter().any(|t| {
+                t.kind == TokKind::Ident && matches!(t.text.as_str(), "ValueId" | "FactId")
+            });
+        if !in_scope {
+            continue;
+        }
+        let text = |i: usize| toks.get(i).map_or("", |t| t.text.as_str());
+        for i in 0..toks.len() {
+            if f.test.get(i).copied().unwrap_or(true) {
+                continue;
+            }
+            if toks[i].kind == TokKind::Ident
+                && text(i) == "as"
+                && matches!(text(i + 1), "u8" | "u16" | "u32")
+                && toks.get(i + 1).is_some_and(|t| t.kind == TokKind::Ident)
+            {
+                push(
+                    out,
+                    "L009",
+                    &f.path,
+                    toks[i].line,
+                    format!(
+                        "truncating cast `as {}` in id-typed store code; a silently wrapped \
+                         id aliases unrelated values — use u32::try_from or \
+                         ca_core::store::dense_count",
+                        text(i + 1)
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// L010: thread-scope hygiene. Any function outside the sanctioned
+/// kernels that touches `std::thread` must contain a deterministic
+/// merge of the per-thread results ([`MERGE_MARKERS`]).
+fn rule_l010(files: &[FileRecord], out: &mut Vec<Violation>) {
+    for f in files {
+        if in_list(&f.path, &THREAD_SANCTIONED) {
+            continue;
+        }
+        let toks = &f.lexed.toks;
+        let text = |i: usize| toks.get(i).map_or("", |t| t.text.as_str());
+        for (local, item) in f.items.fns.iter().enumerate() {
+            if item.is_test {
+                continue;
+            }
+            let owned = owned_tokens(f, local, item);
+            let thread_at = owned.iter().copied().find(|&i| {
+                toks[i].kind == TokKind::Ident
+                    && text(i) == "std"
+                    && text(i + 1) == ":"
+                    && text(i + 2) == ":"
+                    && text(i + 3) == "thread"
+            });
+            let Some(at) = thread_at else {
+                continue;
+            };
+            let merged = owned.iter().copied().any(|i| {
+                toks[i].kind == TokKind::Ident
+                    && MERGE_MARKERS.contains(&text(i))
+                    && text(i + 1) == "("
+            });
+            if !merged {
+                push(
+                    out,
+                    "L010",
+                    &f.path,
+                    toks[at].line,
+                    format!(
+                        "`std::thread` in `{}` without a deterministic merge: fold the \
+                         per-thread results in index order (sort/reduce/fold/min/max/sum) \
+                         before they escape the function",
+                        item.name
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Run the graph-powered rules (L006–L010) over a parsed workspace.
+/// `files` must already exclude vendored code; suppressions are applied
+/// by the caller ([`crate::lint_sources`]).
+pub fn run_graph_rules(
+    files: &[FileRecord],
+    g: &WorkspaceGraph,
+    cfg: &LintConfig,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    if cfg.enabled.contains("L006") {
+        rule_l006(files, g, &mut out);
+    }
+    if cfg.enabled.contains("L007") {
+        rule_l007(files, g, &mut out);
+    }
+    if cfg.enabled.contains("L008") {
+        rule_l008(files, g, &mut out);
+    }
+    if cfg.enabled.contains("L009") {
+        rule_l009(files, &mut out);
+    }
+    if cfg.enabled.contains("L010") {
+        rule_l010(files, &mut out);
+    }
+    out.sort_by(|a, b| (&a.path, a.line, a.rule, &a.msg).cmp(&(&b.path, b.line, b.rule, &b.msg)));
     out
 }
 

@@ -6,12 +6,16 @@
 //! harness that ignores `enabled`, fails here).
 
 use ca_lint::rules::CATALOG;
-use ca_lint::{lint_source, LintConfig};
+use ca_lint::{lint_source, lint_sources, LintConfig};
 
-/// A path inside a result-producing module for L001/L004 fixtures.
+/// A path inside a result-producing module for L004 fixtures.
 const RESULT_PATH: &str = "crates/query/src/engine/fixture.rs";
-/// An ordinary library path for L002/L003/L005 fixtures.
+/// An ordinary library path for L002/L003/L005/L010 fixtures.
 const LIB_PATH: &str = "crates/gdm/src/fixture.rs";
+/// The L007 determinism-taint seed location (certificate bytes).
+const CERT_BYTES_PATH: &str = "crates/cert/src/bytes.rs";
+/// The L008 untrusted-input seed location (snapshot parsing).
+const SNAPSHOT_PATH: &str = "crates/core/src/store/snapshot.rs";
 
 fn codes(path: &str, src: &str, cfg: &LintConfig) -> Vec<&'static str> {
     lint_source(path, src, cfg)
@@ -44,52 +48,6 @@ fn assert_clean(rule: &'static str, path: &str, src: &str) {
         !got.contains(&rule),
         "{rule} must not fire on the negative fixture at {path}; got {got:?}"
     );
-}
-
-// ------------------------------------------------------------------ L001
-
-#[test]
-fn l001_fires_on_hashmap_iteration_in_result_module() {
-    let src = r#"
-use std::collections::HashMap;
-pub fn answers() -> Vec<u32> {
-    let mut seen: HashMap<u32, u32> = HashMap::new();
-    seen.insert(1, 2);
-    let mut out = Vec::new();
-    for (k, _) in &seen {
-        out.push(*k);
-    }
-    out
-}
-"#;
-    assert_fires("L001", RESULT_PATH, src);
-}
-
-#[test]
-fn l001_fires_on_keys_method() {
-    let src = "fn f() { let m: std::collections::HashSet<u32> = Default::default(); let v: Vec<_> = m.iter().collect(); }";
-    assert_fires("L001", RESULT_PATH, src);
-}
-
-#[test]
-fn l001_ignores_btreemap_and_lookup_only_hashmaps() {
-    let src = r#"
-use std::collections::{BTreeMap, HashMap};
-pub fn answers() -> Vec<u32> {
-    let mut sorted: BTreeMap<u32, u32> = BTreeMap::new();
-    let cache: HashMap<u32, u32> = HashMap::new();
-    let _ = cache.get(&3);
-    sorted.insert(1, 2);
-    sorted.keys().copied().collect()
-}
-"#;
-    assert_clean("L001", RESULT_PATH, src);
-}
-
-#[test]
-fn l001_is_scoped_to_result_modules() {
-    let src = "fn f() { let m: std::collections::HashMap<u32, u32> = Default::default(); for x in &m {} }";
-    assert_clean("L001", "crates/gdm/src/generate.rs", src);
 }
 
 // ------------------------------------------------------------------ L002
@@ -226,6 +184,238 @@ fn l005_accepts_documented_vars_and_non_var_strings() {
     );
 }
 
+// ------------------------------------------------------------------ L006
+
+#[test]
+fn l006_fires_on_a_use_of_a_higher_layer() {
+    // ca-core sits at the bottom of the layering table: it may depend on
+    // nothing, so naming ca_query is a violation.
+    assert_fires(
+        "L006",
+        "crates/core/src/fixture.rs",
+        "use ca_query::engine::Plan;\nfn f() {}",
+    );
+}
+
+#[test]
+fn l006_fires_on_an_inline_qualified_path() {
+    assert_fires(
+        "L006",
+        "crates/core/src/fixture.rs",
+        "fn f() -> u32 { ca_xml::tree::root_count() }",
+    );
+}
+
+#[test]
+fn l006_fires_on_an_undeclared_manifest_dependency() {
+    let files = [(
+        "crates/core/src/fixture.rs".to_string(),
+        "fn f() {}".to_string(),
+    )];
+    let manifests = [(
+        "crates/core/Cargo.toml".to_string(),
+        "[package]\nname = \"ca-core\"\n\n[dependencies]\nca-query = { path = \"../query\" }\n"
+            .to_string(),
+    )];
+    let design = "documented: CA_EVAL_THREADS CA_HOM_THREADS".to_string();
+    let got = lint_sources(&files, &manifests, &LintConfig::all(design.clone()));
+    assert!(
+        got.iter()
+            .any(|v| v.rule == "L006" && v.path == "crates/core/Cargo.toml"),
+        "manifest dep above ca-core's layer must fire at the manifest; got {got:?}"
+    );
+    let without = lint_sources(&files, &manifests, &LintConfig::all_except("L006", design));
+    assert!(
+        !without.iter().any(|v| v.rule == "L006"),
+        "L006 must vanish when disabled; got {without:?}"
+    );
+}
+
+#[test]
+fn l006_accepts_declared_layers_std_and_tests() {
+    // ca-query may use ca-core (declared), and std/core are never crates
+    // in the layering sense.
+    assert_clean(
+        "L006",
+        "crates/query/src/fixture.rs",
+        "use ca_core::store::FactStore;\nuse std::collections::BTreeMap;\nfn f() {}",
+    );
+    // Test code may reach across layers (differential oracles do).
+    assert_clean(
+        "L006",
+        "crates/core/src/fixture.rs",
+        "#[cfg(test)]\nmod tests {\n    use ca_query::engine::Plan;\n    fn t() {}\n}",
+    );
+}
+
+// ------------------------------------------------------------------ L007
+
+#[test]
+fn l007_fires_on_hash_iteration_reachable_from_a_seed() {
+    // to_bytes at the certificate-bytes path is a seed; helper() is in
+    // its call cone and iterates a HashMap.
+    let src = r#"
+use std::collections::HashMap;
+pub fn to_bytes() -> Vec<u8> { helper() }
+fn helper() -> Vec<u8> {
+    let m: HashMap<u32, u32> = HashMap::new();
+    let mut out = Vec::new();
+    for k in m.iter() { out.push(0u8); let _ = k; }
+    out
+}
+"#;
+    assert_fires("L007", CERT_BYTES_PATH, src);
+}
+
+#[test]
+fn l007_fires_on_a_borrowed_hash_parameter() {
+    // The hash collection arrives as `&HashMap` / `&'a mut HashMap`
+    // parameters — the binding walk must see through the reference
+    // prefix, not just `let`-bound locals.
+    let src = r#"
+use std::collections::HashMap;
+pub fn to_bytes(m: &HashMap<u32, u32>) -> Vec<u8> { emit(m) }
+fn emit(m: &HashMap<u32, u32>) -> Vec<u8> {
+    let mut out = Vec::new();
+    for k in m.iter() { out.push(0u8); let _ = k; }
+    out
+}
+"#;
+    assert_fires("L007", CERT_BYTES_PATH, src);
+}
+
+#[test]
+fn l007_fires_on_randomstate_in_a_seed_itself() {
+    let src = "pub fn to_bytes() -> Vec<u8> { let _s = std::collections::hash_map::RandomState::new(); Vec::new() }";
+    assert_fires("L007", CERT_BYTES_PATH, src);
+}
+
+#[test]
+fn l007_ignores_unreachable_and_btree_iteration() {
+    // Same tainted body, but nothing connects it to a seed.
+    let src = r#"
+use std::collections::HashMap;
+fn helper() -> Vec<u8> {
+    let m: HashMap<u32, u32> = HashMap::new();
+    let mut out = Vec::new();
+    for k in m.iter() { out.push(0u8); let _ = k; }
+    out
+}
+"#;
+    assert_clean("L007", CERT_BYTES_PATH, src);
+    // BTreeMap iteration in a seed's cone is deterministic and fine.
+    let src = r#"
+use std::collections::BTreeMap;
+pub fn to_bytes() -> Vec<u8> {
+    let m: BTreeMap<u32, u32> = BTreeMap::new();
+    m.keys().map(|_| 0u8).collect()
+}
+"#;
+    assert_clean("L007", CERT_BYTES_PATH, src);
+}
+
+// ------------------------------------------------------------------ L008
+
+#[test]
+fn l008_fires_on_panicky_ops_reachable_from_byte_parsing() {
+    // `parse` at the snapshot path seeds the untrusted cone.
+    assert_fires(
+        "L008",
+        SNAPSHOT_PATH,
+        "pub fn parse(buf: &[u8]) -> u8 { helper(buf) }\nfn helper(buf: &[u8]) -> u8 { buf.first().copied().unwrap() }",
+    );
+    assert_fires(
+        "L008",
+        SNAPSHOT_PATH,
+        "pub fn from_bytes(buf: &[u8]) -> u8 { buf[3] }",
+    );
+    assert_fires(
+        "L008",
+        SNAPSHOT_PATH,
+        "pub fn parse(off: usize, len: usize) -> usize { off + len }",
+    );
+}
+
+#[test]
+fn l008_ignores_unreachable_code_and_compound_assignment() {
+    // The same panicky body with no seed calling it is out of the cone.
+    assert_clean(
+        "L008",
+        SNAPSHOT_PATH,
+        "fn helper(buf: &[u8]) -> u8 { buf.first().copied().unwrap() }",
+    );
+    // `+=` on a counter is not offset arithmetic into the buffer.
+    assert_clean(
+        "L008",
+        SNAPSHOT_PATH,
+        "pub fn parse(buf: &[u8]) -> usize { let mut n_total = 0usize; n_total += buf.len(); n_total }",
+    );
+}
+
+// ------------------------------------------------------------------ L009
+
+#[test]
+fn l009_fires_on_truncating_casts_in_store_code() {
+    assert_fires(
+        "L009",
+        "crates/core/src/store/fixture.rs",
+        "pub fn count(n: usize) -> u32 { n as u32 }",
+    );
+    // Outside crates/core, mentioning ValueId opts the file in.
+    assert_fires(
+        "L009",
+        "crates/query/src/fixture.rs",
+        "use ca_core::store::ValueId;\npub fn shrink(id: ValueId) -> u16 { id as u16 }",
+    );
+}
+
+#[test]
+fn l009_ignores_tests_widening_casts_and_unscoped_files() {
+    assert_clean(
+        "L009",
+        "crates/core/src/store/fixture.rs",
+        "#[cfg(test)]\nmod tests {\n    fn t(n: usize) -> u32 { n as u32 }\n}",
+    );
+    assert_clean(
+        "L009",
+        "crates/core/src/store/fixture.rs",
+        "pub fn widen(n: u32) -> u64 { n as u64 }",
+    );
+    // No ValueId/FactId mention and not under crates/core: out of scope.
+    assert_clean(
+        "L009",
+        "crates/gdm/src/fixture.rs",
+        "pub fn count(n: usize) -> u32 { n as u32 }",
+    );
+}
+
+// ------------------------------------------------------------------ L010
+
+#[test]
+fn l010_fires_on_threads_without_a_deterministic_merge() {
+    assert_fires(
+        "L010",
+        LIB_PATH,
+        "fn f() { std::thread::scope(|s| { s.spawn(|| {}); }); }",
+    );
+}
+
+#[test]
+fn l010_accepts_merged_results_and_sanctioned_files() {
+    // A sort after the scope is a deterministic merge.
+    assert_clean(
+        "L010",
+        LIB_PATH,
+        "fn f() { let mut out: Vec<u32> = Vec::new(); std::thread::scope(|s| { s.spawn(|| {}); }); out.sort_unstable(); }",
+    );
+    // The sanctioned kernels own their merge discipline already.
+    assert_clean(
+        "L010",
+        "crates/query/src/engine/sweep.rs",
+        "fn f() { std::thread::scope(|s| { s.spawn(|| {}); }); }",
+    );
+}
+
 // ------------------------------------------- suppression, end to end
 
 #[test]
@@ -266,7 +456,9 @@ fn inline_allow_only_covers_its_own_lines() {
 fn every_catalog_rule_has_a_fixture() {
     // Guards against adding a rule without extending this corpus: the
     // list here must mention every catalog code.
-    let covered = ["L001", "L002", "L003", "L004", "L005"];
+    let covered = [
+        "L002", "L003", "L004", "L005", "L006", "L007", "L008", "L009", "L010",
+    ];
     for (code, _, _) in CATALOG {
         assert!(covered.contains(&code), "no fixture coverage for {code}");
     }

@@ -1,0 +1,90 @@
+//! The `--json` report is pinned to schema `ca-lint/2`: one object,
+//! `violations` sorted by `(path, rule, line, message)`, two-space
+//! indent. CI diffs these reports across runs and archives them as
+//! artifacts, so the bytes must not depend on run count, file-discovery
+//! order, or anything else ambient.
+
+use ca_lint::{
+    lint_sources, rel_path, render_json, workspace_files, workspace_manifests, LintConfig,
+};
+
+type NamedTexts = Vec<(String, String)>;
+
+fn workspace_sources() -> (NamedTexts, NamedTexts) {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root");
+    let files = workspace_files(&root).expect("walk workspace");
+    let manifests = workspace_manifests(&root).expect("read manifests");
+    let sources = files
+        .iter()
+        .map(|f| {
+            (
+                rel_path(&root, f),
+                std::fs::read_to_string(f).expect("read source"),
+            )
+        })
+        .collect();
+    (sources, manifests)
+}
+
+#[test]
+fn json_report_is_byte_identical_across_runs_and_discovery_order() {
+    let (sources, manifests) = workspace_sources();
+    let cfg = LintConfig::all(String::new());
+
+    let first = render_json(&lint_sources(&sources, &manifests, &cfg));
+    let second = render_json(&lint_sources(&sources, &manifests, &cfg));
+    assert_eq!(
+        first, second,
+        "two identical runs must emit identical bytes"
+    );
+
+    // Reverse the file-discovery order: the report must not change.
+    let mut reversed = sources.clone();
+    reversed.reverse();
+    let mut rev_manifests = manifests.clone();
+    rev_manifests.reverse();
+    let third = render_json(&lint_sources(&reversed, &rev_manifests, &cfg));
+    assert_eq!(
+        first, third,
+        "file-discovery order must not leak into the report"
+    );
+
+    assert!(first.starts_with("{\n  \"schema\": \"ca-lint/2\",\n"));
+    assert!(first.ends_with("  ]\n}\n"));
+}
+
+#[test]
+fn json_schema_shape_is_pinned() {
+    // A tiny synthetic workspace with known violations, so the exact
+    // bytes (ordering, indentation, escaping) are pinned — not just
+    // stability of whatever the real tree happens to contain.
+    let files = [
+        (
+            "crates/gdm/src/b.rs".to_string(),
+            "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n".to_string(),
+        ),
+        (
+            "crates/gdm/src/a.rs".to_string(),
+            "fn g(x: Option<u32>) -> u32 { x.unwrap() }\n".to_string(),
+        ),
+    ];
+    let cfg = LintConfig::all(String::new());
+    let got = render_json(&lint_sources(&files, &[], &cfg));
+    let want = concat!(
+        "{\n",
+        "  \"schema\": \"ca-lint/2\",\n",
+        "  \"violations\": [\n",
+        "    {\"path\": \"crates/gdm/src/a.rs\", \"rule\": \"L002\", \"line\": 1, ",
+        "\"message\": \"`.unwrap()` in library code can panic; return a typed error ",
+        "or use a documented-invariant match\"},\n",
+        "    {\"path\": \"crates/gdm/src/b.rs\", \"rule\": \"L002\", \"line\": 1, ",
+        "\"message\": \"`.unwrap()` in library code can panic; return a typed error ",
+        "or use a documented-invariant match\"}\n",
+        "  ]\n",
+        "}\n",
+    );
+    assert_eq!(got, want, "pinned ca-lint/2 bytes drifted");
+}

@@ -1,0 +1,174 @@
+//! Parser robustness: the item parser must survive every source file in
+//! the workspace and every pathological fragment we can compose, and its
+//! output must stay structurally consistent with the lexer's token
+//! stream (one owner entry per token, well-formed body spans, `fn` items
+//! agreeing with `fn`-keyword token pairs).
+
+use proptest::prelude::*;
+
+use ca_lint::lexer::{lex, Lexed, TokKind};
+use ca_lint::parser::{parse_items, FileItems, NO_OWNER};
+use ca_lint::rules::test_mask;
+use ca_lint::{rel_path, workspace_files};
+
+fn parse(src: &str) -> (Lexed, FileItems) {
+    let lexed = lex(src);
+    let mask = test_mask(&lexed.toks);
+    let items = parse_items(&lexed, &mask);
+    (lexed, items)
+}
+
+/// The structural invariants every parse must satisfy, regardless of how
+/// broken the input is.
+fn check_invariants(path: &str, lexed: &Lexed, items: &FileItems) {
+    assert_eq!(
+        items.owner.len(),
+        lexed.toks.len(),
+        "{path}: one owner entry per token"
+    );
+    // `fn` items agree with the lexer: exactly one item per `fn` keyword
+    // followed by an identifier.
+    let fn_kws = lexed
+        .toks
+        .iter()
+        .enumerate()
+        .filter(|(i, t)| {
+            t.kind == TokKind::Ident
+                && t.text == "fn"
+                && lexed
+                    .toks
+                    .get(i + 1)
+                    .is_some_and(|n| n.kind == TokKind::Ident)
+        })
+        .count();
+    assert_eq!(items.fns.len(), fn_kws, "{path}: one FnItem per `fn` pair");
+    for f in &items.fns {
+        assert!(!f.name.is_empty(), "{path}: named fn");
+        if f.has_body {
+            assert!(f.body.0 <= f.body.1, "{path}: ordered body span");
+            assert_eq!(
+                lexed.toks[f.body.0].text, "{",
+                "{path}: body starts at a brace"
+            );
+            assert!(f.body.1 < lexed.toks.len(), "{path}: body end in range");
+        }
+    }
+    for (i, &o) in items.owner.iter().enumerate() {
+        if o != NO_OWNER {
+            let f = &items.fns[o as usize];
+            assert!(f.has_body, "{path}: owner {o} has a body");
+            assert!(
+                f.body.0 <= i && i <= f.body.1,
+                "{path}: token {i} inside its owner's span"
+            );
+        }
+    }
+}
+
+/// Every `.rs` file in this workspace parses without panicking and
+/// satisfies the structural invariants.
+#[test]
+fn workspace_corpus_parses_clean() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root");
+    let files = workspace_files(&root).expect("walk workspace");
+    assert!(
+        files.len() > 50,
+        "corpus unexpectedly small: {}",
+        files.len()
+    );
+    for file in files {
+        let rel = rel_path(&root, &file);
+        let src = std::fs::read_to_string(&file).expect("read source");
+        let (lexed, items) = parse(&src);
+        check_invariants(&rel, &lexed, &items);
+    }
+}
+
+/// Hand-picked pathological inputs: brace-looking content inside string
+/// and raw-string literals, `#[cfg(test)]` regions, unterminated items.
+/// Each is pinned against lexer/parser agreement, not against a panic
+/// backtrace.
+#[test]
+fn pathological_inputs_parse_clean() {
+    let cases: &[&str] = &[
+        // Braces inside ordinary strings must not open/close bodies.
+        r#"fn a() { let s = "}} {{ } {"; inner(); }"#,
+        // Nested raw strings with hashes and brace soup.
+        r##"fn b() { let s = r#"fn fake() { }"#; }"##,
+        r###"fn c() { let s = r##"r#"{ nested "# }"##; }"###,
+        // A cfg(test) module wrapping a fn, then live code after it.
+        "#[cfg(test)]\nmod tests { fn t() { x.unwrap(); } }\nfn live() {}",
+        // Unterminated body, stray close braces, empty input.
+        "fn d() { let x = 1;",
+        "}}} fn e() {}",
+        "",
+        // char-vs-lifetime ambiguity around braces.
+        "fn f<'a>(x: &'a u32) -> &'a u32 { let c = '}'; x }",
+        // fn-pointer types and bodyless trait methods between items.
+        "trait T { fn sig(&self); }\nfn g(h: fn(u32) -> u32) -> u32 { h('{' as u8 as u32) }",
+        // Block comments hiding braces.
+        "fn h() { /* } */ inner(); /* { */ }",
+    ];
+    for (i, src) in cases.iter().enumerate() {
+        let (lexed, items) = parse(src);
+        check_invariants(&format!("case #{i}"), &lexed, &items);
+    }
+    // The string-brace case must keep `inner` owned by `a`, proving the
+    // lexer's string handling feeds the parser correct depths.
+    let (lexed, items) = parse(r#"fn a() { let s = "}} {{ } {"; inner(); }"#);
+    let inner = lexed
+        .toks
+        .iter()
+        .position(|t| t.text == "inner")
+        .expect("inner");
+    assert_eq!(items.owner[inner], 0, "string braces must not close `a`");
+}
+
+/// Fragment pool for the randomized composer. Each fragment is valid or
+/// deliberately broken Rust; random concatenations stress brace
+/// tracking, test-mask propagation, and owner attribution.
+const FRAGMENTS: &[&str] = &[
+    "fn f() { g(); }\n",
+    "fn g(x: u32) -> u32 { x }\n",
+    "#[cfg(test)]\nmod tests { fn t() {} }\n",
+    "mod m;\n",
+    "use ca_core::store::FactStore;\n",
+    "let s = \"{ } fn fake() {\";\n",
+    "let r = r#\"} } {\"#;\n",
+    "{\n",
+    "}\n",
+    "trait T { fn sig(&self); }\n",
+    "// fn commented() { }\n",
+    "struct S { field: u32 }\n",
+    "impl S { fn m(&self) -> u32 { self.field } }\n",
+    "'a' ; '\\'' ; '}'\n",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any composition of fragments — including ones that unbalance the
+    /// brace depth mid-file — parses without panicking and satisfies the
+    /// structural invariants.
+    #[test]
+    fn random_fragment_compositions_parse_clean(seed in any::<u64>()) {
+        let mut state = seed;
+        let mut next = move |bound: u64| {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            (z ^ (z >> 31)) % bound
+        };
+        let n = 1 + next(24) as usize;
+        let mut src = String::new();
+        for _ in 0..n {
+            src.push_str(FRAGMENTS[next(FRAGMENTS.len() as u64) as usize]);
+        }
+        let (lexed, items) = parse(&src);
+        check_invariants("composed", &lexed, &items);
+    }
+}

@@ -89,8 +89,12 @@ impl<'a> CompletionSpace<'a> {
     /// Panics if the count overflows `u128`; such a sweep could never
     /// finish anyway.
     pub fn len(&self) -> u128 {
+        // A null count past u32 saturates the exponent; checked_pow then
+        // overflows (pool ≥ 2 in that regime) and the documented panic
+        // below fires, same as any other hopeless sweep.
+        let exp = u32::try_from(self.nulls.len()).unwrap_or(u32::MAX);
         (self.pool.len() as u128)
-            .checked_pow(self.nulls.len() as u32)
+            .checked_pow(exp)
             // ca-lint: allow(L002, reason = "deliberate documented panic (see # Panics): a sweep past u128 completions can never terminate, so failing fast beats a wrong answer")
             .expect("completion space exceeds u128 — brute force is hopeless here")
     }

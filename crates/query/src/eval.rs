@@ -91,12 +91,13 @@ pub fn active_domain(db: &NaiveDatabase) -> Vec<Value> {
 fn lookup(env: &[(u32, Value)], t: Term) -> Value {
     match t {
         Term::Const(c) => Value::Const(c),
-        Term::Var(v) => env
-            .iter()
-            .rev()
-            .find(|(u, _)| *u == v)
-            .map(|&(_, val)| val)
-            .expect("FO evaluation: unbound variable (not a sentence?)"),
+        Term::Var(v) => match env.iter().rev().find(|(u, _)| *u == v) {
+            Some(&(_, val)) => val,
+            // Queries are sentences: every variable is bound by the
+            // quantifier that pushed it onto `env` before its atoms are
+            // evaluated.
+            None => unreachable!("FO evaluation: unbound variable {v} (not a sentence?)"),
+        },
     }
 }
 

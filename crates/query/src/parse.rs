@@ -77,7 +77,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn expect(&mut self, token: &str) -> Result<(), ParseError> {
+    fn expect_tok(&mut self, token: &str) -> Result<(), ParseError> {
         if self.eat(token) {
             Ok(())
         } else {
@@ -132,7 +132,7 @@ impl<'a> Parser<'a> {
 
     fn atom(&mut self) -> Result<Atom, ParseError> {
         let rel = self.ident()?;
-        self.expect("(")?;
+        self.expect_tok("(")?;
         let mut args = Vec::new();
         if self.peek() != Some(')') {
             loop {
@@ -142,7 +142,7 @@ impl<'a> Parser<'a> {
                 }
             }
         }
-        self.expect(")")?;
+        self.expect_tok(")")?;
         Ok(Atom { rel, args })
     }
 
@@ -169,7 +169,7 @@ impl<'a> Parser<'a> {
                     }
                 }
             }
-            self.expect(")")?;
+            self.expect_tok(")")?;
             if self.eat(":-") {
                 has_head = true;
                 for name in names {
@@ -203,7 +203,7 @@ impl<'a> Parser<'a> {
         if self.pos != self.input.len() {
             return Err(self.error("trailing input"));
         }
-        let first_arity = disjuncts[0].head.len();
+        let first_arity = disjuncts.first().map_or(0, |d| d.head.len());
         if disjuncts.iter().any(|d| d.head.len() != first_arity) {
             return Err(self.error("disjuncts have different head arities"));
         }

@@ -90,8 +90,14 @@ pub fn hom_csp(
     dst: &NaiveDatabase,
 ) -> (Csp, Vec<ca_core::value::Null>, ValueIndex) {
     let nulls: Vec<ca_core::value::Null> = src.nulls().into_iter().collect();
-    let var_of =
-        |n: ca_core::value::Null| -> u32 { nulls.binary_search(&n).expect("null of src") as u32 };
+    let var_of = |n: ca_core::value::Null| -> u32 {
+        match nulls.binary_search(&n) {
+            Ok(i) => i as u32,
+            // `nulls` enumerates every null of `src`, so any null found
+            // in src's facts below is present.
+            Err(_) => unreachable!("null not in src's null set"),
+        }
+    };
     let idx = ValueIndex::of(dst);
     let mut csp = Csp::with_uniform_domains(nulls.len(), idx.len() as u32);
     for fact in src.facts() {

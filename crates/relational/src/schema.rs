@@ -85,7 +85,12 @@ impl Schema {
 
     /// The name of a relation.
     pub fn name(&self, sym: Symbol) -> &str {
-        self.interner.resolve(sym).expect("symbol from this schema")
+        match self.interner.resolve(sym) {
+            Some(name) => name,
+            // Symbols are only minted by this schema's interner, and
+            // interned names are never removed.
+            None => unreachable!("symbol not from this schema"),
+        }
     }
 
     /// Number of relations.

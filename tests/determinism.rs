@@ -10,7 +10,7 @@
 //! hash tables with fresh per-instance seeds (the engine's lazy indices
 //! hash `Vec<Value>` keys), so any place where map iteration order leaks
 //! into a result boundary produces different tuple orders across
-//! rebuilds — exactly what the `ca-lint` L001 rule guards statically,
+//! rebuilds — exactly what the `ca-lint` L007 rule guards statically,
 //! checked here dynamically. The paper's
 //! semantics require this (certain answers are an intersection over
 //! completions — Libkin, PODS 2011, Thm 5): evaluation order is an
