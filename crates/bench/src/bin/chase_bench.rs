@@ -374,15 +374,21 @@ fn main() {
     report.note("ref = seed chase loop (one firing per pass, full re-match through the CSP matcher); seq = engine, threads=1; par = engine, threads = max(CA_HOM_THREADS, 2)");
     report.note("every reference-timed case asserts engine-vs-reference agreement (outcome + hom-equivalence) and sequential-vs-parallel byte-equality before timing; engine-only cases assert the closed-form chased size instead");
     if host_cores <= 1 {
-        report.note("single-core host: the engine clamps its match-phase width to the physical cores, so the par column times the identical sequential code path and par_vs_seq is measurement noise around 1.0");
+        report.note("single-core host: the par column spawns its requested width on one core, so it times the partitioned code path's coordination overhead and par_vs_seq ≈ 1.0 is parity, not regression");
     }
     println!("{report}");
 
+    // Effective width: an explicit CA_PART_THREADS overrides the config
+    // width; either way the chase honors the request verbatim (rounds
+    // with fewer than PAR_MIN_SEED seeds run sequentially regardless).
+    let effective_threads = ca_core::config::part_threads_set().unwrap_or(par_threads);
     let json = format!(
-        "{{\n  \"bench\": \"chase_bench\",\n  \"git_rev\": \"{}\",\n  \"threads_default\": {},\n  \"host_cores\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"chase_bench\",\n  \"git_rev\": \"{}\",\n  \"host_cores\": {},\n  \"threads_default\": {},\n  \"threads_requested\": {},\n  \"threads_effective\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
         ca_bench::report::git_rev(),
-        default_threads(),
         host_cores,
+        default_threads(),
+        par_threads,
+        effective_threads,
         json_rows.join(",\n")
     );
     std::fs::write("BENCH_chase.json", &json).expect("write BENCH_chase.json");

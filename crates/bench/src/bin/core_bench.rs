@@ -331,10 +331,16 @@ fn main() {
     );
     println!("{report}");
 
+    // The CSP search spawns exactly the requested width (no host clamp),
+    // so requested == effective; host_cores tells the reader whether
+    // par-vs-seq parity is contention or real work.
     let json = format!(
-        "{{\n  \"bench\": \"core_bench\",\n  \"git_rev\": \"{}\",\n  \"threads_default\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"core_bench\",\n  \"git_rev\": \"{}\",\n  \"host_cores\": {},\n  \"threads_default\": {},\n  \"threads_requested\": {},\n  \"threads_effective\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
         ca_bench::report::git_rev(),
+        ca_bench::report::host_cores(),
         default_threads(),
+        par_threads,
+        par_threads,
         json_rows.join(",\n")
     );
     std::fs::write("BENCH_core.json", &json).expect("write BENCH_core.json");

@@ -134,6 +134,11 @@ struct Row {
     answers: usize,
 }
 
+/// The partition width the join families' `par` column runs at: wide
+/// enough to show scaling on multi-core hosts, honest parity on fewer
+/// cores (the JSON footer records `host_cores` so readers can tell).
+const PART_WIDTH: usize = 4;
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -157,13 +162,22 @@ fn main() {
         let seq_us = time_reps(reps, || {
             std::hint::black_box(engine::eval_ucq_on(&plan, &mut DbIndex::new(&db)));
         });
+        let par_got = engine::eval_ucq_partitioned(&plan, &mut DbIndex::new(&db), PART_WIDTH);
+        assert_eq!(expected, par_got, "edge partitioned disagreement");
+        let par_us = time_reps(reps, || {
+            std::hint::black_box(engine::eval_ucq_partitioned(
+                &plan,
+                &mut DbIndex::new(&db),
+                PART_WIDTH,
+            ));
+        });
         rows.push(Row {
             family: "e02_ucq_edge",
             case: format!("n={n}"),
             mode: "table",
             ref_us,
             seq_us,
-            par_us: seq_us, // single-db evaluation has no parallel path
+            par_us,
             answers: got.len(),
         });
         eprintln!("[query_bench] e02_ucq_edge n={n}: ref {ref_us}us, engine {seq_us}us");
@@ -186,13 +200,22 @@ fn main() {
             let seq_us = time_reps(reps, || {
                 std::hint::black_box(engine::eval_ucq_on(&plan, &mut DbIndex::new(&db)));
             });
+            let par_got = engine::eval_ucq_partitioned(&plan, &mut DbIndex::new(&db), PART_WIDTH);
+            assert_eq!(expected, par_got, "chain{k} partitioned disagreement");
+            let par_us = time_reps(reps, || {
+                std::hint::black_box(engine::eval_ucq_partitioned(
+                    &plan,
+                    &mut DbIndex::new(&db),
+                    PART_WIDTH,
+                ));
+            });
             rows.push(Row {
                 family,
                 case: format!("n={n}"),
                 mode: "table",
                 ref_us,
                 seq_us,
-                par_us: seq_us,
+                par_us,
                 answers: got.len(),
             });
             eprintln!(
@@ -332,15 +355,26 @@ fn main() {
         );
         json_rows.push(row);
     }
-    report.note("ref = pre-engine nested-loop evaluator (ca_query::reference); seq = compiled engine, threads=1; par = parallel sweep where the family has one");
+    report.note("ref = pre-engine nested-loop evaluator (ca_query::reference); seq = compiled engine, threads=1; par = partitioned join (join families, width 4) or parallel sweep (certain families)");
     report.note("e02_ucq_edge measures fixed costs (single scan both sides) — near-parity is the honest expectation; the chain joins are where indexing pays");
     report.note("answers = result rows (table mode) / certainty bit (bool mode); every case asserts reference and engine agree before timing");
     println!("{report}");
 
+    // Thread accounting: `host_cores` is the physical budget; the
+    // requested widths are what the bench asked for; effective widths are
+    // what actually ran (partitioned joins spawn exactly the requested
+    // partition count; the certain-answer sweep caps at the completion
+    // count but not at host cores). par == seq on a 1-core host is
+    // parity, not regression — the footer makes that attributable.
     let json = format!(
-        "{{\n  \"bench\": \"query_bench\",\n  \"git_rev\": \"{}\",\n  \"threads_default\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"query_bench\",\n  \"git_rev\": \"{}\",\n  \"host_cores\": {},\n  \"threads_default\": {},\n  \"threads_requested\": {{\"join_par\": {}, \"certain_par\": {}}},\n  \"threads_effective\": {{\"join_par\": {}, \"certain_par\": {}}},\n  \"results\": [\n{}\n  ]\n}}\n",
         ca_bench::report::git_rev(),
+        ca_bench::report::host_cores(),
         engine::eval_threads(),
+        PART_WIDTH,
+        par_threads,
+        PART_WIDTH,
+        par_threads,
         json_rows.join(",\n")
     );
     std::fs::write("BENCH_query.json", &json).expect("write BENCH_query.json");

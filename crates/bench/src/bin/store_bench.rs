@@ -129,13 +129,51 @@ fn main() {
         });
         push(&mut rows, "intern", n, wall);
 
-        // --- append: columnar fact ingest ---
-        let wall = min_time_us(reps, || {
+        // --- append: columnar fact ingest, one append per fact ---
+        let append_wall = min_time_us(reps, || {
             let s = build_store(&data);
             assert_eq!(s.n_facts() as usize, n, "append ingests every tuple");
             std::hint::black_box(s.n_live());
         });
-        push(&mut rows, "append", n, wall);
+        push(&mut rows, "append", n, append_wall);
+
+        // --- append_bulk: same ingest through `extend_ids` (the run-
+        // grouped bulk path `to_store` and the CSV loader now use).
+        // Correctness: bulk and per-fact stores serialize byte-identically.
+        {
+            let serial = build_store(&data).to_bytes();
+            let mut s = FactStore::new();
+            let rel = s.add_relation("R", ARITY);
+            let mut ids = Vec::with_capacity(n * ARITY);
+            for row in &data {
+                for &v in row {
+                    ids.push(s.intern_value(v));
+                }
+            }
+            s.extend_ids(rel, n as u32, &ids);
+            assert_eq!(s.to_bytes(), serial, "bulk append is byte-identical");
+        }
+        let bulk_wall = min_time_us(reps, || {
+            let mut s = FactStore::new();
+            let rel = s.add_relation("R", ARITY);
+            let mut ids = Vec::with_capacity(n * ARITY);
+            for row in &data {
+                for &v in row {
+                    ids.push(s.intern_value(v));
+                }
+            }
+            s.extend_ids(rel, n as u32, &ids);
+            assert_eq!(s.n_facts() as usize, n, "bulk append ingests every tuple");
+            std::hint::black_box(s.n_live());
+        });
+        push(&mut rows, "append_bulk", n, bulk_wall);
+        // The bulk path must improve on (or hold against) per-fact
+        // appends — a regression here means `to_store`/ingest got slower.
+        // 1.15x headroom absorbs timer noise on sub-millisecond cases.
+        assert!(
+            bulk_wall as f64 <= append_wall as f64 * 1.15,
+            "append_bulk regressed vs append at n={n}: {bulk_wall}us vs {append_wall}us"
+        );
 
         // --- scan: full pass over the column pages ---
         let store = build_store(&data);
@@ -193,13 +231,17 @@ fn main() {
         );
         json_rows.push(row);
     }
-    report.note("intern = distinct values to dense u32 ids; append = unchecked columnar ingest; scan = full column-page pass with checksum; snapshot_roundtrip = to_bytes + from_bytes with byte-identity asserted");
+    report.note("intern = distinct values to dense u32 ids; append = unchecked columnar ingest, one call per fact; append_bulk = run-grouped extend_ids ingest (asserted byte-identical and no slower than append); scan = full column-page pass with checksum; snapshot_roundtrip = to_bytes + from_bytes with byte-identity asserted");
     report.note("workload: arity-3 tuples from a fixed-seed LCG, ~1/8 nulls, domain = n/2");
     println!("{report}");
 
+    // Every store_bench family is sequential; the thread fields are here
+    // so all five emitters share one footer shape and a reader can check
+    // host conditions without knowing which bench they hold.
     let json = format!(
-        "{{\n  \"bench\": \"store_bench\",\n  \"git_rev\": \"{}\",\n  \"results\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"store_bench\",\n  \"git_rev\": \"{}\",\n  \"host_cores\": {},\n  \"threads_default\": 1,\n  \"threads_requested\": 1,\n  \"threads_effective\": 1,\n  \"results\": [\n{}\n  ]\n}}\n",
         git_rev(),
+        ca_bench::report::host_cores(),
         json_rows.join(",\n")
     );
     std::fs::write("BENCH_store.json", &json).expect("write BENCH_store.json");

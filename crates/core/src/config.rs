@@ -29,6 +29,9 @@ pub const EVAL_THREADS_VAR: &str = "CA_EVAL_THREADS";
 /// The ca-hom CSP solver pool-width variable.
 pub const HOM_THREADS_VAR: &str = "CA_HOM_THREADS";
 
+/// The partitioned-join / bulk-ingest worker count variable.
+pub const PART_THREADS_VAR: &str = "CA_PART_THREADS";
+
 /// Saturating thread-count parse: `Some(n.max(1))` for all-digit input
 /// (clamping overflow to `usize::MAX`), `None` for anything else.
 fn parse_threads(raw: &str) -> Option<usize> {
@@ -75,6 +78,29 @@ pub fn eval_threads() -> usize {
 /// at 16 (wider pools stop paying off on the CSP split).
 pub fn hom_threads() -> usize {
     threads_from(HOM_THREADS_VAR, || available_parallelism_or(1).min(16))
+}
+
+/// Partitioned-join and bulk-ingest worker count: `CA_PART_THREADS`,
+/// else available parallelism. Consumed by the morsel-driven partition
+/// evaluator (`ca_query::engine::par`) and the streaming bulk loader
+/// (`ca_core::store::ingest`); both are byte-identical at every width,
+/// so this knob only moves wall time.
+pub fn part_threads() -> usize {
+    threads_from(PART_THREADS_VAR, || available_parallelism_or(1))
+}
+
+/// Like [`part_threads`], but `None` when `CA_PART_THREADS` is unset or
+/// malformed. For callers that treat an explicitly requested width
+/// differently from the default: the chase match phase clamps its
+/// default width to the physical cores (oversubscription is pure
+/// overhead) but honors an explicit width verbatim, which is how the
+/// determinism suites pin byte-identical results at widths wider than
+/// the host.
+pub fn part_threads_set() -> Option<usize> {
+    std::env::var(PART_THREADS_VAR)
+        .ok()
+        .as_deref()
+        .and_then(parse_threads)
 }
 
 #[cfg(test)]

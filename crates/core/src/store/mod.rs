@@ -28,6 +28,8 @@
 //! surface for tests and the differential oracles; `ca-relational`
 //! provides the `to_store`/`from_store` bridge.
 
+pub mod ingest;
+pub mod partition;
 pub mod snapshot;
 
 use crate::fxhash::FxHashMap;
@@ -36,7 +38,7 @@ use std::collections::hash_map::Entry;
 use crate::symbol::{Interner, Symbol};
 use crate::value::{Null, Value};
 
-pub use snapshot::{SnapshotError, SnapshotView, SNAPSHOT_VERSION};
+pub use snapshot::{SnapshotError, SnapshotView, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
 
 /// A dense interned value id. Constant ids are `0..n_consts` in interning
 /// order; null ids carry the [`NULL_TAG`] bit over a dense index
@@ -93,6 +95,17 @@ fn dense_inc(n: u32) -> u32 {
         Some(v) => v,
         // ca-lint: allow(L002, reason = "deliberate documented panic: overflowing the dense u32 id space must abort, a wrapped id aliases unrelated values or facts")
         None => panic!("dense id space overflow: counter past u32::MAX"),
+    }
+}
+
+/// Checked addition on dense `u32` counters; see [`dense_count`].
+#[inline]
+#[track_caller]
+fn dense_add(a: u32, b: u32) -> u32 {
+    match a.checked_add(b) {
+        Some(v) => v,
+        // ca-lint: allow(L002, reason = "deliberate documented panic: overflowing the dense u32 id space must abort, a wrapped id aliases unrelated values or facts")
+        None => panic!("dense id space overflow: {a} + {b} past u32::MAX"),
     }
 }
 
@@ -271,6 +284,45 @@ impl RelTable {
         self.n_rows = dense_inc(self.n_rows);
         self.n_live = dense_inc(self.n_live);
         row
+    }
+
+    /// Bulk append `n` rows given row-major in `flat` (`n × arity` ids):
+    /// each column is reserved **once** and filled in a single stride
+    /// pass, and the live bitmap grows word-at-a-time — the per-fact
+    /// [`Self::push_row`] bookkeeping (per-column push, per-bit bitmap
+    /// update, two checked increments) collapses into one pass per
+    /// column. Returns the first new row index.
+    fn extend_rows(&mut self, n: u32, flat: &[ValueId]) -> u32 {
+        debug_assert_eq!(flat.len(), self.arity * n as usize, "flat buffer shape");
+        let first = self.n_rows;
+        let new_rows = dense_add(self.n_rows, n);
+        for (c, col) in self.cols.iter_mut().enumerate() {
+            col.reserve(n as usize);
+            col.extend(flat.iter().skip(c).step_by(self.arity).copied());
+        }
+        // Set bits [first, first + n): fill the partial head word, then
+        // whole words, then the partial tail word.
+        let mut row = first;
+        while row < new_rows {
+            let word = (row / 64) as usize;
+            let lo = row % 64;
+            let span = (64 - lo).min(new_rows - row);
+            let mask = if span == 64 {
+                u64::MAX
+            } else {
+                ((1u64 << span) - 1) << lo
+            };
+            match self.live.get_mut(word) {
+                Some(w) => *w |= mask,
+                // Rows fill the bitmap densely, so the next word is at
+                // most one past the end.
+                None => self.live.push(mask),
+            }
+            row += span;
+        }
+        self.n_rows = new_rows;
+        self.n_live = dense_add(self.n_live, n);
+        first
     }
 
     fn set_dead(&mut self, row: u32) {
@@ -526,6 +578,33 @@ impl FactStore {
         let row = self.tables[rel.index()].push_row(ids);
         self.fact_rel.push(rel);
         self.fact_row.push(row);
+        self.maps_built = false;
+        self.version += 1;
+        f
+    }
+
+    /// Bulk [`Self::append_ids`]: append `n` facts of one relation from a
+    /// row-major id buffer (`n × arity` ids, row after row). Columns are
+    /// reserved once and filled in one stride pass each instead of
+    /// per-fact pushes — the fast path behind the `NaiveDatabase` bridge
+    /// and the streaming bulk loader ([`ingest`]). Fact ids are issued
+    /// contiguously in row order; returns the first one (meaningless when
+    /// `n == 0` — nothing was appended). Like [`Self::append_ids`] this
+    /// skips duplicate checking and invalidates the dedup/occurrence
+    /// maps.
+    pub fn extend_ids(&mut self, rel: Symbol, n: u32, flat: &[ValueId]) -> FactId {
+        let f = dense_count(self.fact_rel.len());
+        if n == 0 {
+            return f;
+        }
+        let table = match self.tables.get_mut(rel.index()) {
+            Some(t) => t,
+            None => unreachable!("extend into undeclared relation {rel:?}"),
+        };
+        let first_row = table.extend_rows(n, flat);
+        dense_count(self.fact_rel.len().saturating_add(n as usize)); // overflow aborts before the pushes
+        self.fact_rel.extend(std::iter::repeat_n(rel, n as usize));
+        self.fact_row.extend(first_row..dense_add(first_row, n));
         self.maps_built = false;
         self.version += 1;
         f
@@ -823,6 +902,66 @@ mod tests {
         let one = s.lookup_value(c(1)).unwrap();
         let five = s.lookup_value(c(5)).unwrap();
         assert_eq!(s.table(r).col(0), &[one, one, five]);
+    }
+
+    #[test]
+    fn extend_ids_matches_per_fact_appends() {
+        // The bulk path must be observationally identical to a loop of
+        // `append_ids` — same fact ids, rows, bitmap, and snapshot bytes.
+        let rows = 150i64; // crosses two bitmap word boundaries
+        let mut bulk = FactStore::new();
+        let mut serial = FactStore::new();
+        for s in [&mut bulk, &mut serial] {
+            s.add_relation("R", 2);
+            s.add_relation("S", 1);
+        }
+        let r = bulk.relation("R").unwrap();
+        let sx = bulk.relation("S").unwrap();
+        let mut flat = Vec::new();
+        for i in 0..rows {
+            flat.push(bulk.intern_value(c(i)));
+            flat.push(bulk.intern_value(if i % 7 == 0 {
+                n(dense_count(i as usize))
+            } else {
+                c(i + 1)
+            }));
+        }
+        let first = bulk.extend_ids(r, dense_count(rows as usize), &flat);
+        assert_eq!(first, 0);
+        bulk.extend_ids(sx, 0, &[]); // no-op
+        let nine = bulk.intern_value(c(9999));
+        assert_eq!(bulk.extend_ids(sx, 1, &[nine]), dense_count(rows as usize));
+        for i in 0..rows {
+            let mut ids = Vec::new();
+            serial.intern_value(c(i));
+            serial.intern_value(if i % 7 == 0 {
+                n(dense_count(i as usize))
+            } else {
+                c(i + 1)
+            });
+            ids.push(serial.lookup_value(c(i)).unwrap());
+            ids.push(
+                serial
+                    .lookup_value(if i % 7 == 0 {
+                        n(dense_count(i as usize))
+                    } else {
+                        c(i + 1)
+                    })
+                    .unwrap(),
+            );
+            serial.append_ids(r, &ids);
+        }
+        let sid = serial.intern_value(c(9999));
+        serial.append_ids(sx, &[sid]);
+        assert_eq!(bulk.n_facts(), serial.n_facts());
+        assert_eq!(bulk.n_live(), serial.n_live());
+        assert_eq!(
+            bulk.to_bytes(),
+            serial.to_bytes(),
+            "bulk == serial, byte-identical"
+        );
+        // Dedup maps rebuild lazily and see the bulk rows.
+        assert_eq!(bulk.insert(r, &[c(0), n(0)]), None);
     }
 
     #[test]

@@ -320,6 +320,22 @@ impl<'a> SnapshotView<'a> {
         rd_u32(self.buf, advance(e.cols_off, in_page)?)
     }
 
+    /// The raw little-endian byte page of column `c` of relation `r` —
+    /// `n_rows × 4` bytes, padding excluded. The bulk-decode path of
+    /// [`FactStore::from_bytes`] reads whole pages through this instead
+    /// of one [`Self::col_id`] offset computation per row.
+    pub fn col_page(&self, r: u32, c: usize) -> Result<&'a [u8], SnapshotError> {
+        let e = self.rel(r)?;
+        if c >= e.arity {
+            return Err(SnapshotError::Corrupt("column access out of range"));
+        }
+        let data = size_mul(e.n_rows as usize, 4)?;
+        let page = pad8(data);
+        let start = advance(e.cols_off, size_mul(c, page)?)?;
+        let end = advance(start, data)?;
+        self.buf.get(start..end).ok_or(SnapshotError::Truncated)
+    }
+
     fn check_pad(&self, start: usize, end: usize) -> Result<(), SnapshotError> {
         let bytes = self.buf.get(start..end).ok_or(SnapshotError::Truncated)?;
         if bytes.iter().any(|&b| b != 0) {
@@ -448,9 +464,16 @@ impl FactStore {
             let arity = view.rel_arity(r)?;
             let mut cols = Vec::with_capacity(arity);
             for c in 0..arity {
+                // Bulk decode: one bounds check for the whole page, then
+                // a straight chunked LE decode (the per-row `col_id`
+                // offset arithmetic was the snapshot-load hot spot).
+                let page = view.col_page(r, c)?;
                 let mut col = Vec::with_capacity(n_rows as usize);
-                for row in 0..n_rows {
-                    let id = view.col_id(r, c, row)?;
+                for chunk in page.chunks_exact(4) {
+                    let id = u32::from_le_bytes(match chunk.try_into() {
+                        Ok(bytes) => bytes,
+                        Err(_) => unreachable!("chunks_exact(4) yields 4-byte chunks"),
+                    });
                     let ok = if id_is_null(id) {
                         null_index(id) < view.n_nulls()
                     } else {

@@ -26,7 +26,11 @@
 //!   only the facts that mention a merged null, via a null-occurrence
 //!   index — never the whole instance;
 //! * the match phase runs in parallel over the round's (rule, pinned
-//!   plan) tasks ([`sweep::parallel_map`], under `CA_EVAL_THREADS`), and
+//!   plan) tasks ([`sweep::parallel_map`], under `CA_EVAL_THREADS`, with
+//!   an explicit `CA_PART_THREADS` width winning); large seed lists are
+//!   hash-partitioned on the pinned atom's leading bound column
+//!   (`ca_core::store::partition`) so rows sharing a join key stay on
+//!   one worker, and
 //!   firing applies the collected triggers in (rule index, frontier
 //!   valuation) order — lowest trigger wins — with fresh existential
 //!   nulls drawn in that same order, so the chased instance is
@@ -48,7 +52,7 @@ use ca_cert::{
     CertAtom, CertEgd, CertFact, CertRule, CertTerm, ChaseCert, ChaseCertOutcome, ChaseStep,
 };
 use ca_core::fxhash::{FxHashMap, FxHashSet};
-use ca_core::store::{FactId, FactStore};
+use ca_core::store::{partition, FactId, FactStore};
 use ca_core::symbol::Symbol;
 use ca_core::value::{Null, NullGen, Value};
 use ca_gdm::database::GenDb;
@@ -815,10 +819,13 @@ fn seeds_by_rel(schema: &Schema, store: &FactStore, seed: &[FactId]) -> Vec<Vec<
 const PAR_MIN_SEED: usize = 512;
 
 fn effective_threads(threads: usize, total_seed: usize) -> usize {
-    // A width beyond the physical cores is pure spawn-and-contend
-    // overhead (results are byte-identical at every width, so this is
-    // invisible except in wall time).
-    let threads = threads.min(ca_core::config::available_parallelism_or(1));
+    // An explicit `CA_PART_THREADS` width overrides the config width;
+    // either way the request is honored **verbatim**, exactly like the
+    // partitioned join in `ca_query::engine::par` — the partition
+    // determinism suite pins byte-identical results at widths wider than
+    // the host, so a width beyond the physical cores costs only wall
+    // time, never correctness.
+    let threads = ca_core::config::part_threads_set().unwrap_or(threads);
     if threads <= 1 || total_seed < PAR_MIN_SEED {
         1
     } else {
@@ -827,33 +834,52 @@ fn effective_threads(threads: usize, total_seed: usize) -> usize {
 }
 
 /// A unit of match work: one `(rule-or-egd index, pinned-plan index)`
-/// pair restricted to `seed[lo..hi]` of the pinned relation's seed list.
-/// Seeds are chunked so a round with few (rule, pin) pairs but a large
-/// delta still spreads across the thread pool, and each chunk dedups its
-/// own output so workers share the set-building cost too.
+/// pair restricted to an owned list of the pinned relation's seed rows.
+/// Large seed lists are **hash-partitioned** on the pinned atom's first
+/// bound column (`ca_core::store::partition`) so delta rows sharing a
+/// join key stay on one worker and each worker's probe working set is a
+/// fraction of the posting tables; each task dedups its own output so
+/// workers share the set-building cost too.
 struct MatchTask {
     rule: usize,
     pin: usize,
-    lo: usize,
-    hi: usize,
+    rows: Vec<u32>,
 }
 
-/// Split every nonempty (rule, pin) seed list into chunks of at least
-/// `PAR_MIN_SEED / 2` seeds, aiming for a few chunks per thread.
-fn chunk_tasks(plan_seeds: &[(usize, usize, usize)], threads: usize) -> Vec<MatchTask> {
-    let total: usize = plan_seeds.iter().map(|&(_, _, n)| n).sum();
-    let chunk = if threads <= 1 {
-        usize::MAX
-    } else {
-        (total.div_ceil(threads * 4)).max(PAR_MIN_SEED / 2)
-    };
+/// Build the round's match tasks: every nonempty (rule, pin) seed list
+/// becomes one task when small (or `threads <= 1`), else `threads`
+/// hash partitions — keyed by the pinned plan's leading bound column via
+/// `key_col`, falling back to row-id partitioning for plans that bind
+/// nothing. Partitions are deterministic in the store contents
+/// (seed-independent of the worker count only in *which rows group
+/// together*, and the per-rule merges are order-insensitive sets), so
+/// results stay byte-identical at every width.
+fn partition_tasks(
+    store: &FactStore,
+    seeds: &[Vec<u32>],
+    plan_seeds: &[(usize, usize, Symbol)],
+    key_col: impl Fn(usize, usize) -> Option<usize>,
+    threads: usize,
+) -> Vec<MatchTask> {
     let mut tasks = Vec::new();
-    for &(rule, pin, n) in plan_seeds {
-        let mut lo = 0;
-        while lo < n {
-            let hi = (lo + chunk).min(n);
-            tasks.push(MatchTask { rule, pin, lo, hi });
-            lo = hi;
+    for &(rule, pin, rel) in plan_seeds {
+        let rows = &seeds[rel.index()];
+        if threads <= 1 || rows.len() < PAR_MIN_SEED {
+            tasks.push(MatchTask {
+                rule,
+                pin,
+                rows: rows.clone(),
+            });
+            continue;
+        }
+        let parts = match key_col(rule, pin).and_then(|pos| store.table(rel).cols().get(pos)) {
+            Some(col) => partition::partition_rows(col, rows, threads),
+            None => partition::partition_ids(rows, threads),
+        };
+        for rows in parts {
+            if !rows.is_empty() {
+                tasks.push(MatchTask { rule, pin, rows });
+            }
         }
     }
     tasks
@@ -879,53 +905,53 @@ fn egd_matches(
         })
         .collect();
     let seeds = seeds_by_rel(schema, store, seed);
-    let mut plan_seeds: Vec<(usize, usize, usize)> = Vec::new();
+    let mut plan_seeds: Vec<(usize, usize, Symbol)> = Vec::new();
     let mut total_seed = 0usize;
     for (e, egd) in egds.iter().enumerate() {
         for (p, (rel, _)) in egd.plans.iter().enumerate() {
             let n = seeds[rel.index()].len();
             if n > 0 {
-                plan_seeds.push((e, p, n));
+                plan_seeds.push((e, p, *rel));
                 total_seed += n;
             }
         }
     }
     let threads = effective_threads(cfg.threads, total_seed);
-    let tasks = chunk_tasks(&plan_seeds, threads);
+    let tasks = partition_tasks(
+        store,
+        &seeds,
+        &plan_seeds,
+        |e, p| egds[e].plans[p].1.lead_bind_pos(),
+        threads,
+    );
     let limit = cfg.match_limit;
     let results: Vec<(BTreeSet<(Value, Value)>, bool)> =
         sweep::parallel_map(tasks.len(), threads, |t| {
             let MatchTask {
                 rule: e,
                 pin: p,
-                lo,
-                hi,
-            } = tasks[t];
-            let (rel, plan) = &egds[e].plans[p];
+                rows,
+            } = &tasks[t];
+            let (e, p) = (*e, *p);
+            let (_, plan) = &egds[e].plans[p];
             let mut set: BTreeSet<(Value, Value)> = BTreeSet::new();
             let mut over = false;
-            eval_seeded_into(
-                plan,
-                &prepared[e][p],
-                &idx,
-                &seeds[rel.index()][lo..hi],
-                &mut |row| {
-                    if let [a, b] = row {
-                        // Insert straight away (dedup is free for Copy
-                        // pairs); only a full set needs the existence
-                        // check to tell "duplicate" from "over budget".
-                        if set.len() == limit {
-                            if set.contains(&(*a, *b)) {
-                                return true;
-                            }
-                            over = true;
-                            return false;
+            eval_seeded_into(plan, &prepared[e][p], &idx, rows, &mut |row| {
+                if let [a, b] = row {
+                    // Insert straight away (dedup is free for Copy
+                    // pairs); only a full set needs the existence
+                    // check to tell "duplicate" from "over budget".
+                    if set.len() == limit {
+                        if set.contains(&(*a, *b)) {
+                            return true;
                         }
-                        set.insert((*a, *b));
+                        over = true;
+                        return false;
                     }
-                    true
-                },
-            );
+                    set.insert((*a, *b));
+                }
+                true
+            });
             (set, over)
         });
     let mut pairs = BTreeSet::new();
@@ -977,47 +1003,47 @@ fn tgd_matches(
         })
         .collect();
     let seeds = seeds_by_rel(schema, store, seed);
-    let mut plan_seeds: Vec<(usize, usize, usize)> = Vec::new();
+    let mut plan_seeds: Vec<(usize, usize, Symbol)> = Vec::new();
     let mut total_seed = 0usize;
     for (r, rule) in rules.iter().enumerate() {
         for (p, (rel, _)) in rule.plans.iter().enumerate() {
             let n = seeds[rel.index()].len();
             if n > 0 {
-                plan_seeds.push((r, p, n));
+                plan_seeds.push((r, p, *rel));
                 total_seed += n;
             }
         }
     }
     let threads = effective_threads(cfg.threads, total_seed);
-    let tasks = chunk_tasks(&plan_seeds, threads);
+    let tasks = partition_tasks(
+        store,
+        &seeds,
+        &plan_seeds,
+        |r, p| rules[r].plans[p].1.lead_bind_pos(),
+        threads,
+    );
     let limit = cfg.match_limit;
     let results: Vec<(TriggerSet, bool)> = sweep::parallel_map(tasks.len(), threads, |t| {
         let MatchTask {
             rule: r,
             pin: p,
-            lo,
-            hi,
-        } = tasks[t];
-        let (rel, plan) = &rules[r].plans[p];
+            rows,
+        } = &tasks[t];
+        let (r, p) = (*r, *p);
+        let (_, plan) = &rules[r].plans[p];
         let mut set: TriggerSet = BTreeSet::new();
         let mut over = false;
-        eval_seeded_into(
-            plan,
-            &prepared[r].0[p],
-            &idx,
-            &seeds[rel.index()][lo..hi],
-            &mut |row| {
-                if set.contains(row) {
-                    return true;
-                }
-                if set.len() == limit {
-                    over = true;
-                    return false;
-                }
-                set.insert(row.to_vec());
-                true
-            },
-        );
+        eval_seeded_into(plan, &prepared[r].0[p], &idx, rows, &mut |row| {
+            if set.contains(row) {
+                return true;
+            }
+            if set.len() == limit {
+                over = true;
+                return false;
+            }
+            set.insert(row.to_vec());
+            true
+        });
         (set, over)
     });
     for (t, (set, over)) in results.into_iter().enumerate() {

@@ -28,6 +28,7 @@
 //! mirroring the `ca_hom::csp` / `ca_hom::reference` kernel pattern.
 
 pub mod index;
+pub mod par;
 pub mod plan;
 pub mod sweep;
 
@@ -41,6 +42,7 @@ use ca_relational::schema::Schema;
 use crate::ast::{ConjunctiveQuery, UnionQuery};
 
 pub use index::DbIndex;
+pub use par::{eval_cq_partitioned, eval_ucq_partitioned, PART_MIN_ROWS};
 pub use plan::{CompiledCq, CompiledUcq, PlanError};
 pub use sweep::{eval_threads, CompletionSpace};
 
@@ -284,14 +286,14 @@ pub fn eval_seeded_into(
 }
 
 /// Evaluate a compiled UCQ on a prepared index: the union of the
-/// disjuncts' answer sets.
+/// disjuncts' answer sets. Each disjunct takes the partitioned path
+/// ([`par`]) when `CA_PART_THREADS` resolves above one and its leading
+/// relation is large enough — contents are identical either way, so the
+/// knob only moves wall time.
 pub fn eval_ucq_on(ucq: &CompiledUcq, idx: &mut DbIndex<'_>) -> BTreeSet<Vec<Value>> {
     let mut out = BTreeSet::new();
     for d in &ucq.disjuncts {
-        eval_cq_into(d, idx, &mut |row| {
-            out.insert(row.to_vec());
-            true
-        });
+        par::eval_cq_auto_into(d, idx, &mut out);
     }
     out
 }

@@ -1,0 +1,242 @@
+//! Morsel-driven partitioned CQ evaluation.
+//!
+//! The completion sweep parallelizes *across* completions, but each join
+//! itself ran single-threaded: on one large instance the engine used one
+//! core. This module splits a compiled plan's **leading atom** into
+//! disjoint row partitions (hash-partitioned on its first bound column
+//! via `ca_core::store::partition`, or on row ids when the atom binds
+//! nothing) and evaluates each partition as an independent seeded join
+//! ([`super::eval_seeded_into`]) on its own worker.
+//!
+//! Correctness is the partition layer's completeness property: the
+//! partitions disjointly cover the leading atom's live rows, and every
+//! answer of the unpartitioned join extends a match of the leading atom,
+//! so the per-partition answer sets union to exactly the unpartitioned
+//! answer set. The union is a set merge folded in **partition-index
+//! order** — commutative and duplicate-free — so the result is
+//! byte-identical at every worker count and under every scheduling, the
+//! same contract the sweep and the chase pin.
+//!
+//! The partitioned path engages automatically (see [`eval_cq_auto_into`])
+//! only when `CA_PART_THREADS` resolves above one **and** the leading
+//! relation has at least [`PART_MIN_ROWS`] live rows: below that,
+//! spawning costs more than the join. Boolean evaluation never
+//! partitions — it early-exits on the first witness, which a fan-out
+//! would only delay.
+
+use std::collections::BTreeSet;
+
+use ca_core::config;
+use ca_core::store::partition::{partition_ids, partition_rows};
+use ca_core::value::Value;
+
+use super::{eval_cq_into, eval_seeded_into, prepare_cq, CompiledCq, DbIndex};
+
+/// Minimum live rows of the leading relation before the automatic path
+/// partitions: under this, fixed spawn/merge overhead dominates the join
+/// itself (a few thousand probes run in tens of microseconds).
+pub const PART_MIN_ROWS: usize = 4096;
+
+/// Evaluate a compiled CQ with its leading atom split into `parts`
+/// hash partitions on separate workers, inserting every head row into
+/// `out`. Result contents are identical to [`eval_cq_into`] for every
+/// `parts`, including `parts == 1`.
+pub fn eval_cq_partitioned_into(
+    cq: &CompiledCq,
+    idx: &mut DbIndex<'_>,
+    parts: usize,
+    out: &mut BTreeSet<Vec<Value>>,
+) {
+    let Some(lead) = cq.atoms.first() else {
+        // The empty conjunction has no atom to partition; its one
+        // (empty) row comes from the sequential path.
+        eval_cq_into(cq, idx, &mut |row| {
+            out.insert(row.to_vec());
+            true
+        });
+        return;
+    };
+    let parts = parts.max(1);
+    // Resolve posting tables while the index is still borrowed mutably;
+    // afterwards the workers share it immutably.
+    let prep = prepare_cq(cq, idx);
+    let rows = idx.rows(lead.rel);
+    // Partition on the first column the leading atom binds — rows
+    // sharing a join key land on one worker — else on row ids.
+    let partitions = match lead.binds.first() {
+        Some(&(pos, _)) => partition_rows(&idx.cols(lead.rel)[pos], rows, parts),
+        None => partition_ids(rows, parts),
+    };
+    let idx = &*idx;
+    let prep = &prep;
+    let sets: Vec<BTreeSet<Vec<Value>>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = partitions
+            .iter()
+            .map(|part| {
+                scope.spawn(move || {
+                    let mut local: BTreeSet<Vec<Value>> = BTreeSet::new();
+                    eval_seeded_into(cq, prep, idx, part, &mut |row| {
+                        local.insert(row.to_vec());
+                        true
+                    });
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(set) => set,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+    // Deterministic merge: fold the disjoint per-partition answer sets
+    // in partition-index order. Set union is order-insensitive, so the
+    // partition count can never leak into the result bytes.
+    sets.into_iter().fold(&mut *out, |acc, set| {
+        acc.extend(set);
+        acc
+    });
+}
+
+/// Partitioned evaluation into a fresh answer set. See
+/// [`eval_cq_partitioned_into`].
+pub fn eval_cq_partitioned(
+    cq: &CompiledCq,
+    idx: &mut DbIndex<'_>,
+    parts: usize,
+) -> BTreeSet<Vec<Value>> {
+    let mut out = BTreeSet::new();
+    eval_cq_partitioned_into(cq, idx, parts, &mut out);
+    out
+}
+
+/// Evaluate a compiled UCQ partitioned: the union of the disjuncts'
+/// partitioned answer sets. Identical contents to
+/// [`super::eval_ucq_on`] at every `parts`.
+pub fn eval_ucq_partitioned(
+    ucq: &super::CompiledUcq,
+    idx: &mut DbIndex<'_>,
+    parts: usize,
+) -> BTreeSet<Vec<Value>> {
+    let mut out = BTreeSet::new();
+    for d in &ucq.disjuncts {
+        eval_cq_partitioned_into(d, idx, parts, &mut out);
+    }
+    out
+}
+
+/// The automatic route every UCQ disjunct takes ([`super::eval_ucq_on`]):
+/// partition when `CA_PART_THREADS` resolves above one and the leading
+/// relation is at least [`PART_MIN_ROWS`] live rows, else run the
+/// sequential engine. Both arms produce identical contents, so the knob
+/// only moves wall time.
+pub(crate) fn eval_cq_auto_into(
+    cq: &CompiledCq,
+    idx: &mut DbIndex<'_>,
+    out: &mut BTreeSet<Vec<Value>>,
+) {
+    let parts = config::part_threads();
+    let big = cq
+        .atoms
+        .first()
+        .is_some_and(|a| idx.rows(a.rel).len() >= PART_MIN_ROWS);
+    if parts > 1 && big {
+        eval_cq_partitioned_into(cq, idx, parts, out);
+    } else {
+        eval_cq_into(cq, idx, &mut |row| {
+            out.insert(row.to_vec());
+            true
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Atom, ConjunctiveQuery, Term, UnionQuery};
+    use crate::engine::{compile_cq, compile_ucq, eval_ucq_on};
+    use ca_relational::database::build::{c, n};
+    use ca_relational::database::NaiveDatabase;
+    use Term::{Const as C, Var as V};
+
+    /// A two-relation instance big enough to exercise real partitioning.
+    fn chain_db(rows: i64) -> NaiveDatabase {
+        let schema = ca_relational::schema::Schema::from_relations(&[("R", 2), ("S", 2)]);
+        let mut db = NaiveDatabase::new(schema);
+        for i in 0..rows {
+            db.add("R", vec![c(i % 257), c((i * 31) % 257)]);
+            if i % 3 == 0 {
+                db.add("S", vec![c((i * 31) % 257), n((i % 11) as u32)]);
+            }
+        }
+        db
+    }
+
+    #[test]
+    fn partitioned_matches_sequential_at_every_width() {
+        let db = chain_db(600);
+        let q = ConjunctiveQuery::with_head(
+            vec![0, 2],
+            vec![
+                Atom::new("R", vec![V(0), V(1)]),
+                Atom::new("S", vec![V(1), V(2)]),
+            ],
+        );
+        let plan = compile_cq(&q, &db.schema).unwrap();
+        let seq = crate::engine::eval_cq(&q, &db).unwrap();
+        assert!(!seq.is_empty());
+        for parts in [1, 2, 4, 7] {
+            let mut idx = DbIndex::new(&db);
+            assert_eq!(
+                eval_cq_partitioned(&plan, &mut idx, parts),
+                seq,
+                "width {parts}"
+            );
+        }
+    }
+
+    #[test]
+    fn constant_only_and_empty_plans_partition_correctly() {
+        let db = chain_db(100);
+        // Leading atom binds nothing: all-constant atom → row-id fallback.
+        let q = ConjunctiveQuery::boolean(vec![Atom::new("R", vec![C(0), C(0)])]);
+        let plan = compile_cq(&q, &db.schema).unwrap();
+        let seq = crate::engine::eval_cq(&q, &db).unwrap();
+        for parts in [1, 3] {
+            let mut idx = DbIndex::new(&db);
+            assert_eq!(eval_cq_partitioned(&plan, &mut idx, parts), seq);
+        }
+        // Empty conjunction: the vacuous row survives partitioning.
+        let empty = compile_cq(&ConjunctiveQuery::boolean(vec![]), &db.schema).unwrap();
+        let mut idx = DbIndex::new(&db);
+        assert_eq!(
+            eval_cq_partitioned(&empty, &mut idx, 4),
+            BTreeSet::from([vec![]])
+        );
+    }
+
+    #[test]
+    fn ucq_partitioned_matches_eval_ucq_on() {
+        let db = chain_db(400);
+        let q = UnionQuery::new(vec![
+            ConjunctiveQuery::with_head(
+                vec![0, 2],
+                vec![
+                    Atom::new("R", vec![V(0), V(1)]),
+                    Atom::new("R", vec![V(1), V(2)]),
+                ],
+            ),
+            ConjunctiveQuery::with_head(vec![0, 0], vec![Atom::new("S", vec![C(2), V(0)])]),
+        ]);
+        let plan = compile_ucq(&q, &db.schema).unwrap();
+        let seq = eval_ucq_on(&plan, &mut DbIndex::new(&db));
+        for parts in [2, 5] {
+            assert_eq!(
+                eval_ucq_partitioned(&plan, &mut DbIndex::new(&db), parts),
+                seq
+            );
+        }
+    }
+}

@@ -23,13 +23,29 @@ pub fn to_store(db: &NaiveDatabase) -> FactStore {
         let reg = s.add_relation(db.schema.name(sym), db.schema.arity(sym));
         debug_assert_eq!(reg, sym, "store symbols mirror schema symbols");
     }
-    // Intern + append through one reused id buffer: this is the bulk
-    // path behind every `DbIndex::new`, so per-fact allocations matter.
+    // Facts are sorted, so each relation's tuples are one consecutive
+    // run: intern a whole run into one flat id buffer and bulk-append it
+    // with `extend_ids` (columns reserve once per run instead of growing
+    // per fact). This is the bulk path behind every `DbIndex::new`, so
+    // per-fact overhead matters; run-by-run appends assign the same fact
+    // ids as the per-fact path did.
     let mut ids: Vec<ValueId> = Vec::new();
+    let mut run_rel = None;
+    let mut run_len: u32 = 0;
     for f in db.facts() {
-        ids.clear();
+        if run_rel != Some(f.rel) {
+            if let Some(rel) = run_rel {
+                s.extend_ids(rel, run_len, &ids);
+            }
+            ids.clear();
+            run_rel = Some(f.rel);
+            run_len = 0;
+        }
         ids.extend(f.args.iter().map(|&v| s.intern_value(v)));
-        s.append_ids(f.rel, &ids);
+        run_len += 1;
+    }
+    if let Some(rel) = run_rel {
+        s.extend_ids(rel, run_len, &ids);
     }
     s
 }

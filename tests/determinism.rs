@@ -387,6 +387,160 @@ fn core_certificates_are_thread_width_independent() {
     }
 }
 
+/// The hash-partitioned join path: answers must be byte-identical (same
+/// tuples, same order) at every partition count — {1, 2, 4, 7} covers
+/// the degenerate, even, and prime-width cases, 7 exceeding any CI
+/// host's requested width — and across independently built stores. The
+/// partitioning is a disjoint order-preserving cover of the leading
+/// atom's rows and the merge is a `BTreeSet` union, so nothing physical
+/// may leak.
+#[test]
+fn partitioned_answers_are_partition_count_independent() {
+    use ca_query::engine::DbIndex;
+    use ca_relational::store_bridge::to_store;
+    let db0 = build_permuted(0);
+    let plan = engine::compile_ucq(&query(), &db0.schema).expect("query fits schema");
+    let store0 = to_store(&db0);
+    let baseline: Vec<Vec<Value>> = engine::eval_ucq_on(&plan, &mut DbIndex::over(&store0))
+        .into_iter()
+        .collect();
+    assert!(!baseline.is_empty(), "fixture query must have answers");
+    for rotation in 0..4 {
+        let store = to_store(&build_permuted(rotation));
+        for parts in [1usize, 2, 4, 7] {
+            let run: Vec<Vec<Value>> =
+                engine::eval_ucq_partitioned(&plan, &mut DbIndex::over(&store), parts)
+                    .into_iter()
+                    .collect();
+            assert_eq!(
+                baseline, run,
+                "partitioned answers diverged (rebuild #{rotation}, {parts} partitions)"
+            );
+        }
+    }
+}
+
+/// The chase's partitioned match phase: certificates byte-identical at
+/// widths {1, 2, 4, 7}. The fixture seeds 600 facts — past the
+/// `PAR_MIN_SEED = 512` gate — so widths > 1 genuinely hash-partition
+/// the seed lists into per-worker tasks (smaller fixtures would pass
+/// vacuously through the sequential path).
+#[test]
+fn chase_partition_tasks_are_width_independent() {
+    use ca_exchange::chase::{chase_certified, ChaseConfig};
+    use ca_exchange::mapping::Rule;
+    use ca_gdm::database::GenDb;
+    use ca_gdm::schema::GenSchema;
+
+    let schema = || GenSchema::from_parts(&[("T", 2), ("U", 1)], &[]);
+    let instance = |rotation: usize| {
+        let mut facts: Vec<Vec<Value>> = (0..600i64).map(|i| vec![c(i), c(i + 1)]).collect();
+        facts.push(vec![c(0), n(1)]);
+        facts.push(vec![n(1), c(7)]);
+        let mid = rotation % facts.len();
+        facts.rotate_left(mid);
+        let mut d = GenDb::new(schema());
+        for args in facts {
+            d.add_node("T", args);
+        }
+        d
+    };
+    // Projection rule T(x, y) → U(x): every T fact is a seed (600+ ≥
+    // PAR_MIN_SEED), one extra round, cheap deterministic closure.
+    let project = {
+        let mut body = GenDb::new(schema());
+        body.add_node("T", vec![n(90), n(91)]);
+        let mut head = GenDb::new(schema());
+        head.add_node("U", vec![n(90)]);
+        Rule { body, head }
+    };
+    let tgds = [project];
+    let baseline = {
+        let (_, cert) = chase_certified(
+            &instance(0),
+            &tgds,
+            &[],
+            &ChaseConfig::with_threads(10_000, 1),
+        );
+        cert.expect("engine certifies the fixture chase").to_bytes()
+    };
+    for rotation in 0..3 {
+        for threads in [1usize, 2, 4, 7] {
+            let cfg = ChaseConfig::with_threads(10_000, threads);
+            let (_, cert) = chase_certified(&instance(rotation), &tgds, &[], &cfg);
+            let run = cert.expect("engine certifies the fixture chase").to_bytes();
+            assert_eq!(
+                baseline, run,
+                "chase certificate bytes diverged (rebuild #{rotation}, width {threads})"
+            );
+        }
+    }
+}
+
+/// The streaming CSV loader: loaded stores byte-identical at every parse
+/// width, and malformed input surfaces the *same typed error at the same
+/// line* at every width — the reorder buffer applies batches in sequence
+/// order, so neither data nor diagnostics may depend on worker racing.
+#[test]
+fn csv_ingest_is_width_independent_and_errors_are_typed() {
+    use ca_core::store::ingest::{load_csv_bytes, IngestError};
+    use ca_core::store::FactStore;
+
+    let mut csv = String::from("# edge list\n");
+    for i in 0..40 {
+        csv.push_str(&format!("E,{},{}\nL,{},?{}\n", i, i + 1, i, i % 5));
+    }
+    let mut base = FactStore::new();
+    let loaded = load_csv_bytes(csv.as_bytes(), &mut base, 1).expect("clean csv loads");
+    assert_eq!(loaded, 80, "loader ingests every row");
+    let base_bytes = base.to_bytes();
+    for width in [2usize, 4, 7] {
+        let mut s = FactStore::new();
+        load_csv_bytes(csv.as_bytes(), &mut s, width).expect("clean csv loads");
+        assert_eq!(
+            s.to_bytes(),
+            base_bytes,
+            "loaded store diverged at parse width {width}"
+        );
+    }
+
+    // Truncated row: arity declared 2 by line 2, line 3 has 1 field.
+    let truncated = "# header\nE,1,2\nE,3\nE,4,5\n";
+    // Unparseable field on line 2.
+    let bad_value = "E,1,2\nE,x7,3\n";
+    // Line 2 is not UTF-8 (lone 0xFF inside the row).
+    let non_utf8: &[u8] = b"E,1,2\nE,\xff,3\n";
+    for width in [1usize, 2, 4, 7] {
+        let err = |bytes: &[u8]| {
+            let mut s = FactStore::new();
+            load_csv_bytes(bytes, &mut s, width).expect_err("malformed csv must not load")
+        };
+        assert_eq!(
+            err(truncated.as_bytes()),
+            IngestError::BadArity {
+                line: 3,
+                rel: "E".into(),
+                declared: 2,
+                got: 1
+            },
+            "truncated-row error diverged at width {width}"
+        );
+        assert_eq!(
+            err(bad_value.as_bytes()),
+            IngestError::BadValue {
+                line: 2,
+                token: "x7".into()
+            },
+            "bad-value error diverged at width {width}"
+        );
+        assert_eq!(
+            err(non_utf8),
+            IngestError::NonUtf8 { line: 2 },
+            "non-utf8 error diverged at width {width}"
+        );
+    }
+}
+
 /// Sanity for the proxy itself: permuted insertion is canonicalized
 /// away by the sorted fact store, so every rebuild is the *same*
 /// logical database — any divergence the tests above could observe
