@@ -80,13 +80,23 @@ pub fn hom_threads() -> usize {
     threads_from(HOM_THREADS_VAR, || available_parallelism_or(1).min(16))
 }
 
+/// Upper bound on the partitioned-execution width. Unlike the sweep and
+/// solver widths (which only size work chunks), the partition width is
+/// honored *verbatim* — one spawned worker and one answer buffer per
+/// partition — so a typo'd huge `CA_PART_THREADS` would otherwise abort
+/// on allocation or thread-spawn failure instead of degrading. The cap
+/// is far above any host width (determinism sweeps deliberately run
+/// wider than the machine) while keeping per-partition state bounded.
+pub const PART_THREADS_MAX: usize = 4096;
+
 /// Partitioned-join and bulk-ingest worker count: `CA_PART_THREADS`,
-/// else available parallelism. Consumed by the morsel-driven partition
-/// evaluator (`ca_query::engine::par`) and the streaming bulk loader
+/// else available parallelism, clamped to [`PART_THREADS_MAX`].
+/// Consumed by the morsel-driven partition evaluator
+/// (`ca_query::engine::par`) and the streaming bulk loader
 /// (`ca_core::store::ingest`); both are byte-identical at every width,
 /// so this knob only moves wall time.
 pub fn part_threads() -> usize {
-    threads_from(PART_THREADS_VAR, || available_parallelism_or(1))
+    threads_from(PART_THREADS_VAR, || available_parallelism_or(1)).min(PART_THREADS_MAX)
 }
 
 /// Like [`part_threads`], but `None` when `CA_PART_THREADS` is unset or
@@ -95,12 +105,13 @@ pub fn part_threads() -> usize {
 /// default width to the physical cores (oversubscription is pure
 /// overhead) but honors an explicit width verbatim, which is how the
 /// determinism suites pin byte-identical results at widths wider than
-/// the host.
+/// the host. Clamped to [`PART_THREADS_MAX`] like [`part_threads`].
 pub fn part_threads_set() -> Option<usize> {
     std::env::var(PART_THREADS_VAR)
         .ok()
         .as_deref()
         .and_then(parse_threads)
+        .map(|n| n.min(PART_THREADS_MAX))
 }
 
 #[cfg(test)]
@@ -151,5 +162,18 @@ mod tests {
     #[test]
     fn fallback_is_clamped_to_one() {
         assert_eq!(threads_from("CA_TEST_CFG_CLAMP", || 0), 1);
+    }
+
+    #[test]
+    fn part_width_is_capped_not_verbatim() {
+        // A typo'd huge width degrades to the cap instead of aborting on
+        // per-partition allocation; widths under the cap pass through.
+        std::env::set_var(PART_THREADS_VAR, "999999999999999999999999999999");
+        assert_eq!(part_threads(), PART_THREADS_MAX);
+        assert_eq!(part_threads_set(), Some(PART_THREADS_MAX));
+        std::env::set_var(PART_THREADS_VAR, "7");
+        assert_eq!(part_threads(), 7);
+        assert_eq!(part_threads_set(), Some(7));
+        std::env::remove_var(PART_THREADS_VAR);
     }
 }

@@ -346,12 +346,18 @@ pub fn load_csv(
             pending.insert(seq, parsed);
             while let Some(parsed) = pending.remove(&next_seq) {
                 next_seq += 1;
+                if failure.is_some() {
+                    // An earlier batch already failed: later in-order
+                    // batches are drained but never applied (the store
+                    // holds exactly the prefix before the error) and
+                    // never overwrite the earliest-line error.
+                    continue;
+                }
                 match parsed.and_then(|runs| apply_runs(store, &runs, &mut ids_scratch)) {
                     Ok(n) => counts.push(n),
                     Err(e) => {
                         failure = Some(e);
                         abort.store(true, std::sync::atomic::Ordering::Relaxed);
-                        pending.clear();
                     }
                 }
             }
@@ -542,6 +548,37 @@ S,?2
                     line: BATCH_LINES as u64 + 1,
                     token: "oops".into()
                 }
+            );
+        }
+    }
+
+    #[test]
+    fn error_in_first_batch_wins_and_freezes_the_prefix() {
+        // The adversarial schedule for the appender: batch 0 fails on its
+        // very first line, while batches 1 and 2 (batch 2 also malformed,
+        // on a later line) are already parsed and waiting in order. The
+        // appender must report line 1, not a later batch's error, and
+        // must not append any facts past the failure point — regardless
+        // of worker scheduling.
+        let mut csv = String::from("E,oops,1\n"); // line 1, batch 0
+        for i in 1..2 * BATCH_LINES as i64 {
+            csv.push_str(&format!("E,{i},{i}\n"));
+        }
+        csv.push_str("E,later\n"); // last line, also malformed
+        for threads in [1, 2, 4] {
+            let mut store = FactStore::new();
+            let err = load_csv_bytes(csv.as_bytes(), &mut store, threads).expect_err("bad value");
+            assert_eq!(
+                err,
+                IngestError::BadValue {
+                    line: 1,
+                    token: "oops".into()
+                }
+            );
+            assert_eq!(
+                store.n_facts(),
+                0,
+                "no batch at or after the failing one may be applied"
             );
         }
     }

@@ -317,7 +317,9 @@ pub fn eval_ucq(q: &UnionQuery, db: &NaiveDatabase) -> Result<BTreeSet<Vec<Value
     Ok(eval_ucq_on(&plan, &mut DbIndex::new(db)))
 }
 
-/// Compile and evaluate a CQ over a database (nulls as values).
+/// Compile and evaluate a CQ over a database (nulls as values). Takes
+/// the same automatic partitioned route as [`eval_ucq_on`] — the
+/// `CA_PART_THREADS` knob applies here too and only moves wall time.
 pub fn eval_cq(
     q: &ConjunctiveQuery,
     db: &NaiveDatabase,
@@ -325,10 +327,7 @@ pub fn eval_cq(
     let plan = compile_cq(q, &db.schema)?;
     let mut idx = DbIndex::new(db);
     let mut out = BTreeSet::new();
-    eval_cq_into(&plan, &mut idx, &mut |row| {
-        out.insert(row.to_vec());
-        true
-    });
+    par::eval_cq_auto_into(&plan, &mut idx, &mut out);
     Ok(out)
 }
 
