@@ -2,9 +2,9 @@
 //!
 //! Compares the retained nested-loop evaluator (`ca_query::reference`,
 //! the exact pre-engine code) against the compiled engine
-//! (`ca_query::engine`: join plans + lazy hash indices + parallel
-//! completion sweeps) on the workload shapes behind experiments E1, E2
-//! and E11:
+//! (`ca_query::engine`: cost-based join plans + lazy hash indices +
+//! parallel completion sweeps) on the workload shapes behind
+//! experiments E1, E2 and E11:
 //!
 //! * `e02_ucq_edge` — a single-atom projection `Q(x) ← R(x, y)`: one
 //!   relation scan for both evaluators, so this family deliberately
@@ -16,6 +16,11 @@
 //!   (`O(n^2)`-ish), the engine probes a hash index keyed on the join
 //!   column — this is where the naive-eval-limits sizes stop being
 //!   reachable for the old code;
+//! * `e02_ucq_skew` — a three-relation chain `Big ⋈ Mid ⋈ Tiny` with
+//!   cardinalities 8192 / n/4 / 32: the stats-blind greedy orderer sees
+//!   three indistinguishable unbound atoms and leads with `Big`; the
+//!   cost model leads with `Tiny` and probes inward. This family is
+//!   where cost-based planning pays, not just matches;
 //! * `certain_sweep` — brute-force certain answers as the null count
 //!   grows (the `|pool|^#nulls` grid of E1): the reference side
 //!   materializes every completion up front and intersects reference
@@ -25,25 +30,36 @@
 //!   ϕ₀ instances: sequential grounded-image enumeration vs the
 //!   parallelized grounding sweep in `ca_gdm::certain`.
 //!
-//! Each case runs the reference path, the engine sequentially
-//! (`threads = 1`) and the engine with the parallel sweep configuration,
-//! asserts the answers agree, and reports wall time per repetition.
-//! Results go to stdout as a table and to `BENCH_query.json`.
+//! Each case runs the reference path, the engine with the **greedy**
+//! plan, the engine with the **cost-based** plan (`seq`), and the
+//! engine through the gated parallel entry (`par`,
+//! [`engine::eval_ucq_gated`]: requested width clamped to the host
+//! cores, partitioning only where the cost model prices the join above
+//! the spawn overhead). Identical greedy and cost plans share one
+//! measurement — re-timing byte-identical plans only adds noise. The
+//! `plan_cold_ns`/`plan_warm_ns` columns time plan *acquisition*: a
+//! cold statistics-read + compile versus a [`PlanCache`] hit at the
+//! same store revision. All answers are asserted equal across paths
+//! before anything is timed. Results go to stdout as a table and to
+//! `BENCH_query.json`; `--quick` additionally gates on the optimizer
+//! invariants (cost ≥ greedy on the chains, warm plan ≤ 10% of cold).
 
 use std::collections::BTreeSet;
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use ca_bench::report::Report;
+use ca_core::store::FactStore;
 use ca_core::value::Value;
 use ca_gdm::certain as gdm_certain;
 use ca_query::certain::{adequate_pool, ucq_constants};
-use ca_query::engine::{self, CompiledUcq, DbIndex};
+use ca_query::engine::{self, CompiledUcq, CostModel, DbIndex, PlanCache};
 use ca_query::reference;
 use ca_query::{Atom, ConjunctiveQuery, Term, UnionQuery};
 use ca_relational::database::NaiveDatabase;
 use ca_relational::generate::Rng;
 use ca_relational::schema::Schema;
+use ca_relational::to_store;
 use Term::Var as V;
 
 /// A sparse random edge relation: `n` facts `R(a, b)` with endpoints
@@ -76,6 +92,46 @@ fn chain_query(k: u32) -> UnionQuery {
     UnionQuery::single(ConjunctiveQuery::with_head(vec![0], atoms))
 }
 
+/// The skew-join instance: `Big(x, y)` with `n` rows, `Mid(y, z)` with
+/// `n/4`, `Tiny(z, w)` with 32, domains wired so the chain
+/// `Big ⋈y Mid ⋈z Tiny` narrows sharply from the `Tiny` end. All
+/// constants: the point is join ordering, not null semantics.
+fn skew_db(rng: &mut Rng, n: usize) -> NaiveDatabase {
+    let schema = Schema::from_relations(&[("Big", 2), ("Mid", 2), ("Tiny", 2)]);
+    let mut db = NaiveDatabase::new(schema);
+    let x_dom = (n / 4).max(4) as u64;
+    let y_dom = (n / 8).max(4) as u64;
+    let z_dom = (n / 16).max(4) as u64;
+    for _ in 0..n {
+        let x = rng.below(x_dom) as i64;
+        let y = rng.below(y_dom) as i64;
+        db.add("Big", vec![Value::Const(x), Value::Const(y)]);
+    }
+    for _ in 0..n / 4 {
+        let y = rng.below(y_dom) as i64;
+        let z = rng.below(z_dom) as i64;
+        db.add("Mid", vec![Value::Const(y), Value::Const(z)]);
+    }
+    for _ in 0..32 {
+        let z = rng.below(z_dom) as i64;
+        let w = rng.below(16) as i64;
+        db.add("Tiny", vec![Value::Const(z), Value::Const(w)]);
+    }
+    db
+}
+
+/// `Q(x) ← Big(x, y) ∧ Mid(y, z) ∧ Tiny(z, w)`.
+fn skew_query() -> UnionQuery {
+    UnionQuery::single(ConjunctiveQuery::with_head(
+        vec![0],
+        vec![
+            Atom::new("Big", vec![V(0), V(1)]),
+            Atom::new("Mid", vec![V(1), V(2)]),
+            Atom::new("Tiny", vec![V(2), V(3)]),
+        ],
+    ))
+}
+
 /// A small database with `k` shared nulls for the completion sweep.
 fn sweep_db(rng: &mut Rng, k: u32) -> NaiveDatabase {
     let schema = Schema::from_relations(&[("R", 2)]);
@@ -96,12 +152,58 @@ fn sweep_db(rng: &mut Rng, k: u32) -> NaiveDatabase {
     db
 }
 
+/// Best-of-three average: the minimum over trials filters scheduler
+/// interference, which on a small shared host can distort a single
+/// sample by 30%+ — enough to flip a near-tie plan comparison.
 fn time_reps(reps: u32, mut f: impl FnMut()) -> u128 {
+    let mut best = u128::MAX;
+    for _ in 0..3 {
+        let start = Instant::now();
+        for _ in 0..reps {
+            f();
+        }
+        best = best.min(start.elapsed().as_micros() / u128::from(reps));
+    }
+    best.max(1)
+}
+
+/// Nanosecond-resolution timing for the plan-acquisition columns — a
+/// cache hit is far below the microsecond floor of [`time_reps`].
+fn time_reps_ns(reps: u32, mut f: impl FnMut()) -> u128 {
     let start = Instant::now();
     for _ in 0..reps {
         f();
     }
-    (start.elapsed().as_micros() / u128::from(reps)).max(1)
+    (start.elapsed().as_nanos() / u128::from(reps)).max(1)
+}
+
+/// The optimizer-facing measurements of one join-family case.
+struct OptCols {
+    /// Engine wall time with the stats-blind greedy plan.
+    greedy_us: u128,
+    /// Cold plan acquisition: a [`PlanCache`] miss — read statistics,
+    /// compile cost-based, install the entry.
+    plan_cold_ns: u128,
+    /// Warm plan acquisition: a [`PlanCache`] hit at the same revision.
+    plan_warm_ns: u128,
+}
+
+/// Time cold vs warm plan acquisition for `q` over `st`. Both sides go
+/// through the cache so the comparison is symmetric: cold is the miss
+/// path (statistics read, cost-based compile, entry install — what an
+/// invalidated revision pays), warm is a hit at the same revision.
+fn plan_times(q: &UnionQuery, schema: &Schema, st: &FactStore) -> (u128, u128) {
+    let reps = 2000;
+    let cold = time_reps_ns(reps, || {
+        let mut cache = PlanCache::new();
+        std::hint::black_box(cache.get_or_compile(q, schema, st).unwrap());
+    });
+    let mut cache = PlanCache::new();
+    cache.get_or_compile(q, schema, st).unwrap();
+    let warm = time_reps_ns(reps, || {
+        std::hint::black_box(cache.get_or_compile(q, schema, st).unwrap());
+    });
+    (cold, warm)
 }
 
 /// The legacy brute-force certain table: materialize all completions up
@@ -132,12 +234,117 @@ struct Row {
     seq_us: u128,
     par_us: u128,
     answers: usize,
+    opt: Option<OptCols>,
 }
 
-/// The partition width the join families' `par` column runs at: wide
-/// enough to show scaling on multi-core hosts, honest parity on fewer
-/// cores (the JSON footer records `host_cores` so readers can tell).
+/// The partition width the join families' `par` column *requests*: the
+/// gated entry clamps it to the host cores (unless `CA_PART_THREADS`
+/// forces a width), so a one-core host honestly measures parity instead
+/// of coordination overhead. The JSON footer records both numbers.
 const PART_WIDTH: usize = 4;
+
+/// One join-family case: assert agreement, then time reference, greedy
+/// plan, cost-based plan and the gated parallel entry. When greedy and
+/// cost-based compilation produce the same plan, the sequential
+/// measurement is shared — identical plans execute identically, and
+/// re-timing them would only report noise as a planner effect.
+#[allow(clippy::too_many_arguments)]
+fn join_case(
+    family: &'static str,
+    case: String,
+    q: &UnionQuery,
+    db: &NaiveDatabase,
+    reps: u32,
+    quick: bool,
+    assert_cost_wins: bool,
+    assert_cache: bool,
+    rows: &mut Vec<Row>,
+) {
+    let st = to_store(db);
+    let model = CostModel::from_store(&st);
+    let plan_greedy = CompiledUcq::compile(q, &db.schema).unwrap();
+    let plan_cost = CompiledUcq::compile_costed(q, &db.schema, &model).unwrap();
+    let same_plan = format!("{plan_greedy:?}") == format!("{plan_cost:?}");
+
+    let expected = reference::eval_ucq(q, db);
+    let got = engine::eval_ucq_on(&plan_cost, &mut DbIndex::new(db));
+    assert_eq!(expected, got, "{family} cost-plan disagreement");
+    assert_eq!(
+        expected,
+        engine::eval_ucq_on(&plan_greedy, &mut DbIndex::new(db)),
+        "{family} greedy-plan disagreement"
+    );
+    let par_got = engine::eval_ucq_gated(&plan_cost, &mut DbIndex::new(db), PART_WIDTH);
+    assert_eq!(expected, par_got, "{family} gated-parallel disagreement");
+
+    let ref_us = time_reps(reps, || {
+        std::hint::black_box(reference::eval_ucq(q, db));
+    });
+    let seq_us = time_reps(reps, || {
+        std::hint::black_box(engine::eval_ucq_on(&plan_cost, &mut DbIndex::new(db)));
+    });
+    let greedy_us = if same_plan {
+        seq_us
+    } else {
+        time_reps(reps, || {
+            std::hint::black_box(engine::eval_ucq_on(&plan_greedy, &mut DbIndex::new(db)));
+        })
+    };
+    // When the gate clamps the width to one, the "par" entry runs the
+    // identical sequential kernel — share the measurement so the column
+    // reports parity exactly instead of timer noise.
+    let effective = ca_core::config::part_threads_set()
+        .unwrap_or_else(|| PART_WIDTH.min(ca_core::config::available_parallelism_or(1)))
+        .max(1);
+    let par_us = if effective == 1 {
+        seq_us
+    } else {
+        time_reps(reps, || {
+            std::hint::black_box(engine::eval_ucq_gated(
+                &plan_cost,
+                &mut DbIndex::new(db),
+                PART_WIDTH,
+            ));
+        })
+    };
+    let (plan_cold_ns, plan_warm_ns) = plan_times(q, &db.schema, &st);
+    if quick {
+        if assert_cost_wins {
+            assert!(
+                seq_us <= greedy_us,
+                "{family} {case}: cost-based plan slower than greedy ({seq_us}us > {greedy_us}us)"
+            );
+        }
+        // A single-atom compile is a few hundred nanoseconds of fixed
+        // cost, so the 10% bound is only meaningful where compilation
+        // has actual ordering work (the multi-atom families).
+        if assert_cache {
+            assert!(
+                plan_warm_ns * 10 <= plan_cold_ns,
+                "{family} {case}: cache hit not <= 10% of cold compile \
+                 ({plan_warm_ns}ns vs {plan_cold_ns}ns)"
+            );
+        }
+    }
+    eprintln!(
+        "[query_bench] {family} {case}: ref {ref_us}us, greedy {greedy_us}us, \
+         cost {seq_us}us, par {par_us}us, plan {plan_cold_ns}ns cold / {plan_warm_ns}ns warm"
+    );
+    rows.push(Row {
+        family,
+        case,
+        mode: "table",
+        ref_us,
+        seq_us,
+        par_us,
+        answers: got.len(),
+        opt: Some(OptCols {
+            greedy_us,
+            plan_cold_ns,
+            plan_warm_ns,
+        }),
+    });
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -150,37 +357,17 @@ fn main() {
     let edge_sizes: &[usize] = if quick { &[1024] } else { &[1024, 8192] };
     for &n in edge_sizes {
         let db = edge_db(&mut rng, n);
-        let q = chain_query(1);
-        let reps = 30;
-        let expected = reference::eval_ucq(&q, &db);
-        let got = engine::eval_ucq(&q, &db).unwrap();
-        assert_eq!(expected, got, "edge family disagreement");
-        let ref_us = time_reps(reps, || {
-            std::hint::black_box(reference::eval_ucq(&q, &db));
-        });
-        let plan = CompiledUcq::compile(&q, &db.schema).unwrap();
-        let seq_us = time_reps(reps, || {
-            std::hint::black_box(engine::eval_ucq_on(&plan, &mut DbIndex::new(&db)));
-        });
-        let par_got = engine::eval_ucq_partitioned(&plan, &mut DbIndex::new(&db), PART_WIDTH);
-        assert_eq!(expected, par_got, "edge partitioned disagreement");
-        let par_us = time_reps(reps, || {
-            std::hint::black_box(engine::eval_ucq_partitioned(
-                &plan,
-                &mut DbIndex::new(&db),
-                PART_WIDTH,
-            ));
-        });
-        rows.push(Row {
-            family: "e02_ucq_edge",
-            case: format!("n={n}"),
-            mode: "table",
-            ref_us,
-            seq_us,
-            par_us,
-            answers: got.len(),
-        });
-        eprintln!("[query_bench] e02_ucq_edge n={n}: ref {ref_us}us, engine {seq_us}us");
+        join_case(
+            "e02_ucq_edge",
+            format!("n={n}"),
+            &chain_query(1),
+            &db,
+            30,
+            quick,
+            false,
+            false,
+            &mut rows,
+        );
     }
 
     // --- e02_ucq_chain2 / chain3: indexed joins vs nested rescans ---
@@ -188,41 +375,37 @@ fn main() {
         let sizes: &[usize] = if quick { &[512] } else { &[1024, 4096, 8192] };
         for &n in sizes {
             let db = edge_db(&mut rng, n);
-            let q = chain_query(k);
             let reps = if n >= 4096 { 1 } else { 3 };
-            let expected = reference::eval_ucq(&q, &db);
-            let got = engine::eval_ucq(&q, &db).unwrap();
-            assert_eq!(expected, got, "chain{k} family disagreement");
-            let ref_us = time_reps(reps, || {
-                std::hint::black_box(reference::eval_ucq(&q, &db));
-            });
-            let plan = CompiledUcq::compile(&q, &db.schema).unwrap();
-            let seq_us = time_reps(reps, || {
-                std::hint::black_box(engine::eval_ucq_on(&plan, &mut DbIndex::new(&db)));
-            });
-            let par_got = engine::eval_ucq_partitioned(&plan, &mut DbIndex::new(&db), PART_WIDTH);
-            assert_eq!(expected, par_got, "chain{k} partitioned disagreement");
-            let par_us = time_reps(reps, || {
-                std::hint::black_box(engine::eval_ucq_partitioned(
-                    &plan,
-                    &mut DbIndex::new(&db),
-                    PART_WIDTH,
-                ));
-            });
-            rows.push(Row {
+            join_case(
                 family,
-                case: format!("n={n}"),
-                mode: "table",
-                ref_us,
-                seq_us,
-                par_us,
-                answers: got.len(),
-            });
-            eprintln!(
-                "[query_bench] {family} n={n}: ref {ref_us}us, engine {seq_us}us ({:.1}x)",
-                ref_us as f64 / seq_us as f64
+                format!("n={n}"),
+                &chain_query(k),
+                &db,
+                reps,
+                quick,
+                true,
+                true,
+                &mut rows,
             );
         }
+    }
+
+    // --- e02_ucq_skew: where the cost model beats greedy ordering ---
+    let skew_sizes: &[usize] = if quick { &[1024] } else { &[4096, 8192] };
+    for &n in skew_sizes {
+        let db = skew_db(&mut rng, n);
+        let reps = if n >= 4096 { 1 } else { 3 };
+        join_case(
+            "e02_ucq_skew",
+            format!("n={n}"),
+            &skew_query(),
+            &db,
+            reps,
+            quick,
+            false,
+            true,
+            &mut rows,
+        );
     }
 
     // --- certain_sweep: the |pool|^#nulls completion grid of E1 ---
@@ -230,7 +413,11 @@ fn main() {
     for &k in null_counts {
         let db = sweep_db(&mut rng, k);
         let q = chain_query(2);
-        let plan = CompiledUcq::compile(&q, &db.schema).unwrap();
+        let st = to_store(&db);
+        let model = CostModel::from_store(&st);
+        let plan_greedy = CompiledUcq::compile(&q, &db.schema).unwrap();
+        let plan = CompiledUcq::compile_costed(&q, &db.schema, &model).unwrap();
+        let same_plan = format!("{plan_greedy:?}") == format!("{plan:?}");
         let pool = adequate_pool(&db, &ucq_constants(&q));
         let expected = legacy_certain_table(&q, &db);
         let got = engine::certain_table_over(&plan, &db, &pool, 1);
@@ -242,9 +429,17 @@ fn main() {
         let seq_us = time_reps(reps, || {
             std::hint::black_box(engine::certain_table_over(&plan, &db, &pool, 1));
         });
+        let greedy_us = if same_plan {
+            seq_us
+        } else {
+            time_reps(reps, || {
+                std::hint::black_box(engine::certain_table_over(&plan_greedy, &db, &pool, 1));
+            })
+        };
         let par_us = time_reps(reps, || {
             std::hint::black_box(engine::certain_table_over(&plan, &db, &pool, par_threads));
         });
+        let (plan_cold_ns, plan_warm_ns) = plan_times(&q, &db.schema, &st);
         rows.push(Row {
             family: "certain_sweep",
             case: format!("nulls={k},pool={}", pool.len()),
@@ -253,6 +448,11 @@ fn main() {
             seq_us,
             par_us,
             answers: got.len(),
+            opt: Some(OptCols {
+                greedy_us,
+                plan_cold_ns,
+                plan_warm_ns,
+            }),
         });
         eprintln!(
             "[query_bench] certain_sweep k={k}: ref {ref_us}us, seq {seq_us}us, par {par_us}us"
@@ -312,6 +512,7 @@ fn main() {
             seq_us: ref_us, // the sequential path IS the reference here
             par_us,
             answers: usize::from(expected),
+            opt: None,
         });
         eprintln!("[query_bench] e11_gdm_images {name}: seq {ref_us}us, par {par_us}us");
     }
@@ -323,10 +524,14 @@ fn main() {
             "case",
             "mode",
             "ref_us",
+            "greedy_us",
             "seq_us",
             "par_us",
             "speedup",
             "par_speedup",
+            "cost_vs_greedy",
+            "plan_cold_ns",
+            "plan_warm_ns",
             "answers",
         ],
     );
@@ -339,10 +544,22 @@ fn main() {
             r.case.clone(),
             r.mode.into(),
             r.ref_us.to_string(),
+            r.opt
+                .as_ref()
+                .map_or("-".into(), |o| o.greedy_us.to_string()),
             r.seq_us.to_string(),
             r.par_us.to_string(),
             format!("{speedup:.1}x"),
             format!("{par_speedup:.1}x"),
+            r.opt.as_ref().map_or("-".into(), |o| {
+                format!("{:.1}x", o.greedy_us as f64 / r.seq_us as f64)
+            }),
+            r.opt
+                .as_ref()
+                .map_or("-".into(), |o| o.plan_cold_ns.to_string()),
+            r.opt
+                .as_ref()
+                .map_or("-".into(), |o| o.plan_warm_ns.to_string()),
             r.answers.to_string(),
         ]);
         let mut row = String::new();
@@ -350,22 +567,40 @@ fn main() {
             row,
             "    {{\"family\": \"{}\", \"case\": \"{}\", \"mode\": \"{}\", \
              \"ref_wall_us\": {}, \"new_seq_wall_us\": {}, \"new_par_wall_us\": {}, \
-             \"speedup_seq\": {:.2}, \"speedup_par\": {:.2}, \"answers\": {}}}",
+             \"speedup_seq\": {:.2}, \"speedup_par\": {:.2}, \"answers\": {}",
             r.family, r.case, r.mode, r.ref_us, r.seq_us, r.par_us, speedup, par_speedup, r.answers
         );
+        if let Some(o) = &r.opt {
+            let _ = write!(
+                row,
+                ", \"greedy_wall_us\": {}, \"speedup_cost_vs_greedy\": {:.2}, \
+                 \"plan_cold_ns\": {}, \"plan_warm_ns\": {}",
+                o.greedy_us,
+                o.greedy_us as f64 / r.seq_us as f64,
+                o.plan_cold_ns,
+                o.plan_warm_ns
+            );
+        }
+        row.push('}');
         json_rows.push(row);
     }
-    report.note("ref = pre-engine nested-loop evaluator (ca_query::reference); seq = compiled engine, threads=1; par = partitioned join (join families, width 4) or parallel sweep (certain families)");
-    report.note("e02_ucq_edge measures fixed costs (single scan both sides) — near-parity is the honest expectation; the chain joins are where indexing pays");
+    report.note("ref = pre-engine nested-loop evaluator (ca_query::reference); greedy = engine with the stats-blind greedy plan; seq = engine with the cost-based plan, threads=1; par = gated partitioned join (requested width 4, clamped to host cores, cost-gated) or parallel sweep (certain families)");
+    report.note("cost_vs_greedy = greedy_us/seq_us; identical plans share one measurement, so 1.0x there is exact, not noise");
+    report.note("plan_cold_ns = statistics read + cost-based compile; plan_warm_ns = PlanCache hit at the same store revision");
+    report.note("e02_ucq_edge measures fixed costs (single scan both sides) — near-parity is the honest expectation; the chain joins are where indexing pays and e02_ucq_skew is where cost-based ordering pays");
     report.note("answers = result rows (table mode) / certainty bit (bool mode); every case asserts reference and engine agree before timing");
     println!("{report}");
 
     // Thread accounting: `host_cores` is the physical budget; the
-    // requested widths are what the bench asked for; effective widths are
-    // what actually ran (partitioned joins spawn exactly the requested
-    // partition count; the certain-answer sweep caps at the completion
-    // count but not at host cores). par == seq on a 1-core host is
-    // parity, not regression — the footer makes that attributable.
+    // requested widths are what the bench asked for; effective widths
+    // are what actually ran — the gated join entry clamps the request
+    // to the host cores unless `CA_PART_THREADS` forces a width (the
+    // certain-answer sweep caps at the completion count but not at host
+    // cores). par == seq on a 1-core host is parity, not regression —
+    // the footer makes that attributable.
+    let join_effective = ca_core::config::part_threads_set()
+        .unwrap_or_else(|| PART_WIDTH.min(ca_core::config::available_parallelism_or(1)))
+        .max(1);
     let json = format!(
         "{{\n  \"bench\": \"query_bench\",\n  \"git_rev\": \"{}\",\n  \"host_cores\": {},\n  \"threads_default\": {},\n  \"threads_requested\": {{\"join_par\": {}, \"certain_par\": {}}},\n  \"threads_effective\": {{\"join_par\": {}, \"certain_par\": {}}},\n  \"results\": [\n{}\n  ]\n}}\n",
         ca_bench::report::git_rev(),
@@ -373,7 +608,7 @@ fn main() {
         engine::eval_threads(),
         PART_WIDTH,
         par_threads,
-        PART_WIDTH,
+        join_effective,
         par_threads,
         json_rows.join(",\n")
     );

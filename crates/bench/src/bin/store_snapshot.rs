@@ -82,6 +82,11 @@ fn info(path: &str) -> ExitCode {
     };
     println!("snapshot: {path}");
     println!("  bytes:     {}", bytes.len());
+    println!("  version:   {}", view.version());
+    println!(
+        "  stats:     {}",
+        if view.has_stats() { "v2" } else { "none, v1" }
+    );
     println!("  constants: {}", view.n_consts());
     println!("  nulls:     {}", view.n_nulls());
     println!("  facts:     {}", view.n_facts());
@@ -95,6 +100,17 @@ fn info(path: &str) -> ExitCode {
         ) {
             (Ok(name), Ok(arity), Ok(rows), Ok(live)) => {
                 println!("    {name}/{arity}: {rows} row(s), {live} live");
+                if !view.has_stats() {
+                    continue;
+                }
+                for c in 0..arity {
+                    match view.col_stats(r, c) {
+                        Ok((distinct, min, max)) => {
+                            println!("      col {c}: {distinct} distinct, consts in [{min}, {max}]")
+                        }
+                        Err(e) => return fail(path, e),
+                    }
+                }
             }
             _ => return fail(path, "corrupt relation directory"),
         }

@@ -31,6 +31,7 @@
 pub mod ingest;
 pub mod partition;
 pub mod snapshot;
+pub mod stats;
 
 use crate::fxhash::FxHashMap;
 use std::collections::hash_map::Entry;
@@ -39,6 +40,7 @@ use crate::symbol::{Interner, Symbol};
 use crate::value::{Null, Value};
 
 pub use snapshot::{SnapshotError, SnapshotView, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
+pub use stats::{ColStats, RelStats, StoreStats};
 
 /// A dense interned value id. Constant ids are `0..n_consts` in interning
 /// order; null ids carry the [`NULL_TAG`] bit over a dense index
@@ -390,6 +392,10 @@ pub struct FactStore {
     /// deterministic pass over the columns.
     maps_built: bool,
     version: u64,
+    /// Incremental planner statistics; `None` when the store's mutation
+    /// history is unknown (remapped completion clones) until
+    /// [`Self::recompute_stats`] rebuilds it from the live contents.
+    stats: Option<stats::StatsTracker>,
 }
 
 impl Default for FactStore {
@@ -412,6 +418,7 @@ impl FactStore {
             occ: Vec::new(),
             maps_built: true,
             version: 0,
+            stats: Some(stats::StatsTracker::default()),
         }
     }
 
@@ -432,6 +439,9 @@ impl FactStore {
         let sym = self.rel_names.intern(name);
         self.arities.push(arity);
         self.tables.push(RelTable::new(arity));
+        if let Some(tr) = self.stats.as_mut() {
+            tr.add_rel(arity);
+        }
         self.version += 1;
         sym
     }
@@ -563,6 +573,24 @@ impl FactStore {
         self.version
     }
 
+    /// Planner statistics: per-relation live row counts and per-column
+    /// distinct/min-max summaries, stamped with [`Self::version`].
+    /// `None` when the store's history is unknown (remapped completion
+    /// clones) — call [`Self::recompute_stats`] to restore tracking.
+    /// Distinct counts are upper bounds after rewrites; see
+    /// [`stats`](self::stats) for the exactness contract.
+    pub fn stats(&self) -> Option<stats::StoreStats> {
+        self.stats.as_ref().map(|tr| tr.snapshot(self))
+    }
+
+    /// Rebuild the statistics tracker exactly from the live contents
+    /// (one pass over the live rows). Used by snapshot loads and by
+    /// consumers that want exact summaries after heavy rewriting.
+    pub fn recompute_stats(&mut self) {
+        let tracker = stats::StatsTracker::from_live(self);
+        self.stats = Some(tracker);
+    }
+
     /// Append a fact **without** duplicate checking — O(1), for bulk
     /// ingest of already-deduplicated data (the `NaiveDatabase` bridge).
     /// Invalidates the dedup/occurrence maps; the next deduplicating
@@ -578,6 +606,9 @@ impl FactStore {
         let row = self.tables[rel.index()].push_row(ids);
         self.fact_rel.push(rel);
         self.fact_row.push(row);
+        if let Some(tr) = self.stats.as_mut() {
+            tr.note_row(rel.index(), ids, &self.values);
+        }
         self.maps_built = false;
         self.version += 1;
         f
@@ -605,6 +636,9 @@ impl FactStore {
         dense_count(self.fact_rel.len().saturating_add(n as usize)); // overflow aborts before the pushes
         self.fact_rel.extend(std::iter::repeat_n(rel, n as usize));
         self.fact_row.extend(first_row..dense_add(first_row, n));
+        if let Some(tr) = self.stats.as_mut() {
+            tr.note_rows_flat(rel.index(), self.arities[rel.index()], flat, &self.values);
+        }
         self.maps_built = false;
         self.version += 1;
         f
@@ -628,6 +662,8 @@ impl FactStore {
             intern,
             occ,
             version,
+            stats,
+            values,
             ..
         } = self;
         match intern.entry((rel, ids)) {
@@ -648,6 +684,9 @@ impl FactStore {
                             None => unreachable!("occurrence index not grown for {id}"),
                         }
                     }
+                }
+                if let Some(tr) = stats.as_mut() {
+                    tr.note_row(rel.index(), key_ids, values);
                 }
                 v.insert(f);
                 fact_rel.push(rel);
@@ -724,6 +763,9 @@ impl FactStore {
                             self.occ[null_index(id) as usize].push(f);
                         }
                     }
+                    if let Some(tr) = self.stats.as_mut() {
+                        tr.note_row(rel.index(), &new_ids, &self.values);
+                    }
                     changed.push(f);
                 }
             }
@@ -771,6 +813,7 @@ impl FactStore {
             occ: Vec::new(),
             maps_built: false,
             version: 0,
+            stats: None,
         }
     }
 
@@ -786,7 +829,7 @@ impl FactStore {
         fact_row: Vec<u32>,
     ) -> Self {
         let maps_built = fact_rel.is_empty();
-        FactStore {
+        let mut s = FactStore {
             rel_names,
             arities,
             tables,
@@ -797,7 +840,13 @@ impl FactStore {
             occ: Vec::new(),
             maps_built,
             version: 0,
-        }
+            stats: None,
+        };
+        // Loads recompute exact statistics from the live contents: the
+        // v1 format carries none, and v2's serialized section is
+        // validated against this recompute rather than trusted.
+        s.recompute_stats();
+        s
     }
 
     /// Keep `occ` parallel to the interned nulls.

@@ -20,7 +20,21 @@
 //! …       …     per relation, in directory order:
 //!                 live bitmap: ⌈n_rows/64⌉ × u64
 //!                 column pages: arity × (n_rows × u32, zero-padded to 8)
+//! …       …     (v2 only) statistics, per relation in directory order:
+//!                 n_live (u64) · per column: distinct (u32) ·
+//!                 reserved (u32, must be 0) · min_const (i64) ·
+//!                 max_const (i64)
 //! ```
+//!
+//! **Version 2** appends the exact live-contents statistics
+//! ([`super::stats::compute_exact`]) after the column pages; everything
+//! before it is byte-identical to version 1. Readers accept both: a v1
+//! buffer simply ends where v2's statistics section would begin, and
+//! [`FactStore::from_bytes`] recomputes the statistics from the loaded
+//! contents (the v1-compat fallback). For v2 the serialized section is
+//! *validated* against that recompute rather than trusted, so a
+//! snapshot whose statistics disagree with its own columns is rejected
+//! as corrupt.
 //!
 //! The layout is zero-copy friendly: [`SnapshotView`] computes section
 //! offsets from the header and directory alone (O(relations), not
@@ -40,8 +54,13 @@ use crate::value::Value;
 
 use super::{dense_count, id_is_null, null_index, FactStore, RelTable, ValueInterner};
 
-/// Current snapshot format version.
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// Current snapshot format version. Version 1 (no statistics section)
+/// is still read; see the [module docs](self).
+pub const SNAPSHOT_VERSION: u32 = 2;
+
+/// Per-column statistics entry size in the v2 section: distinct (u32) +
+/// reserved (u32) + min_const (i64) + max_const (i64).
+const COL_STATS_LEN: usize = 24;
 
 /// Snapshot file magic.
 pub const SNAPSHOT_MAGIC: [u8; 8] = *b"CASTORE\0";
@@ -118,12 +137,16 @@ struct RelDir {
     n_rows: u32,
     live_off: usize,
     cols_off: usize,
+    /// Offset of this relation's statistics entry (v2 only; 0 in v1
+    /// buffers, guarded by [`SnapshotView::has_stats`]).
+    stats_off: usize,
 }
 
 /// A zero-copy window over a serialized snapshot: parsing reads only the
 /// header and relation directory; everything else is decoded on demand.
 pub struct SnapshotView<'a> {
     buf: &'a [u8],
+    version: u32,
     n_consts: u32,
     n_nulls: u32,
     n_rels: u32,
@@ -142,7 +165,7 @@ impl<'a> SnapshotView<'a> {
             return Err(SnapshotError::BadMagic);
         }
         let version = rd_u32(buf, 8)?;
-        if version != SNAPSHOT_VERSION {
+        if version != 1 && version != SNAPSHOT_VERSION {
             return Err(SnapshotError::VersionMismatch {
                 found: version,
                 expected: SNAPSHOT_VERSION,
@@ -188,6 +211,7 @@ impl<'a> SnapshotView<'a> {
                     .map_err(|_| SnapshotError::Corrupt("relation rows out of range"))?,
                 live_off: 0,
                 cols_off: 0,
+                stats_off: 0,
             });
         }
         let consts_off = off;
@@ -203,6 +227,15 @@ impl<'a> SnapshotView<'a> {
             let page = pad8(size_mul(e.n_rows as usize, 4)?);
             off = advance(off, size_mul(e.arity, page)?)?;
         }
+        if version >= 2 {
+            // The statistics section: one n_live word plus one fixed-size
+            // entry per column. Every field is 8-byte aligned by
+            // construction, so no padding.
+            for e in &mut rels {
+                e.stats_off = off;
+                off = advance(off, advance(8, size_mul(e.arity, COL_STATS_LEN)?)?)?;
+            }
+        }
         if off > buf.len() {
             return Err(SnapshotError::Truncated);
         }
@@ -215,6 +248,7 @@ impl<'a> SnapshotView<'a> {
             |v: u64| u32::try_from(v).map_err(|_| SnapshotError::Corrupt("count out of range"));
         Ok(SnapshotView {
             buf,
+            version,
             n_consts: count(n_consts)?,
             n_nulls: count(n_nulls)?,
             n_rels: count(n_rels)?,
@@ -224,6 +258,45 @@ impl<'a> SnapshotView<'a> {
             nulls_off,
             fact_rel_off,
         })
+    }
+
+    /// The snapshot's format version (1 or 2).
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// Does the snapshot carry a statistics section (v2)?
+    pub fn has_stats(&self) -> bool {
+        self.version >= 2
+    }
+
+    /// The serialized live-row count of relation `r` (v2 statistics
+    /// section; error on v1 buffers).
+    pub fn rel_stats_live(&self, r: u32) -> Result<u64, SnapshotError> {
+        if !self.has_stats() {
+            return Err(SnapshotError::Corrupt("no statistics section (v1)"));
+        }
+        rd_u64(self.buf, self.rel(r)?.stats_off)
+    }
+
+    /// The serialized `(distinct, min_const, max_const)` of column `c`
+    /// of relation `r` (v2 statistics section; error on v1 buffers).
+    pub fn col_stats(&self, r: u32, c: usize) -> Result<(u32, i64, i64), SnapshotError> {
+        if !self.has_stats() {
+            return Err(SnapshotError::Corrupt("no statistics section (v1)"));
+        }
+        let e = self.rel(r)?;
+        if c >= e.arity {
+            return Err(SnapshotError::Corrupt("column access out of range"));
+        }
+        let entry = advance(advance(e.stats_off, 8)?, size_mul(c, COL_STATS_LEN)?)?;
+        let distinct = rd_u32(self.buf, entry)?;
+        if rd_u32(self.buf, advance(entry, 4)?)? != 0 {
+            return Err(SnapshotError::Corrupt("nonzero reserved statistics field"));
+        }
+        let min = rd_i64(self.buf, advance(entry, 8)?)?;
+        let max = rd_i64(self.buf, advance(entry, 16)?)?;
+        Ok((distinct, min, max))
     }
 
     /// Number of interned constants.
@@ -402,6 +475,18 @@ impl FactStore {
                 push_pad8(&mut out);
             }
         }
+        // v2 statistics section: exact over the live contents — a pure
+        // function of the columns, never the incremental tracker, so
+        // serialization stays byte-identical across mutation histories.
+        for rs in super::stats::compute_exact(self) {
+            push_u64(&mut out, rs.n_live);
+            for cs in &rs.cols {
+                push_u32(&mut out, cs.distinct);
+                push_u32(&mut out, 0);
+                push_u64(&mut out, cs.min_const as u64);
+                push_u64(&mut out, cs.max_const as u64);
+            }
+        }
         out
     }
 
@@ -519,9 +604,25 @@ impl FactStore {
             advance(view.fact_rel_off, facts_bytes)?,
             advance(view.fact_rel_off, pad8(facts_bytes))?,
         )?;
-        Ok(FactStore::from_loaded_parts(
-            rel_names, arities, tables, values, fact_rel, fact_row,
-        ))
+        let store =
+            FactStore::from_loaded_parts(rel_names, arities, tables, values, fact_rel, fact_row);
+        // v2: the serialized statistics must agree with an exact
+        // recompute from the columns just loaded (v1 buffers carry none
+        // and rely on the recompute alone — done in from_loaded_parts).
+        if view.has_stats() {
+            for (r, rs) in super::stats::compute_exact(&store).iter().enumerate() {
+                let r32 = dense_count(r);
+                if view.rel_stats_live(r32)? != rs.n_live {
+                    return Err(SnapshotError::Corrupt("statistics disagree with contents"));
+                }
+                for (c, cs) in rs.cols.iter().enumerate() {
+                    if view.col_stats(r32, c)? != (cs.distinct, cs.min_const, cs.max_const) {
+                        return Err(SnapshotError::Corrupt("statistics disagree with contents"));
+                    }
+                }
+            }
+        }
+        Ok(store)
     }
 }
 
@@ -675,5 +776,88 @@ mod tests {
         assert_eq!(view.rel_arity(1), Ok(3));
         assert_eq!(view.rel_live(0), Ok(s.table(Symbol(0)).n_live()));
         assert_eq!(view.const_at(0), Ok(1));
+        assert!(view.has_stats(), "writer emits v2");
+        assert_eq!(view.version(), SNAPSHOT_VERSION);
+    }
+
+    /// Byte length of the v2 statistics section for `s`.
+    fn stats_len(s: &FactStore) -> usize {
+        (0..s.n_relations())
+            .map(|r| 8 + s.arity(Symbol(r as u32)) * 24)
+            .sum()
+    }
+
+    /// Rewrite a v2 buffer into its v1 equivalent: drop the trailing
+    /// statistics section and stamp version 1.
+    fn downgrade_to_v1(s: &FactStore) -> Vec<u8> {
+        let mut bytes = s.to_bytes();
+        let cut = bytes.len() - stats_len(s);
+        bytes.truncate(cut);
+        bytes[8] = 1;
+        bytes
+    }
+
+    #[test]
+    fn v2_stats_section_matches_exact_recompute() {
+        let s = sample();
+        let bytes = s.to_bytes();
+        let view = SnapshotView::parse(&bytes).expect("parse");
+        let exact = crate::store::stats::compute_exact(&s);
+        for (r, rs) in exact.iter().enumerate() {
+            let r32 = Symbol(r as u32).0;
+            assert_eq!(view.rel_stats_live(r32), Ok(rs.n_live));
+            for (c, cs) in rs.cols.iter().enumerate() {
+                assert_eq!(
+                    view.col_stats(r32, c),
+                    Ok((cs.distinct, cs.min_const, cs.max_const))
+                );
+            }
+        }
+        assert_eq!(
+            view.col_stats(0, 2).expect_err("arity bound"),
+            SnapshotError::Corrupt("column access out of range")
+        );
+    }
+
+    #[test]
+    fn v1_snapshot_still_loads_and_reserializes_as_v2() {
+        let s = sample();
+        let v1 = downgrade_to_v1(&s);
+        let view = SnapshotView::parse(&v1).expect("v1 parses");
+        assert_eq!(view.version(), 1);
+        assert!(!view.has_stats());
+        assert_eq!(
+            view.rel_stats_live(0).expect_err("v1 carries no stats"),
+            SnapshotError::Corrupt("no statistics section (v1)")
+        );
+        let loaded = FactStore::from_bytes(&v1).expect("v1 loads");
+        assert_eq!(loaded.n_live(), s.n_live());
+        // Loads recompute stats regardless of source version.
+        let recomputed = loaded.stats().expect("recomputed on load");
+        assert_eq!(recomputed.rels, crate::store::stats::compute_exact(&s));
+        // Re-serializing writes the current (v2) format, byte-identical
+        // to serializing the original store.
+        assert_eq!(loaded.to_bytes(), s.to_bytes());
+    }
+
+    #[test]
+    fn corrupt_stats_section_is_rejected() {
+        let s = sample();
+        let bytes = s.to_bytes();
+        let stats_start = bytes.len() - stats_len(&s);
+        // Flip the first relation's serialized n_live.
+        let mut bad = bytes.clone();
+        bad[stats_start] ^= 0x01;
+        assert_eq!(
+            FactStore::from_bytes(&bad).expect_err("stale live count"),
+            SnapshotError::Corrupt("statistics disagree with contents")
+        );
+        // A nonzero reserved field is structural corruption.
+        let mut bad = bytes.clone();
+        bad[stats_start + 8 + 4] = 1;
+        assert_eq!(
+            FactStore::from_bytes(&bad).expect_err("reserved field"),
+            SnapshotError::Corrupt("nonzero reserved statistics field")
+        );
     }
 }

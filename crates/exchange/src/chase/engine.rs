@@ -5,13 +5,17 @@
 //! [`ca_query::engine`] instead of re-running the reference loop's CSP
 //! matcher over the whole instance after every single firing:
 //!
-//! * each rule body compiles **once** into one *pinned* join plan per
-//!   body atom ([`CompiledCq::compile_pinned`]); a round evaluates each
-//!   plan with its pinned atom ranging over the **delta** — the facts
-//!   added or rewritten since the previous round — so any match using at
-//!   least one new fact is found exactly through the plan pinned at that
-//!   fact's position, and quiet regions are never re-derived (semi-naive
-//!   evaluation);
+//! * each rule body is validated once up front and then planned through
+//!   a revision-keyed [`PlanCache`]: a round evaluates one *pinned*
+//!   cost-based join plan per body atom
+//!   ([`CompiledCq::compile_costed_pinned`] under the store's live
+//!   statistics), with the pinned atom ranging over the **delta** — the
+//!   facts added or rewritten since the previous round — so any match
+//!   using at least one new fact is found exactly through the plan
+//!   pinned at that fact's position, and quiet regions are never
+//!   re-derived (semi-naive evaluation). Plans are re-costed only when
+//!   the store's revision counter moves; quiet fixpoint passes and the
+//!   per-round provenance/satisfaction evaluations hit the cache;
 //! * a *trigger* is a valuation of the rule's frontier (sorted body∩head
 //!   nulls). Fired triggers are remembered per rule in a hash set over
 //!   the **workspace columnar fact store** ([`ca_core::store::FactStore`]
@@ -27,10 +31,12 @@
 //!   index — never the whole instance;
 //! * the match phase runs in parallel over the round's (rule, pinned
 //!   plan) tasks ([`sweep::parallel_map`], under `CA_EVAL_THREADS`, with
-//!   an explicit `CA_PART_THREADS` width winning); large seed lists are
-//!   hash-partitioned on the pinned atom's leading bound column
-//!   (`ca_core::store::partition`) so rows sharing a join key stay on
-//!   one worker, and
+//!   an explicit `CA_PART_THREADS` width winning; the default width is
+//!   clamped to the physical cores, and the phase stays sequential
+//!   unless the cost model prices the round's seeded joins above the
+//!   spawn/merge overhead); large seed lists are hash-partitioned on the
+//!   pinned atom's leading bound column (`ca_core::store::partition`) so
+//!   rows sharing a join key stay on one worker, and
 //!   firing applies the collected triggers in (rule index, frontier
 //!   valuation) order — lowest trigger wins — with fresh existential
 //!   nulls drawn in that same order, so the chased instance is
@@ -47,6 +53,7 @@
 //! unaffected, since chase failure and success are order-independent.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 use ca_cert::{
     CertAtom, CertEgd, CertFact, CertRule, CertTerm, ChaseCert, ChaseCertOutcome, ChaseStep,
@@ -56,9 +63,10 @@ use ca_core::store::{partition, FactId, FactStore};
 use ca_core::symbol::Symbol;
 use ca_core::value::{Null, NullGen, Value};
 use ca_gdm::database::GenDb;
-use ca_query::ast::{Atom, ConjunctiveQuery, Term};
+use ca_query::ast::{Atom, ConjunctiveQuery, Term, UnionQuery};
 use ca_query::engine::{
-    eval_prepared_into, eval_seeded_into, prepare_cq, sweep, CompiledCq, DbIndex, PreparedCq,
+    eval_prepared_into, eval_seeded_into, prepare_cq, sweep, CompiledCq, CompiledUcq, DbIndex,
+    PlanCache, PreparedCq, PART_MIN_WORK,
 };
 use ca_relational::schema::Schema;
 
@@ -146,24 +154,32 @@ impl CertPlans {
     }
 }
 
-/// One tgd compiled against the instance schema.
+/// One tgd compiled against the instance schema. The body and head are
+/// kept as queries (validated once up front): the round loop resolves
+/// them into cost-based plans through the run's [`PlanCache`], so the
+/// join orders track the store's live statistics while compile errors
+/// stay impossible after construction (plan errors are independent of
+/// join order and pin — they depend only on the query and the schema).
 struct CompiledRule {
-    /// One `(pinned relation, pinned plan)` per body atom; the plan's
-    /// head projects onto the sorted frontier.
-    plans: Vec<(Symbol, CompiledCq)>,
+    /// The body with the sorted frontier as head, as a single-disjunct
+    /// union (the plan cache's key type).
+    body_u: UnionQuery,
+    /// The pinned relation of each body atom, in atom order.
+    rels: Vec<Symbol>,
     /// The head pattern as a query over the same frontier head: its
     /// answer set is exactly the set of satisfied frontier valuations.
-    head_plan: CompiledCq,
+    head_u: UnionQuery,
     /// The head facts to instantiate on firing.
     head_facts: Vec<HeadFact>,
     /// Provenance plans (certify mode only).
     cert: Option<CertPlans>,
 }
 
-/// One egd compiled against the instance schema: pinned body plans
-/// projecting onto the two equated nulls.
+/// One egd compiled against the instance schema: the body projecting
+/// onto the two equated nulls, plus its atoms' relations.
 struct CompiledEgd {
-    plans: Vec<(Symbol, CompiledCq)>,
+    body_u: UnionQuery,
+    rels: Vec<Symbol>,
     /// Provenance plans (certify mode only).
     cert: Option<CertPlans>,
 }
@@ -172,19 +188,21 @@ fn compile_rule(rule: &Rule, schema: &Schema, certify: bool) -> Option<CompiledR
     let frontier: Vec<Null> = rule.frontier().into_iter().collect();
     let head_vars: Vec<u32> = frontier.iter().map(|nl| nl.0).collect();
     let body_q = ConjunctiveQuery::with_head(head_vars.clone(), pattern_atoms(&rule.body));
-    let mut plans = Vec::with_capacity(body_q.atoms.len());
-    for pin in 0..body_q.atoms.len() {
-        let plan = CompiledCq::compile_pinned(&body_q, schema, pin).ok()?;
-        let rel = schema.relation(&body_q.atoms[pin].rel)?;
-        plans.push((rel, plan));
-    }
+    // Validate once: a body that compiles unpinned compiles under every
+    // pin and every join order.
+    CompiledCq::compile(&body_q, schema).ok()?;
+    let rels = body_q
+        .atoms
+        .iter()
+        .map(|a| schema.relation(&a.rel))
+        .collect::<Option<Vec<_>>>()?;
     let cert = if certify {
         Some(CertPlans::compile(&body_q.atoms, &head_vars, schema)?)
     } else {
         None
     };
     let head_q = ConjunctiveQuery::with_head(head_vars, pattern_atoms(&rule.head));
-    let head_plan = CompiledCq::compile(&head_q, schema).ok()?;
+    CompiledCq::compile(&head_q, schema).ok()?;
     let mut head_facts = Vec::with_capacity(rule.head.n_nodes());
     for (label, row) in rule.head.labels.iter().zip(&rule.head.data) {
         let rel = schema.relation(rule.head.schema.label_name(*label))?;
@@ -202,8 +220,9 @@ fn compile_rule(rule: &Rule, schema: &Schema, certify: bool) -> Option<CompiledR
         head_facts.push(HeadFact { rel, template });
     }
     Some(CompiledRule {
-        plans,
-        head_plan,
+        body_u: UnionQuery::single(body_q),
+        rels,
+        head_u: UnionQuery::single(head_q),
         head_facts,
         cert,
     })
@@ -216,18 +235,21 @@ fn compile_egd(egd: &Egd, schema: &Schema, certify: bool) -> Option<CompiledEgd>
     // an empty body) is an UnboundHeadVar — fall back to the reference,
     // which owns the semantics of such malformed egds.
     CompiledCq::compile(&q, schema).ok()?;
-    let mut plans = Vec::with_capacity(q.atoms.len());
-    for pin in 0..q.atoms.len() {
-        let plan = CompiledCq::compile_pinned(&q, schema, pin).ok()?;
-        let rel = schema.relation(&q.atoms[pin].rel)?;
-        plans.push((rel, plan));
-    }
+    let rels = q
+        .atoms
+        .iter()
+        .map(|a| schema.relation(&a.rel))
+        .collect::<Option<Vec<_>>>()?;
     let cert = if certify {
         Some(CertPlans::compile(&q.atoms, &pair, schema)?)
     } else {
         None
     };
-    Some(CompiledEgd { plans, cert })
+    Some(CompiledEgd {
+        body_u: UnionQuery::single(q),
+        rels,
+        cert,
+    })
 }
 
 /// Union-find over values. Constants are always roots; between two null
@@ -478,6 +500,10 @@ fn run(
         debug_assert_eq!(reg, sym, "store symbols mirror schema symbols");
     }
     let mut uf = UnionFind::default();
+    // Cost-based plans keyed by (query, pin, store revision): quiet
+    // fixpoint passes and the certify-mode re-evaluations reuse plans;
+    // any store mutation re-costs them against fresh statistics.
+    let mut cache = PlanCache::new();
     let mut rec: Option<Recorder> = skeleton.map(|skeleton| Recorder {
         skeleton,
         steps: Vec::new(),
@@ -514,8 +540,29 @@ fn run(
         if !egds.is_empty() {
             let mut egd_delta: Vec<u32> = delta.clone();
             while !egd_delta.is_empty() {
-                let pairs = match egd_matches(schema, &store, egds, &egd_delta, cfg) {
-                    Ok(p) => p,
+                // One index (and one seed partition) per pass, shared by
+                // the match and provenance evaluations: both read the
+                // same store state, so certify mode no longer rebuilds
+                // the posting tables twice per batch.
+                let matched = {
+                    let mut idx = DbIndex::over(&store);
+                    let seeds = seeds_by_rel(schema, &store, &egd_delta);
+                    match egd_matches(schema, &store, egds, &seeds, cfg, &mut cache, &mut idx) {
+                        Ok(pairs) => {
+                            // Full-assignment witnesses for this batch,
+                            // from the same seeds and store state the
+                            // pairs came from (certify only).
+                            let prov = rec
+                                .as_ref()
+                                .filter(|_| !pairs.is_empty())
+                                .map(|_| egd_provenance(egds, &seeds, &mut idx));
+                            Ok((pairs, prov))
+                        }
+                        Err(()) => Err(()),
+                    }
+                };
+                let (pairs, prov) = match matched {
+                    Ok(x) => x,
                     Err(()) => {
                         let partial = Box::new(rebuild(schema, &store, instance, &uf));
                         let cert = rec.take().and_then(|r| {
@@ -525,12 +572,6 @@ fn run(
                         return (ChaseOutcome::Overflow(partial), cert);
                     }
                 };
-                // Full-assignment witnesses for this batch, from the same
-                // seeds and store state the pairs came from (certify only).
-                let prov = rec
-                    .as_ref()
-                    .filter(|_| !pairs.is_empty())
-                    .map(|_| egd_provenance(schema, &store, egds, &egd_delta));
                 let mut merged: Vec<Null> = Vec::new();
                 for (a, b) in pairs {
                     if uf.find(a) == uf.find(b) {
@@ -603,23 +644,45 @@ fn run(
             .collect();
         tgd_seed.sort_unstable();
         tgd_seed.dedup();
-        let (triggers, satisfied) =
-            match tgd_matches(schema, &store, rules, &fired, &tgd_seed, first_round, cfg) {
-                Ok(x) => x,
-                Err(()) => {
-                    let partial = Box::new(rebuild(schema, &store, instance, &uf));
-                    let cert = rec.take().and_then(|r| {
-                        let partial = gendb_facts(&partial);
-                        r.finish(ChaseCertOutcome::Overflow { partial })
-                    });
-                    return (ChaseOutcome::Overflow(partial), cert);
+        // As in the egd phase: one index and one seed partition for the
+        // trigger match, the satisfaction check, and the provenance pass.
+        let matched = {
+            let mut idx = DbIndex::over(&store);
+            let seeds = seeds_by_rel(schema, &store, &tgd_seed);
+            match tgd_matches(
+                schema,
+                &store,
+                rules,
+                &fired,
+                &seeds,
+                first_round,
+                cfg,
+                &mut cache,
+                &mut idx,
+            ) {
+                Ok(x) => {
+                    // Full-assignment witnesses for this round's firings
+                    // (certify only; same seeds and store state as the
+                    // trigger match above).
+                    let prov = rec
+                        .as_ref()
+                        .map(|_| tgd_provenance(rules, &seeds, first_round, &mut idx));
+                    Ok((x, prov))
                 }
-            };
-        // Full-assignment witnesses for this round's firings (certify
-        // only; same seeds and store state as the trigger match above).
-        let prov = rec
-            .as_ref()
-            .map(|_| tgd_provenance(schema, &store, rules, &tgd_seed, first_round));
+                Err(()) => Err(()),
+            }
+        };
+        let ((triggers, satisfied), prov) = match matched {
+            Ok(x) => x,
+            Err(()) => {
+                let partial = Box::new(rebuild(schema, &store, instance, &uf));
+                let cert = rec.take().and_then(|r| {
+                    let partial = gendb_facts(&partial);
+                    r.finish(ChaseCertOutcome::Overflow { partial })
+                });
+                return (ChaseOutcome::Overflow(partial), cert);
+            }
+        };
         let mut inserted: Vec<u32> = Vec::new();
         for (r, rule) in rules.iter().enumerate() {
             for row in &triggers[r] {
@@ -703,13 +766,10 @@ fn run(
 /// pair, the lexicographically least `(egd index, body assignment)`
 /// witnessing it. Certify mode only — the hot path never calls this.
 fn egd_provenance(
-    schema: &Schema,
-    store: &FactStore,
     egds: &[CompiledEgd],
-    seed: &[FactId],
+    seeds: &[Vec<u32>],
+    idx: &mut DbIndex,
 ) -> BTreeMap<(Value, Value), (usize, Assignment)> {
-    let mut idx = DbIndex::over(store);
-    let seeds = seeds_by_rel(schema, store, seed);
     let mut out: BTreeMap<(Value, Value), (usize, Assignment)> = BTreeMap::new();
     for (e, egd) in egds.iter().enumerate() {
         let Some(cert) = &egd.cert else { continue };
@@ -717,9 +777,9 @@ fn egd_provenance(
             continue;
         };
         for (rel, plan) in &cert.plans {
-            let prepared = prepare_cq(plan, &mut idx);
+            let prepared = prepare_cq(plan, idx);
             let rows = &seeds[rel.index()];
-            eval_seeded_into(plan, &prepared, &idx, rows, &mut |row| {
+            eval_seeded_into(plan, &prepared, idx, rows, &mut |row| {
                 if let (Some(&a), Some(&b)) = (row.get(pa), row.get(pb)) {
                     let assignment: Assignment = cert
                         .body_vars
@@ -751,14 +811,11 @@ fn egd_provenance(
 /// frontier valuation, the least full body assignment projecting to it.
 /// Certify mode only.
 fn tgd_provenance(
-    schema: &Schema,
-    store: &FactStore,
     rules: &[CompiledRule],
-    seed: &[FactId],
+    seeds: &[Vec<u32>],
     first_round: bool,
+    idx: &mut DbIndex,
 ) -> Vec<BTreeMap<Vec<Value>, Assignment>> {
-    let mut idx = DbIndex::over(store);
-    let seeds = seeds_by_rel(schema, store, seed);
     let mut out: Vec<BTreeMap<Vec<Value>, Assignment>> = vec![BTreeMap::new(); rules.len()];
     for (rule, map) in rules.iter().zip(out.iter_mut()) {
         let Some(cert) = &rule.cert else { continue };
@@ -767,9 +824,9 @@ fn tgd_provenance(
             map.insert(Vec::new(), Vec::new());
         }
         for (rel, plan) in &cert.plans {
-            let prepared = prepare_cq(plan, &mut idx);
+            let prepared = prepare_cq(plan, idx);
             let rows = &seeds[rel.index()];
-            eval_seeded_into(plan, &prepared, &idx, rows, &mut |row| {
+            eval_seeded_into(plan, &prepared, idx, rows, &mut |row| {
                 let frontier_row: Option<Vec<Value>> =
                     cert.proj.iter().map(|&p| row.get(p).copied()).collect();
                 let Some(frontier_row) = frontier_row else {
@@ -812,21 +869,38 @@ fn seeds_by_rel(schema: &Schema, store: &FactStore, seed: &[FactId]) -> Vec<Vec<
     out
 }
 
+/// The sole disjunct of a rule-body/head plan. Compiled rule queries
+/// are built with `UnionQuery::single` (see `compile_rule`), so the
+/// compiled plan has exactly one disjunct by construction.
+fn sole(plan: &CompiledUcq) -> &CompiledCq {
+    // ca-lint: allow(L002, reason = "single-disjunct by construction: every chase rule query is wrapped via UnionQuery::single at compile_rule time")
+    plan.disjuncts().first().expect("UnionQuery::single")
+}
+
 /// Parallelism pays only when the match phase has real work: below this
 /// many seed facts summed over the round's tasks, the thread-scope spawn
 /// dominates the joins and the phase stays sequential (mirrors
 /// `PAR_MIN_COMPLETIONS` in `ca_query::engine::sweep`).
 const PAR_MIN_SEED: usize = 512;
 
-fn effective_threads(threads: usize, total_seed: usize) -> usize {
-    // An explicit `CA_PART_THREADS` width overrides the config width;
-    // either way the request is honored **verbatim**, exactly like the
-    // partitioned join in `ca_query::engine::par` — the partition
-    // determinism suite pins byte-identical results at widths wider than
-    // the host, so a width beyond the physical cores costs only wall
-    // time, never correctness.
-    let threads = ca_core::config::part_threads_set().unwrap_or(threads);
-    if threads <= 1 || total_seed < PAR_MIN_SEED {
+fn effective_threads(threads: usize, total_seed: usize, est_work: f64) -> usize {
+    // An explicit `CA_PART_THREADS` width overrides the config width and
+    // is honored **verbatim**, exactly like the partitioned join in
+    // `ca_query::engine::par` — the partition determinism suite pins
+    // byte-identical results at widths wider than the host, so an
+    // explicit width beyond the physical cores costs only wall time,
+    // never correctness. The *default* width, by contrast, is clamped to
+    // the cores actually present: a four-wide default on a one-core host
+    // is pure coordination overhead.
+    let threads = match ca_core::config::part_threads_set() {
+        Some(w) => w,
+        None => threads.min(ca_core::config::available_parallelism_or(1)),
+    };
+    // Two gates, both advisory (results are width-independent): enough
+    // seed facts to split, and enough *estimated join work* — a round
+    // seeding thousands of single-atom bodies has nothing to probe, and
+    // the thread-scope spawn would dominate it.
+    if threads <= 1 || total_seed < PAR_MIN_SEED || est_work < PART_MIN_WORK {
         1
     } else {
         threads
@@ -885,46 +959,57 @@ fn partition_tasks(
     tasks
 }
 
-/// Evaluate every egd's pinned plans over the seed, returning the sorted
-/// set of equality pairs. `Err(())` = match budget exceeded.
+/// Resolve the cost-based pinned plan of every `(rule, pin)` pair in
+/// `plan_seeds` through the cache, prepare it against the shared index,
+/// and sum the model's estimate of the seeded join work. The `BTreeMap`
+/// keeps worker lookups deterministic and ca-lint-clean.
+type PlanTable = BTreeMap<(usize, usize), (Arc<CompiledUcq>, PreparedCq)>;
+
+/// Evaluate every egd's pinned plans over the per-relation seeds,
+/// returning the sorted set of equality pairs. `Err(())` = match budget
+/// exceeded.
 fn egd_matches(
     schema: &Schema,
     store: &FactStore,
     egds: &[CompiledEgd],
-    seed: &[FactId],
+    seeds: &[Vec<u32>],
     cfg: &ChaseConfig,
+    cache: &mut PlanCache,
+    idx: &mut DbIndex,
 ) -> Result<BTreeSet<(Value, Value)>, ()> {
-    let mut idx = DbIndex::over(store);
-    let prepared: Vec<Vec<PreparedCq>> = egds
-        .iter()
-        .map(|e| {
-            e.plans
-                .iter()
-                .map(|(_, p)| prepare_cq(p, &mut idx))
-                .collect()
-        })
-        .collect();
-    let seeds = seeds_by_rel(schema, store, seed);
     let mut plan_seeds: Vec<(usize, usize, Symbol)> = Vec::new();
     let mut total_seed = 0usize;
     for (e, egd) in egds.iter().enumerate() {
-        for (p, (rel, _)) in egd.plans.iter().enumerate() {
+        for (p, &rel) in egd.rels.iter().enumerate() {
             let n = seeds[rel.index()].len();
             if n > 0 {
-                plan_seeds.push((e, p, *rel));
+                plan_seeds.push((e, p, rel));
                 total_seed += n;
             }
         }
     }
-    let threads = effective_threads(cfg.threads, total_seed);
+    let mut plans: PlanTable = BTreeMap::new();
+    let mut est_work = 0.0f64;
+    for &(e, p, rel) in &plan_seeds {
+        let plan = cache
+            .get_or_compile_pinned(&egds[e].body_u, p, schema, store)
+            // ca-lint: allow(L002, reason = "compile_egd validated this body against the schema; plan errors are independent of pin and statistics")
+            .expect("egd bodies are validated at compile time");
+        let cq = sole(&plan);
+        let prepared = prepare_cq(cq, idx);
+        est_work += idx.model().seeded_work(cq, seeds[rel.index()].len());
+        plans.insert((e, p), (plan, prepared));
+    }
+    let threads = effective_threads(cfg.threads, total_seed, est_work);
     let tasks = partition_tasks(
         store,
-        &seeds,
+        seeds,
         &plan_seeds,
-        |e, p| egds[e].plans[p].1.lead_bind_pos(),
+        |e, p| sole(&plans[&(e, p)].0).lead_bind_pos(),
         threads,
     );
     let limit = cfg.match_limit;
+    let idx = &*idx;
     let results: Vec<(BTreeSet<(Value, Value)>, bool)> =
         sweep::parallel_map(tasks.len(), threads, |t| {
             let MatchTask {
@@ -932,11 +1017,11 @@ fn egd_matches(
                 pin: p,
                 rows,
             } = &tasks[t];
-            let (e, p) = (*e, *p);
-            let (_, plan) = &egds[e].plans[p];
+            let (plan, prepared) = &plans[&(*e, *p)];
+            let plan = sole(plan);
             let mut set: BTreeSet<(Value, Value)> = BTreeSet::new();
             let mut over = false;
-            eval_seeded_into(plan, &prepared[e][p], &idx, rows, &mut |row| {
+            eval_seeded_into(plan, prepared, idx, rows, &mut |row| {
                 if let [a, b] = row {
                     // Insert straight away (dedup is free for Copy
                     // pairs); only a full set needs the existence
@@ -967,19 +1052,21 @@ fn egd_matches(
     Ok(pairs)
 }
 
-/// Evaluate every rule's pinned plans over the seed, and the head plans
-/// of rules with unfired candidates. Returns per-rule `(triggers,
-/// satisfied)` frontier-valuation sets. `Err(())` = match budget
-/// exceeded.
-#[allow(clippy::type_complexity)]
+/// Evaluate every rule's pinned plans over the per-relation seeds, and
+/// the head plans of rules with unfired candidates. Returns per-rule
+/// `(triggers, satisfied)` frontier-valuation sets. `Err(())` = match
+/// budget exceeded.
+#[allow(clippy::too_many_arguments, clippy::type_complexity)]
 fn tgd_matches(
     schema: &Schema,
     store: &FactStore,
     rules: &[CompiledRule],
     fired: &[FxHashSet<Vec<Value>>],
-    seed: &[FactId],
+    seeds: &[Vec<u32>],
     first_round: bool,
     cfg: &ChaseConfig,
+    cache: &mut PlanCache,
+    idx: &mut DbIndex,
 ) -> Result<(Vec<TriggerSet>, Vec<TriggerSet>), ()> {
     let n_rules = rules.len();
     let mut triggers: Vec<TriggerSet> = vec![BTreeSet::new(); n_rules];
@@ -987,53 +1074,52 @@ fn tgd_matches(
     if n_rules == 0 {
         return Ok((triggers, satisfied));
     }
-    let mut idx = DbIndex::over(store);
-    // Resolve every plan's index tables up front (mutably), so the
-    // parallel phases below can share the index immutably.
-    let prepared: Vec<(Vec<PreparedCq>, PreparedCq)> = rules
-        .iter()
-        .map(|r| {
-            (
-                r.plans
-                    .iter()
-                    .map(|(_, p)| prepare_cq(p, &mut idx))
-                    .collect(),
-                prepare_cq(&r.head_plan, &mut idx),
-            )
-        })
-        .collect();
-    let seeds = seeds_by_rel(schema, store, seed);
     let mut plan_seeds: Vec<(usize, usize, Symbol)> = Vec::new();
     let mut total_seed = 0usize;
     for (r, rule) in rules.iter().enumerate() {
-        for (p, (rel, _)) in rule.plans.iter().enumerate() {
+        for (p, &rel) in rule.rels.iter().enumerate() {
             let n = seeds[rel.index()].len();
             if n > 0 {
-                plan_seeds.push((r, p, *rel));
+                plan_seeds.push((r, p, rel));
                 total_seed += n;
             }
         }
     }
-    let threads = effective_threads(cfg.threads, total_seed);
+    // Resolve and prepare the seeded plans up front (mutably), so the
+    // parallel phase below can share the index immutably.
+    let mut plans: PlanTable = BTreeMap::new();
+    let mut est_work = 0.0f64;
+    for &(r, p, rel) in &plan_seeds {
+        let plan = cache
+            .get_or_compile_pinned(&rules[r].body_u, p, schema, store)
+            // ca-lint: allow(L002, reason = "compile_rule validated this body against the schema; plan errors are independent of pin and statistics")
+            .expect("rule bodies are validated at compile time");
+        let cq = sole(&plan);
+        let prepared = prepare_cq(cq, idx);
+        est_work += idx.model().seeded_work(cq, seeds[rel.index()].len());
+        plans.insert((r, p), (plan, prepared));
+    }
+    let threads = effective_threads(cfg.threads, total_seed, est_work);
     let tasks = partition_tasks(
         store,
-        &seeds,
+        seeds,
         &plan_seeds,
-        |r, p| rules[r].plans[p].1.lead_bind_pos(),
+        |r, p| sole(&plans[&(r, p)].0).lead_bind_pos(),
         threads,
     );
     let limit = cfg.match_limit;
+    let shared = &*idx;
     let results: Vec<(TriggerSet, bool)> = sweep::parallel_map(tasks.len(), threads, |t| {
         let MatchTask {
             rule: r,
             pin: p,
             rows,
         } = &tasks[t];
-        let (r, p) = (*r, *p);
-        let (_, plan) = &rules[r].plans[p];
+        let (plan, prepared) = &plans[&(*r, *p)];
+        let plan = sole(plan);
         let mut set: TriggerSet = BTreeSet::new();
         let mut over = false;
-        eval_seeded_into(plan, &prepared[r].0[p], &idx, rows, &mut |row| {
+        eval_seeded_into(plan, prepared, shared, rows, &mut |row| {
             if set.contains(row) {
                 return true;
             }
@@ -1059,20 +1145,34 @@ fn tgd_matches(
     // (the empty valuation) exists from round one.
     if first_round {
         for (r, rule) in rules.iter().enumerate() {
-            if rule.plans.is_empty() {
+            if rule.rels.is_empty() {
                 triggers[r].insert(Vec::new());
             }
         }
     }
-    // Head satisfaction, set-at-a-time, for rules with unfired candidates.
+    // Head satisfaction, set-at-a-time, for rules with unfired
+    // candidates. Head plans go through the cache too: a quiet store
+    // serves them for free, a mutated one re-costs them.
     let needy: Vec<usize> = (0..n_rules)
         .filter(|&r| triggers[r].iter().any(|row| !fired[r].contains(row)))
         .collect();
+    let head_plans: Vec<(Arc<CompiledUcq>, PreparedCq)> = needy
+        .iter()
+        .map(|&r| {
+            let plan = cache
+                .get_or_compile(&rules[r].head_u, schema, store)
+                // ca-lint: allow(L002, reason = "compile_rule validated this head against the schema; plan errors are independent of statistics")
+                .expect("rule heads are validated at compile time");
+            let prepared = prepare_cq(sole(&plan), idx);
+            (plan, prepared)
+        })
+        .collect();
+    let shared = &*idx;
     let head_results: Vec<(TriggerSet, bool)> = sweep::parallel_map(needy.len(), threads, |i| {
-        let r = needy[i];
+        let (plan, prepared) = &head_plans[i];
         let mut set = BTreeSet::new();
         let mut over = false;
-        eval_prepared_into(&rules[r].head_plan, &prepared[r].1, &idx, &mut |row| {
+        eval_prepared_into(sole(plan), prepared, shared, &mut |row| {
             if set.len() == limit {
                 over = true;
                 return false;

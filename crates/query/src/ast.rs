@@ -30,7 +30,7 @@ impl Term {
 }
 
 /// A relational atom `R(t₁, …, tₖ)`.
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct Atom {
     /// Relation name (resolved against the target schema at evaluation).
     pub rel: String,
@@ -58,7 +58,7 @@ impl Atom {
 
 /// A conjunctive query `head(x̄) ← body`: existential positive, with the
 /// head variables free. `head = []` makes it Boolean.
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct ConjunctiveQuery {
     /// Free (answer) variables.
     pub head: Vec<u32>,
@@ -100,7 +100,7 @@ impl ConjunctiveQuery {
 }
 
 /// A union of conjunctive queries. All disjuncts must share the head arity.
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct UnionQuery {
     /// The disjuncts.
     pub disjuncts: Vec<ConjunctiveQuery>,

@@ -1,0 +1,445 @@
+//! Cardinality-estimating cost model over store statistics.
+//!
+//! PR 2's greedy join order counts bound positions and nothing else: a
+//! 32-row lookup relation and an 8192-row fact relation are
+//! indistinguishable, so the greedy order can lead with the big relation
+//! and enumerate thousands of rows that a selective atom would have cut
+//! to a handful. This module prices join orders with the store
+//! statistics of `ca_core::store::stats`:
+//!
+//! * the **estimated matches** of an atom given a set of already-bound
+//!   variables is `rows / Π distinct(p)` over the atom's known positions
+//!   (constants and bound variables) — the classic uniform-independence
+//!   estimate;
+//! * the **cost of an order** accumulates `card × (1 + est)` per step,
+//!   where `card` is the estimated intermediate binding count (clamped
+//!   at 1 so a selective prefix cannot make later work free);
+//! * [`CostModel::order`] searches all orders by dynamic programming
+//!   over atom subsets (System-R style, exact under the model) for
+//!   plans up to [`DP_MAX_ATOMS`] atoms, and declines (`None` — the
+//!   caller keeps the greedy order) above that width, so planning stays
+//!   O(2ⁿ·n²) only where that is trivially affordable.
+//!
+//! Everything here is deterministic: estimates are pure arithmetic over
+//! the statistics snapshot, the DP iterates masks and atoms in
+//! ascending order with strict-improvement updates, and ties keep the
+//! first (lowest-index) candidate. Statistics are advisory — a stale or
+//! absent snapshot changes *which* correct plan runs, never the
+//! answers, which stay pinned by the reference oracles.
+
+use ca_core::store::{FactStore, StoreStats};
+use ca_core::symbol::Symbol;
+
+use crate::ast::{ConjunctiveQuery, Term};
+
+use super::plan::CompiledCq;
+
+/// Exhaustive-search width limit: the subset DP prices `2ⁿ` masks, so
+/// past this many atoms the planner falls back to the greedy order.
+pub(crate) const DP_MAX_ATOMS: usize = 11;
+
+/// Plan-switch hysteresis: the DP's order replaces the greedy baseline
+/// only when its estimated cost is below this fraction of the greedy
+/// order's. Cardinality estimates carry error bars far wider than a few
+/// percent, so a sub-margin predicted win is noise — switching on it
+/// buys nothing and makes plan choice flap with statistics jitter.
+pub(crate) const DP_WIN_MARGIN: f64 = 0.9;
+
+/// Per-relation estimates: live rows and per-column distinct counts,
+/// both clamped to ≥ 1 so divisions stay finite and an empty relation
+/// still prices as "almost free" rather than zero-cost everywhere.
+#[derive(Clone, Debug)]
+struct RelEst {
+    rows: f64,
+    distinct: Vec<f64>,
+}
+
+impl RelEst {
+    fn unknown(arity: usize) -> RelEst {
+        RelEst {
+            rows: 1.0,
+            distinct: vec![1.0; arity],
+        }
+    }
+}
+
+/// A priced view of one store's relations, indexed by `Symbol::index()`.
+/// Build one per [`super::DbIndex`] (lazily, see `DbIndex::model`) — it
+/// is a snapshot: later store mutations do not flow in.
+#[derive(Clone, Debug)]
+pub struct CostModel {
+    rels: Vec<RelEst>,
+}
+
+impl CostModel {
+    /// Price a store. Prefers the incremental statistics tracker; a
+    /// store whose history is unknown (remapped completion clones) falls
+    /// back to live row counts with every column assumed unique — the
+    /// shape is identical across completions, so the ordering decisions
+    /// still track the base instance.
+    pub fn from_store(store: &FactStore) -> CostModel {
+        match store.stats() {
+            Some(stats) => Self::from_stats(&stats),
+            None => CostModel {
+                rels: store
+                    .relations()
+                    .map(|rel| {
+                        let rows = store.table(rel).n_live() as f64;
+                        RelEst {
+                            rows: rows.max(1.0),
+                            distinct: vec![rows.max(1.0); store.arity(rel)],
+                        }
+                    })
+                    .collect(),
+            },
+        }
+    }
+
+    /// Price a statistics snapshot.
+    pub fn from_stats(stats: &StoreStats) -> CostModel {
+        CostModel {
+            rels: stats
+                .rels
+                .iter()
+                .map(|rs| RelEst {
+                    rows: (rs.n_live as f64).max(1.0),
+                    distinct: rs
+                        .cols
+                        .iter()
+                        // The tracker's distinct is an upper bound over
+                        // history; cap it by the live rows so selectivity
+                        // can never price below one row per key.
+                        .map(|c| (c.distinct as f64).clamp(1.0, (rs.n_live as f64).max(1.0)))
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+
+    fn rel(&self, rel: Symbol, arity: usize) -> RelEst {
+        self.rels
+            .get(rel.index())
+            .cloned()
+            .unwrap_or_else(|| RelEst::unknown(arity))
+    }
+
+    /// Estimated matches of atom `i` of `q` when the variables in
+    /// `bound` (a bitmask over `var_bit`) are already bound.
+    fn est_atom(
+        &self,
+        q: &ConjunctiveQuery,
+        rels: &[Symbol],
+        i: usize,
+        bound: u64,
+        var_bit: impl Fn(u32) -> u32,
+    ) -> f64 {
+        let atom = &q.atoms[i];
+        let est = self.rel(rels[i], atom.args.len());
+        let mut sel = est.rows;
+        for (pos, term) in atom.args.iter().enumerate() {
+            let known = match term {
+                Term::Const(_) => true,
+                Term::Var(v) => bound & (1u64 << var_bit(*v)) != 0,
+            };
+            if known {
+                sel /= est.distinct.get(pos).copied().unwrap_or(1.0).max(1.0);
+            }
+        }
+        sel
+    }
+
+    /// The minimum-cost join order of `q` under this model, with atom
+    /// `pin` (if any, in range) forced to the front. `None` when the
+    /// query is outside the DP's reach — more than [`DP_MAX_ATOMS`]
+    /// atoms or more than 64 distinct variables — or trivially ordered
+    /// (fewer than two atoms); callers keep the greedy order then.
+    pub(crate) fn order(
+        &self,
+        q: &ConjunctiveQuery,
+        rels: &[Symbol],
+        pin: Option<usize>,
+    ) -> Option<Vec<usize>> {
+        let n = q.atoms.len();
+        if !(2..=DP_MAX_ATOMS).contains(&n) {
+            return None;
+        }
+        // Dense variable numbering for the bound-set bitmask.
+        let mut vars: Vec<u32> = Vec::new();
+        for atom in &q.atoms {
+            for v in atom.vars() {
+                if !vars.contains(&v) {
+                    vars.push(v);
+                }
+            }
+        }
+        if vars.len() > 64 {
+            return None;
+        }
+        // ca-lint: allow(L002, reason = "var_bit is only called on variables just collected from these same atoms")
+        let var_bit = |v: u32| vars.iter().position(|&w| w == v).expect("collected") as u32;
+        let atom_vars: Vec<u64> = q
+            .atoms
+            .iter()
+            .map(|a| a.vars().fold(0u64, |m, v| m | (1u64 << var_bit(v))))
+            .collect();
+
+        // best[mask] = (cost, card, last atom) of the cheapest order
+        // found covering exactly `mask`; `bound[mask]` its bound vars.
+        #[derive(Clone, Copy)]
+        struct State {
+            cost: f64,
+            card: f64,
+            last: usize,
+        }
+        let full: usize = (1usize << n) - 1;
+        let mut best: Vec<Option<State>> = vec![None; full + 1];
+        let seed = |i: usize, best: &mut Vec<Option<State>>| {
+            let est = self.est_atom(q, rels, i, 0, var_bit);
+            best[1 << i] = Some(State {
+                cost: est,
+                card: est.max(1.0),
+                last: i,
+            });
+        };
+        match pin.filter(|&p| p < n) {
+            Some(p) => seed(p, &mut best),
+            None => (0..n).for_each(|i| seed(i, &mut best)),
+        }
+        for mask in 1..=full {
+            let Some(state) = best[mask] else { continue };
+            let bound = (0..n)
+                .filter(|&i| mask & (1 << i) != 0)
+                .fold(0u64, |m, i| m | atom_vars[i]);
+            for j in 0..n {
+                if mask & (1 << j) != 0 {
+                    continue;
+                }
+                let est = self.est_atom(q, rels, j, bound, var_bit);
+                let next = State {
+                    cost: state.cost + state.card * (1.0 + est),
+                    card: (state.card * est).max(1.0),
+                    last: j,
+                };
+                let slot = &mut best[mask | (1 << j)];
+                // Strict improvement keeps the first (lowest-index)
+                // candidate on ties: deterministic plan choice.
+                if slot.is_none_or(|cur| next.cost < cur.cost) {
+                    *slot = Some(next);
+                }
+            }
+        }
+        // Reconstruct by peeling the `last` atom off the full mask.
+        let mut order = vec![0usize; n];
+        let mut mask = full;
+        for k in (0..n).rev() {
+            // ca-lint: allow(L002, reason = "the DP seeds every single-atom mask and extends monotonically, so the full mask always holds a state")
+            let state = best[mask].expect("full mask reachable: queries are finite");
+            order[k] = state.last;
+            mask &= !(1 << state.last);
+        }
+        debug_assert_eq!(mask, 0);
+        Some(order)
+    }
+
+    /// The estimated cost of executing `q`'s atoms in exactly `order` —
+    /// the same accumulation the DP minimizes, priced for one explicit
+    /// order. Used to compare the DP's pick against the greedy baseline
+    /// for the [`DP_WIN_MARGIN`] hysteresis check.
+    pub(crate) fn order_cost(&self, q: &ConjunctiveQuery, rels: &[Symbol], order: &[usize]) -> f64 {
+        let mut vars: Vec<u32> = Vec::new();
+        for atom in &q.atoms {
+            for v in atom.vars() {
+                if !vars.contains(&v) {
+                    vars.push(v);
+                }
+            }
+        }
+        if vars.len() > 64 {
+            // Outside the DP's reach the caller never compares orders.
+            return f64::INFINITY;
+        }
+        // ca-lint: allow(L002, reason = "var_bit is only called on variables just collected from these same atoms")
+        let var_bit = |v: u32| vars.iter().position(|&w| w == v).expect("collected") as u32;
+        let mut bound = 0u64;
+        let mut cost = 0.0;
+        let mut card = 1.0f64;
+        for (k, &i) in order.iter().enumerate() {
+            let est = self.est_atom(q, rels, i, bound, var_bit);
+            if k == 0 {
+                cost = est;
+            } else {
+                cost += card * (1.0 + est);
+            }
+            card = (card * est).max(1.0);
+            for v in q.atoms[i].vars() {
+                bound |= 1 << var_bit(v);
+            }
+        }
+        cost
+    }
+
+    /// Estimated matches of a compiled atom given its bound-position
+    /// signature (every signature position counts as known).
+    fn est_plan_atom(&self, atom: &crate::engine::plan::AtomPlan) -> f64 {
+        let est = self.rel(atom.rel, atom.sig.len() + atom.binds.len());
+        let mut sel = est.rows;
+        for &pos in &atom.sig {
+            sel /= est.distinct.get(pos).copied().unwrap_or(1.0).max(1.0);
+        }
+        sel
+    }
+
+    /// Estimated total work of executing a compiled plan in its chosen
+    /// order: the same per-step `card × (1 + est)` accumulation the DP
+    /// minimizes, read off the plan's bound-position signatures. Used to
+    /// gate the parallel paths — partitioning only pays when the join
+    /// itself is worth more than the spawn/merge overhead.
+    pub fn plan_work(&self, cq: &CompiledCq) -> f64 {
+        let mut cost = 0.0;
+        let mut card = 1.0f64;
+        for atom in &cq.atoms {
+            let sel = self.est_plan_atom(atom);
+            cost += card * (1.0 + sel);
+            card = (card * sel).max(1.0);
+        }
+        cost
+    }
+
+    /// Estimated work of **seeded** evaluation of a compiled plan
+    /// ([`crate::engine::eval_seeded_into`]): like [`Self::plan_work`],
+    /// but the leading atom ranges over `n_seed` explicit rows instead
+    /// of its whole relation. The chase gates its match-phase fan-out on
+    /// this — a round with a small delta over a big store has little
+    /// work no matter how big the store is.
+    pub fn seeded_work(&self, cq: &CompiledCq, n_seed: usize) -> f64 {
+        let Some((lead, rest)) = cq.atoms.split_first() else {
+            return 0.0;
+        };
+        let seed = n_seed as f64;
+        let mut cost = seed;
+        // The lead's signature constants filter the seed the same way
+        // they filter the relation: scale by the relative selectivity.
+        let est = self.rel(lead.rel, lead.sig.len() + lead.binds.len());
+        let mut frac = 1.0f64;
+        for &pos in &lead.sig {
+            frac /= est.distinct.get(pos).copied().unwrap_or(1.0).max(1.0);
+        }
+        let mut card = (seed * frac).max(1.0);
+        for atom in rest {
+            let sel = self.est_plan_atom(atom);
+            cost += card * (1.0 + sel);
+            card = (card * sel).max(1.0);
+        }
+        cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Atom;
+    use ca_core::store::stats::{ColStats, RelStats};
+    use Term::{Const as C, Var as V};
+
+    /// Stats for Big(a,b): 8192 rows, both columns 256-distinct; and
+    /// Tiny(b): 32 rows, 32-distinct.
+    fn model() -> CostModel {
+        CostModel::from_stats(&StoreStats {
+            version: 0,
+            rels: vec![
+                RelStats {
+                    n_live: 8192,
+                    cols: vec![
+                        ColStats {
+                            distinct: 256,
+                            min_const: 0,
+                            max_const: 255,
+                        },
+                        ColStats {
+                            distinct: 256,
+                            min_const: 0,
+                            max_const: 255,
+                        },
+                    ],
+                },
+                RelStats {
+                    n_live: 32,
+                    cols: vec![ColStats {
+                        distinct: 32,
+                        min_const: 0,
+                        max_const: 31,
+                    }],
+                },
+            ],
+        })
+    }
+
+    #[test]
+    fn selective_relation_leads() {
+        // Big(x, y) ∧ Tiny(x): greedy sees equal bound counts and keeps
+        // input order (Big first → 8192 enumerations); the cost model
+        // leads with Tiny and probes Big 32 times.
+        let q = ConjunctiveQuery::boolean(vec![
+            Atom::new("Big", vec![V(0), V(1)]),
+            Atom::new("Tiny", vec![V(0)]),
+        ]);
+        let rels = [Symbol(0), Symbol(1)];
+        let order = model().order(&q, &rels, None).expect("within DP reach");
+        assert_eq!(order, vec![1, 0], "tiny relation first");
+    }
+
+    #[test]
+    fn pin_overrides_cost() {
+        let q = ConjunctiveQuery::boolean(vec![
+            Atom::new("Big", vec![V(0), V(1)]),
+            Atom::new("Tiny", vec![V(0)]),
+        ]);
+        let rels = [Symbol(0), Symbol(1)];
+        let order = model().order(&q, &rels, Some(0)).unwrap();
+        assert_eq!(order[0], 0, "pinned atom leads even when expensive");
+        // Out-of-range pins are ignored, like the greedy orderer's.
+        assert_eq!(
+            model().order(&q, &rels, Some(9)),
+            model().order(&q, &rels, None)
+        );
+    }
+
+    #[test]
+    fn wide_queries_decline_to_greedy() {
+        let atoms: Vec<Atom> = (0..DP_MAX_ATOMS as u32 + 1)
+            .map(|i| Atom::new("Tiny", vec![V(i)]))
+            .collect();
+        let rels = vec![Symbol(1); atoms.len()];
+        let q = ConjunctiveQuery::boolean(atoms);
+        assert_eq!(model().order(&q, &rels, None), None);
+        let small = ConjunctiveQuery::boolean(vec![Atom::new("Tiny", vec![V(0)])]);
+        assert_eq!(
+            model().order(&small, &[Symbol(1)], None),
+            None,
+            "single atom: nothing to order"
+        );
+    }
+
+    #[test]
+    fn constants_make_atoms_cheap() {
+        // Big(3, x) ∧ Big(x, y): the constant-keyed atom estimates
+        // 8192/256 = 32 matches and must lead.
+        let q = ConjunctiveQuery::boolean(vec![
+            Atom::new("Big", vec![V(0), V(1)]),
+            Atom::new("Big", vec![C(3), V(0)]),
+        ]);
+        let rels = [Symbol(0), Symbol(0)];
+        assert_eq!(model().order(&q, &rels, None).unwrap(), vec![1, 0]);
+    }
+
+    #[test]
+    fn order_is_deterministic_under_symmetry() {
+        // Two indistinguishable atoms: ties keep ascending input order.
+        let q = ConjunctiveQuery::boolean(vec![
+            Atom::new("Tiny", vec![V(0)]),
+            Atom::new("Tiny", vec![V(0)]),
+        ]);
+        let rels = [Symbol(1), Symbol(1)];
+        assert_eq!(model().order(&q, &rels, None).unwrap(), vec![0, 1]);
+    }
+}

@@ -29,6 +29,7 @@
 //! compares `u32`s with no hashing of signatures and no allocation.
 
 use std::collections::HashMap;
+use std::sync::OnceLock;
 
 use ca_core::store::{self, FactStore, ValueId, INVALID_ID};
 use ca_core::symbol::Symbol;
@@ -36,6 +37,7 @@ use ca_core::value::Value;
 use ca_relational::database::NaiveDatabase;
 use ca_relational::store_bridge::to_store;
 
+use super::cost::CostModel;
 use super::plan::{CompiledCq, KeyPart};
 
 /// Handle of an atom's index table; [`SCAN`] means "scan the whole
@@ -103,6 +105,10 @@ pub struct DbIndex<'a> {
     tables: Vec<Table>,
     /// `(relation, signature) → handle` — consulted only when ensuring.
     dir: HashMap<(Symbol, Vec<usize>), usize>,
+    /// The cost model priced off the backing store, built on first use
+    /// and shared immutably afterwards (`OnceLock`: the partitioned
+    /// paths hand `&DbIndex` to scoped workers).
+    model: OnceLock<CostModel>,
 }
 
 fn live_rows_by_rel(store: &FactStore) -> Vec<Vec<u32>> {
@@ -131,6 +137,7 @@ impl<'a> DbIndex<'a> {
             by_rel,
             tables: Vec::new(),
             dir: HashMap::new(),
+            model: OnceLock::new(),
         }
     }
 
@@ -144,6 +151,7 @@ impl<'a> DbIndex<'a> {
             by_rel,
             tables: Vec::new(),
             dir: HashMap::new(),
+            model: OnceLock::new(),
         }
     }
 
@@ -153,6 +161,14 @@ impl<'a> DbIndex<'a> {
             Backing::Owned(s) => s,
             Backing::Borrowed(s) => s,
         }
+    }
+
+    /// The cost model priced off the backing store (lazily built; a
+    /// snapshot — later store mutations do not flow in, matching the
+    /// index's own row-list snapshot semantics).
+    pub fn model(&self) -> &CostModel {
+        self.model
+            .get_or_init(|| CostModel::from_store(self.store()))
     }
 
     /// Live row ids of a relation (in row order).

@@ -27,6 +27,8 @@
 //! serves as the differential-testing oracle (`tests/eval_differential.rs`),
 //! mirroring the `ca_hom::csp` / `ca_hom::reference` kernel pattern.
 
+pub mod cache;
+pub mod cost;
 pub mod index;
 pub mod par;
 pub mod plan;
@@ -41,8 +43,12 @@ use ca_relational::schema::Schema;
 
 use crate::ast::{ConjunctiveQuery, UnionQuery};
 
+pub use cache::PlanCache;
+pub use cost::CostModel;
 pub use index::DbIndex;
-pub use par::{eval_cq_partitioned, eval_ucq_partitioned, PART_MIN_ROWS};
+pub use par::{
+    eval_cq_partitioned, eval_ucq_gated, eval_ucq_partitioned, PART_MIN_ROWS, PART_MIN_WORK,
+};
 pub use plan::{CompiledCq, CompiledUcq, PlanError};
 pub use sweep::{eval_threads, CompletionSpace};
 
@@ -192,6 +198,62 @@ pub fn eval_cq_into(
     exec(cq, &access, &*idx, 0, &mut bufs, emit);
 }
 
+/// Minimum live rows of the leading relation before semijoin reduction
+/// pays: below this, one posting probe per lead row costs more than the
+/// dead enumerations it prunes.
+pub(crate) const SEMIJOIN_MIN_ROWS: usize = 1024;
+
+/// Semijoin-reduce the leading atom of a chain/star plan: keep only the
+/// lead rows whose join-key values have a non-empty posting in some
+/// later atom's single-column table. Sound because an empty posting for
+/// the key value means that atom (hence the whole conjunction) cannot
+/// match once the lead row binds it — pruned rows contribute no answers,
+/// kept rows are evaluated in full, so the answer set is untouched.
+///
+/// Applies only when the plan has ≥ 3 atoms (on a two-atom join the
+/// probe that filters *is* the join step — nothing is saved), the lead
+/// relation has ≥ [`SEMIJOIN_MIN_ROWS`] live rows, and at least one
+/// later atom probes a built (non-scan) single-column table keyed by a
+/// slot the lead atom binds. Returns `None` when inapplicable; callers
+/// then run the unreduced plan.
+pub(crate) fn semijoin_filter_lead(
+    cq: &CompiledCq,
+    prep: &PreparedCq,
+    idx: &DbIndex<'_>,
+) -> Option<Vec<u32>> {
+    let lead = cq.atoms.first()?;
+    let rows = idx.rows(lead.rel);
+    if cq.atoms.len() < 3 || rows.len() < SEMIJOIN_MIN_ROWS {
+        return None;
+    }
+    // `(lead column, posting handle)` per eligible later atom.
+    let mut filters: Vec<(usize, usize)> = Vec::new();
+    for (atom, acc) in cq.atoms.iter().zip(&prep.access).skip(1) {
+        if acc.handle == index::SCAN {
+            continue;
+        }
+        if let (&[_], &[index::IdKey::Slot(s)]) = (atom.sig.as_slice(), acc.key.as_slice()) {
+            if let Some(&(lead_pos, _)) = lead.binds.iter().find(|&&(_, slot)| slot == s) {
+                filters.push((lead_pos, acc.handle));
+            }
+        }
+    }
+    if filters.is_empty() {
+        return None;
+    }
+    let cols = idx.cols(lead.rel);
+    let mut kept = Vec::with_capacity(rows.len());
+    'row: for &r in rows {
+        for &(pos, h) in &filters {
+            if idx.probe(h, &[cols[pos][r as usize]]).is_empty() {
+                continue 'row;
+            }
+        }
+        kept.push(r);
+    }
+    Some(kept)
+}
+
 /// The resolved access paths of one compiled CQ on one [`DbIndex`],
 /// resolved once by [`prepare_cq`]: per atom, a posting-table handle and
 /// the key with plan constants interned to value ids. Keeping them
@@ -311,30 +373,36 @@ pub fn eval_ucq_bool_on(ucq: &CompiledUcq, idx: &mut DbIndex<'_>) -> bool {
     })
 }
 
-/// Compile and evaluate a UCQ over a database (nulls as values).
+/// Compile and evaluate a UCQ over a database (nulls as values). The
+/// plan is cost-based: ordered by the index's statistics model (falling
+/// back to the greedy order out of the DP's reach) — plan choice, never
+/// answers, depends on the statistics.
 pub fn eval_ucq(q: &UnionQuery, db: &NaiveDatabase) -> Result<BTreeSet<Vec<Value>>, PlanError> {
-    let plan = compile_ucq(q, &db.schema)?;
-    Ok(eval_ucq_on(&plan, &mut DbIndex::new(db)))
+    let mut idx = DbIndex::new(db);
+    let plan = CompiledUcq::compile_costed(q, &db.schema, idx.model())?;
+    Ok(eval_ucq_on(&plan, &mut idx))
 }
 
-/// Compile and evaluate a CQ over a database (nulls as values). Takes
-/// the same automatic partitioned route as [`eval_ucq_on`] — the
-/// `CA_PART_THREADS` knob applies here too and only moves wall time.
+/// Compile (cost-based) and evaluate a CQ over a database (nulls as
+/// values). Takes the same automatic partitioned route as
+/// [`eval_ucq_on`] — the `CA_PART_THREADS` knob applies here too and
+/// only moves wall time.
 pub fn eval_cq(
     q: &ConjunctiveQuery,
     db: &NaiveDatabase,
 ) -> Result<BTreeSet<Vec<Value>>, PlanError> {
-    let plan = compile_cq(q, &db.schema)?;
     let mut idx = DbIndex::new(db);
+    let plan = CompiledCq::compile_costed(q, &db.schema, idx.model())?;
     let mut out = BTreeSet::new();
     par::eval_cq_auto_into(&plan, &mut idx, &mut out);
     Ok(out)
 }
 
-/// Compile and evaluate a Boolean UCQ over a database.
+/// Compile (cost-based) and evaluate a Boolean UCQ over a database.
 pub fn eval_ucq_bool(q: &UnionQuery, db: &NaiveDatabase) -> Result<bool, PlanError> {
-    let plan = compile_ucq(q, &db.schema)?;
-    Ok(eval_ucq_bool_on(&plan, &mut DbIndex::new(db)))
+    let mut idx = DbIndex::new(db);
+    let plan = CompiledUcq::compile_costed(q, &db.schema, idx.model())?;
+    Ok(eval_ucq_bool_on(&plan, &mut idx))
 }
 
 /// Brute-force certain answers of a compiled UCQ: intersect the answer

@@ -37,6 +37,53 @@ use super::{eval_cq_into, eval_seeded_into, prepare_cq, CompiledCq, DbIndex};
 /// itself (a few thousand probes run in tens of microseconds).
 pub const PART_MIN_ROWS: usize = 4096;
 
+/// Minimum estimated plan work (the cost model's `card × (1 + est)`
+/// accumulation, roughly "rows enumerated") before partitioning pays.
+/// Chosen off `BENCH_query.json`: two-atom chains at 1024 lead rows
+/// (≈ 6k estimated work) lose to spawn/merge overhead, the same chains
+/// at 4096 rows (≈ 25k) win.
+pub const PART_MIN_WORK: f64 = 16384.0;
+
+/// Should this plan take the partitioned path at all? Requires a real
+/// join (≥ 2 atoms — a single-atom scan has no work to split), a lead
+/// relation worth splitting, and an estimated total work above
+/// [`PART_MIN_WORK`] so coordination cannot dominate. Decisions move
+/// wall time only; both paths produce identical contents.
+fn worth_partitioning(cq: &CompiledCq, idx: &DbIndex<'_>) -> bool {
+    cq.atoms.len() >= 2
+        && cq
+            .atoms
+            .first()
+            .is_some_and(|a| idx.rows(a.rel).len() >= PART_MIN_ROWS)
+        && idx.model().plan_work(cq) >= PART_MIN_WORK
+}
+
+/// Sequential evaluation with semijoin reduction where it applies (see
+/// [`super::semijoin_filter_lead`]): chain/star plans over a large lead
+/// relation pre-filter the lead rows through later atoms' postings, then
+/// run the reduced seeded join; everything else takes the plain engine.
+fn eval_cq_seq_into(cq: &CompiledCq, idx: &mut DbIndex<'_>, out: &mut BTreeSet<Vec<Value>>) {
+    let reducible = cq.atoms.len() >= 3
+        && cq
+            .atoms
+            .first()
+            .is_some_and(|a| idx.rows(a.rel).len() >= super::SEMIJOIN_MIN_ROWS);
+    if reducible {
+        let prep = prepare_cq(cq, idx);
+        if let Some(kept) = super::semijoin_filter_lead(cq, &prep, idx) {
+            eval_seeded_into(cq, &prep, idx, &kept, &mut |row| {
+                out.insert(row.to_vec());
+                true
+            });
+            return;
+        }
+    }
+    eval_cq_into(cq, idx, &mut |row| {
+        out.insert(row.to_vec());
+        true
+    });
+}
+
 /// Evaluate a compiled CQ with its leading atom split into `parts`
 /// hash partitions on separate workers, inserting every head row into
 /// `out`. Result contents are identical to [`eval_cq_into`] for every
@@ -60,7 +107,13 @@ pub fn eval_cq_partitioned_into(
     // Resolve posting tables while the index is still borrowed mutably;
     // afterwards the workers share it immutably.
     let prep = prepare_cq(cq, idx);
-    let rows = idx.rows(lead.rel);
+    // Semijoin-reduce the lead rows before splitting them: pruned rows
+    // are pruned on every worker at once.
+    let reduced = super::semijoin_filter_lead(cq, &prep, idx);
+    let rows = match &reduced {
+        Some(kept) => kept.as_slice(),
+        None => idx.rows(lead.rel),
+    };
     // Partition on the first column the leading atom binds — rows
     // sharing a join key land on one worker — else on row ids.
     let partitions = match lead.binds.first() {
@@ -138,18 +191,38 @@ pub(crate) fn eval_cq_auto_into(
     out: &mut BTreeSet<Vec<Value>>,
 ) {
     let parts = config::part_threads();
-    let big = cq
-        .atoms
-        .first()
-        .is_some_and(|a| idx.rows(a.rel).len() >= PART_MIN_ROWS);
-    if parts > 1 && big {
+    if parts > 1 && worth_partitioning(cq, idx) {
         eval_cq_partitioned_into(cq, idx, parts, out);
     } else {
-        eval_cq_into(cq, idx, &mut |row| {
-            out.insert(row.to_vec());
-            true
-        });
+        eval_cq_seq_into(cq, idx, out);
     }
+}
+
+/// Cost-gated partitioned UCQ evaluation, the entry the benches and
+/// batch callers use: each disjunct partitions only when
+/// `worth_partitioning` says the join can amortize the fan-out, at a
+/// width of an explicit `CA_PART_THREADS` verbatim (the determinism
+/// suites pin widths wider than the host) or else `requested` clamped
+/// to the machine's cores — oversubscribing cores loses by pure
+/// coordination, the `e02_ucq_edge` regression of `BENCH_query.json`.
+/// Contents are identical to [`super::eval_ucq_on`] at every width.
+pub fn eval_ucq_gated(
+    ucq: &super::CompiledUcq,
+    idx: &mut DbIndex<'_>,
+    requested: usize,
+) -> BTreeSet<Vec<Value>> {
+    let width = config::part_threads_set()
+        .unwrap_or_else(|| requested.min(config::available_parallelism_or(1)))
+        .max(1);
+    let mut out = BTreeSet::new();
+    for d in &ucq.disjuncts {
+        if width > 1 && worth_partitioning(d, idx) {
+            eval_cq_partitioned_into(d, idx, width, &mut out);
+        } else {
+            eval_cq_seq_into(d, idx, &mut out);
+        }
+    }
+    out
 }
 
 #[cfg(test)]

@@ -28,6 +28,8 @@ use ca_relational::schema::Schema;
 
 use crate::ast::{ConjunctiveQuery, Term, UnionQuery};
 
+use super::cost::CostModel;
+
 /// A typed plan-compilation failure. The reference evaluator silently
 /// returns no matches in all of these situations; the engine surfaces
 /// them so callers can distinguish "no certain answers" from "the query
@@ -146,86 +148,146 @@ impl CompiledCq {
             .and_then(|a| a.binds.first().map(|&(pos, _)| pos))
     }
 
+    /// Compile with the join order picked by a [`CostModel`]: the DP
+    /// searches all orders where that is affordable and falls back to
+    /// the greedy order beyond its width limit. Plan *choice* changes
+    /// with the model; plan *answers* never do.
+    pub fn compile_costed(
+        q: &ConjunctiveQuery,
+        schema: &Schema,
+        model: &CostModel,
+    ) -> Result<CompiledCq, PlanError> {
+        Self::compile_with_model(q, schema, None, model)
+    }
+
+    /// Cost-based compilation with atom `pin` forced to the front (the
+    /// seeded-evaluation contract of [`Self::compile_pinned`] holds).
+    pub fn compile_costed_pinned(
+        q: &ConjunctiveQuery,
+        schema: &Schema,
+        pin: usize,
+        model: &CostModel,
+    ) -> Result<CompiledCq, PlanError> {
+        Self::compile_with_model(q, schema, Some(pin), model)
+    }
+
+    fn compile_with_model(
+        q: &ConjunctiveQuery,
+        schema: &Schema,
+        pin: Option<usize>,
+        model: &CostModel,
+    ) -> Result<CompiledCq, PlanError> {
+        let rels = resolve_rels(q, schema)?;
+        let greedy = join_order(q, pin);
+        match model.order(q, &rels, pin) {
+            // Hysteresis: take the DP's order only for a predicted win
+            // past [`cost::DP_WIN_MARGIN`]. On near-ties the greedy
+            // baseline is kept, so plan choice is stable under
+            // statistics jitter and genuinely equivalent plans stay
+            // identical to the greedy compilation.
+            Some(dp)
+                if dp != greedy
+                    && model.order_cost(q, &rels, &dp)
+                        < super::cost::DP_WIN_MARGIN * model.order_cost(q, &rels, &greedy) =>
+            {
+                build(q, &rels, &dp)
+            }
+            _ => build(q, &rels, &greedy),
+        }
+    }
+
     fn compile_with_pin(
         q: &ConjunctiveQuery,
         schema: &Schema,
         pin: Option<usize>,
     ) -> Result<CompiledCq, PlanError> {
-        // Resolve relations and validate arities up front.
-        let mut rels = Vec::with_capacity(q.atoms.len());
-        for atom in &q.atoms {
-            let rel = schema
-                .relation(&atom.rel)
-                .ok_or_else(|| PlanError::UnknownRelation {
-                    rel: atom.rel.clone(),
-                })?;
-            let declared = schema.arity(rel);
-            if declared != atom.args.len() {
-                return Err(PlanError::ArityMismatch {
-                    rel: atom.rel.clone(),
-                    declared,
-                    used: atom.args.len(),
-                });
-            }
-            rels.push(rel);
-        }
-
+        let rels = resolve_rels(q, schema)?;
         let order = join_order(q, pin);
-        let mut slots: BTreeMap<u32, usize> = BTreeMap::new();
-        let mut atoms = Vec::with_capacity(order.len());
-        for &i in &order {
-            let atom = &q.atoms[i];
-            let mut plan = AtomPlan {
-                rel: rels[i],
-                sig: Vec::new(),
-                key: Vec::new(),
-                binds: Vec::new(),
-                checks: Vec::new(),
-            };
-            for (pos, term) in atom.args.iter().enumerate() {
-                match term {
-                    Term::Const(c) => {
-                        plan.sig.push(pos);
-                        plan.key.push(KeyPart::Const(Value::Const(*c)));
-                    }
-                    Term::Var(v) => {
-                        if let Some(&slot) = slots.get(v) {
-                            if plan.binds.iter().any(|&(_, s)| s == slot) {
-                                // Bound earlier in this very atom: the value
-                                // is only known after the probe.
-                                plan.checks.push((pos, slot));
-                            } else {
-                                plan.sig.push(pos);
-                                plan.key.push(KeyPart::Slot(slot));
-                            }
+        build(q, &rels, &order)
+    }
+}
+
+/// Resolve every atom's relation against the schema, validating arities.
+fn resolve_rels(q: &ConjunctiveQuery, schema: &Schema) -> Result<Vec<Symbol>, PlanError> {
+    let mut rels = Vec::with_capacity(q.atoms.len());
+    for atom in &q.atoms {
+        let rel = schema
+            .relation(&atom.rel)
+            .ok_or_else(|| PlanError::UnknownRelation {
+                rel: atom.rel.clone(),
+            })?;
+        let declared = schema.arity(rel);
+        if declared != atom.args.len() {
+            return Err(PlanError::ArityMismatch {
+                rel: atom.rel.clone(),
+                declared,
+                used: atom.args.len(),
+            });
+        }
+        rels.push(rel);
+    }
+    Ok(rels)
+}
+
+/// Classify every atom position along the given join `order` (see the
+/// module docs) and wire the head projection. The ordering policy —
+/// greedy or cost-based — is fully decided by here; classification is
+/// policy-independent.
+fn build(q: &ConjunctiveQuery, rels: &[Symbol], order: &[usize]) -> Result<CompiledCq, PlanError> {
+    let mut slots: BTreeMap<u32, usize> = BTreeMap::new();
+    let mut atoms = Vec::with_capacity(order.len());
+    for &i in order {
+        let atom = &q.atoms[i];
+        let mut plan = AtomPlan {
+            rel: rels[i],
+            sig: Vec::new(),
+            key: Vec::new(),
+            binds: Vec::new(),
+            checks: Vec::new(),
+        };
+        for (pos, term) in atom.args.iter().enumerate() {
+            match term {
+                Term::Const(c) => {
+                    plan.sig.push(pos);
+                    plan.key.push(KeyPart::Const(Value::Const(*c)));
+                }
+                Term::Var(v) => {
+                    if let Some(&slot) = slots.get(v) {
+                        if plan.binds.iter().any(|&(_, s)| s == slot) {
+                            // Bound earlier in this very atom: the value
+                            // is only known after the probe.
+                            plan.checks.push((pos, slot));
                         } else {
-                            let slot = slots.len();
-                            slots.insert(*v, slot);
-                            plan.binds.push((pos, slot));
+                            plan.sig.push(pos);
+                            plan.key.push(KeyPart::Slot(slot));
                         }
+                    } else {
+                        let slot = slots.len();
+                        slots.insert(*v, slot);
+                        plan.binds.push((pos, slot));
                     }
                 }
             }
-            atoms.push(plan);
         }
-
-        let head_slots = q
-            .head
-            .iter()
-            .map(|v| {
-                slots
-                    .get(v)
-                    .copied()
-                    .ok_or(PlanError::UnboundHeadVar { var: *v })
-            })
-            .collect::<Result<Vec<_>, _>>()?;
-
-        Ok(CompiledCq {
-            atoms,
-            head_slots,
-            n_slots: slots.len(),
-        })
+        atoms.push(plan);
     }
+
+    let head_slots = q
+        .head
+        .iter()
+        .map(|v| {
+            slots
+                .get(v)
+                .copied()
+                .ok_or(PlanError::UnboundHeadVar { var: *v })
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+
+    Ok(CompiledCq {
+        atoms,
+        head_slots,
+        n_slots: slots.len(),
+    })
 }
 
 /// Greedy bound-variable join ordering: repeatedly pick the atom with the
@@ -309,6 +371,33 @@ impl CompiledUcq {
         })
     }
 
+    /// Assemble a UCQ plan from already-compiled disjuncts (the plan
+    /// cache's pinned path compiles disjunct-by-disjunct).
+    pub(crate) fn from_parts(disjuncts: Vec<CompiledCq>, head_arity: usize) -> CompiledUcq {
+        CompiledUcq {
+            disjuncts,
+            head_arity,
+        }
+    }
+
+    /// Compile every disjunct with cost-based ordering; fails on the
+    /// first disjunct that does not fit the schema.
+    pub fn compile_costed(
+        q: &UnionQuery,
+        schema: &Schema,
+        model: &CostModel,
+    ) -> Result<CompiledUcq, PlanError> {
+        let disjuncts = q
+            .disjuncts
+            .iter()
+            .map(|d| CompiledCq::compile_costed(d, schema, model))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(CompiledUcq {
+            disjuncts,
+            head_arity: q.head_arity(),
+        })
+    }
+
     /// Compile leniently, **dropping** disjuncts that do not fit the
     /// schema. This reproduces the reference evaluator's semantics, where
     /// an atom over an unknown relation (or at the wrong arity) silently
@@ -328,6 +417,13 @@ impl CompiledUcq {
     /// The shared head arity (0 for Boolean queries).
     pub fn head_arity(&self) -> usize {
         self.head_arity
+    }
+
+    /// The compiled disjuncts in declaration order. The chase engine
+    /// caches single-disjunct UCQ plans per rule body and evaluates the
+    /// lone disjunct seeded; everything it needs is this slice.
+    pub fn disjuncts(&self) -> &[CompiledCq] {
+        &self.disjuncts
     }
 }
 

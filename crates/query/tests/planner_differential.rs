@@ -1,0 +1,181 @@
+//! Differential tests for the cost-based planner and the plan cache:
+//! on random schemas, databases, and (U)CQs, the reference evaluator,
+//! the greedy-planned engine, the cost-planned engine, the cached plan,
+//! and every partition width must produce identical answers — plan
+//! choice moves wall time only, never contents. Plan choice itself is
+//! pinned deterministic, and the cache is exercised against an evolving
+//! store so revision-keyed invalidation is covered end to end.
+
+use std::collections::BTreeSet;
+
+use ca_core::value::Value;
+use ca_query::engine::{
+    eval_ucq_gated, eval_ucq_on, eval_ucq_partitioned, CompiledUcq, CostModel, DbIndex, PlanCache,
+};
+use ca_query::generate::{random_ucq_over, QueryParams};
+use ca_query::reference;
+use ca_relational::database::NaiveDatabase;
+use ca_relational::generate::{random_naive_db_over, DbParams, Rng};
+use ca_relational::schema::Schema;
+use ca_relational::to_store;
+
+/// A modest multi-relation schema: mixed arities so random queries get
+/// real join shapes and the planner has asymmetry to exploit.
+fn test_schema() -> Schema {
+    Schema::from_relations(&[("R", 2), ("S", 3), ("T", 1)])
+}
+
+fn db_params(seed: u64) -> DbParams {
+    DbParams {
+        n_facts: 40 + (seed as usize % 60),
+        arity: 2, // ignored by `random_naive_db_over`
+        n_constants: 8,
+        n_nulls: 4,
+        null_pct: 15,
+    }
+}
+
+fn query_params(seed: u64) -> QueryParams {
+    QueryParams {
+        n_disjuncts: 1 + (seed as usize % 3),
+        n_atoms: 1 + (seed as usize % 4),
+        n_vars: 5,
+        arity: 2, // ignored by `random_ucq_over`
+        n_constants: 8,
+        const_pct: 25,
+    }
+}
+
+fn random_instance(seed: u64) -> (NaiveDatabase, ca_query::UnionQuery) {
+    let schema = test_schema();
+    let mut rng = Rng::new(seed);
+    let db = random_naive_db_over(&mut rng, &schema, db_params(seed));
+    let q = random_ucq_over(&mut rng, &schema, (seed % 3) as usize, query_params(seed));
+    (db, q)
+}
+
+/// Reference, greedy plan, cost-based plan, cached plan, and the gated
+/// parallel entry all agree on random instances.
+#[test]
+fn cost_greedy_reference_agree_on_random_ucqs() {
+    for seed in 0..60u64 {
+        let (db, q) = random_instance(seed);
+        let expected = reference::eval_ucq(&q, &db);
+
+        let greedy = CompiledUcq::compile(&q, &db.schema).unwrap();
+        assert_eq!(
+            expected,
+            eval_ucq_on(&greedy, &mut DbIndex::new(&db)),
+            "greedy plan diverges from reference (seed {seed})"
+        );
+
+        let st = to_store(&db);
+        let model = CostModel::from_store(&st);
+        let costed = CompiledUcq::compile_costed(&q, &db.schema, &model).unwrap();
+        assert_eq!(
+            expected,
+            eval_ucq_on(&costed, &mut DbIndex::new(&db)),
+            "cost-based plan diverges from reference (seed {seed})"
+        );
+
+        let mut cache = PlanCache::new();
+        let cached = cache.get_or_compile(&q, &db.schema, &st).unwrap();
+        assert_eq!(
+            expected,
+            eval_ucq_on(&cached, &mut DbIndex::new(&db)),
+            "cached plan diverges from reference (seed {seed})"
+        );
+
+        assert_eq!(
+            expected,
+            eval_ucq_gated(&costed, &mut DbIndex::new(&db), 4),
+            "gated parallel entry diverges from reference (seed {seed})"
+        );
+    }
+}
+
+/// Plan choice is a pure function of (query, statistics): compiling
+/// twice — directly or through a cache — yields structurally identical
+/// plans.
+#[test]
+fn plan_choice_is_deterministic() {
+    for seed in 0..20u64 {
+        let (db, q) = random_instance(seed);
+        let st = to_store(&db);
+        let model = CostModel::from_store(&st);
+        let a = CompiledUcq::compile_costed(&q, &db.schema, &model).unwrap();
+        let b = CompiledUcq::compile_costed(&q, &db.schema, &CostModel::from_store(&st)).unwrap();
+        assert_eq!(
+            format!("{a:?}"),
+            format!("{b:?}"),
+            "plan choice not deterministic (seed {seed})"
+        );
+        let mut cache = PlanCache::new();
+        let c = cache.get_or_compile(&q, &db.schema, &st).unwrap();
+        assert_eq!(
+            format!("{a:?}"),
+            format!("{c:?}"),
+            "cache-compiled plan differs from direct compilation (seed {seed})"
+        );
+    }
+}
+
+/// A cached plan evaluated at any partition width returns exactly the
+/// answers of a fresh sequential compile — cached-vs-fresh and
+/// width-vs-width are both byte-identical.
+#[test]
+fn cached_answers_identical_across_widths() {
+    for seed in 0..20u64 {
+        let (db, q) = random_instance(seed);
+        let st = to_store(&db);
+        let model = CostModel::from_store(&st);
+        let fresh = CompiledUcq::compile_costed(&q, &db.schema, &model).unwrap();
+        let expected: BTreeSet<Vec<Value>> = eval_ucq_on(&fresh, &mut DbIndex::new(&db));
+
+        let mut cache = PlanCache::new();
+        let cached = cache.get_or_compile(&q, &db.schema, &st).unwrap();
+        for width in [1usize, 2, 4, 8] {
+            assert_eq!(
+                expected,
+                eval_ucq_partitioned(&cached, &mut DbIndex::new(&db), width),
+                "cached plan at width {width} diverges (seed {seed})"
+            );
+        }
+    }
+}
+
+/// The cache against an evolving store: every revision serves a plan
+/// whose answers match a fresh compile at that revision, a quiet
+/// re-lookup is a hit, and every mutation forces a recompile.
+#[test]
+fn cache_invalidation_tracks_store_growth() {
+    let schema = test_schema();
+    let mut rng = Rng::new(42);
+    let db = random_naive_db_over(&mut rng, &schema, db_params(42));
+    let q = random_ucq_over(&mut rng, &schema, 1, query_params(7));
+    let mut st = to_store(&db);
+    let mut cache = PlanCache::new();
+
+    for round in 0..5u64 {
+        let cached = cache.get_or_compile(&q, &schema, &st).unwrap();
+        let again = cache.get_or_compile(&q, &schema, &st).unwrap();
+        assert_eq!(
+            cache.hits(),
+            round + 1,
+            "quiet re-lookup must hit (round {round})"
+        );
+        let fresh = CompiledUcq::compile_costed(&q, &schema, &CostModel::from_store(&st)).unwrap();
+        assert_eq!(format!("{fresh:?}"), format!("{cached:?}"));
+        assert_eq!(
+            eval_ucq_on(&fresh, &mut DbIndex::over(&st)),
+            eval_ucq_on(&again, &mut DbIndex::over(&st)),
+            "cached answers diverge from fresh at revision {round}"
+        );
+        // Mutate: the next round must recompile against new statistics.
+        let r = st.relation("R").unwrap();
+        assert!(st
+            .insert(r, &[Value::Const(100 + round as i64), Value::Const(1)])
+            .is_some());
+    }
+    assert_eq!(cache.misses(), 5, "every revision bump must recompile");
+}
